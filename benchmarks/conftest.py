@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark asserts its experiment's *correctness* result inline (the
+same golden values as the test suite) and then times the operation, so a
+benchmark run doubles as a reproduction run.  Session-scoped fixtures keep
+dataset generation out of the timed paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.cars import generate_cars
+from repro.datasets.skyline_data import skyline_relation
+from repro.datasets.trips import generate_trips
+from repro.relations.relation import Relation
+
+
+@pytest.fixture(scope="session")
+def cars_1k() -> Relation:
+    return generate_cars(1000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def cars_5k() -> Relation:
+    return generate_cars(5000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def trips_200() -> Relation:
+    return generate_trips(200, seed=23)
+
+
+@pytest.fixture(scope="session")
+def skyline_sets() -> dict:
+    out = {}
+    for kind in ("independent", "correlated", "anticorrelated"):
+        for n in (1000,):
+            for d in (2, 3, 5):
+                out[(kind, n, d)] = skyline_relation(kind, n, d, seed=13)
+    return out

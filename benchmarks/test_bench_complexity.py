@@ -1,0 +1,69 @@
+"""CPX-N2: the Section 5.1 claim — naive Pareto evaluation needs O(n^2)
+better-than tests.
+
+The bench counts actual better-than tests over an n-sweep and reports the
+fitted growth exponent; the worst case (a conflicting Pareto term that
+never eliminates anybody) is exactly n(n-1).
+"""
+
+import math
+
+from repro.core.base_numerical import HighestPreference, LowestPreference
+from repro.core.constructors import pareto
+from repro.datasets.skyline_data import anticorrelated
+from repro.query.algorithms import (
+    ComparisonCounter,
+    block_nested_loop,
+    naive_nested_loop,
+)
+
+
+def test_naive_comparison_counts(benchmark):
+    sizes = (100, 200, 400)
+    pref_plain = pareto(HighestPreference("d0"), HighestPreference("d1"))
+
+    def sweep():
+        counts = {}
+        for n in sizes:
+            rows = anticorrelated(n, 2, seed=17)
+            counter = ComparisonCounter()
+            naive_nested_loop(counter.wrap(pref_plain), rows)
+            counts[n] = counter.comparisons
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = math.log(counts[400] / counts[100]) / math.log(4)
+    print(f"\n[CPX-N2] naive better-than tests: {counts}, exponent={exponent:.2f}")
+    assert exponent > 1.3
+    benchmark.extra_info["counts"] = counts
+    benchmark.extra_info["exponent"] = round(exponent, 2)
+
+
+def test_worst_case_is_exactly_quadratic(benchmark):
+    def worst():
+        n = 150
+        rows = [{"x": float(i)} for i in range(n)]
+        counter = ComparisonCounter()
+        pref = counter.wrap(
+            pareto(HighestPreference("x"), LowestPreference("x"))
+        )
+        naive_nested_loop(pref, rows)
+        return n, counter.comparisons
+
+    n, comparisons = benchmark.pedantic(worst, rounds=1, iterations=1)
+    assert comparisons == n * (n - 1)
+
+
+def test_bnl_beats_naive_on_comparisons(benchmark):
+    pref_plain = pareto(HighestPreference("d0"), HighestPreference("d1"))
+    rows = anticorrelated(400, 2, seed=17)
+
+    def measure():
+        c_naive, c_bnl = ComparisonCounter(), ComparisonCounter()
+        naive_nested_loop(c_naive.wrap(pref_plain), rows)
+        block_nested_loop(c_bnl.wrap(pref_plain), rows)
+        return c_naive.comparisons, c_bnl.comparisons
+
+    naive_count, bnl_count = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n[CPX-N2] naive={naive_count} vs bnl={bnl_count} comparisons")
+    assert bnl_count <= naive_count

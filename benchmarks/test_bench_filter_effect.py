@@ -1,0 +1,64 @@
+"""FLT-P13: the filter-effect inequalities measured on realistic data.
+
+Reproduces the paper's AND/OR reading: forming ``&`` strengthens the filter
+(sizes shrink, like AND), forming ``(x)`` weakens it relative to the
+prioritized orders (sizes grow, like OR), with BMO adapting in between.
+"""
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import AroundPreference, LowestPreference
+from repro.core.constructors import pareto, prioritized
+from repro.datasets.cars import generate_cars
+from repro.query.bmo import result_size
+
+UNION_ATTRS = ("color", "price")
+
+
+def test_filter_strength_chain(benchmark):
+    cars = generate_cars(1500, seed=11)
+    p1 = PosPreference("color", {"red", "black"})
+    p2 = AroundPreference("price", 25000)
+
+    def measure():
+        return {
+            "P1": result_size(p1, cars, attributes=UNION_ATTRS),
+            "P1 & P2": result_size(
+                prioritized(p1, p2), cars, attributes=UNION_ATTRS
+            ),
+            "P2 & P1": result_size(
+                prioritized(p2, p1), cars, attributes=UNION_ATTRS
+            ),
+            "P1 (x) P2": result_size(
+                pareto(p1, p2), cars, attributes=UNION_ATTRS
+            ),
+        }
+
+    sizes = benchmark.pedantic(measure, rounds=2, iterations=1)
+    print(f"\n[FLT-P13] sizes: {sizes}")
+    assert sizes["P1 & P2"] <= sizes["P1"]            # Prop 13c
+    assert sizes["P1 & P2"] <= sizes["P1 (x) P2"]     # Prop 13d
+    assert sizes["P2 & P1"] <= sizes["P1 (x) P2"]     # Prop 13d
+    benchmark.extra_info.update(sizes)
+
+
+def test_pareto_widens_with_dimensions(benchmark):
+    cars = generate_cars(1500, seed=11)
+    dims = [
+        AroundPreference("price", 25000),
+        LowestPreference("mileage"),
+        AroundPreference("horsepower", 110),
+    ]
+
+    def measure():
+        return [
+            result_size(
+                pareto(*dims[: k + 1]) if k else dims[0],
+                cars,
+                attributes=("price", "mileage", "horsepower"),
+            )
+            for k in range(3)
+        ]
+
+    series = benchmark.pedantic(measure, rounds=2, iterations=1)
+    print(f"\n[FLT-P13] result sizes by Pareto width: {series}")
+    assert series[0] <= series[1] <= series[2]

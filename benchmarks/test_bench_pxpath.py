@@ -1,0 +1,54 @@
+"""PXP: the Section 6.1 Preference XPath queries Q1 and Q2."""
+
+import pytest
+
+from repro.pxpath.evaluator import PreferenceXPath
+from repro.pxpath.model import XNode
+
+Q1 = "/CARS/CAR #[(@fuel_economy) highest and (@horsepower) highest]#"
+Q2 = (
+    '/CARS/CAR #[(@color) in ("black", "white") prior to (@price) around '
+    '10000]# #[(@mileage) lowest]#'
+)
+
+
+@pytest.fixture(scope="module")
+def document() -> XNode:
+    from repro.datasets.cars import generate_cars
+
+    root = XNode("CARS")
+    for row in generate_cars(1000, seed=11):
+        root.append(
+            XNode(
+                "CAR",
+                {
+                    "color": row["color"],
+                    "price": row["price"],
+                    "mileage": row["mileage"],
+                    "fuel_economy": row["fuel_economy"],
+                    "horsepower": row["horsepower"],
+                },
+            )
+        )
+    return root
+
+
+def test_q1_pareto_over_xml(benchmark, document):
+    px = PreferenceXPath(document)
+    out = benchmark.pedantic(lambda: px.query(Q1), rounds=3, iterations=1)
+    assert 0 < len(out) < 1000
+    print(f"\n[PXP] Q1 -> {len(out)} best CAR elements")
+
+
+def test_q2_prioritized_cascade_over_xml(benchmark, document):
+    px = PreferenceXPath(document)
+    out = benchmark.pedantic(lambda: px.query(Q2), rounds=3, iterations=1)
+    assert 0 < len(out) < 1000
+    print(f"\n[PXP] Q2 -> {len(out)} best CAR elements")
+
+
+def test_parse_only(benchmark):
+    from repro.pxpath.parser import parse_path
+
+    path = benchmark(lambda: parse_path(Q2))
+    assert len(path.steps) == 2

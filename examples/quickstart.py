@@ -1,0 +1,69 @@
+"""Quickstart: preferences as strict partial orders, queried under BMO.
+
+Run:  python examples/quickstart.py
+
+Walks the core loop of the library in five minutes: declare base
+preferences, compose them with Pareto and prioritized accumulation, draw
+the better-than graph, and ask a Best-Matches-Only query that never comes
+back empty.
+"""
+
+from repro import AROUND, EXPLICIT, LOWEST, POS, pareto, prioritized
+from repro.core.graph import BetterThanGraph
+from repro.query import bmo, explain, execute
+from repro.relations import Relation
+
+
+def main() -> None:
+    # -- 1. A database set (Section 5: the "reality" side of match-making).
+    cars = Relation.from_dicts(
+        "car",
+        [
+            {"id": 1, "color": "red", "price": 42000, "mileage": 20000},
+            {"id": 2, "color": "black", "price": 38500, "mileage": 60000},
+            {"id": 3, "color": "gray", "price": 39000, "mileage": 15000},
+            {"id": 4, "color": "red", "price": 55000, "mileage": 5000},
+            {"id": 5, "color": "blue", "price": 39500, "mileage": 45000},
+        ],
+    )
+    print("catalog:")
+    print(cars.head())
+
+    # -- 2. Wishes (Section 3): base preferences...
+    colour = POS("color", {"red", "black"})     # favourites first
+    price = AROUND("price", 40000)              # close to 40k
+    mileage = LOWEST("mileage")                 # the less driven the better
+
+    # ...composed: colour and price matter equally, mileage breaks ties.
+    wish = prioritized(pareto(colour, price), mileage)
+    print(f"\nwish: {wish!r}")
+
+    # -- 3. The BMO query: all best matches, only best matches (Def. 15).
+    best = bmo(wish, cars)
+    print("\nbest matches:")
+    print(best.head())
+
+    # -- 4. Even impossible wishes get cooperative answers - never empty.
+    dreamer = AROUND("price", 1000)
+    print("\nclosest to an impossible price of 1000:")
+    print(bmo(dreamer, cars).head())
+
+    # -- 5. Better-than graphs are the visual face of a preference (Def. 2).
+    taste = EXPLICIT(
+        "color", [("gray", "blue"), ("blue", "red"), ("blue", "black")]
+    )
+    graph = BetterThanGraph(taste, ["red", "black", "blue", "gray", "green"])
+    print("\nhandcrafted colour taste (level 1 = best):")
+    print(graph.render())
+
+    # -- 6. The optimizer explains itself (which laws fired, which engine).
+    print("\nquery plan:")
+    print(explain(wish, cars))
+
+    result = execute(wish, cars)
+    assert result == best
+    print("\noptimized execution agrees with the declarative evaluation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  ``python setup.py develop`` takes the legacy path that needs only
+setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

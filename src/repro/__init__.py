@@ -1,0 +1,113 @@
+"""repro — a reproduction of Kiessling's *Foundations of Preferences in
+Database Systems* (VLDB 2002).
+
+The library models preferences as strict partial orders, composes them with
+the paper's constructors (Pareto, prioritized, rank(F), intersection,
+disjoint union, linear sum), evaluates preference queries under the
+Best-Matches-Only (BMO) model over an in-memory relational substrate, and
+ships the two query-language front ends the paper describes: Preference SQL
+and Preference XPath.
+
+Quickstart::
+
+    from repro import POS, AROUND, LOWEST, pareto, prioritized
+    from repro.relations import Relation
+    from repro.query import bmo
+
+    cars = Relation.from_dicts("car", [
+        {"color": "red", "price": 40000},
+        {"color": "gray", "price": 20000},
+    ])
+    wish = prioritized(POS("color", {"red"}), AROUND("price", 25000))
+    best = bmo(wish, cars)
+"""
+
+from repro.core import (
+    AntiChain,
+    AroundPreference,
+    BetterThanGraph,
+    BetweenPreference,
+    ChainPreference,
+    DisjointUnionPreference,
+    DualPreference,
+    ExplicitPreference,
+    HighestPreference,
+    IntersectionPreference,
+    LayeredPreference,
+    LinearSumPreference,
+    LowestPreference,
+    NegPreference,
+    ParetoPreference,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+    Preference,
+    PrioritizedPreference,
+    RankPreference,
+    ScorePreference,
+    SubsetPreference,
+    dual,
+    intersection,
+    linear_sum,
+    pareto,
+    prioritized,
+    rank,
+    union,
+)
+
+# Paper-style aliases: read like Definition 6/7 constructor applications.
+POS = PosPreference
+NEG = NegPreference
+POS_NEG = PosNegPreference
+POS_POS = PosPosPreference
+EXPLICIT = ExplicitPreference
+AROUND = AroundPreference
+BETWEEN = BetweenPreference
+LOWEST = LowestPreference
+HIGHEST = HighestPreference
+SCORE = ScorePreference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AROUND",
+    "AntiChain",
+    "AroundPreference",
+    "BETWEEN",
+    "BetterThanGraph",
+    "BetweenPreference",
+    "ChainPreference",
+    "DisjointUnionPreference",
+    "DualPreference",
+    "EXPLICIT",
+    "ExplicitPreference",
+    "HIGHEST",
+    "HighestPreference",
+    "IntersectionPreference",
+    "LOWEST",
+    "LayeredPreference",
+    "LinearSumPreference",
+    "LowestPreference",
+    "NEG",
+    "NegPreference",
+    "POS",
+    "POS_NEG",
+    "POS_POS",
+    "ParetoPreference",
+    "PosNegPreference",
+    "PosPosPreference",
+    "PosPreference",
+    "Preference",
+    "PrioritizedPreference",
+    "RankPreference",
+    "SCORE",
+    "ScorePreference",
+    "SubsetPreference",
+    "dual",
+    "intersection",
+    "linear_sum",
+    "pareto",
+    "prioritized",
+    "rank",
+    "union",
+]

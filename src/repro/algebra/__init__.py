@@ -1,0 +1,27 @@
+"""The preference algebra of Section 4.
+
+Hard constraints have Boolean algebra; preferences get a *preference
+algebra*: laws over preference terms under the equivalence of Definition 13
+(same attributes, same order).  This package provides
+
+* :mod:`repro.algebra.equivalence` — decide ``P1 == P2`` on finite probe
+  domains (the semantic ground truth the laws are tested against),
+* :mod:`repro.algebra.laws` — Propositions 2-6 as named, executable laws,
+* :mod:`repro.algebra.rewriter` — a simplification engine that applies the
+  laws as rewrite rules, used by the query optimizer.
+"""
+
+from repro.algebra.equivalence import equivalent_on, equivalence_witness
+from repro.algebra.laws import ALL_LAWS, Law, laws_for
+from repro.algebra.rewriter import simplify, simplify_once, rewrite_trace
+
+__all__ = [
+    "ALL_LAWS",
+    "Law",
+    "equivalence_witness",
+    "equivalent_on",
+    "laws_for",
+    "rewrite_trace",
+    "simplify",
+    "simplify_once",
+]

@@ -1,0 +1,334 @@
+"""Propositions 2-6 as named, executable laws.
+
+Each :class:`Law` builds, from concrete sub-preferences, the two sides of
+one of the paper's equivalences; the test suite then checks Definition 13
+equivalence of the sides on probe domains (randomized by hypothesis).  This
+turns the paper's proposition list into a machine-checked artifact, and the
+same constructions back the rewrite rules of :mod:`repro.algebra.rewriter`.
+
+Preconditions (e.g. "same attribute set", "disjoint attributes") are
+encoded in each law's ``requires`` text and enforced by ``build`` raising
+``ValueError`` when violated — mirroring how the paper states side
+conditions next to each equation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.base_nonnumerical import NegPreference, PosPreference
+from repro.core.base_numerical import HighestPreference, LowestPreference
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    DualPreference,
+    IntersectionPreference,
+    LinearSumPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+)
+from repro.core.preference import AntiChain, Preference
+
+
+@dataclass(frozen=True)
+class Law:
+    """One algebraic law: a pair of term builders plus provenance."""
+
+    name: str
+    reference: str
+    arity: int
+    build: Callable[..., tuple[Preference, Preference]]
+    requires: str = ""
+
+    def sides(self, *prefs: Preference) -> tuple[Preference, Preference]:
+        if len(prefs) != self.arity:
+            raise ValueError(
+                f"law {self.name!r} needs {self.arity} preference(s), "
+                f"got {len(prefs)}"
+            )
+        return self.build(*prefs)
+
+    def __repr__(self) -> str:
+        return f"Law({self.name!r}, {self.reference})"
+
+
+def _same_attrs(*prefs: Preference) -> None:
+    sets = {p.attribute_set for p in prefs}
+    if len(sets) > 1:
+        raise ValueError(f"law requires identical attribute sets, got {sets}")
+
+
+def _disjoint_attrs(p1: Preference, p2: Preference) -> None:
+    shared = p1.attribute_set & p2.attribute_set
+    if shared:
+        raise ValueError(f"law requires disjoint attributes; shared: {shared}")
+
+
+# -- Proposition 2: commutativity / associativity ---------------------------
+
+def _comm(ctor):
+    def build(p1: Preference, p2: Preference):
+        return ctor((p1, p2)), ctor((p2, p1))
+
+    return build
+
+
+def _assoc(ctor):
+    def build(p1: Preference, p2: Preference, p3: Preference):
+        return ctor((ctor((p1, p2)), p3)), ctor((p1, ctor((p2, p3))))
+
+    return build
+
+
+def _union_comm(p1: Preference, p2: Preference):
+    _same_attrs(p1, p2)
+    return (
+        DisjointUnionPreference((p1, p2)),
+        DisjointUnionPreference((p2, p1)),
+    )
+
+
+def _union_assoc(p1: Preference, p2: Preference, p3: Preference):
+    _same_attrs(p1, p2, p3)
+    return (
+        DisjointUnionPreference((DisjointUnionPreference((p1, p2)), p3)),
+        DisjointUnionPreference((p1, DisjointUnionPreference((p2, p3)))),
+    )
+
+
+def _intersection_comm(p1: Preference, p2: Preference):
+    _same_attrs(p1, p2)
+    return (
+        IntersectionPreference((p1, p2)),
+        IntersectionPreference((p2, p1)),
+    )
+
+
+def _intersection_assoc(p1: Preference, p2: Preference, p3: Preference):
+    _same_attrs(p1, p2, p3)
+    return (
+        IntersectionPreference((IntersectionPreference((p1, p2)), p3)),
+        IntersectionPreference((p1, IntersectionPreference((p2, p3)))),
+    )
+
+
+def _linear_sum_assoc(p1: Preference, p2: Preference, p3: Preference):
+    lhs = LinearSumPreference(
+        LinearSumPreference(p1, p2, attribute="_ls_inner"), p3, attribute="A"
+    )
+    rhs = LinearSumPreference(
+        p1, LinearSumPreference(p2, p3, attribute="_ls_inner"), attribute="A"
+    )
+    return lhs, rhs
+
+
+# -- Proposition 3: dual / antichain / idempotence laws ----------------------
+
+def _dual_antichain(p: Preference):
+    if not isinstance(p, AntiChain):
+        raise ValueError("law applies to anti-chains")
+    return DualPreference(p), p
+
+
+def _dual_dual(p: Preference):
+    return DualPreference(DualPreference(p)), p
+
+
+def _dual_linear_sum(p: Preference):
+    if not isinstance(p, LinearSumPreference):
+        raise ValueError("law applies to linear sums")
+    return (
+        DualPreference(p),
+        LinearSumPreference(
+            DualPreference(p.second), DualPreference(p.first), attribute=p.attribute
+        ),
+    )
+
+
+def _highest_dual_lowest(p: Preference):
+    if not isinstance(p, HighestPreference):
+        raise ValueError("law applies to HIGHEST preferences")
+    return p, DualPreference(LowestPreference(p.attribute))
+
+
+def _pos_dual_neg(p: Preference):
+    if not isinstance(p, PosPreference):
+        raise ValueError("law applies to POS preferences")
+    return DualPreference(p), NegPreference(p.attribute, p.pos_set)
+
+
+def _neg_dual_pos(p: Preference):
+    if not isinstance(p, NegPreference):
+        raise ValueError("law applies to NEG preferences")
+    return DualPreference(p), PosPreference(p.attribute, p.neg_set)
+
+
+def _intersection_idempotent(p: Preference):
+    return IntersectionPreference((p, p)), p
+
+
+def _intersection_dual(p: Preference):
+    return (
+        IntersectionPreference((p, DualPreference(p))),
+        AntiChain(p.attributes),
+    )
+
+
+def _intersection_antichain(p: Preference):
+    return (
+        IntersectionPreference((p, AntiChain(p.attributes))),
+        AntiChain(p.attributes),
+    )
+
+
+def _prioritized_idempotent(p: Preference):
+    return PrioritizedPreference((p, p)), p
+
+
+def _prioritized_dual(p: Preference):
+    return PrioritizedPreference((p, DualPreference(p))), p
+
+
+def _prioritized_antichain_right(p: Preference):
+    return PrioritizedPreference((p, AntiChain(p.attributes))), p
+
+
+def _prioritized_antichain_left(p: Preference):
+    return (
+        PrioritizedPreference((AntiChain(p.attributes), p)),
+        AntiChain(p.attributes),
+    )
+
+
+def _pareto_idempotent(p: Preference):
+    return ParetoPreference((p, p)), p
+
+
+def _pareto_antichain_prioritized(p: Preference):
+    return (
+        ParetoPreference((AntiChain(p.attributes), p)),
+        PrioritizedPreference((AntiChain(p.attributes), p)),
+    )
+
+
+def _pareto_antichain(p: Preference):
+    return (
+        ParetoPreference((p, AntiChain(p.attributes))),
+        AntiChain(p.attributes),
+    )
+
+
+def _pareto_dual(p: Preference):
+    return ParetoPreference((p, DualPreference(p))), AntiChain(p.attributes)
+
+
+# -- Propositions 4-6: discrimination / non-discrimination -------------------
+
+def _discrimination_shared(p1: Preference, p2: Preference):
+    """Proposition 4a: ``P1 & P2 == P1`` on identical attribute sets."""
+    _same_attrs(p1, p2)
+    return PrioritizedPreference((p1, p2)), p1
+
+
+def _discrimination_disjoint(p1: Preference, p2: Preference):
+    """Proposition 4b: ``P1 & P2 == P1* + (A1<-> & P2)`` for disjoint attrs.
+
+    The appendix's order embedding ``P1*`` of P1 into A1 u A2 is realized as
+    ``P1 & A2<->`` (which orders by P1 and never consults A2).
+    """
+    _disjoint_attrs(p1, p2)
+    lhs = PrioritizedPreference((p1, p2))
+    embedded_p1 = PrioritizedPreference((p1, AntiChain(p2.attributes)))
+    grouped_p2 = PrioritizedPreference((AntiChain(p1.attributes), p2))
+    return lhs, DisjointUnionPreference((embedded_p1, grouped_p2))
+
+
+def _non_discrimination(p1: Preference, p2: Preference):
+    """Proposition 5: ``P1 (x) P2 == (P1 & P2) <> (P2 & P1)``."""
+    lhs = ParetoPreference((p1, p2))
+    rhs = IntersectionPreference(
+        (PrioritizedPreference((p1, p2)), PrioritizedPreference((p2, p1)))
+    )
+    return lhs, rhs
+
+
+def _pareto_is_intersection_shared(p1: Preference, p2: Preference):
+    """Proposition 6: ``P1 (x) P2 == P1 <> P2`` on identical attribute sets."""
+    _same_attrs(p1, p2)
+    return ParetoPreference((p1, p2)), IntersectionPreference((p1, p2))
+
+
+ALL_LAWS: tuple[Law, ...] = (
+    # Proposition 2
+    Law("pareto_commutative", "Proposition 2b", 2, _comm(ParetoPreference)),
+    Law("pareto_associative", "Proposition 2b", 3, _assoc(ParetoPreference)),
+    Law("prioritized_associative", "Proposition 2c", 3,
+        _assoc(PrioritizedPreference)),
+    Law("intersection_commutative", "Proposition 2d", 2, _intersection_comm,
+        requires="same attribute set"),
+    Law("intersection_associative", "Proposition 2d", 3, _intersection_assoc,
+        requires="same attribute set"),
+    Law("union_commutative", "Proposition 2e", 2, _union_comm,
+        requires="same attribute set, disjoint ranges"),
+    Law("union_associative", "Proposition 2e", 3, _union_assoc,
+        requires="same attribute set, pairwise disjoint ranges"),
+    Law("linear_sum_associative", "Proposition 2f", 3, _linear_sum_assoc,
+        requires="single attributes, pairwise disjoint domains"),
+    # Proposition 3
+    Law("dual_antichain", "Proposition 3a", 1, _dual_antichain,
+        requires="anti-chain operand"),
+    Law("dual_involution", "Proposition 3b", 1, _dual_dual),
+    Law("dual_linear_sum", "Proposition 3c", 1, _dual_linear_sum,
+        requires="linear-sum operand"),
+    Law("highest_is_dual_lowest", "Proposition 3d", 1, _highest_dual_lowest,
+        requires="HIGHEST operand"),
+    Law("pos_dual_is_neg", "Proposition 3e", 1, _pos_dual_neg,
+        requires="POS operand"),
+    Law("neg_dual_is_pos", "Proposition 3e", 1, _neg_dual_pos,
+        requires="NEG operand"),
+    Law("intersection_idempotent", "Proposition 3f", 1,
+        _intersection_idempotent),
+    Law("intersection_with_dual", "Proposition 3g", 1, _intersection_dual),
+    Law("intersection_with_antichain", "Proposition 3g", 1,
+        _intersection_antichain),
+    Law("prioritized_idempotent", "Proposition 3i", 1,
+        _prioritized_idempotent),
+    Law("prioritized_with_dual", "Proposition 3i", 1, _prioritized_dual),
+    Law("prioritized_antichain_right", "Proposition 3j", 1,
+        _prioritized_antichain_right, requires="same attribute set"),
+    Law("prioritized_antichain_left", "Proposition 3k", 1,
+        _prioritized_antichain_left, requires="same attribute set"),
+    Law("pareto_idempotent", "Proposition 3l", 1, _pareto_idempotent),
+    Law("pareto_antichain_is_grouping", "Proposition 3m", 1,
+        _pareto_antichain_prioritized, requires="same attribute set"),
+    Law("pareto_with_antichain", "Proposition 3n", 1, _pareto_antichain,
+        requires="same attribute set"),
+    Law("pareto_with_dual", "Proposition 3n", 1, _pareto_dual),
+    # Propositions 4-6
+    Law("discrimination_shared", "Proposition 4a", 2, _discrimination_shared,
+        requires="same attribute set"),
+    Law("discrimination_disjoint", "Proposition 4b", 2,
+        _discrimination_disjoint, requires="disjoint attribute sets"),
+    Law("non_discrimination", "Proposition 5", 2, _non_discrimination),
+    Law("pareto_is_intersection", "Proposition 6", 2,
+        _pareto_is_intersection_shared, requires="same attribute set"),
+)
+
+_BY_NAME = {law.name: law for law in ALL_LAWS}
+
+
+def laws_for(reference_prefix: str) -> list[Law]:
+    """All laws whose reference starts with ``reference_prefix``.
+
+    ``laws_for("Proposition 3")`` returns the Proposition-3 family.
+    """
+    return [l for l in ALL_LAWS if l.reference.startswith(reference_prefix)]
+
+
+def law(name: str) -> Law:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown law {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,111 @@
+"""Core preference model: strict partial orders over attribute domains.
+
+This package implements Sections 2 and 3 of Kiessling's *Foundations of
+Preferences in Database Systems*: preferences as strict partial orders
+(:class:`~repro.core.preference.Preference`), the non-numerical and numerical
+base preference constructors, the complex constructors (Pareto, prioritized,
+``rank(F)``, intersection, disjoint union, linear sum), better-than graphs,
+and the constructor hierarchy.
+"""
+
+from repro.core.domains import (
+    Domain,
+    FiniteDomain,
+    IntervalDomain,
+    NumericDomain,
+    ProductDomain,
+    domain_of,
+)
+from repro.core.preference import (
+    AntiChain,
+    ChainPreference,
+    Preference,
+    Row,
+    SubsetPreference,
+    as_row,
+    project,
+)
+from repro.core.base_nonnumerical import (
+    ExplicitPreference,
+    LayeredPreference,
+    NegPreference,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    DualPreference,
+    IntersectionPreference,
+    LinearSumPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+    RankPreference,
+    dual,
+    intersection,
+    linear_sum,
+    pareto,
+    prioritized,
+    rank,
+    union,
+)
+from repro.core.describe import describe
+from repro.core.graph import BetterThanGraph
+from repro.core.validate import (
+    StrictOrderViolation,
+    check_strict_partial_order,
+    is_strict_partial_order,
+)
+
+__all__ = [
+    "AntiChain",
+    "AroundPreference",
+    "BetterThanGraph",
+    "BetweenPreference",
+    "ChainPreference",
+    "DisjointUnionPreference",
+    "Domain",
+    "DualPreference",
+    "ExplicitPreference",
+    "FiniteDomain",
+    "HighestPreference",
+    "IntersectionPreference",
+    "IntervalDomain",
+    "LayeredPreference",
+    "LinearSumPreference",
+    "LowestPreference",
+    "NegPreference",
+    "NumericDomain",
+    "ParetoPreference",
+    "PosNegPreference",
+    "PosPosPreference",
+    "PosPreference",
+    "Preference",
+    "PrioritizedPreference",
+    "ProductDomain",
+    "RankPreference",
+    "Row",
+    "ScorePreference",
+    "StrictOrderViolation",
+    "SubsetPreference",
+    "as_row",
+    "check_strict_partial_order",
+    "describe",
+    "domain_of",
+    "dual",
+    "intersection",
+    "is_strict_partial_order",
+    "linear_sum",
+    "pareto",
+    "prioritized",
+    "project",
+    "rank",
+    "union",
+]

@@ -1,0 +1,130 @@
+"""Natural-language descriptions of preference terms.
+
+Desideratum 1 of the paper asks for "an intuitive understanding and
+declarative specification of preferences"; the intuitive reading should
+survive composition.  :func:`describe` renders any preference term as the
+English sentence the paper writes next to each constructor definition —
+useful in UIs, EXPLAIN output and error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.base_nonnumerical import (
+    ExplicitPreference,
+    LayeredPreference,
+    NegPreference,
+    Others,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    DualPreference,
+    IntersectionPreference,
+    LinearSumPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+    RankPreference,
+)
+from repro.core.preference import AntiChain, ChainPreference, Preference
+
+
+def _values(values) -> str:
+    return ", ".join(sorted(map(str, values)))
+
+
+def describe(pref: Preference, depth: int = 0) -> str:
+    """One English sentence (or an indented block for compounds)."""
+    pad = "  " * depth
+    if isinstance(pref, PosPreference):
+        return (
+            f"{pad}{pref.attribute} should be one of {{{_values(pref.pos_set)}}}; "
+            "failing that, any other value is acceptable"
+        )
+    if isinstance(pref, NegPreference):
+        return (
+            f"{pad}{pref.attribute} should not be any of "
+            f"{{{_values(pref.neg_set)}}}; only if unavoidable, a disliked "
+            "value is acceptable"
+        )
+    if isinstance(pref, PosNegPreference):
+        return (
+            f"{pad}{pref.attribute} should be one of {{{_values(pref.pos_set)}}}, "
+            f"otherwise anything except {{{_values(pref.neg_set)}}}, "
+            "and only then a disliked value"
+        )
+    if isinstance(pref, PosPosPreference):
+        return (
+            f"{pad}{pref.attribute} should be one of {{{_values(pref.pos1_set)}}}, "
+            f"or failing that one of {{{_values(pref.pos2_set)}}}, "
+            "or failing that anything"
+        )
+    if isinstance(pref, LayeredPreference):
+        layers = []
+        for layer in pref.layers:
+            layers.append("anything else" if isinstance(layer, Others)
+                          else f"{{{_values(layer)}}}")
+        return (
+            f"{pad}{pref.attribute} layered best-to-worst: "
+            + " > ".join(layers)
+        )
+    if isinstance(pref, ExplicitPreference):
+        edges = "; ".join(f"{b} over {w}" for w, b in pref.edges)
+        tail = ", everything unlisted last" if pref.rank_others else ""
+        return f"{pad}{pref.attribute} handcrafted: {edges}{tail}"
+    if isinstance(pref, AroundPreference):
+        return f"{pad}{pref.attribute} as close to {pref.z} as possible"
+    if isinstance(pref, BetweenPreference):
+        return (
+            f"{pad}{pref.attribute} between {pref.low} and {pref.up}, "
+            "or as close to that interval as possible"
+        )
+    if isinstance(pref, LowestPreference):
+        return f"{pad}{pref.attribute} as low as possible"
+    if isinstance(pref, HighestPreference):
+        return f"{pad}{pref.attribute} as high as possible"
+    if isinstance(pref, RankPreference):
+        inner = "\n".join(describe(c, depth + 1) for c in pref.children)
+        return (
+            f"{pad}rank by combined score {pref.score_name} over:\n{inner}"
+        )
+    if isinstance(pref, ScorePreference):
+        return (
+            f"{pad}{', '.join(pref.attributes)} with the highest "
+            f"{pref.score_name} score"
+        )
+    if isinstance(pref, AntiChain):
+        return f"{pad}no opinion about {', '.join(pref.attributes)}"
+    if isinstance(pref, ChainPreference):
+        return f"{pad}{pref.attribute} totally ordered by {pref._key_name}"
+    if isinstance(pref, DualPreference):
+        return f"{pad}the opposite of:\n{describe(pref.base, depth + 1)}"
+    if isinstance(pref, ParetoPreference):
+        inner = "\n".join(describe(c, depth + 1) for c in pref.children)
+        return f"{pad}all of these, equally important:\n{inner}"
+    if isinstance(pref, PrioritizedPreference):
+        inner = "\n".join(describe(c, depth + 1) for c in pref.children)
+        return f"{pad}in strictly decreasing importance:\n{inner}"
+    if isinstance(pref, IntersectionPreference):
+        inner = "\n".join(describe(c, depth + 1) for c in pref.children)
+        return f"{pad}only where all of these agree:\n{inner}"
+    if isinstance(pref, DisjointUnionPreference):
+        inner = "\n".join(describe(c, depth + 1) for c in pref.children)
+        return f"{pad}assembled from these separate pieces:\n{inner}"
+    if isinstance(pref, LinearSumPreference):
+        return (
+            f"{pad}everything from the first world over everything from "
+            f"the second:\n{describe(pref.first, depth + 1)}\n"
+            f"{describe(pref.second, depth + 1)}"
+        )
+    return f"{pad}{pref!r}"

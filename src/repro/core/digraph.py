@@ -1,0 +1,294 @@
+"""Small directed-graph toolkit used by the preference model.
+
+The paper draws preferences as 'better-than' graphs (Hasse diagrams,
+Definition 2) and the EXPLICIT base constructor (Definition 6e) takes an
+acyclic edge list whose transitive closure induces a strict partial order.
+This module supplies exactly the graph machinery those features need:
+
+* cycle detection (EXPLICIT graphs must be acyclic),
+* transitive closure (the induced order ``<_E``),
+* transitive reduction (Hasse diagrams show only covering edges),
+* longest-path levels (Definition 2's quality notion: ``x`` is on level
+  ``j`` if the longest path from ``x`` up to a maximal value has ``j - 1``
+  edges).
+
+Everything is implemented from scratch; the test suite cross-checks the
+results against networkx as an independent oracle.
+
+Edge direction convention: an edge ``(worse, better)`` mirrors the paper's
+notation ``x <_P y``.  Functions that speak about "predecessors" in the
+paper's figure sense (better values drawn above) therefore look at edge
+*targets* here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class CycleError(ValueError):
+    """Raised when an edge list that must be acyclic contains a cycle."""
+
+    def __init__(self, cycle: list[Node]):
+        self.cycle = cycle
+        pretty = " -> ".join(map(repr, cycle))
+        super().__init__(f"graph contains a cycle: {pretty}")
+
+
+class Digraph:
+    """A minimal directed graph over hashable nodes.
+
+    Nodes keep insertion order so derived artifacts (levels, closures,
+    renderings) are deterministic.
+    """
+
+    def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()):
+        self._succ: dict[Node, dict[Node, None]] = {}
+        self._pred: dict[Node, dict[Node, None]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for tail, head in edges:
+            self.add_edge(tail, head)
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, tail: Node, head: Node) -> None:
+        self.add_node(tail)
+        self.add_node(head)
+        self._succ[tail][head] = None
+        self._pred[head][tail] = None
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._succ)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return tuple(
+            (tail, head) for tail, heads in self._succ.items() for head in heads
+        )
+
+    def successors(self, node: Node) -> tuple[Node, ...]:
+        return tuple(self._succ.get(node, ()))
+
+    def predecessors(self, node: Node) -> tuple[Node, ...]:
+        return tuple(self._pred.get(node, ()))
+
+    def has_edge(self, tail: Node, head: Node) -> bool:
+        return head in self._succ.get(tail, ())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ.get(node, ()))
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred.get(node, ()))
+
+    def sources(self) -> tuple[Node, ...]:
+        """Nodes without incoming edges."""
+        return tuple(n for n in self._succ if not self._pred[n])
+
+    def sinks(self) -> tuple[Node, ...]:
+        """Nodes without outgoing edges."""
+        return tuple(n for n in self._succ if not self._succ[n])
+
+    # -- algorithms --------------------------------------------------------
+
+    def find_cycle(self) -> list[Node] | None:
+        """Return one cycle as a node list (first == last), or ``None``."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[Node, int] = {n: WHITE for n in self._succ}
+        stack: list[Node] = []
+
+        def visit(start: Node) -> list[Node] | None:
+            # Iterative DFS with an explicit path to report the cycle itself.
+            path = [start]
+            iters = [iter(self._succ[start])]
+            color[start] = GRAY
+            while path:
+                try:
+                    nxt = next(iters[-1])
+                except StopIteration:
+                    color[path.pop()] = BLACK
+                    iters.pop()
+                    continue
+                if color[nxt] == GRAY:
+                    return path[path.index(nxt):] + [nxt]
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    path.append(nxt)
+                    iters.append(iter(self._succ[nxt]))
+            return None
+
+        for node in self._succ:
+            if color[node] == WHITE:
+                cycle = visit(node)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def ensure_acyclic(self) -> None:
+        cycle = self.find_cycle()
+        if cycle is not None:
+            raise CycleError(cycle)
+
+    def topological_order(self) -> list[Node]:
+        """Kahn's algorithm; raises :class:`CycleError` on cycles."""
+        in_deg = {n: self.in_degree(n) for n in self._succ}
+        ready = [n for n in self._succ if in_deg[n] == 0]
+        order: list[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for nxt in self._succ[node]:
+                in_deg[nxt] -= 1
+                if in_deg[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._succ):
+            self.ensure_acyclic()  # raises with an actual cycle
+        return order
+
+    def transitive_closure(self) -> "Digraph":
+        """The reachability graph: edge (a, b) iff a path a -> ... -> b exists."""
+        self.ensure_acyclic()
+        closure = Digraph(nodes=self.nodes)
+        reach: dict[Node, set[Node]] = {}
+        for node in reversed(self.topological_order()):
+            reachable: set[Node] = set()
+            for nxt in self._succ[node]:
+                reachable.add(nxt)
+                reachable |= reach[nxt]
+            reach[node] = reachable
+            for target in reachable:
+                closure.add_edge(node, target)
+        return closure
+
+    def reachable_from(self, node: Node) -> set[Node]:
+        """All nodes reachable from ``node`` (excluding ``node`` itself
+        unless it lies on a cycle through itself, which acyclic use forbids).
+        """
+        seen: set[Node] = set()
+        stack = list(self._succ.get(node, ()))
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self._succ[cur])
+        return seen
+
+    def transitive_reduction(self) -> "Digraph":
+        """Hasse edges only: drop (a, c) when some path a -> b -> ... -> c exists.
+
+        Standard algorithm for DAGs: an edge (a, c) is redundant iff c is
+        reachable from some other successor b of a.
+        """
+        self.ensure_acyclic()
+        reduced = Digraph(nodes=self.nodes)
+        reach_cache: dict[Node, set[Node]] = {}
+
+        def reach(n: Node) -> set[Node]:
+            if n not in reach_cache:
+                reach_cache[n] = self.reachable_from(n)
+            return reach_cache[n]
+
+        for tail in self._succ:
+            succs = list(self._succ[tail])
+            for head in succs:
+                via_other = any(
+                    head in reach(other) for other in succs if other != head
+                )
+                if not via_other:
+                    reduced.add_edge(tail, head)
+        return reduced
+
+    def longest_path_levels(self) -> dict[Node, int]:
+        """Levels per Definition 2, with edges pointing from worse to better.
+
+        A node's level is ``1 +`` the number of edges on the longest path
+        from it to any sink (sinks are the maximal elements when edges run
+        worse -> better).  Maximal elements are therefore on level 1.
+        """
+        self.ensure_acyclic()
+        levels: dict[Node, int] = {}
+        for node in reversed(self.topological_order()):
+            succs = self._succ[node]
+            if not succs:
+                levels[node] = 1
+            else:
+                levels[node] = 1 + max(levels[s] for s in succs)
+        return levels
+
+    def reverse(self) -> "Digraph":
+        return Digraph(
+            edges=((h, t) for t, h in self.edges), nodes=self.nodes
+        )
+
+    def __repr__(self) -> str:
+        return f"Digraph(nodes={len(self)}, edges={len(self.edges)})"
+
+
+def closure_pairs(edges: Iterable[Edge]) -> frozenset[Edge]:
+    """Transitive closure of an edge list as a set of ordered pairs.
+
+    Convenience wrapper used by EXPLICIT preferences: the induced order
+    ``<_E`` of Definition 6e is exactly this closure.
+    """
+    graph = Digraph(edges)
+    closed = graph.transitive_closure()
+    return frozenset(closed.edges)
+
+
+def levels_from_mapping(levels: Mapping[Node, int]) -> dict[int, list[Node]]:
+    """Group a node->level mapping by level, ascending (1 = best)."""
+    grouped: dict[int, list[Node]] = {}
+    for node, level in levels.items():
+        grouped.setdefault(level, []).append(node)
+    return dict(sorted(grouped.items()))
+
+
+def induced_subgraph(graph: Digraph, nodes: Iterable[Node]) -> Digraph:
+    """The subgraph on ``nodes`` with all edges among them."""
+    keep = set(nodes)
+    sub = Digraph(nodes=(n for n in graph.nodes if n in keep))
+    for tail, head in graph.edges:
+        if tail in keep and head in keep:
+            sub.add_edge(tail, head)
+    return sub
+
+
+def path_exists(graph: Digraph, source: Node, target: Node) -> bool:
+    """True iff a directed path source -> ... -> target exists."""
+    if source not in graph or target not in graph:
+        return False
+    return target in graph.reachable_from(source)
+
+
+def all_pairs(nodes: Iterable[Node]) -> Iterator[Edge]:
+    """All ordered pairs of distinct nodes (n * (n - 1) pairs)."""
+    pool = list(nodes)
+    for a in pool:
+        for b in pool:
+            if a is not b and a != b:
+                yield (a, b)

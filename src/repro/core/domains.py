@@ -1,0 +1,209 @@
+"""Attribute domains: the ``dom(A)`` of the paper (Section 2).
+
+A preference ``P = (A, <_P)`` is declared over a set of attribute names
+``A = {A1, ..., Ak}`` whose associated domain is the Cartesian product
+``dom(A1) x ... x dom(Ak)``.  The paper treats domains mostly implicitly;
+this module makes them explicit so that
+
+* finite domains can be enumerated (needed for better-than graphs over whole
+  domains, for the algebra's equivalence checker, and for validating the
+  preconditions of disjoint union / linear sum),
+* numeric domains can report that ``<`` and ``-`` are available (needed by
+  the numerical base preference constructors), and
+* linear sums (Definition 12) can construct the union domain
+  ``dom(A) := dom(A1) u dom(A2)``.
+
+Domains are optional almost everywhere: preferences evaluate lazily on
+whatever values a database set supplies, exactly as in the paper where the
+"realm of wishes" may be much larger than any database instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+
+class Domain:
+    """Abstract domain of attribute values.
+
+    Subclasses decide membership (:meth:`contains`) and, when possible,
+    enumeration (:meth:`__iter__`).  A domain is *finite* when it can be
+    enumerated.
+    """
+
+    #: Whether the domain can be exhaustively enumerated.
+    is_finite: bool = False
+    #: Whether values support ``<`` and ``-`` (numerical base preferences).
+    is_numeric: bool = False
+
+    def contains(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def __contains__(self, value: Any) -> bool:
+        return self.contains(value)
+
+    def __iter__(self) -> Iterator[Any]:
+        raise TypeError(f"{type(self).__name__} is not enumerable")
+
+    def values(self) -> tuple[Any, ...]:
+        """All values of a finite domain, in a stable order."""
+        if not self.is_finite:
+            raise TypeError(f"{type(self).__name__} is not finite")
+        return tuple(self)
+
+
+class FiniteDomain(Domain):
+    """An explicitly enumerated domain, e.g. ``dom(Color)``.
+
+    Values keep their insertion order (first occurrence wins) so that graphs
+    and reports are deterministic.
+    """
+
+    is_finite = True
+
+    def __init__(self, values: Iterable[Any]):
+        seen: dict[Any, None] = {}
+        for value in values:
+            if value not in seen:
+                seen[value] = None
+        self._values: tuple[Any, ...] = tuple(seen)
+        self._value_set = frozenset(self._values)
+
+    def contains(self, value: Any) -> bool:
+        return value in self._value_set
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiniteDomain):
+            return NotImplemented
+        return self._value_set == other._value_set
+
+    def __hash__(self) -> int:
+        return hash(self._value_set)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(map(repr, self._values[:6]))
+        if len(self._values) > 6:
+            preview += ", ..."
+        return f"FiniteDomain({{{preview}}})"
+
+    def union(self, other: "FiniteDomain") -> "FiniteDomain":
+        return FiniteDomain((*self._values, *other._values))
+
+    def is_disjoint_from(self, other: "FiniteDomain") -> bool:
+        return self._value_set.isdisjoint(other._value_set)
+
+
+class NumericDomain(Domain):
+    """An unbounded numeric domain such as Integer, Real or Decimal.
+
+    Membership accepts anything that behaves like a real number (supports
+    ``<`` and ``-`` against itself), which mirrors the paper's requirement
+    that a total comparison operator and subtraction be predefined.
+    """
+
+    is_numeric = True
+
+    def contains(self, value: Any) -> bool:
+        try:
+            value < value  # noqa: B015 - probing for comparability
+            value - value
+        except TypeError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return "NumericDomain()"
+
+
+class IntervalDomain(Domain):
+    """A bounded numeric domain ``[low, up]``.
+
+    Useful for validating BETWEEN bounds and for generating workloads; it is
+    numeric but not enumerable.
+    """
+
+    is_numeric = True
+
+    def __init__(self, low: float, up: float):
+        if up < low:
+            raise ValueError(f"empty interval: [{low}, {up}]")
+        self.low = low
+        self.up = up
+
+    def contains(self, value: Any) -> bool:
+        try:
+            return self.low <= value <= self.up
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:
+        return f"IntervalDomain({self.low!r}, {self.up!r})"
+
+
+class ProductDomain(Domain):
+    """Cartesian product ``dom(A1) x ... x dom(Ak)`` keyed by attribute name.
+
+    Enumeration yields rows (dicts), matching the row-based value model used
+    throughout the library.  The order of components is irrelevant to the
+    semantics, as the paper stipulates; attribute names key everything.
+    """
+
+    def __init__(self, components: dict[str, Domain]):
+        if not components:
+            raise ValueError("a product domain needs at least one attribute")
+        self._components = dict(components)
+        self.is_finite = all(d.is_finite for d in self._components.values())
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(self._components)
+
+    def component(self, attribute: str) -> Domain:
+        return self._components[attribute]
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, dict):
+            return False
+        return all(
+            attr in value and dom.contains(value[attr])
+            for attr, dom in self._components.items()
+        )
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        if not self.is_finite:
+            raise TypeError("product over non-finite components is not enumerable")
+        attrs = tuple(self._components)
+        columns: Sequence[tuple[Any, ...]] = [
+            tuple(self._components[a]) for a in attrs
+        ]
+
+        def recurse(i: int, partial: dict[str, Any]) -> Iterator[dict[str, Any]]:
+            if i == len(attrs):
+                yield dict(partial)
+                return
+            for v in columns[i]:
+                partial[attrs[i]] = v
+                yield from recurse(i + 1, partial)
+            partial.pop(attrs[i], None)
+
+        return recurse(0, {})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a}: {d!r}" for a, d in self._components.items())
+        return f"ProductDomain({{{inner}}})"
+
+
+def domain_of(values: Iterable[Any]) -> FiniteDomain:
+    """Build the finite domain spanned by observed ``values``.
+
+    This is the canonical way to turn a database column into a domain when
+    none was declared: the closed-world assumption of Section 5 says database
+    sets capture the accessible state of the world.
+    """
+    return FiniteDomain(values)

@@ -1,0 +1,166 @@
+"""Better-than graphs (Definition 2): the visual face of a preference.
+
+A better-than graph is the Hasse diagram of a (database) preference over a
+finite set of values.  Edges here run from *worse* to *better*, mirroring
+the paper's ``x <_P y`` notation; in the rendered diagrams better values sit
+on smaller level numbers, with maximal values on level 1 — exactly like the
+figures in Examples 1-7 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.digraph import Digraph, levels_from_mapping
+from repro.core.preference import Preference, as_row, project
+
+
+class BetterThanGraph:
+    """The better-than graph of a preference restricted to concrete values.
+
+    Nodes are by default the *distinct projections* of the supplied values
+    onto the preference's attributes (scalars for single-attribute
+    preferences, tuples otherwise).  Optional ``labels`` give nodes friendly
+    names, like the ``val1 .. val7`` of Example 2.
+
+    ``node_attributes`` widens node identity beyond the preference's own
+    attributes.  The paper's Example 4 draws the graph of ``P8 = P1 & P2``
+    (attributes A1, A2) over tuples carrying A1, A2 *and* A3: ``val5`` and
+    ``val6`` coincide on (A1, A2) yet appear as two nodes.  Passing
+    ``node_attributes=("A1", "A2", "A3")`` reproduces exactly that figure;
+    projection-equal nodes are then mutually unranked and share a level.
+    """
+
+    def __init__(
+        self,
+        pref: Preference,
+        values: Iterable[Any],
+        labels: Mapping[Any, str] | None = None,
+        node_attributes: Sequence[str] | None = None,
+    ):
+        self.pref = pref
+        attrs = pref.attributes
+        node_attrs = tuple(node_attributes) if node_attributes else attrs
+        missing = [a for a in attrs if a not in node_attrs]
+        if missing:
+            raise ValueError(
+                f"node_attributes must cover the preference attributes; "
+                f"missing {missing}"
+            )
+        single = len(node_attrs) == 1
+
+        nodes: dict[Any, dict] = {}
+        for value in values:
+            row = as_row(value, node_attrs)
+            proj = project(row, node_attrs)
+            node = proj[0] if single else proj
+            if node not in nodes:
+                nodes[node] = row
+        self._rows = nodes
+
+        relation = Digraph(nodes=nodes)
+        for worse, wrow in nodes.items():
+            for better, brow in nodes.items():
+                if worse is not better and pref._lt(wrow, brow):
+                    relation.add_edge(worse, better)
+        self._relation = relation
+        self._hasse = relation.transitive_reduction()
+        self._levels = relation.longest_path_levels()
+        self._labels = dict(labels) if labels else {}
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[Any, ...]:
+        return self._relation.nodes
+
+    def edges(self) -> tuple[tuple[Any, Any], ...]:
+        """All better-than pairs ``(worse, better)`` (the full order)."""
+        return self._relation.edges
+
+    def hasse_edges(self) -> tuple[tuple[Any, Any], ...]:
+        """Covering pairs only — what the paper's figures draw."""
+        return self._hasse.edges
+
+    def maxima(self) -> list[Any]:
+        """Maximal values (level 1): nothing in the graph is better."""
+        return [n for n in self._relation.nodes if not self._relation.successors(n)]
+
+    def minima(self) -> list[Any]:
+        """Minimal values: nothing in the graph is worse."""
+        return [n for n in self._relation.nodes if not self._relation.predecessors(n)]
+
+    def level(self, node: Any) -> int:
+        """Definition 2's level: 1 + edges on the longest path to a maximum."""
+        return self._levels[node]
+
+    def levels(self) -> dict[Any, int]:
+        return dict(self._levels)
+
+    def level_groups(self) -> dict[int, list[Any]]:
+        """Nodes grouped by level, ascending — one paper figure row each."""
+        return levels_from_mapping(self._levels)
+
+    def height(self) -> int:
+        """Number of levels (the depth of the diagram)."""
+        return max(self._levels.values()) if self._levels else 0
+
+    def unranked_pairs(self) -> list[tuple[Any, Any]]:
+        """Unordered pairs with no directed path either way (Definition 2)."""
+        out = []
+        pool = list(self._relation.nodes)
+        for i, a in enumerate(pool):
+            for b in pool[i + 1:]:
+                if not self._relation.has_edge(a, b) and not self._relation.has_edge(b, a):
+                    out.append((a, b))
+        return out
+
+    def is_chain(self) -> bool:
+        """Definition 3a restricted to these values: every pair is ranked."""
+        return not self.unranked_pairs()
+
+    def is_antichain(self) -> bool:
+        return not self._relation.edges
+
+    def chain_order(self) -> list[Any]:
+        """Best-to-worst enumeration when the graph is a chain."""
+        if not self.is_chain():
+            raise ValueError("graph is not a chain")
+        return sorted(self._relation.nodes, key=lambda n: self._levels[n])
+
+    # -- display -------------------------------------------------------------
+
+    def label(self, node: Any) -> str:
+        return self._labels.get(node, str(node))
+
+    def render(self) -> str:
+        """A textual rendition of the figure: one line per level.
+
+        Example 1's graph renders as::
+
+            Level 1:  white  red
+            Level 2:  yellow
+            Level 3:  green
+            Level 4:  brown  black
+        """
+        lines = []
+        for level, members in self.level_groups().items():
+            names = "  ".join(sorted(self.label(m) for m in members))
+            lines.append(f"Level {level}:  {names}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """GraphViz DOT of the Hasse diagram (better values drawn on top)."""
+        lines = ["digraph better_than {", "  rankdir=BT;"]
+        for node in self._relation.nodes:
+            lines.append(f'  "{self.label(node)}";')
+        for worse, better in self._hasse.edges:
+            lines.append(f'  "{self.label(worse)}" -> "{self.label(better)}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"BetterThanGraph({self.pref!r}, nodes={len(self._rows)}, "
+            f"levels={self.height()})"
+        )

@@ -1,0 +1,213 @@
+"""The constructor hierarchy of Section 3.4.
+
+``C1`` is a *sub-constructor* of ``C2`` (written ``C1 <= C2``) when every
+``C1`` preference can be obtained from ``C2`` by specializing constraints.
+The paper states three taxonomies:
+
+* non-numerical:  POS <= POS/POS <= EXPLICIT,  POS <= POS/NEG,  NEG <= POS/NEG
+* numerical:      AROUND <= BETWEEN <= SCORE,  LOWEST/HIGHEST <= SCORE
+* complex:        intersection <= Pareto  (Proposition 6), and the paper's
+  suggested  prioritized <= rank(F)  for bounded score ranges.
+
+This module provides (a) the taxonomy as data, and (b) *witness functions*
+that perform each specialization — e.g. :func:`pos_as_pospos` rebuilds a POS
+preference as a POS/POS term.  The test-suite checks every witness for
+semantic equivalence (Definition 13) on probe domains, turning the paper's
+diagrams into executable facts.  Witnesses also realize the principle of
+constructor substitutability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.base_nonnumerical import (
+    ExplicitPreference,
+    NegPreference,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+    distance_to_interval,
+)
+from repro.core.constructors import (
+    IntersectionPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+    RankPreference,
+)
+from repro.core.preference import Preference
+
+#: The sub-constructor relation as (sub, super) pairs — the three diagrams.
+SUB_CONSTRUCTOR_EDGES: tuple[tuple[str, str], ...] = (
+    # non-numerical base constructors
+    ("POS", "POS/POS"),
+    ("POS", "POS/NEG"),
+    ("NEG", "POS/NEG"),
+    ("POS/POS", "EXPLICIT"),
+    # numerical base constructors
+    ("AROUND", "BETWEEN"),
+    ("BETWEEN", "SCORE"),
+    ("LOWEST", "SCORE"),
+    ("HIGHEST", "SCORE"),
+    # complex constructors
+    ("intersection", "pareto"),
+    ("prioritized", "rank(F)"),
+)
+
+
+def is_sub_constructor(sub: str, sup: str) -> bool:
+    """Reflexive-transitive query over :data:`SUB_CONSTRUCTOR_EDGES`."""
+    if sub == sup:
+        return True
+    frontier = {sub}
+    while frontier:
+        nxt = {b for (a, b) in SUB_CONSTRUCTOR_EDGES if a in frontier}
+        if sup in nxt:
+            return True
+        nxt -= frontier
+        if not nxt:
+            return False
+        frontier = nxt
+    return False
+
+
+# -- non-numerical witnesses -------------------------------------------------
+
+def pos_as_pospos(pref: PosPreference) -> PosPosPreference:
+    """POS <= POS/POS with an empty second choice set."""
+    return PosPosPreference(pref.attribute, pref.pos_set, frozenset())
+
+
+def pos_as_posneg(pref: PosPreference) -> PosNegPreference:
+    """POS <= POS/NEG with an empty NEG-set."""
+    return PosNegPreference(pref.attribute, pref.pos_set, frozenset())
+
+
+def neg_as_posneg(pref: NegPreference) -> PosNegPreference:
+    """NEG <= POS/NEG with an empty POS-set."""
+    return PosNegPreference(pref.attribute, frozenset(), pref.neg_set)
+
+
+def pospos_as_explicit(pref: PosPosPreference) -> ExplicitPreference:
+    """POS/POS <= EXPLICIT: the graph ``(POS1-set)<-> (+) (POS2-set)<->``.
+
+    The EXPLICIT-graph contains one edge ``(v2, v1)`` per pair, i.e. every
+    second-choice value is worse than every favorite; EXPLICIT's catch-all
+    rule then puts all other values at the bottom, matching POS/POS's third
+    layer.  Requires both sets non-empty (an edge list cannot be empty).
+    """
+    if not pref.pos1_set or not pref.pos2_set:
+        raise ValueError(
+            "POS/POS -> EXPLICIT witness needs non-empty POS1 and POS2 sets"
+        )
+    edges = [(v2, v1) for v2 in sorted(pref.pos2_set, key=repr)
+             for v1 in sorted(pref.pos1_set, key=repr)]
+    return ExplicitPreference(pref.attribute, edges)
+
+
+# -- numerical witnesses ------------------------------------------------------
+
+def around_as_between(pref: AroundPreference) -> BetweenPreference:
+    """AROUND <= BETWEEN with ``low = up = z``."""
+    return BetweenPreference(pref.attribute, pref.z, pref.z)
+
+
+def between_as_score(pref: BetweenPreference) -> ScorePreference:
+    """BETWEEN <= SCORE with ``f(x) = -distance(x, [low, up])``."""
+    low, up = pref.low, pref.up
+    return ScorePreference(
+        pref.attribute,
+        lambda v: -distance_to_interval(v, low, up),
+        name=f"-distance(., [{low!r}, {up!r}])",
+    )
+
+
+def highest_as_score(pref: HighestPreference) -> ScorePreference:
+    """HIGHEST <= SCORE with ``f(x) = x``."""
+    return ScorePreference(pref.attribute, lambda v: v, name="x")
+
+
+def lowest_as_score(pref: LowestPreference) -> ScorePreference:
+    """LOWEST <= SCORE with ``f(x) = -x``."""
+    return ScorePreference(pref.attribute, lambda v: -v, name="-x")
+
+
+# -- complex witnesses --------------------------------------------------------
+
+def intersection_as_pareto(pref: IntersectionPreference) -> ParetoPreference:
+    """intersection <= Pareto: Proposition 6 — on identical attribute sets,
+    ``P1 (x) P2 == P1 <> P2``; so any intersection term can be supplied
+    where a Pareto term is requested."""
+    return ParetoPreference(pref.children)
+
+
+def prioritized_as_rank(
+    pref: PrioritizedPreference,
+    score_bounds: dict[int, tuple[float, float]],
+) -> RankPreference:
+    """prioritized <= rank(F): the paper's "obvious possibility".
+
+    For SCORE children whose scores live in known bounded ranges, a weighted
+    sum with sufficiently separated weights makes the combined score
+    lexicographic.  ``score_bounds[i] = (lo, hi)`` bounds child i's scores
+    over the intended value pool.
+
+    The construction normalizes each score into ``[0, 1]`` and assigns child
+    i the weight ``(n_children + 1) ** (n - 1 - i)``; a strict gain on a more
+    important child then always outweighs the largest possible gain on all
+    less important children combined.
+
+    Caveat (why '&' <= rank(F) is only *suggested* in the paper): equality of
+    normalized scores is coarser than projection equality, so the witness is
+    exact only when each child's score function is injective on the pool —
+    e.g. chains like LOWEST/HIGHEST over distinct values.  The test-suite
+    exercises exactly that regime.
+    """
+    children = pref.children
+    n = len(children)
+    for i, child in enumerate(children):
+        if not isinstance(child, ScorePreference):
+            raise TypeError(
+                f"prioritized -> rank witness needs SCORE children; child {i} "
+                f"is {type(child).__name__}"
+            )
+        if i not in score_bounds:
+            raise ValueError(f"missing score bounds for child {i}")
+
+    spans = {}
+    for i, (lo, hi) in score_bounds.items():
+        spans[i] = (lo, (hi - lo) or 1.0)
+
+    base = float(n + 1)
+
+    def combine(*scores: float) -> float:
+        total = 0.0
+        for i, s in enumerate(scores):
+            lo, span = spans[i]
+            normalized = (s - lo) / span
+            total += normalized * (base ** (n - 1 - i))
+        return total
+
+    return RankPreference(combine, children, name="lexicographic_weighted_sum")
+
+
+#: Human-readable registry used by docs, tests and the benchmark harness.
+WITNESSES: dict[tuple[str, str], Callable[..., Preference]] = {
+    ("POS", "POS/POS"): pos_as_pospos,
+    ("POS", "POS/NEG"): pos_as_posneg,
+    ("NEG", "POS/NEG"): neg_as_posneg,
+    ("POS/POS", "EXPLICIT"): pospos_as_explicit,
+    ("AROUND", "BETWEEN"): around_as_between,
+    ("BETWEEN", "SCORE"): between_as_score,
+    ("HIGHEST", "SCORE"): highest_as_score,
+    ("LOWEST", "SCORE"): lowest_as_score,
+    ("intersection", "pareto"): intersection_as_pareto,
+    ("prioritized", "rank(F)"): prioritized_as_rank,
+}

@@ -1,0 +1,126 @@
+"""Finite-domain validation of strict-partial-order semantics (Definition 1).
+
+Proposition 1 guarantees that every preference term built from the library's
+constructors denotes a strict partial order.  This module makes the claim
+*checkable*: given any finite probe set of values, it verifies
+
+* irreflexivity:  not (x <_P x),
+* transitivity:   x <_P y and y <_P z  imply  x <_P z,
+* asymmetry:      not (x <_P y and y <_P x)  — implied, but checked
+  directly so violations produce the sharpest witness.
+
+These checks power the property-based test-suite and are also exported for
+users who define custom base preferences (the paper's extensibility story
+assumes each ``basepref_i`` "is assured to represent a strict partial
+order" — this is the assurance tool).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Sequence
+
+from repro.core.preference import Preference, as_row
+
+
+class StrictOrderViolation(AssertionError):
+    """A witness that a relation is not a strict partial order."""
+
+    def __init__(self, law: str, witness: tuple):
+        self.law = law
+        self.witness = witness
+        pretty = ", ".join(map(repr, witness))
+        super().__init__(f"{law} violated by ({pretty})")
+
+
+def check_strict_partial_order(
+    pref: Preference, values: Iterable[Any], check_asymmetry: bool = True
+) -> None:
+    """Raise :class:`StrictOrderViolation` on the first broken law.
+
+    Cost is O(n^2) for irreflexivity/asymmetry and O(n^3) for transitivity,
+    with n distinct projections — fine for the probe-sized domains used in
+    validation and tests.
+    """
+    rows = _distinct_rows(pref, values)
+
+    for x in rows:
+        if pref._lt(x, x):
+            raise StrictOrderViolation("irreflexivity", (x,))
+
+    if check_asymmetry:
+        for x, y in itertools.combinations(rows, 2):
+            if pref._lt(x, y) and pref._lt(y, x):
+                raise StrictOrderViolation("asymmetry", (x, y))
+
+    lt = {}
+    for i, x in enumerate(rows):
+        for j, y in enumerate(rows):
+            if i != j and pref._lt(x, y):
+                lt[(i, j)] = True
+    for (i, j) in lt:
+        for k in range(len(rows)):
+            if (j, k) in lt and (i, k) not in lt and i != k:
+                raise StrictOrderViolation(
+                    "transitivity", (rows[i], rows[j], rows[k])
+                )
+
+
+def is_strict_partial_order(pref: Preference, values: Iterable[Any]) -> bool:
+    """Boolean form of :func:`check_strict_partial_order`."""
+    try:
+        check_strict_partial_order(pref, values)
+    except StrictOrderViolation:
+        return False
+    return True
+
+
+def is_chain_on(pref: Preference, values: Iterable[Any]) -> bool:
+    """Definition 3a on a probe set: all distinct projections are ranked."""
+    rows = _distinct_rows(pref, values)
+    for x, y in itertools.combinations(rows, 2):
+        if not pref._lt(x, y) and not pref._lt(y, x):
+            return False
+    return True
+
+def is_antichain_on(pref: Preference, values: Iterable[Any]) -> bool:
+    """Definition 3b on a probe set: no pair is ranked."""
+    rows = _distinct_rows(pref, values)
+    for x, y in itertools.combinations(rows, 2):
+        if pref._lt(x, y) or pref._lt(y, x):
+            return False
+    return True
+
+
+def range_on(pref: Preference, values: Iterable[Any]) -> set:
+    """``range(<_P)`` (Definition 4) restricted to a probe set.
+
+    The projections that participate in at least one better-than pair.
+    """
+    rows = _distinct_rows(pref, values)
+    touched: set = set()
+    for x, y in itertools.permutations(rows, 2):
+        if pref._lt(x, y):
+            touched.add(_proj_key(pref, x))
+            touched.add(_proj_key(pref, y))
+    return touched
+
+
+def are_disjoint_on(
+    p1: Preference, p2: Preference, values: Iterable[Any]
+) -> bool:
+    """Definition 4's disjointness of two preferences, on a probe set."""
+    pool = list(values)
+    return not (range_on(p1, pool) & range_on(p2, pool))
+
+
+def _distinct_rows(pref: Preference, values: Iterable[Any]) -> list[dict]:
+    seen: dict[tuple, dict] = {}
+    for v in values:
+        row = as_row(v, pref.attributes)
+        seen.setdefault(_proj_key(pref, row), row)
+    return list(seen.values())
+
+
+def _proj_key(pref: Preference, row: dict) -> tuple:
+    return tuple(row[a] for a in pref.attributes)

@@ -1,0 +1,45 @@
+"""Synthetic workloads standing in for the paper's proprietary data.
+
+The paper's empirical anchors are (a) the [KFH01] e-shop benchmark on real
+used-car queries and (b) the skyline literature's standard distributions.
+Neither dataset is public, so this package generates seeded synthetic
+equivalents (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.datasets.cars` — a used-car catalog with realistic attribute
+  correlations, plus the ready-made preferences of Example 6,
+* :mod:`repro.datasets.trips` — the trips table of the Preference SQL
+  example,
+* :mod:`repro.datasets.skyline_data` — independent / correlated /
+  anti-correlated numeric data ([BKS01]),
+* :mod:`repro.datasets.logs` — query logs for the preference miner.
+"""
+
+from repro.datasets.cars import (
+    CAR_CATEGORIES,
+    CAR_COLORS,
+    CAR_MAKES,
+    example6_preferences,
+    generate_cars,
+)
+from repro.datasets.logs import generate_query_log
+from repro.datasets.skyline_data import (
+    anticorrelated,
+    correlated,
+    independent,
+    skyline_relation,
+)
+from repro.datasets.trips import generate_trips
+
+__all__ = [
+    "CAR_CATEGORIES",
+    "CAR_COLORS",
+    "CAR_MAKES",
+    "anticorrelated",
+    "correlated",
+    "example6_preferences",
+    "generate_cars",
+    "generate_query_log",
+    "generate_trips",
+    "independent",
+    "skyline_relation",
+]

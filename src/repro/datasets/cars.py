@@ -1,0 +1,119 @@
+"""A synthetic used-car catalog — the domain of Examples 1, 6, 7, 10.
+
+Attribute correlations mimic a real market so preference queries behave
+realistically:
+
+* price rises with year, horsepower and category prestige and falls with
+  mileage,
+* mileage falls with year (newer cars drove less),
+* fuel economy falls with horsepower,
+* commission is a noisy fraction of price (the vendor's stake).
+
+All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.base_nonnumerical import NegPreference, PosNegPreference, PosPreference, PosPosPreference
+from repro.core.base_numerical import AroundPreference, HighestPreference, LowestPreference
+from repro.core.constructors import ParetoPreference, PrioritizedPreference
+from repro.core.preference import Preference
+from repro.relations.relation import Relation
+
+CAR_MAKES: tuple[str, ...] = (
+    "Audi", "BMW", "Ford", "Mercedes", "Opel", "Toyota", "VW", "Volvo",
+)
+CAR_CATEGORIES: tuple[str, ...] = (
+    "cabriolet", "passenger", "roadster", "suv", "van",
+)
+CAR_COLORS: tuple[str, ...] = (
+    "black", "blue", "gray", "green", "red", "silver", "white", "yellow",
+)
+CAR_TRANSMISSIONS: tuple[str, ...] = ("automatic", "manual")
+
+_CATEGORY_PRESTIGE = {
+    "roadster": 1.45,
+    "cabriolet": 1.30,
+    "suv": 1.15,
+    "van": 0.95,
+    "passenger": 1.0,
+}
+
+
+def generate_cars(n: int, seed: int = 7, name: str = "car") -> Relation:
+    """A relation of ``n`` used cars with correlated attributes."""
+    rng = random.Random(seed)
+    rows: list[dict[str, Any]] = []
+    for oid in range(1, n + 1):
+        make = rng.choice(CAR_MAKES)
+        category = rng.choice(CAR_CATEGORIES)
+        color = rng.choice(CAR_COLORS)
+        transmission = rng.choice(CAR_TRANSMISSIONS)
+        year = rng.randint(1990, 2001)
+        age = 2002 - year
+        horsepower = int(rng.gauss(75 + 18 * _CATEGORY_PRESTIGE[category], 25))
+        horsepower = max(40, min(300, horsepower))
+        mileage = max(0, int(rng.gauss(15000 * age, 9000)))
+        base_price = (
+            4000
+            + 180 * horsepower
+            + 1400 * _CATEGORY_PRESTIGE[category] * (12 - age)
+            - 0.06 * mileage
+        )
+        price = max(500, int(base_price * rng.uniform(0.85, 1.15)))
+        fuel_economy = max(
+            10, int(60 - 0.12 * horsepower + rng.gauss(0, 4))
+        )
+        commission = int(price * rng.uniform(0.02, 0.08))
+        rows.append(
+            {
+                "oid": oid,
+                "make": make,
+                "category": category,
+                "color": color,
+                "transmission": transmission,
+                "year": year,
+                "horsepower": horsepower,
+                "mileage": mileage,
+                "price": price,
+                "fuel_economy": fuel_economy,
+                "insurance_rating": rng.randint(1, 10),
+                "commission": commission,
+            }
+        )
+    return Relation.from_dicts(name, rows)
+
+
+def example6_preferences() -> dict[str, Preference]:
+    """The ready-made preference terms of Example 6.
+
+    Keys: ``P1``-``P8`` (the base preferences), ``Q1`` (Julia's wish list),
+    ``Q2`` (Michael's full query), ``Q1_star`` and ``Q2_star`` (after
+    Leslie's intervention).  Attribute names follow the car catalog of
+    :func:`generate_cars` (lower-case).
+    """
+    p1 = PosPosPreference("category", {"cabriolet"}, {"roadster"})
+    p2 = PosPreference("transmission", {"automatic"})
+    p3 = AroundPreference("horsepower", 100)
+    p4 = LowestPreference("price")
+    p5 = NegPreference("color", {"gray"})
+    p6 = HighestPreference("year")
+    p7 = HighestPreference("commission")
+    p8 = PosNegPreference("color", {"blue"}, {"gray", "red"})
+
+    q1 = PrioritizedPreference(
+        (p5, PrioritizedPreference((ParetoPreference((p1, p2, p3)), p4)))
+    )
+    q2 = PrioritizedPreference((PrioritizedPreference((q1, p6)), p7))
+    q1_star = PrioritizedPreference(
+        (ParetoPreference((p5, p8, p4)), ParetoPreference((p1, p2, p3)))
+    )
+    q2_star = PrioritizedPreference((PrioritizedPreference((q1_star, p6)), p7))
+    return {
+        "P1": p1, "P2": p2, "P3": p3, "P4": p4, "P5": p5, "P6": p6,
+        "P7": p7, "P8": p8,
+        "Q1": q1, "Q2": q2, "Q1_star": q1_star, "Q2_star": q2_star,
+    }

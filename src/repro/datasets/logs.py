@@ -1,0 +1,47 @@
+"""Synthetic query logs for the preference miner.
+
+Simulates users of an exact-match search form: each user has a latent
+preference profile (favorite makes, a price point, ...) and issues queries
+whose hard filters scatter around that profile.  The miner's job is to
+recover the profile from the scatter — these generators make that test
+honest because the ground truth is known.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.datasets.cars import CAR_COLORS, CAR_MAKES
+
+LogEntry = tuple[str, Any]
+
+
+def generate_query_log(
+    n_queries: int,
+    seed: int = 31,
+    favorite_makes: tuple[str, ...] = ("BMW", "Audi"),
+    price_target: float = 30000.0,
+    price_noise: float = 0.1,
+    loyalty: float = 0.8,
+) -> list[LogEntry]:
+    """A log of hard filters one user typed over ``n_queries`` sessions.
+
+    With probability ``loyalty`` the user filters on a favorite make (else
+    a random one), and the requested price scatters ``price_noise``
+    relatively around ``price_target``.  Colors are requested uniformly —
+    an attribute the miner should *not* turn into a preference.
+    """
+    rng = random.Random(seed)
+    log: list[LogEntry] = []
+    for _ in range(n_queries):
+        if rng.random() < loyalty:
+            make = rng.choice(favorite_makes)
+        else:
+            make = rng.choice(CAR_MAKES)
+        log.append(("make", make))
+        price = price_target * rng.uniform(1 - price_noise, 1 + price_noise)
+        log.append(("price", round(price, -2)))
+        if rng.random() < 0.4:  # colour requests are sporadic and uniform
+            log.append(("color", rng.choice(CAR_COLORS)))
+    return log

@@ -1,0 +1,99 @@
+"""The skyline literature's standard distributions ([BKS01]).
+
+Three data families drive every skyline benchmark since the original
+operator paper:
+
+* *independent*: dimensions drawn i.i.d. uniform — moderate skylines,
+* *correlated*: points near the main diagonal — tiny skylines (a point good
+  in one dimension is good in all),
+* *anti-correlated*: points near the anti-diagonal hyperplane — huge
+  skylines (being good somewhere means being bad elsewhere), the hard case.
+
+Generators are seeded and return plain rows or a
+:class:`~repro.relations.relation.Relation` with attributes ``d0..d{k-1}``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any
+
+from repro.relations.relation import Relation
+
+
+def _attrs(dims: int) -> list[str]:
+    return [f"d{i}" for i in range(dims)]
+
+
+def independent(n: int, dims: int, seed: int = 11) -> list[dict[str, float]]:
+    """i.i.d. uniform [0, 1) per dimension."""
+    rng = random.Random(seed)
+    attrs = _attrs(dims)
+    return [{a: rng.random() for a in attrs} for _ in range(n)]
+
+
+def correlated(
+    n: int, dims: int, seed: int = 11, spread: float = 0.05
+) -> list[dict[str, float]]:
+    """Points scattered tightly around the main diagonal.
+
+    A base level ``u`` is drawn per point; every dimension is ``u`` plus
+    small Gaussian noise, clamped to [0, 1].
+    """
+    rng = random.Random(seed)
+    attrs = _attrs(dims)
+    rows = []
+    for _ in range(n):
+        base = rng.random()
+        rows.append(
+            {
+                a: min(1.0, max(0.0, base + rng.gauss(0.0, spread)))
+                for a in attrs
+            }
+        )
+    return rows
+
+
+def anticorrelated(
+    n: int, dims: int, seed: int = 11, spread: float = 0.05
+) -> list[dict[str, float]]:
+    """Points near the hyperplane ``sum(d_i) = dims / 2``.
+
+    Per point, a uniform split of a (noisy) constant budget across
+    dimensions: good values in one dimension force bad ones elsewhere —
+    the canonical worst case for skyline sizes.
+    """
+    rng = random.Random(seed)
+    attrs = _attrs(dims)
+    rows = []
+    for _ in range(n):
+        budget = dims / 2 + rng.gauss(0.0, spread * dims)
+        weights = [rng.random() for _ in range(dims)]
+        total = sum(weights) or 1.0
+        point = [budget * w / total for w in weights]
+        rows.append(
+            {a: min(1.0, max(0.0, v)) for a, v in zip(attrs, point)}
+        )
+    return rows
+
+
+DISTRIBUTIONS = {
+    "independent": independent,
+    "correlated": correlated,
+    "anticorrelated": anticorrelated,
+}
+
+
+def skyline_relation(
+    kind: str, n: int, dims: int, seed: int = 11, name: str | None = None
+) -> Relation:
+    """A relation of ``n`` points from one of the three distributions."""
+    try:
+        generator = DISTRIBUTIONS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {kind!r}; known: {sorted(DISTRIBUTIONS)}"
+        ) from None
+    rows = generator(n, dims, seed)
+    return Relation.from_dicts(name or f"{kind}_{n}x{dims}", rows)

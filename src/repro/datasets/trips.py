@@ -1,0 +1,55 @@
+"""The trips table of the paper's second Preference SQL example.
+
+Generates package trips with start dates clustered around a season,
+durations around common holiday lengths, and prices correlated with
+duration — enough structure for the AROUND / BUT ONLY query
+
+.. code-block:: sql
+
+    SELECT * FROM trips
+    PREFERRING start_date AROUND '2001/11/23' AND duration AROUND 14
+    BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2;
+
+to have interesting (sometimes empty!) answers.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.relations.relation import Relation
+
+DESTINATIONS: tuple[str, ...] = (
+    "Crete", "Madeira", "Lanzarote", "Cyprus", "Malta", "Tenerife", "Djerba",
+)
+
+_COMMON_DURATIONS = (7, 10, 14, 21)
+
+
+def generate_trips(
+    n: int,
+    seed: int = 23,
+    season_start: datetime.date = datetime.date(2001, 11, 1),
+    season_days: int = 60,
+    name: str = "trips",
+) -> Relation:
+    """A relation of ``n`` package trips within one season."""
+    rng = random.Random(seed)
+    rows = []
+    for tid in range(1, n + 1):
+        start = season_start + datetime.timedelta(
+            days=rng.randrange(season_days)
+        )
+        duration = rng.choice(_COMMON_DURATIONS) + rng.choice((-1, 0, 0, 0, 1))
+        price = int(40 * duration * rng.uniform(0.8, 1.6)) * 10
+        rows.append(
+            {
+                "tid": tid,
+                "destination": rng.choice(DESTINATIONS),
+                "start_date": start,
+                "duration": duration,
+                "price": price,
+            }
+        )
+    return Relation.from_dicts(name, rows)

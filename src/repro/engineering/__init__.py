@@ -1,0 +1,44 @@
+"""Preference engineering (Section 3.3's discipline + the Section 7 roadmap).
+
+The paper coins *preference engineering* — systematically building complex
+preferences from base preferences, possibly for several parties — and lists
+as future work a persistent preference repository, preference mining from
+query logs and e-negotiation support.  This package implements those tools:
+
+* :mod:`repro.engineering.serialization` — preference terms to/from JSON,
+* :mod:`repro.engineering.repository` — a persistent named-preference store,
+* :mod:`repro.engineering.mining` — mine base preferences from query logs,
+* :mod:`repro.engineering.negotiation` — compromise search over the
+  unranked "reservoir" of Pareto combinations,
+* :mod:`repro.engineering.conflicts` — quantify conflicts between parties.
+"""
+
+from repro.engineering.conflicts import conflict_degree, conflict_pairs
+from repro.engineering.mining import (
+    MinedProfile,
+    mine_preferences,
+    mine_around,
+    mine_pos,
+)
+from repro.engineering.negotiation import NegotiationOutcome, negotiate
+from repro.engineering.repository import PreferenceRepository
+from repro.engineering.serialization import (
+    SerializationError,
+    preference_from_dict,
+    preference_to_dict,
+)
+
+__all__ = [
+    "MinedProfile",
+    "NegotiationOutcome",
+    "PreferenceRepository",
+    "SerializationError",
+    "conflict_degree",
+    "conflict_pairs",
+    "mine_around",
+    "mine_pos",
+    "mine_preferences",
+    "negotiate",
+    "preference_from_dict",
+    "preference_to_dict",
+]

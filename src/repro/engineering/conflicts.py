@@ -1,0 +1,81 @@
+"""Quantifying preference conflicts.
+
+Desideratum 4 of the paper: conflicts must not cause failures.  The model
+guarantees that; this module makes conflicts *visible* so preference
+engineers can inspect them before composing multi-party queries:
+
+* :func:`conflict_pairs` — value pairs two preferences order oppositely,
+* :func:`conflict_degree` — the share of ranked pairs that conflict,
+* :func:`agreement_pairs` — pairs ordered identically (the common ground).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+from repro.core.preference import Preference, as_row
+
+
+def _pairs(p1: Preference, p2: Preference, values: Iterable[Any]):
+    attrs = tuple(dict.fromkeys((*p1.attributes, *p2.attributes)))
+    rows = []
+    seen = set()
+    for v in values:
+        row = as_row(v, attrs)
+        key = tuple(row[a] for a in attrs)
+        if key not in seen:
+            seen.add(key)
+            rows.append(row)
+    return rows
+
+
+def conflict_pairs(
+    p1: Preference, p2: Preference, values: Iterable[Any]
+) -> list[tuple[dict, dict]]:
+    """Pairs ``(x, y)`` with ``x <_P1 y`` but ``y <_P2 x`` — open conflicts.
+
+    Each conflicting pair is reported once, oriented by ``p1``.
+    """
+    rows = _pairs(p1, p2, values)
+    out = []
+    for x, y in itertools.permutations(rows, 2):
+        if p1._lt(x, y) and p2._lt(y, x):
+            out.append((x, y))
+    return out
+
+
+def agreement_pairs(
+    p1: Preference, p2: Preference, values: Iterable[Any]
+) -> list[tuple[dict, dict]]:
+    """Pairs both preferences order the same way (``x`` worse than ``y``)."""
+    rows = _pairs(p1, p2, values)
+    out = []
+    for x, y in itertools.permutations(rows, 2):
+        if p1._lt(x, y) and p2._lt(x, y):
+            out.append((x, y))
+    return out
+
+
+def conflict_degree(
+    p1: Preference, p2: Preference, values: Iterable[Any]
+) -> float:
+    """Conflicts / (pairs ranked by both), in [0, 1].
+
+    0 means the parties never disagree where both have an opinion; 1 means
+    they disagree everywhere they overlap.  Pairs only one party ranks are
+    neither conflict nor agreement — they are decided unilaterally.
+    """
+    rows = _pairs(p1, p2, values)
+    conflicts = 0
+    both_ranked = 0
+    for x, y in itertools.combinations(rows, 2):
+        r1 = p1._lt(x, y) or p1._lt(y, x)
+        r2 = p2._lt(x, y) or p2._lt(y, x)
+        if r1 and r2:
+            both_ranked += 1
+            if (p1._lt(x, y) and p2._lt(y, x)) or (p1._lt(y, x) and p2._lt(x, y)):
+                conflicts += 1
+    if both_ranked == 0:
+        return 0.0
+    return conflicts / both_ranked

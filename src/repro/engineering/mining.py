@@ -1,0 +1,151 @@
+"""Preference mining from query log files (Section 7 roadmap).
+
+E-shops accumulate logs of the hard filters users typed before the
+preference era.  Mining turns those exact-match habits into soft
+preferences:
+
+* categorical attributes with a dominant value set -> POS (or POS/POS when
+  a clear second tier exists),
+* numerical attributes -> AROUND the median of requested values (or BETWEEN
+  the interquartile range when requests spread out).
+
+The miner is deliberately simple and transparent — thresholds are
+parameters, the output is an ordinary preference term that can be stored in
+the repository, refined by hand, and used in queries.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.base_nonnumerical import PosPosPreference, PosPreference
+from repro.core.base_numerical import AroundPreference, BetweenPreference
+from repro.core.constructors import ParetoPreference
+from repro.core.preference import Preference
+
+#: One logged filter: (attribute, requested value).
+LogEntry = tuple[str, Any]
+
+
+@dataclass
+class MinedProfile:
+    """The result of mining one user's (or cohort's) log."""
+
+    preferences: dict[str, Preference] = field(default_factory=dict)
+    support: dict[str, int] = field(default_factory=dict)  # entries per attr
+
+    def combined(self) -> Preference | None:
+        """All mined preferences, Pareto-accumulated (equally important —
+        the log gives no importance ordering)."""
+        prefs = list(self.preferences.values())
+        if not prefs:
+            return None
+        if len(prefs) == 1:
+            return prefs[0]
+        return ParetoPreference(tuple(prefs))
+
+
+def mine_pos(
+    attribute: str,
+    values: Sequence[Any],
+    top_share: float = 0.5,
+    second_share: float = 0.2,
+) -> Preference | None:
+    """Mine a POS / POS/POS preference from categorical request values.
+
+    Values covering ``top_share`` of requests (greedily, most frequent
+    first) form the POS set; the next tier covering ``second_share`` forms
+    the POS2 set when it is itself concentrated.  Near-uniform attributes
+    yield no preference at all: if reaching ``top_share`` needs half the
+    distinct values or more, the user has no favorites there.
+    """
+    if not values:
+        return None
+    counts: dict[Any, int] = {}
+    for v in values:
+        counts[v] = counts.get(v, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    total = len(values)
+    pos: list[Any] = []
+    covered = 0
+    i = 0
+    while i < len(ranked) and covered / total < top_share:
+        pos.append(ranked[i][0])
+        covered += ranked[i][1]
+        i += 1
+    if not pos:
+        return None
+    if len(ranked) > 2 and 2 * len(pos) >= len(ranked):
+        return None  # no concentration: requests are spread, not wished
+    second: list[Any] = []
+    covered2 = 0
+    while i < len(ranked) and covered2 / total < second_share:
+        second.append(ranked[i][0])
+        covered2 += ranked[i][1]
+        i += 1
+    remaining = len(ranked) - len(pos)
+    if second and remaining > 2 and 2 * len(second) >= remaining:
+        second = []  # the second tier is noise, not an alternative wish
+    if second:
+        return PosPosPreference(attribute, pos, second)
+    return PosPreference(attribute, pos)
+
+
+def mine_around(
+    attribute: str,
+    values: Sequence[float],
+    spread_threshold: float = 0.25,
+) -> Preference | None:
+    """Mine AROUND / BETWEEN from numerical request values.
+
+    Tight distributions (interquartile range below ``spread_threshold`` of
+    the median) yield AROUND(median); spread ones yield BETWEEN(q1, q3).
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    median = statistics.median(ordered)
+    if len(ordered) >= 4:
+        q1, q3 = statistics.quantiles(ordered, n=4)[0], statistics.quantiles(
+            ordered, n=4
+        )[2]
+    else:
+        q1 = q3 = median
+    scale = abs(median) if median else 1.0
+    if q3 - q1 <= spread_threshold * scale:
+        return AroundPreference(attribute, median)
+    return BetweenPreference(attribute, q1, q3)
+
+
+def mine_preferences(
+    log: Iterable[LogEntry],
+    min_support: int = 3,
+    top_share: float = 0.5,
+    second_share: float = 0.2,
+    spread_threshold: float = 0.25,
+) -> MinedProfile:
+    """Mine a :class:`MinedProfile` from a query log.
+
+    Attributes with fewer than ``min_support`` logged requests are skipped
+    (not enough evidence for a wish).  Numeric attributes go through
+    :func:`mine_around`, categorical ones through :func:`mine_pos`.
+    """
+    by_attr: dict[str, list[Any]] = {}
+    for attribute, value in log:
+        by_attr.setdefault(attribute, []).append(value)
+
+    profile = MinedProfile()
+    for attribute, values in sorted(by_attr.items()):
+        profile.support[attribute] = len(values)
+        if len(values) < min_support:
+            continue
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in values):
+            mined = mine_around(attribute, values, spread_threshold)
+        else:
+            mined = mine_pos(attribute, values, top_share, second_share)
+        if mined is not None:
+            profile.preferences[attribute] = mined
+    return profile

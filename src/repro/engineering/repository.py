@@ -1,0 +1,114 @@
+"""A persistent preference repository (Section 7 roadmap).
+
+Named preference terms, grouped by owner ("Julia", "Michael", "ontology"),
+persisted as JSON.  This is the storage piece of preference engineering:
+customer profiles, vendor preferences and domain knowledge live here and are
+composed at query time, like Example 6's scenario composes Julia's wishes
+with Michael's dealership knowledge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.core.preference import Preference
+from repro.engineering.serialization import (
+    SerializationError,
+    preference_from_dict,
+    preference_to_dict,
+)
+
+
+class PreferenceRepository:
+    """An in-memory, JSON-persistable store of named preferences."""
+
+    def __init__(
+        self, functions: dict[str, Callable[..., Any]] | None = None
+    ):
+        self._store: dict[str, dict[str, Preference]] = {}
+        self._functions = dict(functions or {})
+
+    # -- registry --------------------------------------------------------------
+
+    def save(self, owner: str, name: str, pref: Preference) -> None:
+        """Store ``pref`` under ``owner/name`` (overwrites silently —
+        wishes change)."""
+        self._store.setdefault(owner, {})[name] = pref
+
+    def get(self, owner: str, name: str) -> Preference:
+        try:
+            return self._store[owner][name]
+        except KeyError:
+            known = {o: sorted(p) for o, p in self._store.items()}
+            raise KeyError(
+                f"no preference {owner}/{name}; repository has {known}"
+            ) from None
+
+    def delete(self, owner: str, name: str) -> None:
+        try:
+            del self._store[owner][name]
+        except KeyError:
+            raise KeyError(f"no preference {owner}/{name}") from None
+        if not self._store[owner]:
+            del self._store[owner]
+
+    def owners(self) -> list[str]:
+        return sorted(self._store)
+
+    def names(self, owner: str) -> list[str]:
+        return sorted(self._store.get(owner, ()))
+
+    def items(self) -> Iterator[tuple[str, str, Preference]]:
+        for owner, prefs in sorted(self._store.items()):
+            for name, pref in sorted(prefs.items()):
+                yield owner, name, pref
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._store.values())
+
+    def __contains__(self, owner_name: tuple[str, str]) -> bool:
+        owner, name = owner_name
+        return name in self._store.get(owner, ())
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            owner: {
+                name: preference_to_dict(pref) for name, pref in prefs.items()
+            }
+            for owner, prefs in self._store.items()
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True, default=str)
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def from_json(
+        cls,
+        text: str,
+        functions: dict[str, Callable[..., Any]] | None = None,
+    ) -> "PreferenceRepository":
+        repo = cls(functions)
+        payload = json.loads(text)
+        for owner, prefs in payload.items():
+            for name, data in prefs.items():
+                repo.save(owner, name, preference_from_dict(data, repo._functions))
+        return repo
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        functions: dict[str, Callable[..., Any]] | None = None,
+    ) -> "PreferenceRepository":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"), functions)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreferenceRepository({len(self)} preferences, "
+            f"owners={self.owners()})"
+        )

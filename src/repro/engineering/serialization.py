@@ -1,0 +1,211 @@
+"""Preference terms to and from JSON-safe dictionaries.
+
+A persistent preference repository (a Section 7 roadmap item) needs a wire
+format.  Every constructor of the model serializes structurally; scoring and
+combining functions — genuine code — serialize *by name* and are resolved
+against a function registry on load, the same registry Preference SQL uses
+for SCORE/RANK.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.base_nonnumerical import (
+    ExplicitPreference,
+    LayeredPreference,
+    NegPreference,
+    OTHERS,
+    Others,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    DualPreference,
+    IntersectionPreference,
+    LinearSumPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+    RankPreference,
+)
+from repro.core.domains import FiniteDomain
+from repro.core.preference import AntiChain, Preference
+
+
+class SerializationError(ValueError):
+    """Unknown term type or unresolvable function name."""
+
+
+def _sorted(values: Any) -> list:
+    return sorted(values, key=repr)
+
+
+def preference_to_dict(pref: Preference) -> dict[str, Any]:
+    """A JSON-safe structural description of a preference term."""
+    if isinstance(pref, PosPreference):
+        return {"type": "pos", "attribute": pref.attribute,
+                "pos_set": _sorted(pref.pos_set)}
+    if isinstance(pref, NegPreference):
+        return {"type": "neg", "attribute": pref.attribute,
+                "neg_set": _sorted(pref.neg_set)}
+    if isinstance(pref, PosNegPreference):
+        return {"type": "posneg", "attribute": pref.attribute,
+                "pos_set": _sorted(pref.pos_set),
+                "neg_set": _sorted(pref.neg_set)}
+    if isinstance(pref, PosPosPreference):
+        return {"type": "pospos", "attribute": pref.attribute,
+                "pos1_set": _sorted(pref.pos1_set),
+                "pos2_set": _sorted(pref.pos2_set)}
+    if isinstance(pref, LayeredPreference):
+        layers = [
+            "OTHERS" if isinstance(l, Others) else _sorted(l)
+            for l in pref.layers
+        ]
+        return {"type": "layered", "attribute": pref.attribute, "layers": layers}
+    if isinstance(pref, ExplicitPreference):
+        out: dict[str, Any] = {
+            "type": "explicit", "attribute": pref.attribute,
+            "edges": [list(e) for e in pref.edges],
+            "rank_others": pref.rank_others,
+        }
+        if isinstance(pref.domain, FiniteDomain):
+            out["domain"] = _sorted(pref.domain.values())
+        return out
+    if isinstance(pref, AroundPreference):
+        return {"type": "around", "attribute": pref.attribute, "z": pref.z}
+    if isinstance(pref, BetweenPreference):
+        return {"type": "between", "attribute": pref.attribute,
+                "low": pref.low, "up": pref.up}
+    if isinstance(pref, LowestPreference):
+        return {"type": "lowest", "attribute": pref.attribute}
+    if isinstance(pref, HighestPreference):
+        return {"type": "highest", "attribute": pref.attribute}
+    if isinstance(pref, RankPreference):
+        return {"type": "rank", "function": pref.score_name,
+                "children": [preference_to_dict(c) for c in pref.children]}
+    if isinstance(pref, ScorePreference):
+        return {"type": "score", "attributes": list(pref.attributes),
+                "function": pref.score_name}
+    if isinstance(pref, AntiChain):
+        out = {"type": "antichain", "attributes": list(pref.attributes)}
+        if isinstance(pref.domain, FiniteDomain):
+            out["domain"] = _sorted(pref.domain.values())
+        return out
+    if isinstance(pref, DualPreference):
+        return {"type": "dual", "base": preference_to_dict(pref.base)}
+    if isinstance(pref, ParetoPreference):
+        return {"type": "pareto",
+                "children": [preference_to_dict(c) for c in pref.children]}
+    if isinstance(pref, PrioritizedPreference):
+        return {"type": "prioritized",
+                "children": [preference_to_dict(c) for c in pref.children]}
+    if isinstance(pref, IntersectionPreference):
+        return {"type": "intersection",
+                "children": [preference_to_dict(c) for c in pref.children]}
+    if isinstance(pref, DisjointUnionPreference):
+        return {"type": "union",
+                "children": [preference_to_dict(c) for c in pref.children]}
+    if isinstance(pref, LinearSumPreference):
+        return {"type": "linear_sum", "attribute": pref.attribute,
+                "first": preference_to_dict(pref.first),
+                "second": preference_to_dict(pref.second)}
+    raise SerializationError(
+        f"cannot serialize preference of type {type(pref).__name__}"
+    )
+
+
+def preference_from_dict(
+    data: dict[str, Any],
+    functions: dict[str, Callable[..., Any]] | None = None,
+) -> Preference:
+    """Rebuild a preference term from its dictionary form.
+
+    ``functions`` resolves SCORE / rank(F) function names; loading a term
+    that references an unregistered function raises
+    :class:`SerializationError` (better than resurrecting the wrong code).
+    """
+    functions = functions or {}
+    kind = data.get("type")
+    if kind == "pos":
+        return PosPreference(data["attribute"], data["pos_set"])
+    if kind == "neg":
+        return NegPreference(data["attribute"], data["neg_set"])
+    if kind == "posneg":
+        return PosNegPreference(data["attribute"], data["pos_set"], data["neg_set"])
+    if kind == "pospos":
+        return PosPosPreference(
+            data["attribute"], data["pos1_set"], data["pos2_set"]
+        )
+    if kind == "layered":
+        layers = [
+            OTHERS if l == "OTHERS" else frozenset(l) for l in data["layers"]
+        ]
+        return LayeredPreference(data["attribute"], layers)
+    if kind == "explicit":
+        domain = FiniteDomain(data["domain"]) if "domain" in data else None
+        return ExplicitPreference(
+            data["attribute"],
+            [tuple(e) for e in data["edges"]],
+            domain=domain,
+            rank_others=data.get("rank_others", True),
+        )
+    if kind == "around":
+        return AroundPreference(data["attribute"], data["z"])
+    if kind == "between":
+        return BetweenPreference(data["attribute"], data["low"], data["up"])
+    if kind == "lowest":
+        return LowestPreference(data["attribute"])
+    if kind == "highest":
+        return HighestPreference(data["attribute"])
+    if kind == "score":
+        fn = _resolve(functions, data["function"])
+        attrs = data["attributes"]
+        return ScorePreference(
+            attrs[0] if len(attrs) == 1 else tuple(attrs), fn,
+            name=data["function"],
+        )
+    if kind == "rank":
+        fn = _resolve(functions, data["function"])
+        children = [preference_from_dict(c, functions) for c in data["children"]]
+        return RankPreference(fn, children, name=data["function"])
+    if kind == "antichain":
+        domain = FiniteDomain(data["domain"]) if "domain" in data else None
+        return AntiChain(tuple(data["attributes"]), domain=domain)
+    if kind == "dual":
+        return DualPreference(preference_from_dict(data["base"], functions))
+    if kind in ("pareto", "prioritized", "intersection", "union"):
+        children = tuple(
+            preference_from_dict(c, functions) for c in data["children"]
+        )
+        ctor = {
+            "pareto": ParetoPreference,
+            "prioritized": PrioritizedPreference,
+            "intersection": IntersectionPreference,
+            "union": DisjointUnionPreference,
+        }[kind]
+        return ctor(children)
+    if kind == "linear_sum":
+        return LinearSumPreference(
+            preference_from_dict(data["first"], functions),
+            preference_from_dict(data["second"], functions),
+            attribute=data["attribute"],
+        )
+    raise SerializationError(f"unknown preference type {kind!r}")
+
+
+def _resolve(functions: dict, name: str) -> Callable[..., Any]:
+    try:
+        return functions[name]
+    except KeyError:
+        raise SerializationError(
+            f"function {name!r} is not registered; pass functions={{...}}"
+        ) from None

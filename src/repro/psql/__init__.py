@@ -1,0 +1,44 @@
+"""Preference SQL: SQL extended by a PREFERRING clause (Section 6.1).
+
+The paper describes Preference SQL — the first SQL extension treating
+preferences as strict partial orders — with queries like::
+
+    SELECT * FROM car WHERE make = 'Opel'
+    PREFERRING (category = 'roadster' ELSE category <> 'passenger') AND
+               price AROUND 40000 AND HIGHEST(power)
+    CASCADE color = 'red' CASCADE LOWEST(mileage);
+
+This package implements the language end to end:
+
+* :mod:`repro.psql.lexer` / :mod:`repro.psql.parser` — tokens, recursive
+  descent, precedence (``ELSE`` binds tighter than ``AND``, which binds
+  tighter than ``PRIOR TO``),
+* :mod:`repro.psql.ast` — syntax trees,
+* :mod:`repro.psql.translate` — PREFERRING clauses to preference terms
+  (AND = Pareto, PRIOR TO = prioritized, CASCADE = prioritization of
+  successive clauses), WHERE clauses to hard predicates,
+* :mod:`repro.psql.executor` — plans through the preference optimizer and
+  runs against a :class:`~repro.relations.catalog.Catalog`,
+* :mod:`repro.psql.sqlgen` — the "plug-and-go" rewriting into plain SQL92
+  (``NOT EXISTS`` double-query) the paper credits the product with.
+"""
+
+from repro.psql.ast import Query
+from repro.psql.executor import PreferenceSQL
+from repro.psql.lexer import LexError, tokenize
+from repro.psql.parser import ParseError, parse
+from repro.psql.sqlgen import to_sql92
+from repro.psql.translate import TranslationError, translate_preferring, translate_where
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "PreferenceSQL",
+    "Query",
+    "TranslationError",
+    "parse",
+    "to_sql92",
+    "tokenize",
+    "translate_preferring",
+    "translate_where",
+]

@@ -1,0 +1,193 @@
+"""Syntax trees for Preference SQL.
+
+Two expression families:
+
+* *hard* boolean expressions (WHERE): comparisons, IN, LIKE, IS NULL,
+  AND/OR/NOT — the exact-match world;
+* *soft* preference expressions (PREFERRING / CASCADE): atoms like
+  ``price AROUND 40000`` composed with AND (Pareto), PRIOR TO
+  (prioritized) and ELSE (POS/POS, POS/NEG layering).
+
+Plus the query node tying them together with GROUPING, BUT ONLY and TOP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# -- hard (WHERE) expressions ---------------------------------------------------
+
+class HardExpr:
+    """Marker base class for WHERE expressions."""
+
+
+@dataclass(frozen=True)
+class Comparison(HardExpr):
+    attribute: str
+    op: str  # = <> < <= > >=
+    value: Any
+
+
+@dataclass(frozen=True)
+class InList(HardExpr):
+    attribute: str
+    values: tuple[Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikePattern(HardExpr):
+    attribute: str
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(HardExpr):
+    attribute: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class HardBetween(HardExpr):
+    attribute: str
+    low: Any
+    up: Any
+
+
+@dataclass(frozen=True)
+class BoolOp(HardExpr):
+    op: str  # AND / OR
+    operands: tuple[HardExpr, ...]
+
+
+@dataclass(frozen=True)
+class NotOp(HardExpr):
+    operand: HardExpr
+
+
+# -- soft (PREFERRING) expressions -------------------------------------------------
+
+class PrefExpr:
+    """Marker base class for preference expressions."""
+
+
+@dataclass(frozen=True)
+class PosAtom(PrefExpr):
+    """``attr = v`` / ``attr IN (...)`` — a POS wish."""
+
+    attribute: str
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class NegAtom(PrefExpr):
+    """``attr <> v`` / ``attr NOT IN (...)`` — a NEG wish."""
+
+    attribute: str
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ElseChain(PrefExpr):
+    """``first ELSE second``: POS/POS or POS/NEG depending on ``second``."""
+
+    first: PrefExpr
+    second: PrefExpr
+
+
+@dataclass(frozen=True)
+class AroundAtom(PrefExpr):
+    attribute: str
+    target: Any
+
+
+@dataclass(frozen=True)
+class BetweenAtom(PrefExpr):
+    attribute: str
+    low: Any
+    up: Any
+
+
+@dataclass(frozen=True)
+class LowestAtom(PrefExpr):
+    attribute: str
+
+
+@dataclass(frozen=True)
+class HighestAtom(PrefExpr):
+    attribute: str
+
+
+@dataclass(frozen=True)
+class ScoreAtom(PrefExpr):
+    """``SCORE(attr, fname)`` — fname resolved in the function registry."""
+
+    attribute: str
+    function: str
+
+
+@dataclass(frozen=True)
+class ExplicitAtom(PrefExpr):
+    """``EXPLICIT(attr, (worse, better), ...)``."""
+
+    attribute: str
+    edges: tuple[tuple[Any, Any], ...]
+
+
+@dataclass(frozen=True)
+class RankExpr(PrefExpr):
+    """``RANK(fname)(p1, p2, ...)`` — numerical accumulation."""
+
+    function: str
+    operands: tuple[PrefExpr, ...]
+
+
+@dataclass(frozen=True)
+class ParetoExpr(PrefExpr):
+    """``p1 AND p2 AND ...`` — equally important."""
+
+    operands: tuple[PrefExpr, ...]
+
+
+@dataclass(frozen=True)
+class PriorExpr(PrefExpr):
+    """``p1 PRIOR TO p2 PRIOR TO ...`` — ordered importance."""
+
+    operands: tuple[PrefExpr, ...]
+
+
+# -- quality conditions (BUT ONLY) ---------------------------------------------------
+
+@dataclass(frozen=True)
+class QualityExpr:
+    """``LEVEL(attr) op bound`` or ``DISTANCE(attr) op bound``."""
+
+    kind: str  # "level" | "distance"
+    attribute: str
+    op: str
+    bound: Any
+
+
+# -- the query -------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Query:
+    """One parsed Preference SQL statement."""
+
+    select: tuple[str, ...] | str  # "*" or attribute names
+    table: str
+    where: HardExpr | None = None
+    preferring: PrefExpr | None = None
+    cascades: tuple[PrefExpr, ...] = ()
+    grouping: tuple[str, ...] = ()
+    but_only: tuple[QualityExpr, ...] = ()
+    top: int | None = None
+    order_by: tuple[tuple[str, bool], ...] = ()  # (attribute, descending)
+    limit: int | None = None
+
+    @property
+    def selects_all(self) -> bool:
+        return self.select == "*"

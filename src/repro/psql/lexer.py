@@ -1,0 +1,129 @@
+"""Tokenizer for Preference SQL.
+
+Hand-rolled and small: SQL-ish identifiers, quoted strings, numbers, the
+operator set the grammar needs, and keywords (case-insensitive, exposed
+upper-case).  Keywords include the preference vocabulary the paper's
+examples use: PREFERRING, CASCADE, BUT ONLY, PRIOR TO, AROUND, LOWEST,
+HIGHEST, SCORE, RANK, EXPLICIT, LEVEL, DISTANCE, GROUPING, TOP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "PREFERRING", "CASCADE", "BUT", "ONLY",
+    "GROUPING", "TOP", "LIMIT", "AND", "OR", "NOT", "IN", "LIKE", "IS",
+    "NULL", "BETWEEN", "AROUND", "LOWEST", "HIGHEST", "SCORE", "RANK",
+    "EXPLICIT", "ELSE", "PRIOR", "TO", "LEVEL", "DISTANCE", "TRUE", "FALSE",
+    "ORDER", "BY", "ASC", "DESC",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ";", "*", ".")
+
+
+class LexError(ValueError):
+    """Bad input character or unterminated literal."""
+
+    def __init__(self, message: str, position: int):
+        self.position = position
+        super().__init__(f"{message} (at offset {position})")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit.
+
+    ``kind`` is one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
+    ``OP``, ``EOF``; ``value`` carries the cooked payload (upper-cased
+    keyword, unquoted string, int/float number).
+    """
+
+    kind: str
+    value: object
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "OP" and self.value in ops
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """The full token list for ``text``, ending with an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i + 1: i + 2] == "-":  # SQL line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while True:
+                if j >= n:
+                    raise LexError("unterminated string literal", i)
+                if text[j] == "'":
+                    if text[j + 1: j + 2] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            yield Token("STRING", "".join(buf), i)
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-" and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # "1." followed by non-digit would mis-lex "1.x"; only
+                    # treat as decimal point when a digit follows.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            raw = text[i:j]
+            yield Token("NUMBER", float(raw) if "." in raw else int(raw), i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, i)
+            else:
+                yield Token("IDENT", word, i)
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                value = "<>" if op == "!=" else op
+                yield Token("OP", value, i)
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", i)
+    yield Token("EOF", None, n)

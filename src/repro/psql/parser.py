@@ -1,0 +1,376 @@
+"""Recursive-descent parser for Preference SQL.
+
+Precedence inside PREFERRING (loosest to tightest):
+
+    PRIOR TO   <   AND   <   ELSE   <   atoms / parentheses
+
+matching the paper's example, where ``category = 'roadster' ELSE
+category <> 'passenger' AND price AROUND 40000`` groups the ELSE chain as
+one Pareto operand.  WHERE uses standard SQL precedence
+(OR < AND < NOT < comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.psql.ast import (
+    AroundAtom,
+    BetweenAtom,
+    BoolOp,
+    Comparison,
+    ElseChain,
+    ExplicitAtom,
+    HardBetween,
+    HardExpr,
+    HighestAtom,
+    InList,
+    IsNull,
+    LikePattern,
+    LowestAtom,
+    NegAtom,
+    NotOp,
+    ParetoExpr,
+    PosAtom,
+    PrefExpr,
+    PriorExpr,
+    QualityExpr,
+    Query,
+    RankExpr,
+    ScoreAtom,
+)
+from repro.psql.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Syntax error with offset information."""
+
+    def __init__(self, message: str, token: Token):
+        self.token = token
+        super().__init__(f"{message} (near {token!r} at offset {token.position})")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> Token | None:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        return None
+
+    def accept_op(self, *ops: str) -> Token | None:
+        if self.current.is_op(*ops):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.accept_keyword(*names)
+        if token is None:
+            raise ParseError(f"expected {' or '.join(names)}", self.current)
+        return token
+
+    def expect_op(self, *ops: str) -> Token:
+        token = self.accept_op(*ops)
+        if token is None:
+            raise ParseError(f"expected {' or '.join(ops)}", self.current)
+        return token
+
+    def expect_ident(self) -> str:
+        if self.current.kind == "IDENT":
+            return str(self.advance().value)
+        raise ParseError("expected identifier", self.current)
+
+    def expect_literal(self) -> Any:
+        if self.current.kind in ("NUMBER", "STRING"):
+            return self.advance().value
+        if self.current.is_keyword("TRUE"):
+            self.advance()
+            return True
+        if self.current.is_keyword("FALSE"):
+            self.advance()
+            return False
+        if self.current.is_keyword("NULL"):
+            self.advance()
+            return None
+        raise ParseError("expected literal", self.current)
+
+    def expect_int(self) -> int:
+        if self.current.kind == "NUMBER" and isinstance(self.current.value, int):
+            return int(self.advance().value)  # type: ignore[arg-type]
+        raise ParseError("expected integer", self.current)
+
+    # -- query -------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect_keyword("SELECT")
+        select = self._select_list()
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self._or_expr()
+
+        preferring = None
+        cascades: list[PrefExpr] = []
+        if self.accept_keyword("PREFERRING"):
+            preferring = self._pref_expr()
+            while self.accept_keyword("CASCADE"):
+                cascades.append(self._pref_expr())
+
+        grouping: tuple[str, ...] = ()
+        if self.accept_keyword("GROUPING"):
+            grouping = self._ident_list()
+
+        but_only: tuple[QualityExpr, ...] = ()
+        if self.accept_keyword("BUT"):
+            self.expect_keyword("ONLY")
+            but_only = self._quality_list()
+
+        top = None
+        if self.accept_keyword("TOP"):
+            top = self.expect_int()
+        order_by: list[tuple[str, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expect_int()
+
+        self.accept_op(";")
+        if self.current.kind != "EOF":
+            raise ParseError("trailing input after statement", self.current)
+        return Query(
+            select=select,
+            table=table,
+            where=where,
+            preferring=preferring,
+            cascades=tuple(cascades),
+            grouping=grouping,
+            but_only=but_only,
+            top=top,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _order_item(self) -> tuple[str, bool]:
+        attribute = self.expect_ident()
+        if self.accept_keyword("DESC"):
+            return attribute, True
+        self.accept_keyword("ASC")
+        return attribute, False
+
+    def _select_list(self) -> tuple[str, ...] | str:
+        if self.accept_op("*"):
+            return "*"
+        names = [self.expect_ident()]
+        while self.accept_op(","):
+            names.append(self.expect_ident())
+        return tuple(names)
+
+    def _ident_list(self) -> tuple[str, ...]:
+        names = [self.expect_ident()]
+        while self.accept_op(","):
+            names.append(self.expect_ident())
+        return tuple(names)
+
+    # -- WHERE ---------------------------------------------------------------
+
+    def _or_expr(self) -> HardExpr:
+        operands = [self._and_expr()]
+        while self.accept_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("OR", tuple(operands))
+
+    def _and_expr(self) -> HardExpr:
+        operands = [self._not_expr()]
+        while self.accept_keyword("AND"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("AND", tuple(operands))
+
+    def _not_expr(self) -> HardExpr:
+        if self.accept_keyword("NOT"):
+            return NotOp(self._not_expr())
+        if self.accept_op("("):
+            inner = self._or_expr()
+            self.expect_op(")")
+            return inner
+        return self._condition()
+
+    def _condition(self) -> HardExpr:
+        attribute = self.expect_ident()
+        if self.accept_keyword("IS"):
+            negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            return IsNull(attribute, negated)
+        negated = self.accept_keyword("NOT") is not None
+        if self.accept_keyword("IN"):
+            return InList(attribute, self._literal_list(), negated)
+        if self.accept_keyword("LIKE"):
+            pattern = self.expect_literal()
+            return LikePattern(attribute, str(pattern), negated)
+        if negated:
+            raise ParseError("expected IN or LIKE after NOT", self.current)
+        if self.accept_keyword("BETWEEN"):
+            low = self.expect_literal()
+            self.expect_keyword("AND")
+            up = self.expect_literal()
+            return HardBetween(attribute, low, up)
+        op_token = self.accept_op("=", "<>", "<", "<=", ">", ">=")
+        if op_token is None:
+            raise ParseError("expected comparison operator", self.current)
+        return Comparison(attribute, str(op_token.value), self.expect_literal())
+
+    def _literal_list(self) -> tuple[Any, ...]:
+        self.expect_op("(")
+        values = [self.expect_literal()]
+        while self.accept_op(","):
+            values.append(self.expect_literal())
+        self.expect_op(")")
+        return tuple(values)
+
+    # -- PREFERRING -------------------------------------------------------------
+
+    def _pref_expr(self) -> PrefExpr:
+        return self._prior_expr()
+
+    def _prior_expr(self) -> PrefExpr:
+        operands = [self._pareto_expr()]
+        while self.current.is_keyword("PRIOR"):
+            self.advance()
+            self.expect_keyword("TO")
+            operands.append(self._pareto_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return PriorExpr(tuple(operands))
+
+    def _pareto_expr(self) -> PrefExpr:
+        operands = [self._else_expr()]
+        while self.accept_keyword("AND"):
+            operands.append(self._else_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return ParetoExpr(tuple(operands))
+
+    def _else_expr(self) -> PrefExpr:
+        first = self._pref_atom()
+        if self.accept_keyword("ELSE"):
+            second = self._else_expr()
+            return ElseChain(first, second)
+        return first
+
+    def _pref_atom(self) -> PrefExpr:
+        if self.accept_op("("):
+            inner = self._pref_expr()
+            self.expect_op(")")
+            return inner
+        if self.accept_keyword("LOWEST"):
+            self.expect_op("(")
+            attribute = self.expect_ident()
+            self.expect_op(")")
+            return LowestAtom(attribute)
+        if self.accept_keyword("HIGHEST"):
+            self.expect_op("(")
+            attribute = self.expect_ident()
+            self.expect_op(")")
+            return HighestAtom(attribute)
+        if self.accept_keyword("SCORE"):
+            self.expect_op("(")
+            attribute = self.expect_ident()
+            self.expect_op(",")
+            function = self.expect_ident()
+            self.expect_op(")")
+            return ScoreAtom(attribute, function)
+        if self.accept_keyword("RANK"):
+            self.expect_op("(")
+            function = self.expect_ident()
+            self.expect_op(")")
+            self.expect_op("(")
+            operands = [self._pref_expr()]
+            while self.accept_op(","):
+                operands.append(self._pref_expr())
+            self.expect_op(")")
+            return RankExpr(function, tuple(operands))
+        if self.accept_keyword("EXPLICIT"):
+            self.expect_op("(")
+            attribute = self.expect_ident()
+            edges = []
+            while self.accept_op(","):
+                self.expect_op("(")
+                worse = self.expect_literal()
+                self.expect_op(",")
+                better = self.expect_literal()
+                self.expect_op(")")
+                edges.append((worse, better))
+            self.expect_op(")")
+            if not edges:
+                raise ParseError("EXPLICIT needs at least one edge", self.current)
+            return ExplicitAtom(attribute, tuple(edges))
+        # attribute-leading atoms
+        attribute = self.expect_ident()
+        if self.accept_keyword("AROUND"):
+            return AroundAtom(attribute, self.expect_literal())
+        if self.accept_keyword("BETWEEN"):
+            low = self.expect_literal()
+            self.expect_keyword("AND")
+            up = self.expect_literal()
+            return BetweenAtom(attribute, low, up)
+        negated = self.accept_keyword("NOT") is not None
+        if self.accept_keyword("IN"):
+            values = self._literal_list()
+            if negated:
+                return NegAtom(attribute, values)
+            return PosAtom(attribute, values)
+        if negated:
+            raise ParseError("expected IN after NOT", self.current)
+        if self.accept_op("="):
+            return PosAtom(attribute, (self.expect_literal(),))
+        if self.accept_op("<>"):
+            return NegAtom(attribute, (self.expect_literal(),))
+        raise ParseError("expected a preference atom", self.current)
+
+    # -- BUT ONLY ------------------------------------------------------------------
+
+    def _quality_list(self) -> tuple[QualityExpr, ...]:
+        conditions = [self._quality_condition()]
+        while self.accept_keyword("AND"):
+            conditions.append(self._quality_condition())
+        return tuple(conditions)
+
+    def _quality_condition(self) -> QualityExpr:
+        kw = self.expect_keyword("LEVEL", "DISTANCE")
+        kind = "level" if kw.value == "LEVEL" else "distance"
+        self.expect_op("(")
+        attribute = self.expect_ident()
+        self.expect_op(")")
+        op_token = self.accept_op("=", "<>", "<", "<=", ">", ">=")
+        if op_token is None:
+            raise ParseError("expected comparison operator", self.current)
+        bound = self.expect_literal()
+        return QualityExpr(kind, attribute, str(op_token.value), bound)
+
+
+def parse(text: str) -> Query:
+    """Parse one Preference SQL statement into a :class:`Query`."""
+    return _Parser(tokenize(text)).parse_query()

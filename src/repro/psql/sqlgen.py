@@ -1,0 +1,250 @@
+"""The "plug-and-go" rewriting of Preference SQL into plain SQL92.
+
+The paper credits Preference SQL's practical success to "a clever rewriting
+of Preference SQL queries into SQL92 code", making it run unchanged on DB2,
+Oracle 8i and MS SQL Server.  This module reproduces that translation: a
+BMO query becomes a double query —
+
+.. code-block:: sql
+
+    SELECT t.* FROM car t
+    WHERE <hard(t)>
+      AND NOT EXISTS (SELECT 1 FROM car u
+                      WHERE <hard(u)> AND <u strictly better than t>)
+
+where the strictly-better condition is generated recursively from the
+preference expression: POS-family atoms become CASE-level comparisons,
+AROUND/BETWEEN become distance arithmetic, Pareto and PRIOR TO become the
+Definition 8/9 boolean combinations.  The output targets our own in-memory
+engine-free dialect of SQL92 (no vendor extensions beyond CASE and ABS).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.psql import ast as A
+from repro.psql.translate import TranslationError
+
+
+def to_sql92(query: A.Query) -> str:
+    """Rewrite one Preference SQL statement into SQL92 text."""
+    select = "t.*" if query.selects_all else ", ".join(
+        f"t.{name}" for name in query.select
+    )
+    table = query.table
+    hard_t = _where_sql(query.where, "t") if query.where else None
+    hard_u = _where_sql(query.where, "u") if query.where else None
+
+    pref_exprs: list[A.PrefExpr] = []
+    if query.preferring is not None:
+        pref_exprs.append(query.preferring)
+        pref_exprs.extend(query.cascades)
+
+    lines = [f"SELECT {select}", f"FROM {table} t"]
+    conditions: list[str] = []
+    if hard_t:
+        conditions.append(hard_t)
+    if pref_exprs:
+        combined: A.PrefExpr
+        combined = (
+            pref_exprs[0] if len(pref_exprs) == 1 else A.PriorExpr(tuple(pref_exprs))
+        )
+        better = _better_sql(combined, "u", "t")
+        if query.grouping:
+            # sigma[P groupby A]: dominators must share the group key.
+            group_eq = " AND ".join(f"u.{g} = t.{g}" for g in query.grouping)
+            better = f"({group_eq}) AND ({better})"
+        inner_where = f"({hard_u}) AND ({better})" if hard_u else better
+        conditions.append(
+            "NOT EXISTS (SELECT 1 FROM "
+            f"{table} u WHERE {inner_where})"
+        )
+    if conditions:
+        lines.append("WHERE " + "\n  AND ".join(conditions))
+    return "\n".join(lines)
+
+
+# -- hard conditions ------------------------------------------------------------
+
+def _literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def _where_sql(expr: A.HardExpr | None, alias: str) -> str:
+    if expr is None:
+        return "1=1"
+    if isinstance(expr, A.Comparison):
+        return f"{alias}.{expr.attribute} {expr.op} {_literal(expr.value)}"
+    if isinstance(expr, A.InList):
+        op = "NOT IN" if expr.negated else "IN"
+        vals = ", ".join(_literal(v) for v in expr.values)
+        return f"{alias}.{expr.attribute} {op} ({vals})"
+    if isinstance(expr, A.LikePattern):
+        op = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{alias}.{expr.attribute} {op} {_literal(expr.pattern)}"
+    if isinstance(expr, A.IsNull):
+        return (
+            f"{alias}.{expr.attribute} IS "
+            f"{'NOT ' if expr.negated else ''}NULL"
+        )
+    if isinstance(expr, A.HardBetween):
+        return (
+            f"{alias}.{expr.attribute} BETWEEN "
+            f"{_literal(expr.low)} AND {_literal(expr.up)}"
+        )
+    if isinstance(expr, A.BoolOp):
+        inner = f" {expr.op} ".join(
+            f"({_where_sql(op, alias)})" for op in expr.operands
+        )
+        return inner
+    if isinstance(expr, A.NotOp):
+        return f"NOT ({_where_sql(expr.operand, alias)})"
+    raise TranslationError(f"cannot render WHERE expression {expr!r}")
+
+
+# -- better-than conditions ----------------------------------------------------------
+
+def _attributes_of(expr: A.PrefExpr) -> tuple[str, ...]:
+    """Attribute names a preference expression touches (ordered union)."""
+    if isinstance(expr, (A.PosAtom, A.NegAtom, A.AroundAtom, A.BetweenAtom,
+                         A.LowestAtom, A.HighestAtom, A.ScoreAtom,
+                         A.ExplicitAtom)):
+        return (expr.attribute,)
+    if isinstance(expr, A.ElseChain):
+        return _attributes_of(expr.first)
+    if isinstance(expr, (A.ParetoExpr, A.PriorExpr, A.RankExpr)):
+        seen: dict[str, None] = {}
+        for op in expr.operands:
+            for a in _attributes_of(op):
+                seen[a] = None
+        return tuple(seen)
+    raise TranslationError(f"cannot determine attributes of {expr!r}")
+
+
+def _eq_sql(expr: A.PrefExpr, a: str, b: str) -> str:
+    """Projection equality of two aliases on the expression's attributes."""
+    parts = [f"{a}.{attr} = {b}.{attr}" for attr in _attributes_of(expr)]
+    return " AND ".join(parts)
+
+
+def _level_case(expr: A.PrefExpr, alias: str) -> str:
+    """A CASE expression computing the layered level of ``alias``'s value."""
+    atoms: list[A.PrefExpr] = []
+    node: A.PrefExpr = expr
+    while isinstance(node, A.ElseChain):
+        atoms.append(node.first)
+        node = node.second
+    atoms.append(node)
+    attr = _attributes_of(expr)[0]
+    pos_layers = [a for a in atoms if isinstance(a, A.PosAtom)]
+    neg_layers = [a for a in atoms if isinstance(a, A.NegAtom)]
+    whens = []
+    level = 1
+    for atom in pos_layers:
+        vals = ", ".join(_literal(v) for v in atom.values)
+        whens.append(f"WHEN {alias}.{attr} IN ({vals}) THEN {level}")
+        level += 1
+    others_level = level
+    level += 1
+    for atom in neg_layers:
+        vals = ", ".join(_literal(v) for v in atom.values)
+        whens.append(f"WHEN {alias}.{attr} IN ({vals}) THEN {level}")
+        level += 1
+    return f"(CASE {' '.join(whens)} ELSE {others_level} END)"
+
+
+def _distance_sql(expr: A.BetweenAtom | A.AroundAtom, alias: str) -> str:
+    attr = f"{alias}.{expr.attribute}"
+    if isinstance(expr, A.AroundAtom):
+        return f"ABS({attr} - {_literal(expr.target)})"
+    low, up = _literal(expr.low), _literal(expr.up)
+    return (
+        f"(CASE WHEN {attr} < {low} THEN {low} - {attr} "
+        f"WHEN {attr} > {up} THEN {attr} - {up} ELSE 0 END)"
+    )
+
+
+def _score_sql(expr: A.PrefExpr, alias: str) -> str:
+    """A numeric expression whose order mirrors the preference."""
+    if isinstance(expr, A.ScoreAtom):
+        return f"{expr.function}({alias}.{expr.attribute})"
+    if isinstance(expr, (A.AroundAtom, A.BetweenAtom)):
+        return f"-{_distance_sql(expr, alias)}"
+    if isinstance(expr, A.LowestAtom):
+        return f"-{alias}.{expr.attribute}"
+    if isinstance(expr, A.HighestAtom):
+        return f"{alias}.{expr.attribute}"
+    if isinstance(expr, A.RankExpr):
+        inner = ", ".join(_score_sql(op, alias) for op in expr.operands)
+        return f"{expr.function}({inner})"
+    raise TranslationError(f"{expr!r} has no score rendering")
+
+
+def _better_sql(expr: A.PrefExpr, u: str, t: str) -> str:
+    """SQL for "``u``'s value is strictly better than ``t``'s" under ``expr``."""
+    if isinstance(expr, A.PosAtom):
+        vals = ", ".join(_literal(v) for v in expr.values)
+        attr = expr.attribute
+        return f"{u}.{attr} IN ({vals}) AND {t}.{attr} NOT IN ({vals})"
+    if isinstance(expr, A.NegAtom):
+        vals = ", ".join(_literal(v) for v in expr.values)
+        attr = expr.attribute
+        return f"{t}.{attr} IN ({vals}) AND {u}.{attr} NOT IN ({vals})"
+    if isinstance(expr, A.ElseChain):
+        return f"{_level_case(expr, u)} < {_level_case(expr, t)}"
+    if isinstance(expr, (A.AroundAtom, A.BetweenAtom)):
+        return f"{_distance_sql(expr, u)} < {_distance_sql(expr, t)}"
+    if isinstance(expr, A.LowestAtom):
+        return f"{u}.{expr.attribute} < {t}.{expr.attribute}"
+    if isinstance(expr, A.HighestAtom):
+        return f"{u}.{expr.attribute} > {t}.{expr.attribute}"
+    if isinstance(expr, (A.ScoreAtom, A.RankExpr)):
+        return f"{_score_sql(expr, u)} > {_score_sql(expr, t)}"
+    if isinstance(expr, A.ExplicitAtom):
+        return _explicit_better(expr, u, t)
+    if isinstance(expr, A.ParetoExpr):
+        # Definition 8: each component better-or-equal, some strictly better.
+        tolerable = " AND ".join(
+            f"(({_better_sql(op, u, t)}) OR ({_eq_sql(op, u, t)}))"
+            for op in expr.operands
+        )
+        strict = " OR ".join(
+            f"({_better_sql(op, u, t)})" for op in expr.operands
+        )
+        return f"({tolerable}) AND ({strict})"
+    if isinstance(expr, A.PriorExpr):
+        # Definition 9, right-folded lexicographic composition.
+        ops = list(expr.operands)
+        clause = f"({_better_sql(ops[-1], u, t)})"
+        for op in reversed(ops[:-1]):
+            clause = (
+                f"(({_better_sql(op, u, t)}) OR "
+                f"(({_eq_sql(op, u, t)}) AND {clause}))"
+            )
+        return clause
+    raise TranslationError(f"cannot render better-than for {expr!r}")
+
+
+def _explicit_better(expr: A.ExplicitAtom, u: str, t: str) -> str:
+    from repro.core.digraph import closure_pairs
+
+    attr = expr.attribute
+    pairs = sorted(closure_pairs(expr.edges), key=repr)
+    nodes = sorted({v for e in expr.edges for v in e}, key=repr)
+    edge_clauses = [
+        f"({t}.{attr} = {_literal(worse)} AND {u}.{attr} = {_literal(better)})"
+        for worse, better in pairs
+    ]
+    in_graph = ", ".join(_literal(v) for v in nodes)
+    others_clause = (
+        f"({t}.{attr} NOT IN ({in_graph}) AND {u}.{attr} IN ({in_graph}))"
+    )
+    return " OR ".join([*edge_clauses, others_clause])

@@ -1,0 +1,28 @@
+"""Preference XPath: soft selections for XML (Section 6.1, [KHF01]).
+
+Standard XPath location steps are ``axis nodetest predicate*``; Preference
+XPath upgrades them to ``axis nodetest (predicate | preference)*`` where
+hard predicates keep XPath's ``[...]`` brackets and soft selections use
+``#[ ... ]#``.  The paper's examples::
+
+    /CARS/CAR #[(@fuel_economy) highest and (@horsepower) highest]#
+    /CARS/CAR #[(@color) in ("black", "white") prior to (@price) around 10000]#
+              #[(@mileage) lowest]#
+
+``and`` is Pareto accumulation, ``prior to`` is prioritized accumulation,
+and several ``#[...]#`` qualifiers on one step cascade.  Evaluation is BMO:
+each soft selection keeps only the best-matching nodes of the step's result.
+"""
+
+from repro.pxpath.model import XNode, parse_xml
+from repro.pxpath.parser import PathParseError, parse_path
+from repro.pxpath.evaluator import PreferenceXPath, evaluate_path
+
+__all__ = [
+    "PathParseError",
+    "PreferenceXPath",
+    "XNode",
+    "evaluate_path",
+    "parse_path",
+    "parse_xml",
+]

@@ -1,0 +1,137 @@
+"""Evaluate Preference XPath against an :class:`~repro.pxpath.model.XNode`.
+
+Each location step narrows the node set (children matching the node test),
+applies hard predicates as exact-match filters, then applies each soft
+``#[...]#`` qualifier as a BMO selection over the surviving nodes.  Several
+soft qualifiers cascade — exactly how the paper's Q2 combines a prioritized
+colour/price wish with a mileage wish.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.psql.translate import translate_preferring
+from repro.pxpath.model import XNode
+from repro.pxpath.parser import (
+    AttrCondition,
+    ChildExists,
+    HardBool,
+    HardNot,
+    Path,
+    Step,
+    parse_path,
+)
+from repro.query.bmo import bmo
+
+
+def _eval_hard(condition: Any, node: XNode) -> bool:
+    if isinstance(condition, AttrCondition):
+        value = node.get(condition.attribute)
+        if value is None:
+            return False
+        if condition.op == "in":
+            return value in condition.value
+        other = condition.value
+        try:
+            return {
+                "=": value == other,
+                "<>": value != other,
+                "<": value < other,
+                "<=": value <= other,
+                ">": value > other,
+                ">=": value >= other,
+            }[condition.op]
+        except TypeError:
+            return False
+    if isinstance(condition, ChildExists):
+        return bool(node.child_elements(condition.tag))
+    if isinstance(condition, HardBool):
+        if condition.op == "and":
+            return all(_eval_hard(op, node) for op in condition.operands)
+        return any(_eval_hard(op, node) for op in condition.operands)
+    if isinstance(condition, HardNot):
+        return not _eval_hard(condition.operand, node)
+    raise TypeError(f"unknown hard condition {condition!r}")
+
+
+def _apply_step(
+    nodes: list[XNode],
+    step: Step,
+    functions: dict[str, Callable[..., Any]] | None,
+) -> list[XNode]:
+    selected: list[XNode] = []
+    for node in nodes:
+        selected.extend(node.child_elements(step.nodetest))
+    for hard in step.hards:
+        selected = [n for n in selected if _eval_hard(hard, n)]
+    for soft in step.softs:
+        if not selected:
+            break
+        pref = translate_preferring(soft, functions or {})
+        # Nodes lacking a referenced attribute cannot be ranked; the paper's
+        # attribute-rich setting assumes presence — we treat absence as a
+        # hard mismatch (the node cannot participate in the comparison).
+        have = [
+            n for n in selected
+            if all(a in n.attributes for a in pref.attributes)
+        ]
+        missing = [n for n in selected if n not in have]
+        rows = [n.row() for n in have]
+        best = bmo(pref, rows)
+        # bmo copies rows, so map survivors back by projection.
+        attrs = pref.attributes
+        best_keys = {tuple(r[a] for a in attrs) for r in best}
+        survivors = [
+            n for n in have
+            if tuple(n.attributes[a] for a in attrs) in best_keys
+        ]
+        selected = survivors + missing
+    return selected
+
+
+def evaluate_path(
+    root: XNode,
+    path: Path | str,
+    functions: dict[str, Callable[..., Any]] | None = None,
+) -> list[XNode]:
+    """All nodes the Preference XPath ``path`` selects under ``root``.
+
+    ``root`` is the document node; the first step matches its tag (so the
+    paper's ``/CARS/CAR`` selects CAR children of a CARS document element).
+    """
+    if isinstance(path, str):
+        path = parse_path(path)
+    steps = list(path.steps)
+    if not steps:
+        return []
+    first = steps[0]
+    if root.tag != first.nodetest:
+        return []
+    current = [root]
+    for hard in first.hards:
+        current = [n for n in current if _eval_hard(hard, n)]
+    # Soft qualifiers on the document element are legal but trivial.
+    for step in steps[1:]:
+        current = _apply_step(current, step, functions)
+        if not current:
+            return []
+    return current
+
+
+class PreferenceXPath:
+    """A session object mirroring :class:`~repro.psql.executor.PreferenceSQL`."""
+
+    def __init__(
+        self,
+        root: XNode,
+        functions: dict[str, Callable[..., Any]] | None = None,
+    ):
+        self.root = root
+        self.functions = dict(functions or {})
+
+    def register_function(self, name: str, fn: Callable[..., Any]) -> None:
+        self.functions[name] = fn
+
+    def query(self, path: str) -> list[XNode]:
+        return evaluate_path(self.root, path, self.functions)

@@ -1,0 +1,101 @@
+"""A small XML document model over ``xml.etree``.
+
+Preference XPath ranks nodes by their *attributes*, which arrive as strings
+in XML.  :class:`XNode` therefore types attribute values on access: integer
+strings become ints, decimal strings floats, everything else stays text —
+the "attribute-rich XML environment" of the paper without a schema
+processor.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Iterator
+
+
+def _type_value(raw: str) -> Any:
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+class XNode:
+    """One element: tag, typed attributes, children, text."""
+
+    __slots__ = ("tag", "attributes", "children", "text", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: dict[str, Any] | None = None,
+        text: str | None = None,
+    ):
+        self.tag = tag
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.children: list[XNode] = []
+        self.text = text
+        self.parent: XNode | None = None
+
+    def append(self, child: "XNode") -> "XNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        return self.attributes.get(attribute, default)
+
+    def child_elements(self, tag: str | None = None) -> list["XNode"]:
+        if tag is None:
+            return list(self.children)
+        return [c for c in self.children if c.tag == tag]
+
+    def descendants(self) -> Iterator["XNode"]:
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def row(self) -> dict[str, Any]:
+        """The node's attributes as a relational row (for BMO evaluation)."""
+        return dict(self.attributes)
+
+    def __repr__(self) -> str:
+        attrs = " ".join(f'{k}="{v}"' for k, v in self.attributes.items())
+        inner = f" {attrs}" if attrs else ""
+        return f"<{self.tag}{inner} children={len(self.children)}>"
+
+
+def _convert(element: ET.Element) -> XNode:
+    node = XNode(
+        element.tag,
+        {k: _type_value(v) for k, v in element.attrib.items()},
+        (element.text or "").strip() or None,
+    )
+    for child in element:
+        node.append(_convert(child))
+    return node
+
+
+def parse_xml(text: str) -> XNode:
+    """Parse an XML document string into an :class:`XNode` tree."""
+    return _convert(ET.fromstring(text))
+
+
+def to_xml(node: XNode, indent: int = 0) -> str:
+    """Serialize an :class:`XNode` tree back to XML text."""
+    pad = "  " * indent
+    attrs = "".join(f' {k}="{v}"' for k, v in node.attributes.items())
+    if not node.children and not node.text:
+        return f"{pad}<{node.tag}{attrs}/>"
+    lines = [f"{pad}<{node.tag}{attrs}>"]
+    if node.text:
+        lines.append(f"{pad}  {node.text}")
+    for child in node.children:
+        lines.append(to_xml(child, indent + 1))
+    lines.append(f"{pad}</{node.tag}>")
+    return "\n".join(lines)

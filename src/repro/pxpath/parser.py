@@ -1,0 +1,376 @@
+"""Parser for Preference XPath location paths.
+
+Grammar (lower-case keywords, as in the paper's examples; matching is
+case-insensitive)::
+
+    path       := ('/' step)+
+    step       := nodetest (hard | soft)*
+    hard       := '[' hard_or ']'
+    hard_or    := hard_and ('or' hard_and)*
+    hard_and   := hard_not ('and' hard_not)*
+    hard_not   := 'not' hard_not | '(' hard_or ')' | condition
+    condition  := '@' name (op literal | 'in' '(' literals ')')
+                | name                      (child-existence test)
+    soft       := '#[' soft_prior ']#'
+    soft_prior := soft_pareto ('prior' 'to' soft_pareto)*
+    soft_pareto:= soft_atom ('and' soft_atom)*
+    soft_atom  := '(' soft_prior ')'
+                | '(' '@' name ')' spec
+    spec       := 'highest' | 'lowest'
+                | 'around' literal
+                | 'between' literal 'and' literal
+                | ['not'] 'in' '(' literals ')' ['else' spec-on-same-attr]
+                | '=' literal ['else' ...] | '<>' literal
+
+Strings are double-quoted (XPath style).  The parse result reuses the
+Preference SQL AST for soft expressions, so translation to preference terms
+is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.psql import ast as A
+
+
+class PathParseError(ValueError):
+    """Syntax error in a Preference XPath expression."""
+
+    def __init__(self, message: str, position: int):
+        self.position = position
+        super().__init__(f"{message} (at offset {position})")
+
+
+# -- hard predicate AST (XPath-flavoured) ------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttrCondition:
+    attribute: str
+    op: str  # = <> < <= > >= ; "in"
+    value: Any  # literal, or tuple for "in"
+
+
+@dataclass(frozen=True)
+class ChildExists:
+    tag: str
+
+
+@dataclass(frozen=True)
+class HardBool:
+    op: str  # "and" / "or"
+    operands: tuple
+
+
+@dataclass(frozen=True)
+class HardNot:
+    operand: Any
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: node test plus hard/soft qualifiers in order."""
+
+    nodetest: str
+    hards: tuple
+    softs: tuple  # of psql PrefExpr
+
+
+@dataclass(frozen=True)
+class Path:
+    steps: tuple[Step, ...]
+
+
+# -- tokenizer -----------------------------------------------------------------------
+
+_OPS = ("#[", "]#", "(", ")", "[", "]", "/", ",", "@", "<=", ">=", "<>", "!=",
+        "=", "<", ">")
+_WORDS = {
+    "and", "or", "not", "in", "else", "prior", "to", "highest", "lowest",
+    "around", "between", "score", "explicit",
+}
+
+
+@dataclass(frozen=True)
+class _Tok:
+    kind: str  # WORD NAME NUMBER STRING OP EOF
+    value: Any
+    position: int
+
+
+def _tokenize(text: str) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise PathParseError("unterminated string", i)
+            tokens.append(_Tok("STRING", text[i + 1:j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            raw = text[i:j]
+            tokens.append(
+                _Tok("NUMBER", float(raw) if "." in raw else int(raw), i)
+            )
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_-."):
+                j += 1
+            word = text[i:j]
+            kind = "WORD" if word.lower() in _WORDS else "NAME"
+            value = word.lower() if kind == "WORD" else word
+            tokens.append(_Tok(kind, value, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPS:
+            if text.startswith(op, i):
+                tokens.append(_Tok("OP", "<>" if op == "!=" else op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise PathParseError(f"unexpected character {ch!r}", i)
+    tokens.append(_Tok("EOF", None, n))
+    return tokens
+
+
+# -- parser -----------------------------------------------------------------------------
+
+
+class _PathParser:
+    def __init__(self, tokens: list[_Tok]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> _Tok:
+        return self._tokens[self._pos]
+
+    def advance(self) -> _Tok:
+        tok = self.current
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def accept_op(self, *ops: str) -> _Tok | None:
+        if self.current.kind == "OP" and self.current.value in ops:
+            return self.advance()
+        return None
+
+    def accept_word(self, *words: str) -> _Tok | None:
+        if self.current.kind == "WORD" and self.current.value in words:
+            return self.advance()
+        return None
+
+    def expect_op(self, *ops: str) -> _Tok:
+        tok = self.accept_op(*ops)
+        if tok is None:
+            raise PathParseError(
+                f"expected {' or '.join(ops)}, got {self.current.value!r}",
+                self.current.position,
+            )
+        return tok
+
+    def expect_word(self, *words: str) -> _Tok:
+        tok = self.accept_word(*words)
+        if tok is None:
+            raise PathParseError(
+                f"expected {' or '.join(words)}, got {self.current.value!r}",
+                self.current.position,
+            )
+        return tok
+
+    def expect_name(self) -> str:
+        if self.current.kind == "NAME":
+            return str(self.advance().value)
+        raise PathParseError(
+            f"expected name, got {self.current.value!r}", self.current.position
+        )
+
+    def expect_literal(self) -> Any:
+        if self.current.kind in ("NUMBER", "STRING"):
+            return self.advance().value
+        raise PathParseError(
+            f"expected literal, got {self.current.value!r}",
+            self.current.position,
+        )
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_path(self) -> Path:
+        steps = []
+        self.expect_op("/")
+        steps.append(self._step())
+        while self.accept_op("/"):
+            steps.append(self._step())
+        if self.current.kind != "EOF":
+            raise PathParseError(
+                f"trailing input {self.current.value!r}", self.current.position
+            )
+        return Path(tuple(steps))
+
+    def _step(self) -> Step:
+        nodetest = self.expect_name()
+        hards: list = []
+        softs: list = []
+        while True:
+            if self.accept_op("["):
+                hards.append(self._hard_or())
+                self.expect_op("]")
+            elif self.accept_op("#["):
+                softs.append(self._soft_prior())
+                self.expect_op("]#")
+            else:
+                break
+        return Step(nodetest, tuple(hards), tuple(softs))
+
+    # hard predicates
+
+    def _hard_or(self):
+        operands = [self._hard_and()]
+        while self.accept_word("or"):
+            operands.append(self._hard_and())
+        return operands[0] if len(operands) == 1 else HardBool("or", tuple(operands))
+
+    def _hard_and(self):
+        operands = [self._hard_not()]
+        while self.accept_word("and"):
+            operands.append(self._hard_not())
+        return operands[0] if len(operands) == 1 else HardBool("and", tuple(operands))
+
+    def _hard_not(self):
+        if self.accept_word("not"):
+            return HardNot(self._hard_not())
+        if self.accept_op("("):
+            inner = self._hard_or()
+            self.expect_op(")")
+            return inner
+        return self._hard_condition()
+
+    def _hard_condition(self):
+        if self.accept_op("@"):
+            attribute = self.expect_name()
+            if self.accept_word("in"):
+                self.expect_op("(")
+                values = [self.expect_literal()]
+                while self.accept_op(","):
+                    values.append(self.expect_literal())
+                self.expect_op(")")
+                return AttrCondition(attribute, "in", tuple(values))
+            op_tok = self.accept_op("=", "<>", "<", "<=", ">", ">=")
+            if op_tok is None:
+                raise PathParseError(
+                    "expected comparison after attribute", self.current.position
+                )
+            return AttrCondition(attribute, str(op_tok.value), self.expect_literal())
+        return ChildExists(self.expect_name())
+
+    # soft predicates (built on the Preference SQL AST)
+
+    def _soft_prior(self) -> A.PrefExpr:
+        operands = [self._soft_pareto()]
+        while True:
+            if self.accept_word("prior"):
+                self.expect_word("to")
+                operands.append(self._soft_pareto())
+            else:
+                break
+        return operands[0] if len(operands) == 1 else A.PriorExpr(tuple(operands))
+
+    def _soft_pareto(self) -> A.PrefExpr:
+        operands = [self._soft_atom()]
+        while self.accept_word("and"):
+            operands.append(self._soft_atom())
+        return operands[0] if len(operands) == 1 else A.ParetoExpr(tuple(operands))
+
+    def _soft_atom(self) -> A.PrefExpr:
+        self.expect_op("(")
+        if self.accept_op("@"):
+            attribute = self.expect_name()
+            self.expect_op(")")
+            return self._soft_spec(attribute)
+        inner = self._soft_prior()
+        self.expect_op(")")
+        return inner
+
+    def _soft_spec(self, attribute: str) -> A.PrefExpr:
+        if self.accept_word("highest"):
+            return A.HighestAtom(attribute)
+        if self.accept_word("lowest"):
+            return A.LowestAtom(attribute)
+        if self.accept_word("around"):
+            return A.AroundAtom(attribute, self.expect_literal())
+        if self.accept_word("between"):
+            low = self.expect_literal()
+            self.expect_word("and")
+            up = self.expect_literal()
+            return A.BetweenAtom(attribute, low, up)
+        negated = self.accept_word("not") is not None
+        if self.accept_word("in"):
+            self.expect_op("(")
+            values = [self.expect_literal()]
+            while self.accept_op(","):
+                values.append(self.expect_literal())
+            self.expect_op(")")
+            atom: A.PrefExpr = (
+                A.NegAtom(attribute, tuple(values))
+                if negated
+                else A.PosAtom(attribute, tuple(values))
+            )
+            return self._maybe_else(attribute, atom)
+        if negated:
+            raise PathParseError("expected 'in' after 'not'", self.current.position)
+        if self.accept_op("="):
+            atom = A.PosAtom(attribute, (self.expect_literal(),))
+            return self._maybe_else(attribute, atom)
+        if self.accept_op("<>"):
+            return A.NegAtom(attribute, (self.expect_literal(),))
+        raise PathParseError(
+            f"expected preference spec, got {self.current.value!r}",
+            self.current.position,
+        )
+
+    def _maybe_else(self, attribute: str, first: A.PrefExpr) -> A.PrefExpr:
+        if self.accept_word("else"):
+            # The attribute reference may be repeated for readability:
+            # (@color) = "red" else (@color) = "blue".
+            if (
+                self.current.kind == "OP"
+                and self.current.value == "("
+                and self._tokens[self._pos + 1].kind == "OP"
+                and self._tokens[self._pos + 1].value == "@"
+            ):
+                self.expect_op("(")
+                self.expect_op("@")
+                repeated = self.expect_name()
+                self.expect_op(")")
+                if repeated != attribute:
+                    raise PathParseError(
+                        f"else chain mixes attributes {attribute!r} and "
+                        f"{repeated!r}",
+                        self.current.position,
+                    )
+            second = self._soft_spec(attribute)
+            return A.ElseChain(first, second)
+        return first
+
+
+def parse_path(text: str) -> Path:
+    """Parse a Preference XPath expression."""
+    return _PathParser(_tokenize(text)).parse_path()

@@ -1,0 +1,98 @@
+"""Preference query evaluation under the BMO model (Section 5).
+
+Public surface:
+
+* :func:`~repro.query.bmo.bmo` / :func:`~repro.query.bmo.bmo_groupby` —
+  the declarative query operators ``sigma[P](R)`` and
+  ``sigma[P groupby A](R)``,
+* :mod:`repro.query.algorithms` — naive / BNL / SFS / 2-d sweep / divide &
+  conquer / sort-based engines,
+* :mod:`repro.query.decomposition` — Propositions 8-12 as executable
+  evaluation strategies,
+* :mod:`repro.query.topk` — the ranked (k-best) query model with a
+  threshold algorithm,
+* :mod:`repro.query.quality` — LEVEL / DISTANCE and BUT ONLY,
+* :mod:`repro.query.optimizer` — algebraic simplification + strategy
+  choice + EXPLAIN.
+"""
+
+from repro.query.algorithms import (
+    ALGORITHMS,
+    ComparisonCounter,
+    block_nested_loop,
+    compatible_sort_key,
+    divide_and_conquer,
+    naive_nested_loop,
+    skyline_axes,
+    sort_based_maxima,
+    sort_filter_skyline,
+    two_d_sweep,
+)
+from repro.query.bmo import (
+    bmo,
+    bmo_groupby,
+    is_dream,
+    perfect_matches,
+    result_size,
+)
+from repro.query.decomposition import (
+    better_than_in,
+    eval_by_decomposition,
+    eval_intersection,
+    eval_pareto_decomposition,
+    eval_prioritized_cascade,
+    eval_prioritized_grouping,
+    eval_union,
+    nmax_projections,
+    yy_set,
+)
+from repro.query.incremental import IncrementalBMO
+from repro.query.optimizer import choose_algorithm, execute, explain, plan
+from repro.query.quality import (
+    QualityCondition,
+    but_only,
+    distance_of,
+    explain_quality,
+    level_of,
+)
+from repro.query.topk import ThresholdStats, threshold_topk, top_k
+
+__all__ = [
+    "ALGORITHMS",
+    "ComparisonCounter",
+    "IncrementalBMO",
+    "QualityCondition",
+    "ThresholdStats",
+    "better_than_in",
+    "block_nested_loop",
+    "bmo",
+    "bmo_groupby",
+    "but_only",
+    "choose_algorithm",
+    "compatible_sort_key",
+    "distance_of",
+    "divide_and_conquer",
+    "eval_by_decomposition",
+    "eval_intersection",
+    "eval_pareto_decomposition",
+    "eval_prioritized_cascade",
+    "eval_prioritized_grouping",
+    "eval_union",
+    "execute",
+    "explain",
+    "explain_quality",
+    "is_dream",
+    "level_of",
+    "naive_nested_loop",
+    "nmax_projections",
+    "perfect_matches",
+    "plan",
+    "result_size",
+    "skyline_axes",
+    "sort_based_maxima",
+    "sort_filter_skyline",
+    "threshold_topk",
+    "top_k",
+    "two_d_sweep",
+    "yy_set",
+]

@@ -1,0 +1,495 @@
+"""Maxima algorithms: the engines behind BMO queries (Sections 5-6).
+
+The paper notes the naive approach needs O(n^2) better-than tests and points
+at the skyline literature ([KLP75], [BKS01], [TEO01]) for efficient
+evaluation.  This module implements that landscape:
+
+* :func:`naive_nested_loop` — the declarative definition, verbatim,
+* :func:`block_nested_loop` — BNL with an elimination window ([BKS01]);
+  correct for *any* strict partial order,
+* :func:`sort_filter_skyline` — SFS: presort by a dominance-compatible key,
+  then a grow-only window,
+* :func:`two_d_sweep` — the O(n log n) two-dimensional special case,
+* :func:`divide_and_conquer` — maxima of vector sets after [KLP75],
+* :func:`sort_based_maxima` — one-pass evaluation for SCORE preferences.
+
+Two correctness subtleties the implementations honour:
+
+1. Pareto equality is *projection* equality, not score equality.  AROUND(0)
+   scores -5 and 5 identically, yet (-5) and (5) are unranked — so a Pareto
+   preference over AROUND children is **not** a skyline over score vectors
+   (Example 2 of the paper depends on this).  Vector algorithms therefore
+   apply only when every child is a chain whose score is injective
+   (LOWEST/HIGHEST and friends); :func:`skyline_axes` decides.
+2. All algorithms deduplicate by projection first and fan results back out
+   to tuples, because BMO keeps every tuple whose projection is maximal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.base_nonnumerical import ExplicitPreference, LayeredPreference
+from repro.core.base_numerical import ScorePreference
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    DualPreference,
+    IntersectionPreference,
+    LinearSumPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+)
+from repro.core.preference import (
+    AntiChain,
+    ChainPreference,
+    Preference,
+    Row,
+    as_row,
+    project,
+)
+
+#: Registry of row-level maxima algorithms by name (filled at module end).
+ALGORITHMS: dict[str, Callable[[Preference, list[Row]], list[Row]]] = {}
+
+
+class ComparisonCounter:
+    """Counts better-than tests — the unit of the paper's O(n^2) claim."""
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+
+    def wrap(self, pref: Preference) -> Preference:
+        counter = self
+
+        class _Counting(Preference):
+            def __init__(self) -> None:
+                super().__init__(pref.attributes, pref.domain)
+
+            @property
+            def signature(self) -> tuple:
+                return ("counting", pref.signature)
+
+            def _lt(self, x: Row, y: Row) -> bool:
+                counter.comparisons += 1
+                return pref._lt(x, y)
+
+        return _Counting()
+
+
+def _distinct_projections(
+    pref: Preference, rows: Sequence[Row]
+) -> tuple[list[Row], dict[tuple, list[int]]]:
+    """Distinct projection representatives plus projection -> row indices."""
+    attrs = pref.attributes
+    reps: list[Row] = []
+    members: dict[tuple, list[int]] = {}
+    for i, row in enumerate(rows):
+        key = tuple(row[a] for a in attrs)
+        if key not in members:
+            members[key] = []
+            reps.append(row)
+        members[key].append(i)
+    return reps, members
+
+
+def _fan_out(
+    pref: Preference,
+    rows: Sequence[Row],
+    members: dict[tuple, list[int]],
+    maximal_reps: Sequence[Row],
+) -> list[Row]:
+    """Expand maximal projections back to all carrying tuples, in row order."""
+    attrs = pref.attributes
+    max_keys = {tuple(r[a] for a in attrs) for r in maximal_reps}
+    picked = sorted(i for key in max_keys for i in members[key])
+    return [rows[i] for i in picked]
+
+
+# -- the declarative reference ----------------------------------------------------
+
+def naive_nested_loop(pref: Preference, rows: list[Row]) -> list[Row]:
+    """Definition 15 executed literally: all-pairs better-than tests, O(n^2)."""
+    reps, members = _distinct_projections(pref, rows)
+    maximal = [
+        x
+        for i, x in enumerate(reps)
+        if not any(i != j and pref._lt(x, y) for j, y in enumerate(reps))
+    ]
+    return _fan_out(pref, rows, members, maximal)
+
+
+# -- block-nested-loops -------------------------------------------------------------
+
+def block_nested_loop(pref: Preference, rows: list[Row]) -> list[Row]:
+    """BNL with an in-memory window ([BKS01], simplified to one block).
+
+    Each candidate is compared against the window; dominated candidates are
+    dropped, and window members dominated by the candidate are evicted.
+    Works for every strict partial order because only witnessed dominance
+    ever removes a value.
+    """
+    reps, members = _distinct_projections(pref, rows)
+    window: list[Row] = []
+    for cand in reps:
+        dominated = False
+        survivors: list[Row] = []
+        for w in window:
+            if pref._lt(cand, w):
+                dominated = True
+                survivors = window  # cand dies; window unchanged
+                break
+            if not pref._lt(w, cand):
+                survivors.append(w)
+        if dominated:
+            continue
+        survivors.append(cand)
+        window = survivors
+    return _fan_out(pref, rows, members, window)
+
+
+# -- sort-filter skyline ---------------------------------------------------------------
+
+class _Reversed:
+    """Order-reversing wrapper so duals of arbitrary ordered keys sort.
+
+    Implements the full comparison protocol: the divide & conquer median
+    split compares axis values with ``>=`` / ``<=``, not only ``<``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __le__(self, other: "_Reversed") -> bool:
+        return not (self.value < other.value)
+
+    def __gt__(self, other: "_Reversed") -> bool:
+        return self.value < other.value
+
+    def __ge__(self, other: "_Reversed") -> bool:
+        return not (other.value < self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("_Reversed", self.value))
+
+    def __repr__(self) -> str:
+        return f"_Reversed({self.value!r})"
+
+
+def compatible_sort_key(pref: Preference) -> Callable[[Row], Any] | None:
+    """A key with ``x <_P y  =>  key(x) < key(y)``, or None if unknown.
+
+    Such a key is a linear extension generator: sorting descending by it
+    guarantees no row is dominated by a later row, which is exactly what
+    :func:`sort_filter_skyline` needs.  Built structurally:
+
+    * SCORE family: the score itself,
+    * layered / EXPLICIT: negated level (level 1 is best),
+    * Pareto / prioritized / intersection: tuple of child keys
+      (dominance makes every component <=, some <, hence lex-smaller),
+    * dual: order-reversed child key,
+    * anti-chain: constant,
+    * linear sum: (which-world flag, child key),
+    * disjoint union: no general construction -> None.
+    """
+    if isinstance(pref, ScorePreference):
+        return lambda row: pref.score(row)
+    if isinstance(pref, LayeredPreference):
+        worst = pref.max_level() + 1
+        attr = pref.attribute
+
+        def layered_key(row: Row) -> int:
+            level = pref.level(row[attr])
+            return -(level if level is not None else worst)
+
+        return layered_key
+    if isinstance(pref, ExplicitPreference):
+        worst = pref.max_level() + 1
+        attr = pref.attribute
+
+        def explicit_key(row: Row) -> int:
+            level = pref.level(row[attr])
+            return -(level if level is not None else worst)
+
+        return explicit_key
+    if isinstance(pref, ChainPreference):
+        return lambda row: pref.key(row[pref.attribute])
+    if isinstance(pref, AntiChain):
+        return lambda row: 0
+    if isinstance(pref, DualPreference):
+        inner = compatible_sort_key(pref.base)
+        if inner is None:
+            return None
+        return lambda row: _Reversed(inner(row))
+    if isinstance(
+        pref, (ParetoPreference, PrioritizedPreference, IntersectionPreference)
+    ):
+        child_keys = [compatible_sort_key(c) for c in pref.children]
+        if any(k is None for k in child_keys):
+            return None
+        return lambda row: tuple(k(row) for k in child_keys)  # type: ignore[misc]
+    if isinstance(pref, LinearSumPreference):
+        k1 = compatible_sort_key(pref.first)
+        k2 = compatible_sort_key(pref.second)
+        if k1 is None or k2 is None:
+            return None
+        attr = pref.attribute
+        a1 = pref.first.attributes[0]
+        a2 = pref.second.attributes[0]
+
+        def ls_key(row: Row) -> tuple:
+            v = row[attr]
+            if pref.first.domain is not None and pref.first.domain.contains(v):
+                return (1, k1({a1: v}))
+            return (0, k2({a2: v}))
+
+        return ls_key
+    if isinstance(pref, DisjointUnionPreference):
+        return None
+    return None
+
+
+def sort_filter_skyline(
+    pref: Preference,
+    rows: list[Row],
+    key: Callable[[Row], Any] | None = None,
+) -> list[Row]:
+    """SFS: presort by a compatible key, then a grow-only window.
+
+    After the descending presort no later row can dominate an earlier one,
+    so accepted window members are final — each candidate needs only
+    one-directional tests against the window.
+    """
+    if key is None:
+        key = compatible_sort_key(pref)
+        if key is None:
+            raise ValueError(
+                f"no dominance-compatible sort key for {pref!r}; "
+                "use block_nested_loop instead"
+            )
+    reps, members = _distinct_projections(pref, rows)
+    ordered = sorted(reps, key=key, reverse=True)
+    window: list[Row] = []
+    for cand in ordered:
+        if not any(pref._lt(cand, w) for w in window):
+            window.append(cand)
+    return _fan_out(pref, rows, members, window)
+
+
+# -- vector skylines (Pareto of injective chains) -----------------------------------
+
+def skyline_axes(pref: Preference) -> list[Callable[[Row], Any]] | None:
+    """Per-dimension "bigger is better" axes, when Pareto = vector skyline.
+
+    Valid only when every Pareto child is a chain with an injective score on
+    its attribute (LOWEST, HIGHEST, their duals, ChainPreference): then score
+    equality coincides with projection equality and vector dominance is
+    exactly the Pareto order.  AROUND/BETWEEN/SCORE children are refused —
+    their scores identify distinct values (see module docstring).
+    """
+    if not isinstance(pref, ParetoPreference):
+        return None
+    axes: list[Callable[[Row], Any]] = []
+    for child in pref.children:
+        axis = _chain_axis(child)
+        if axis is None:
+            return None
+        axes.append(axis)
+    return axes
+
+
+def _chain_axis(child: Preference) -> Callable[[Row], Any] | None:
+    from repro.core.base_numerical import HighestPreference, LowestPreference
+
+    if isinstance(child, HighestPreference):
+        attr = child.attribute
+        return lambda row: row[attr]
+    if isinstance(child, LowestPreference):
+        attr = child.attribute
+        return lambda row: _Reversed(row[attr])
+    if isinstance(child, ChainPreference):
+        return lambda row: child.key(row[child.attribute])
+    if isinstance(child, DualPreference):
+        inner = _chain_axis(child.base)
+        if inner is None:
+            return None
+        return lambda row: _Reversed(inner(row))
+    return None
+
+
+def _vector_dominates(a: tuple, b: tuple) -> bool:
+    """All components >=, at least one strictly >."""
+    strict = False
+    for av, bv in zip(a, b):
+        if av == bv:
+            continue
+        if bv < av:
+            strict = True
+        else:
+            return False
+    return strict
+
+
+def _bnl_vectors(indexed: list[tuple[int, tuple]]) -> list[tuple[int, tuple]]:
+    window: list[tuple[int, tuple]] = []
+    for item in indexed:
+        dominated = False
+        survivors = []
+        for w in window:
+            if _vector_dominates(w[1], item[1]):
+                dominated = True
+                survivors = window
+                break
+            if not _vector_dominates(item[1], w[1]):
+                survivors.append(w)
+        if dominated:
+            continue
+        survivors.append(item)
+        window = survivors
+    return window
+
+
+def divide_and_conquer(
+    pref: Preference, rows: list[Row], leaf_size: int = 16
+) -> list[Row]:
+    """Maxima of a vector set by divide & conquer, after [KLP75]/[BKS01].
+
+    Split at the median of the first axis; the upper half's skyline stands
+    on its own (nothing below the median can dominate it), the lower half's
+    skyline is filtered against it.  Degenerate splits (all values equal on
+    the split axis) strip that axis and recurse on the rest.
+    """
+    axes = skyline_axes(pref)
+    if axes is None:
+        raise ValueError(
+            f"{pref!r} is not a Pareto preference over injective chains; "
+            "divide & conquer does not apply (see skyline_axes)"
+        )
+    reps, members = _distinct_projections(pref, rows)
+    indexed = [
+        (i, tuple(axis(row) for axis in axes)) for i, row in enumerate(reps)
+    ]
+    maximal = _dc_recurse(indexed, leaf_size)
+    return _fan_out(pref, rows, members, [reps[i] for i, _ in maximal])
+
+
+def _dc_recurse(
+    indexed: list[tuple[int, tuple]], leaf_size: int
+) -> list[tuple[int, tuple]]:
+    if len(indexed) <= leaf_size:
+        return _bnl_vectors(indexed)
+    dims = len(indexed[0][1])
+    ordered = sorted(indexed, key=lambda iv: iv[1][0], reverse=True)
+    values = [iv[1][0] for iv in ordered]
+    if values[0] == values[-1]:
+        # Degenerate on this axis: dominance is decided by the rest.
+        if dims == 1:
+            return indexed  # all equal vectors: mutually unranked, all maximal
+        stripped = [(i, v[1:]) for i, v in indexed]
+        kept = {i for i, _ in _dc_recurse(stripped, leaf_size)}
+        return [iv for iv in indexed if iv[0] in kept]
+    # Median split with the tie block on the upper side so B is non-empty
+    # and strictly below every A value on axis 0.
+    mid = len(ordered) // 2
+    pivot = values[mid]
+    upper = [iv for iv in ordered if iv[1][0] >= pivot]
+    lower = [iv for iv in ordered if iv[1][0] < pivot]
+    if not lower:  # pivot is the minimum: shift the boundary above it
+        upper = [iv for iv in ordered if iv[1][0] > pivot]
+        lower = [iv for iv in ordered if iv[1][0] == pivot]
+    sky_upper = _dc_recurse(upper, leaf_size)
+    sky_lower = _dc_recurse(lower, leaf_size)
+    merged = list(sky_upper)
+    for item in sky_lower:
+        if not any(_vector_dominates(w[1], item[1]) for w in sky_upper):
+            merged.append(item)
+    return merged
+
+
+def two_d_sweep(pref: Preference, rows: list[Row]) -> list[Row]:
+    """The classic O(n log n) two-dimensional maxima sweep ([KLP75]).
+
+    Sort descending on axis 0; within the prefix of strictly greater axis-0
+    values only the best axis-1 value can dominate, so one running maximum
+    suffices.
+    """
+    axes = skyline_axes(pref)
+    if axes is None or len(axes) != 2:
+        raise ValueError(
+            f"two_d_sweep needs a 2-dimensional Pareto of injective chains, "
+            f"got {pref!r}"
+        )
+    reps, members = _distinct_projections(pref, rows)
+    indexed = [
+        (i, (axes[0](row), axes[1](row))) for i, row in enumerate(reps)
+    ]
+    indexed.sort(key=lambda iv: (iv[1][0], iv[1][1]), reverse=True)
+
+    maximal: list[int] = []
+    best1_before: Any = None  # max axis-1 over strictly-greater axis-0 groups
+    pos = 0
+    while pos < len(indexed):
+        group_end = pos
+        v0 = indexed[pos][1][0]
+        while group_end < len(indexed) and indexed[group_end][1][0] == v0:
+            group_end += 1
+        group = indexed[pos:group_end]
+        group_best1 = group[0][1][1]  # sorted desc on axis 1 within the group
+        for i, (a0, a1) in group:
+            beats_earlier = best1_before is None or best1_before < a1
+            best_in_group = not (a1 < group_best1)
+            if beats_earlier and best_in_group:
+                maximal.append(i)
+        if best1_before is None or best1_before < group_best1:
+            best1_before = group_best1
+        pos = group_end
+    return _fan_out(pref, rows, members, [reps[i] for i in maximal])
+
+
+# -- score-based one-pass evaluation --------------------------------------------------
+
+def sort_based_maxima(pref: Preference, rows: list[Row]) -> list[Row]:
+    """One-pass maxima for SCORE preferences: keep the argmax score set.
+
+    For a SCORE preference (which includes AROUND, BETWEEN, LOWEST, HIGHEST
+    and rank(F)) the maxima are exactly the rows of maximal score.
+    """
+    from repro.core.base_numerical import score_function_of
+
+    score = score_function_of(pref)
+    if score is None:
+        raise ValueError(f"{pref!r} has no score function; use another algorithm")
+    reps, members = _distinct_projections(pref, rows)
+    if not reps:
+        return []
+    best = None
+    argmax: list[Row] = []
+    for row in reps:
+        s = score(row)
+        if best is None or best < s:
+            best, argmax = s, [row]
+        elif not (s < best):
+            argmax.append(row)
+    return _fan_out(pref, rows, members, argmax)
+
+
+ALGORITHMS.update(
+    {
+        "naive": naive_nested_loop,
+        "bnl": block_nested_loop,
+        "sfs": sort_filter_skyline,
+        "dc": divide_and_conquer,
+        "2d": two_d_sweep,
+        "sort": sort_based_maxima,
+    }
+)

@@ -1,0 +1,130 @@
+"""Incremental BMO maintenance over a growing database set.
+
+Example 9 shows BMO results evolving non-monotonically as tuples arrive:
+adding ``shark`` *widens* the answer, adding ``turtle`` *shrinks* it to one.
+:class:`IncrementalBMO` maintains ``sigma[P](R)`` under insertions in
+amortized window-size time per tuple (the online form of BNL's invariant:
+the window always holds exactly the current maxima).
+
+Deletions are fundamentally harder — a removed maximum may resurrect any
+number of tuples it was dominating — so ``remove`` keeps the full history
+and recomputes lazily, which is the honest cost model for strict partial
+orders (no dominance counting shortcut is sound for arbitrary orders).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.core.preference import Preference, Row, as_row, project
+from repro.query.algorithms import block_nested_loop
+
+
+class IncrementalBMO:
+    """Maintains the BMO result of a preference over a stream of rows.
+
+    >>> live = IncrementalBMO(pref)
+    >>> live.insert({"fuel_economy": 100, "insurance": 3})
+    >>> live.result()        # current best matches, insertion-ordered
+    """
+
+    def __init__(self, pref: Preference):
+        self.pref = pref
+        self._history: list[Row] = []
+        # The window maps maximal projections to the carrying rows, so
+        # projection-equal tuples share one dominance test.
+        self._window: dict[tuple, list[Row]] = {}
+        self._inserted = 0
+        self._evicted = 0
+        self._rejected = 0
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, value: Any) -> bool:
+        """Add one tuple; returns True iff it enters the current result."""
+        row = as_row(value, self.pref.attributes)
+        self._history.append(dict(row))
+        self._inserted += 1
+        key = project(row, self.pref.attributes)
+
+        if key in self._window:
+            self._window[key].append(dict(row))
+            return True
+
+        reps = {k: rows[0] for k, rows in self._window.items()}
+        for k, rep in reps.items():
+            if self.pref._lt(row, rep):
+                self._rejected += 1
+                return False
+        evict = [
+            k for k, rep in reps.items() if self.pref._lt(rep, row)
+        ]
+        for k in evict:
+            self._evicted += len(self._window.pop(k))
+        self._window[key] = [dict(row)]
+        return True
+
+    def insert_many(self, values: Iterable[Any]) -> int:
+        """Insert a batch; returns how many entered the result on arrival."""
+        return sum(1 for v in values if self.insert(v))
+
+    def remove(self, value: Any) -> bool:
+        """Remove one matching historical tuple and rebuild the maxima.
+
+        Returns True iff a tuple was removed.  Cost is a full recompute —
+        see the module docstring for why that is the honest contract.
+        """
+        row = as_row(value, self.pref.attributes)
+        target = dict(row)
+        for i, old in enumerate(self._history):
+            if old == target:
+                del self._history[i]
+                break
+        else:
+            return False
+        self._rebuild()
+        return True
+
+    def _rebuild(self) -> None:
+        self._window.clear()
+        maxima = block_nested_loop(self.pref, self._history)
+        for row in maxima:
+            key = project(row, self.pref.attributes)
+            self._window.setdefault(key, []).append(dict(row))
+
+    # -- inspection ----------------------------------------------------------------
+
+    def result(self) -> list[Row]:
+        """The current BMO result (all tuples of maximal projections)."""
+        out: list[Row] = []
+        for rows in self._window.values():
+            out.extend(dict(r) for r in rows)
+        return out
+
+    def result_size(self) -> int:
+        """Distinct maximal projections (Definition 18's size)."""
+        return len(self._window)
+
+    def seen(self) -> int:
+        return len(self._history)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._window.values())
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.result())
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Arrival statistics: inserted / rejected on arrival / evicted."""
+        return {
+            "inserted": self._inserted,
+            "rejected": self._rejected,
+            "evicted": self._evicted,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalBMO({self.pref!r}, seen={len(self._history)}, "
+            f"maxima={len(self)})"
+        )

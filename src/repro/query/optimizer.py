@@ -1,0 +1,148 @@
+"""A heuristic preference query optimizer (the Section 7 roadmap item).
+
+Given a preference term and a database set, the optimizer
+
+1. simplifies the term with the algebra's rewrite rules (so e.g.
+   ``P & P``, ``P (x) P^d`` or dual-of-dual never reach execution),
+2. picks an evaluation strategy:
+
+   * SCORE-representable terms -> one-pass :func:`sort_based_maxima`,
+   * prioritized terms with chain heads -> a Proposition-11 cascade,
+   * Pareto over injective chains -> vector skylines (2-d sweep for two
+     dimensions, divide & conquer otherwise),
+   * terms with a dominance-compatible sort key -> SFS,
+   * everything else -> BNL (always correct),
+
+3. places hard selections below the preference operator and quality
+   filters (BUT ONLY) above it, and top-k on top for ranked queries.
+
+``explain()`` on the resulting plan shows the chosen algorithms and every
+algebra law that fired.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.algebra.rewriter import rewrite_trace, simplify
+from repro.core.base_numerical import score_function_of
+from repro.core.constructors import PrioritizedPreference
+from repro.core.preference import Preference, Row
+from repro.query.algorithms import compatible_sort_key, skyline_axes
+from repro.query.plan import (
+    ButOnly,
+    Cascade,
+    GroupedPreferenceSelect,
+    HardSelect,
+    Limit,
+    OrderBy,
+    Plan,
+    PlanNode,
+    PreferenceSelect,
+    Project,
+    Scan,
+    TopK,
+)
+from repro.query.quality import QualityCondition
+from repro.relations.relation import Relation
+
+
+def choose_algorithm(pref: Preference) -> str:
+    """Pick the cheapest known-correct algorithm for a preference term."""
+    if score_function_of(pref) is not None:
+        return "sort"
+    axes = skyline_axes(pref)
+    if axes is not None:
+        return "2d" if len(axes) == 2 else "dc"
+    if compatible_sort_key(pref) is not None:
+        return "sfs"
+    return "bnl"
+
+
+def _cascade_stages(
+    pref: Preference,
+) -> tuple[tuple[Preference, str], ...] | None:
+    """Split ``P1 & ... & Pn`` into Proposition-11 cascade stages.
+
+    Every stage except the last must be a (statically known) chain; the
+    remaining suffix becomes one final stage.  Returns None when the head
+    is not a chain (no cascade advantage).
+    """
+    if not isinstance(pref, PrioritizedPreference):
+        return None
+    children = list(pref.children)
+    stages: list[tuple[Preference, str]] = []
+    while len(children) > 1 and children[0].is_chain() is True:
+        head = children.pop(0)
+        stages.append((head, choose_algorithm(head)))
+    if not stages:
+        return None
+    rest: Preference
+    rest = children[0] if len(children) == 1 else PrioritizedPreference(tuple(children))
+    stages.append((rest, choose_algorithm(rest)))
+    return tuple(stages)
+
+
+def plan(
+    pref: Preference,
+    relation: Relation,
+    hard: Callable[[Row], bool] | None = None,
+    hard_label: str = "<predicate>",
+    groupby: Sequence[str] | None = None,
+    top_k: int | None = None,
+    but_only: Sequence[QualityCondition] | None = None,
+    select: Sequence[str] | None = None,
+    order_by: Sequence[tuple[str, bool]] | None = None,
+    limit: int | None = None,
+    use_rewriter: bool = True,
+) -> Plan:
+    """Build an execution plan for ``sigma[P](sigma_hard(R))`` and friends."""
+    rewrites: tuple[tuple[str, str, str], ...] = ()
+    if use_rewriter:
+        rewrites = tuple(rewrite_trace(pref))
+        pref = simplify(pref)
+
+    node: PlanNode = Scan(relation)
+    if hard is not None:
+        node = HardSelect(node, hard, label=hard_label)
+
+    if top_k is not None:
+        node = TopK(node, pref, top_k)
+    elif groupby:
+        node = GroupedPreferenceSelect(
+            node, pref, tuple(groupby), algorithm=choose_algorithm(pref)
+        )
+    else:
+        stages = _cascade_stages(pref)
+        if stages is not None:
+            node = Cascade(node, stages)
+        else:
+            node = PreferenceSelect(node, pref, algorithm=choose_algorithm(pref))
+
+    if but_only:
+        node = ButOnly(node, pref, tuple(but_only))
+    if order_by:
+        node = OrderBy(node, tuple(order_by))
+    if select:
+        node = Project(node, tuple(select))
+    if limit is not None:
+        node = Limit(node, limit)
+    return Plan(node, rewrites)
+
+
+def execute(
+    pref: Preference,
+    relation: Relation,
+    **kwargs: Any,
+) -> Relation:
+    """Plan and run in one step — the convenience entry point."""
+    return plan(pref, relation, **kwargs).execute()
+
+
+def explain(
+    pref: Preference,
+    relation: Relation,
+    **kwargs: Any,
+) -> str:
+    """The plan text (operators, algorithms, fired laws) without running it."""
+    return plan(pref, relation, **kwargs).explain()

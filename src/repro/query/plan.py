@@ -1,0 +1,250 @@
+"""Query plans for preference queries.
+
+Plans are small operator trees over the relational substrate; the optimizer
+(:mod:`repro.query.optimizer`) builds them, ``execute()`` runs them, and
+``explain()`` prints them — including which algebraic rewrite rules fired,
+so users can see the paper's laws at work on their own queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.preference import Preference, Row
+from repro.query.algorithms import ALGORITHMS
+from repro.query.bmo import bmo, bmo_groupby
+from repro.query.quality import QualityCondition, but_only
+from repro.query.topk import top_k
+from repro.relations.relation import Relation
+
+
+class PlanNode:
+    """Base class for plan operators."""
+
+    def execute(self) -> Relation:
+        raise NotImplementedError
+
+    def lines(self, indent: int = 0) -> list[str]:
+        raise NotImplementedError
+
+    def explain(self) -> str:
+        return "\n".join(self.lines())
+
+
+@dataclass
+class Scan(PlanNode):
+    """Leaf: read a base relation."""
+
+    relation: Relation
+
+    def execute(self) -> Relation:
+        return self.relation
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [
+            f"{pad}Scan[{self.relation.name}] "
+            f"({len(self.relation)} rows)"
+        ]
+
+
+@dataclass
+class HardSelect(PlanNode):
+    """Exact-match selection — the hard constraints of the WHERE clause.
+
+    Applied *before* the preference operator ("push preference" in reverse:
+    hard constraints shrink the input the soft constraints must rank).
+    """
+
+    child: PlanNode
+    predicate: Callable[[Row], bool]
+    label: str = "<predicate>"
+
+    def execute(self) -> Relation:
+        return self.child.execute().select(self.predicate)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [f"{pad}HardSelect[{self.label}]", *self.child.lines(indent + 1)]
+
+
+@dataclass
+class PreferenceSelect(PlanNode):
+    """The BMO operator ``sigma[P](...)`` with a chosen algorithm."""
+
+    child: PlanNode
+    pref: Preference
+    algorithm: str = "bnl"
+
+    def execute(self) -> Relation:
+        return bmo(self.pref, self.child.execute(), algorithm=self.algorithm)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [
+            f"{pad}PreferenceSelect[{self.pref!r}] algorithm={self.algorithm}",
+            *self.child.lines(indent + 1),
+        ]
+
+
+@dataclass
+class GroupedPreferenceSelect(PlanNode):
+    """``sigma[P groupby A](...)`` (Definition 16)."""
+
+    child: PlanNode
+    pref: Preference
+    by: tuple[str, ...]
+    algorithm: str = "bnl"
+
+    def execute(self) -> Relation:
+        return bmo_groupby(
+            self.pref, self.by, self.child.execute(), algorithm=self.algorithm
+        )
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [
+            f"{pad}GroupedPreferenceSelect[{self.pref!r} groupby "
+            f"{list(self.by)}] algorithm={self.algorithm}",
+            *self.child.lines(indent + 1),
+        ]
+
+
+@dataclass
+class Cascade(PlanNode):
+    """A cascade of preference selections (Proposition 11).
+
+    ``sigma[Pn](... sigma[P1](R))`` — valid because every stage but the
+    last is a chain, so its survivors agree on the stage's attributes.
+    """
+
+    child: PlanNode
+    stages: tuple[tuple[Preference, str], ...]  # (preference, algorithm)
+
+    def execute(self) -> Relation:
+        current = self.child.execute()
+        for pref, algorithm in self.stages:
+            current = bmo(pref, current, algorithm=algorithm)
+        return current
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        out = [f"{pad}Cascade[{len(self.stages)} stages]  (Proposition 11)"]
+        for i, (pref, algorithm) in enumerate(self.stages, start=1):
+            out.append(f"{pad}  stage {i}: {pref!r} algorithm={algorithm}")
+        out.extend(self.child.lines(indent + 1))
+        return out
+
+
+@dataclass
+class TopK(PlanNode):
+    """k-best retrieval for SCORE / rank(F) preferences (Section 6.2)."""
+
+    child: PlanNode
+    pref: Preference
+    k: int
+    ties: str = "strict"
+
+    def execute(self) -> Relation:
+        return top_k(self.pref, self.child.execute(), self.k, ties=self.ties)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [
+            f"{pad}TopK[k={self.k}, {self.pref!r}]",
+            *self.child.lines(indent + 1),
+        ]
+
+
+@dataclass
+class ButOnly(PlanNode):
+    """Quality supervision of a BMO result (the BUT ONLY clause)."""
+
+    child: PlanNode
+    pref: Preference
+    conditions: tuple[QualityCondition, ...]
+
+    def execute(self) -> Relation:
+        return but_only(self.pref, self.child.execute(), self.conditions)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        conds = " AND ".join(str(c) for c in self.conditions)
+        return [f"{pad}ButOnly[{conds}]", *self.child.lines(indent + 1)]
+
+
+@dataclass
+class OrderBy(PlanNode):
+    """Presentation ordering (the ORDER BY clause).
+
+    Orthogonal to preference semantics: BMO decides *which* tuples survive,
+    ORDER BY only arranges them for display.
+    """
+
+    child: PlanNode
+    keys: tuple[tuple[str, bool], ...]  # (attribute, descending)
+
+    def execute(self) -> Relation:
+        out = self.child.execute()
+        # Stable sorts compose right-to-left: apply minor keys first.
+        for attribute, descending in reversed(self.keys):
+            out = out.order_by([attribute], descending=descending)
+        return out
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        keys = ", ".join(
+            f"{a} {'DESC' if d else 'ASC'}" for a, d in self.keys
+        )
+        return [f"{pad}OrderBy[{keys}]", *self.child.lines(indent + 1)]
+
+
+@dataclass
+class Project(PlanNode):
+    """Column projection (the SELECT list)."""
+
+    child: PlanNode
+    attributes: tuple[str, ...]
+
+    def execute(self) -> Relation:
+        return self.child.execute().project(self.attributes)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [
+            f"{pad}Project[{', '.join(self.attributes)}]",
+            *self.child.lines(indent + 1),
+        ]
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    k: int
+
+    def execute(self) -> Relation:
+        return self.child.execute().limit(self.k)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [f"{pad}Limit[{self.k}]", *self.child.lines(indent + 1)]
+
+
+@dataclass
+class Plan:
+    """A rooted plan plus optimizer provenance."""
+
+    root: PlanNode
+    rewrites: tuple[tuple[str, str, str], ...] = ()
+
+    def execute(self) -> Relation:
+        return self.root.execute()
+
+    def explain(self) -> str:
+        out = [self.root.explain()]
+        if self.rewrites:
+            out.append("rewrites applied:")
+            for rule, before, after in self.rewrites:
+                out.append(f"  {rule}: {before}  ->  {after}")
+        return "\n".join(out)

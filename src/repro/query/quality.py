@@ -1,0 +1,161 @@
+"""Quality functions LEVEL and DISTANCE, and the BUT ONLY clause (§6.1).
+
+Preference SQL exposes two quality measures over query results:
+
+* ``LEVEL(attr)`` — the discrete level (Definition 2) a tuple reaches in
+  the base preference touching ``attr`` (POS family, EXPLICIT),
+* ``DISTANCE(attr)`` — the continuous distance for numerical base
+  preferences (AROUND, BETWEEN).
+
+The ``BUT ONLY`` clause then *supervises required quality*: the BMO result
+is additionally filtered by quality conditions, possibly down to empty —
+best matches are returned only if they are also good enough.  The same
+machinery powers query explanation ("your best match is 3 days off the
+requested start date").
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.base_nonnumerical import ExplicitPreference, LayeredPreference
+from repro.core.base_numerical import BetweenPreference
+from repro.core.preference import Preference, Row
+from repro.query.bmo import _repack, _unpack
+from repro.relations.relation import Relation
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "<>": operator.ne,
+}
+
+
+def _coerce_bound(measured: Any, bound: Any) -> Any:
+    """Unit-coerce numeric bounds against measured distances.
+
+    Date-typed AROUND/BETWEEN preferences measure distances as timedeltas
+    (the paper's trips example writes ``DISTANCE(start_date) <= 2``, meaning
+    two days); a bare number bound is interpreted in days then.
+    """
+    import datetime
+
+    if isinstance(measured, datetime.timedelta) and isinstance(bound, (int, float)):
+        return datetime.timedelta(days=bound)
+    return bound
+
+
+def base_preferences_by_attribute(pref: Preference) -> dict[str, list[Preference]]:
+    """All base (leaf) sub-preferences, keyed by single attribute name.
+
+    Quality functions are attribute-addressed in Preference SQL
+    (``DISTANCE(start_date) <= 2``); this walk finds which base preference
+    the name refers to.  Multi-attribute leaves (e.g. SCORE over two
+    columns) are skipped — they have no single-attribute address.
+    """
+    found: dict[str, list[Preference]] = {}
+    stack: list[Preference] = [pref]
+    while stack:
+        node = stack.pop()
+        if node.children:
+            stack.extend(node.children)
+            continue
+        if len(node.attributes) == 1:
+            found.setdefault(node.attributes[0], []).append(node)
+    return found
+
+
+def level_of(pref: Preference, attribute: str, row: Row) -> int | None:
+    """``LEVEL(attribute)`` of a tuple: its level in the base preference on
+    that attribute, or None when no level-bearing base preference exists."""
+    for base in base_preferences_by_attribute(pref).get(attribute, ()):
+        if isinstance(base, (LayeredPreference, ExplicitPreference)):
+            return base.level(row[attribute])
+    return None
+
+
+def distance_of(pref: Preference, attribute: str, row: Row) -> Any | None:
+    """``DISTANCE(attribute)`` of a tuple: its distance under the AROUND /
+    BETWEEN base preference on that attribute, or None."""
+    for base in base_preferences_by_attribute(pref).get(attribute, ()):
+        if isinstance(base, BetweenPreference):
+            return base.distance(row[attribute])
+    return None
+
+
+@dataclass(frozen=True)
+class QualityCondition:
+    """One BUT ONLY condition: ``KIND(attribute) op bound``."""
+
+    kind: str  # "level" or "distance"
+    attribute: str
+    op: str
+    bound: Any
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("level", "distance"):
+            raise ValueError(f"unknown quality kind {self.kind!r}")
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r}; known: {sorted(_OPS)}")
+
+    def matches(self, pref: Preference, row: Row) -> bool:
+        if self.kind == "level":
+            measured = level_of(pref, self.attribute, row)
+        else:
+            measured = distance_of(pref, self.attribute, row)
+        if measured is None:
+            raise ValueError(
+                f"no {self.kind}-bearing base preference on attribute "
+                f"{self.attribute!r} in {pref!r}"
+            )
+        return _OPS[self.op](measured, _coerce_bound(measured, self.bound))
+
+    def describe(self, pref: Preference, row: Row) -> str:
+        """Explanation text: measured quality vs. required bound."""
+        fn = level_of if self.kind == "level" else distance_of
+        measured = fn(pref, self.attribute, row)
+        verdict = "ok" if self.matches(pref, row) else "rejected"
+        return (
+            f"{self.kind.upper()}({self.attribute}) = {measured!r} "
+            f"(required {self.op} {self.bound!r}): {verdict}"
+        )
+
+    def __str__(self) -> str:
+        return f"{self.kind.upper()}({self.attribute}) {self.op} {self.bound!r}"
+
+
+def but_only(
+    pref: Preference,
+    data: Relation | Sequence[Row],
+    conditions: Sequence[QualityCondition],
+) -> Any:
+    """Filter (BMO) results by quality conditions — the BUT ONLY clause.
+
+    Apply to the *result* of a preference query: BMO first relaxes wishes to
+    the best available, BUT ONLY then rejects best matches that relaxed too
+    far.  An empty answer is possible again — by explicit user request.
+    """
+    rows, template = _unpack(data)
+    kept = [
+        r for r in rows if all(c.matches(pref, r) for c in conditions)
+    ]
+    return _repack(kept, template)
+
+
+def explain_quality(
+    pref: Preference,
+    data: Relation | Sequence[Row],
+    conditions: Sequence[QualityCondition],
+) -> list[str]:
+    """Per-tuple explanation lines for each quality condition."""
+    rows, _ = _unpack(data)
+    lines = []
+    for i, row in enumerate(rows):
+        for cond in conditions:
+            lines.append(f"tuple {i}: {cond.describe(pref, row)}")
+    return lines

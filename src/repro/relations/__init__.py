@@ -1,0 +1,51 @@
+"""An in-memory relational substrate: the "database sets" of Section 5.
+
+The paper evaluates preference queries against *database sets* — views or
+base relations under the closed-world assumption.  This package provides a
+small, pandas-like but dependency-free implementation: immutable
+:class:`~repro.relations.relation.Relation` objects with schemas, the
+relational-algebra operators preference queries need (selection, projection,
+grouping, joins, sorting), and a :class:`~repro.relations.catalog.Catalog`
+so the Preference SQL front end can resolve table names.
+"""
+
+from repro.relations.schema import Attribute, Schema, SchemaError
+from repro.relations.relation import Relation, RelationError
+from repro.relations.catalog import Catalog
+from repro.relations.operators import (
+    aggregate,
+    cross_join,
+    difference,
+    distinct,
+    equi_join,
+    group_by,
+    intersect,
+    natural_join,
+    order_by,
+    project,
+    rename,
+    select,
+    union_all,
+)
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "Relation",
+    "RelationError",
+    "Schema",
+    "SchemaError",
+    "aggregate",
+    "cross_join",
+    "difference",
+    "distinct",
+    "equi_join",
+    "group_by",
+    "intersect",
+    "natural_join",
+    "order_by",
+    "project",
+    "rename",
+    "select",
+    "union_all",
+]

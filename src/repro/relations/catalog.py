@@ -1,0 +1,62 @@
+"""A named-relation catalog — the "database" the query front ends talk to.
+
+Preference SQL resolves ``FROM`` clauses and Preference XPath resolves
+document roots against a catalog.  Catalogs are deliberately simple: a
+mutable mapping with registration-time schema sanity, case-insensitive
+lookup (SQL style) and defensive copies on every read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.relations.relation import Relation, RelationError
+
+
+class Catalog:
+    """A case-insensitive registry of relations."""
+
+    def __init__(self, relations: dict[str, Relation] | None = None):
+        self._relations: dict[str, Relation] = {}
+        if relations:
+            for name, rel in relations.items():
+                self.register(rel.with_name(name))
+
+    def register(self, relation: Relation, replace: bool = False) -> None:
+        key = relation.name.lower()
+        if key in self._relations and not replace:
+            raise RelationError(
+                f"relation {relation.name!r} already registered "
+                f"(pass replace=True to overwrite)"
+            )
+        self._relations[key] = relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._relations[name.lower()]
+        except KeyError:
+            known = sorted(self._relations)
+            raise RelationError(
+                f"unknown relation {name!r}; catalog has {known}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        try:
+            del self._relations[name.lower()]
+        except KeyError:
+            raise RelationError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def __repr__(self) -> str:
+        return f"Catalog({self.names()})"

@@ -1,0 +1,140 @@
+"""Functional relational-algebra operators.
+
+Thin wrappers over :class:`~repro.relations.relation.Relation` methods, plus
+grouping-with-aggregation which has no method form.  The functional style
+composes well in optimizer plans and reads close to the paper's algebraic
+notation (``project(select(R, cond), A)`` for ``pi_A(sigma_cond(R))``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.relations.relation import Relation, RelationError, Row
+
+
+def select(relation: Relation, predicate: Callable[[Row], bool]) -> Relation:
+    """Hard selection ``sigma_cond(R)``."""
+    return relation.select(predicate)
+
+
+def project(
+    relation: Relation, attributes: Sequence[str], dedupe: bool = False
+) -> Relation:
+    """Projection ``pi_A(R)``; with ``dedupe`` this is the paper's ``R[A]``."""
+    return relation.project(attributes, dedupe=dedupe)
+
+
+def distinct(relation: Relation) -> Relation:
+    return relation.distinct()
+
+
+def rename(relation: Relation, mapping: dict[str, str]) -> Relation:
+    return relation.rename(mapping)
+
+
+def order_by(
+    relation: Relation,
+    key: Sequence[str] | Callable[[Row], Any],
+    descending: bool = False,
+) -> Relation:
+    return relation.order_by(key, descending=descending)
+
+
+def union_all(left: Relation, right: Relation) -> Relation:
+    return left.union_all(right)
+
+
+def intersect(left: Relation, right: Relation) -> Relation:
+    return left.intersect(right)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    return left.difference(right)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    return left.natural_join(right)
+
+
+def cross_join(left: Relation, right: Relation) -> Relation:
+    """Cartesian product (a natural join without shared attributes)."""
+    shared = [n for n in left.schema.names if n in right.schema]
+    if shared:
+        raise RelationError(
+            f"cross join requires disjoint schemas; shared: {shared}"
+        )
+    return left.natural_join(right)
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+) -> Relation:
+    """Equi-join on explicit attribute pairs ``(left_attr, right_attr)``.
+
+    Right-side join attributes are dropped from the result (they duplicate
+    the left side); remaining name clashes must be resolved by renaming
+    beforehand.
+    """
+    for l_attr, r_attr in on:
+        if l_attr not in left.schema:
+            raise RelationError(f"unknown left attribute {l_attr!r}")
+        if r_attr not in right.schema:
+            raise RelationError(f"unknown right attribute {r_attr!r}")
+    r_join_attrs = {r_attr for _, r_attr in on}
+    clash = [
+        n for n in right.schema.names
+        if n in left.schema and n not in r_join_attrs
+    ]
+    if clash:
+        raise RelationError(
+            f"name clash on non-join attributes {clash}; rename first"
+        )
+    index: dict[tuple, list[Row]] = {}
+    for row in right:
+        index.setdefault(tuple(row[r] for _, r in on), []).append(row)
+    keep_right = [n for n in right.schema.names if n not in r_join_attrs]
+    out_rows = []
+    for lrow in left:
+        for rrow in index.get(tuple(lrow[l] for l, _ in on), ()):
+            merged = dict(lrow)
+            for n in keep_right:
+                merged[n] = rrow[n]
+            out_rows.append(merged)
+    from repro.relations.schema import Schema
+
+    schema = Schema(
+        [*left.schema.attributes, *(right.schema[n] for n in keep_right)]
+    )
+    return Relation(f"{left.name}_join_{right.name}", schema, out_rows, validate=False)
+
+
+def group_by(relation: Relation, attributes: Sequence[str]) -> dict[tuple, Relation]:
+    """Partition by equal group-key values (Definition 16's grouping)."""
+    return relation.group_by(attributes)
+
+
+def aggregate(
+    relation: Relation,
+    group_attrs: Sequence[str],
+    aggregations: Mapping[str, tuple[str, Callable[[list[Any]], Any]]],
+) -> Relation:
+    """Group and fold: ``aggregations[out_name] = (in_attr, fold)``.
+
+    Example::
+
+        aggregate(cars, ["make"], {"avg_price": ("price", mean)})
+    """
+    from repro.relations.schema import Schema
+
+    groups = relation.group_by(group_attrs)
+    out_rows = []
+    for key, group in groups.items():
+        row = dict(zip(group_attrs, key))
+        for out_name, (in_attr, fold) in aggregations.items():
+            row[out_name] = fold(group.column(in_attr))
+        out_rows.append(row)
+    schema = Schema([*group_attrs, *aggregations])
+    return Relation(f"{relation.name}_agg", schema, out_rows, validate=False)

@@ -1,0 +1,201 @@
+"""Relation schemas: ordered, typed attribute lists.
+
+The paper writes ``A = {A1: data_type1, ..., Ak: data_typek}`` and often
+omits the data types; schemas here behave the same way — types are optional
+annotations used for validation and for deciding which base preference
+constructors apply (numerical constructors need ordered types).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Iterable, Iterator, Sequence
+
+
+class SchemaError(ValueError):
+    """A schema mismatch: unknown attribute, duplicate name, bad arity."""
+
+
+#: Types the numerical base preferences accept (ordered, with subtraction).
+NUMERIC_TYPES: tuple[type, ...] = (
+    int,
+    float,
+    datetime.date,
+    datetime.datetime,
+    datetime.timedelta,
+)
+
+
+class Attribute:
+    """A named, optionally typed column."""
+
+    __slots__ = ("name", "data_type")
+
+    def __init__(self, name: str, data_type: type | None = None):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"invalid attribute name: {name!r}")
+        self.name = name
+        self.data_type = data_type
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether numerical base preferences (AROUND, ...) apply."""
+        if self.data_type is None:
+            return False
+        return issubclass(self.data_type, NUMERIC_TYPES) and self.data_type is not bool
+
+    def validate(self, value: Any) -> None:
+        if value is None or self.data_type is None:
+            return
+        if isinstance(value, self.data_type):
+            return
+        # ints are acceptable where floats are declared, mirroring SQL.
+        if self.data_type is float and isinstance(value, int):
+            return
+        raise SchemaError(
+            f"attribute {self.name!r} expects {self.data_type.__name__}, "
+            f"got {type(value).__name__}: {value!r}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self.name == other.name and self.data_type == other.data_type
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.data_type))
+
+    def __repr__(self) -> str:
+        if self.data_type is None:
+            return f"Attribute({self.name!r})"
+        return f"Attribute({self.name!r}, {self.data_type.__name__})"
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes."""
+
+    def __init__(self, attributes: Iterable[Attribute | str | tuple[str, type]]):
+        cooked: list[Attribute] = []
+        seen: set[str] = set()
+        for spec in attributes:
+            if isinstance(spec, Attribute):
+                attr = spec
+            elif isinstance(spec, str):
+                attr = Attribute(spec)
+            else:
+                name, data_type = spec
+                attr = Attribute(name, data_type)
+            if attr.name in seen:
+                raise SchemaError(f"duplicate attribute name: {attr.name!r}")
+            seen.add(attr.name)
+            cooked.append(attr)
+        if not cooked:
+            raise SchemaError("a schema needs at least one attribute")
+        self._attributes = tuple(cooked)
+        self._by_name = {a.name: a for a in cooked}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def validate_row(self, row: dict[str, Any]) -> None:
+        """Check that ``row`` has exactly this schema's attributes."""
+        extra = set(row) - set(self._by_name)
+        if extra:
+            raise SchemaError(f"row has unknown attribute(s) {sorted(extra)}")
+        for attr in self._attributes:
+            if attr.name not in row:
+                raise SchemaError(f"row lacks attribute {attr.name!r}")
+            attr.validate(row[attr.name])
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Sub-schema for the given attribute names (order as requested)."""
+        return Schema([self[n] for n in names])
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        renamed = []
+        for attr in self._attributes:
+            new_name = mapping.get(attr.name, attr.name)
+            renamed.append(Attribute(new_name, attr.data_type))
+        return Schema(renamed)
+
+    def join(self, other: "Schema") -> "Schema":
+        """Union schema for natural joins: shared names must agree on type."""
+        merged: list[Attribute] = list(self._attributes)
+        for attr in other:
+            if attr.name in self._by_name:
+                mine = self._by_name[attr.name]
+                if (
+                    mine.data_type is not None
+                    and attr.data_type is not None
+                    and mine.data_type != attr.data_type
+                ):
+                    raise SchemaError(
+                        f"type conflict on shared attribute {attr.name!r}: "
+                        f"{mine.data_type.__name__} vs {attr.data_type.__name__}"
+                    )
+            else:
+                merged.append(attr)
+        return Schema(merged)
+
+    @classmethod
+    def infer(cls, rows: Sequence[dict[str, Any]]) -> "Schema":
+        """Infer a schema from sample rows (first-seen attribute order).
+
+        A type is recorded when all non-null values of a column share it;
+        int generalizes to float when both appear.
+        """
+        if not rows:
+            raise SchemaError("cannot infer a schema from zero rows")
+        order: dict[str, None] = {}
+        for row in rows:
+            for name in row:
+                order[name] = None
+        attributes = []
+        for name in order:
+            types = {type(row[name]) for row in rows
+                     if name in row and row[name] is not None}
+            if types == {int, float}:
+                data_type: type | None = float
+            elif len(types) == 1:
+                data_type = types.pop()
+            else:
+                data_type = None
+            attributes.append(Attribute(name, data_type))
+        return cls(attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            a.name if a.data_type is None else f"{a.name}: {a.data_type.__name__}"
+            for a in self._attributes
+        )
+        return f"Schema({inner})"

@@ -1,0 +1,13 @@
+"""Rendering better-than graphs (Definition 2's "good visual representation").
+
+:class:`~repro.core.graph.BetterThanGraph` owns the structure; this package
+renders it:
+
+* :func:`render_levels` — the level-per-line layout of the paper's figures,
+* :func:`render_edges` — covering edges as indented ``worse -> better`` text,
+* :func:`to_dot` / :func:`write_dot` — GraphViz export.
+"""
+
+from repro.viz.render import render_edges, render_levels, to_dot, write_dot
+
+__all__ = ["render_edges", "render_levels", "to_dot", "write_dot"]

@@ -1,0 +1,54 @@
+"""Text and DOT renderings of better-than graphs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.graph import BetterThanGraph
+
+
+def render_levels(graph: BetterThanGraph) -> str:
+    """One line per level, best first — the layout of the paper's figures.
+
+    ::
+
+        Level 1:  white  red
+        Level 2:  yellow
+        Level 3:  green
+        Level 4:  brown  black
+    """
+    return graph.render()
+
+
+def render_edges(graph: BetterThanGraph) -> str:
+    """Covering ('Hasse') edges as ``better <- worse`` lines, grouped by
+    the better value::
+
+        white <- yellow
+        yellow <- green
+        ...
+    """
+    lines = []
+    by_better: dict = {}
+    for worse, better in graph.hasse_edges():
+        by_better.setdefault(better, []).append(worse)
+    for better in sorted(by_better, key=lambda n: (graph.level(n), str(n))):
+        worse_list = ", ".join(
+            sorted(graph.label(w) for w in by_better[better])
+        )
+        lines.append(f"{graph.label(better)} <- {worse_list}")
+    if not lines:
+        return "(no ranked pairs — anti-chain)"
+    return "\n".join(lines)
+
+
+def to_dot(graph: BetterThanGraph) -> str:
+    """GraphViz DOT text (better values on top, ``rankdir=BT``)."""
+    return graph.to_dot()
+
+
+def write_dot(graph: BetterThanGraph, path: str | Path) -> Path:
+    """Write the DOT rendering to ``path`` and return it."""
+    target = Path(path)
+    target.write_text(graph.to_dot(), encoding="utf-8")
+    return target

@@ -1,0 +1,194 @@
+"""Shared fixtures and hypothesis strategies.
+
+The randomized strategies build *arbitrary preference terms* over a small
+shared universe (attributes ``a``, ``b``, ``c`` with integer values 0..4),
+so property tests can assert model-wide invariants: every generated term
+must be a strict partial order (Proposition 1), algorithms must agree with
+the naive evaluator, rewrites must preserve equivalence, and the
+decomposition theorems must match direct evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.core.base_nonnumerical import (
+    ExplicitPreference,
+    NegPreference,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.core.constructors import (
+    DualPreference,
+    IntersectionPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+)
+from repro.core.preference import AntiChain
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: The shared probe universe.
+ATTRIBUTES = ("a", "b", "c")
+VALUES = (0, 1, 2, 3, 4)
+
+
+def all_rows() -> list[dict]:
+    """The full cartesian probe domain over ATTRIBUTES x VALUES (125 rows)."""
+    return [
+        dict(zip(ATTRIBUTES, combo))
+        for combo in itertools.product(VALUES, repeat=len(ATTRIBUTES))
+    ]
+
+
+@pytest.fixture(scope="session")
+def probe_rows() -> list[dict]:
+    return all_rows()
+
+
+# -- strategies --------------------------------------------------------------------
+
+attribute_st = st.sampled_from(ATTRIBUTES)
+value_st = st.sampled_from(VALUES)
+value_set_st = st.sets(value_st, min_size=1, max_size=3)
+
+
+@st.composite
+def pos_st(draw):
+    return PosPreference(draw(attribute_st), draw(value_set_st))
+
+
+@st.composite
+def neg_st(draw):
+    return NegPreference(draw(attribute_st), draw(value_set_st))
+
+
+@st.composite
+def posneg_st(draw):
+    attribute = draw(attribute_st)
+    pos = draw(value_set_st)
+    neg = draw(st.sets(st.sampled_from(sorted(set(VALUES) - pos)), min_size=1, max_size=2))
+    return PosNegPreference(attribute, pos, neg)
+
+
+@st.composite
+def pospos_st(draw):
+    attribute = draw(attribute_st)
+    pos1 = draw(value_set_st)
+    rest = sorted(set(VALUES) - pos1)
+    pos2 = draw(st.sets(st.sampled_from(rest), min_size=1, max_size=2))
+    return PosPosPreference(attribute, pos1, pos2)
+
+
+@st.composite
+def explicit_st(draw):
+    attribute = draw(attribute_st)
+    # Edges (worse, better) with worse > better keep the graph acyclic.
+    pairs = [(w, b) for w in VALUES for b in VALUES if b < w]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), min_size=1, max_size=4, unique=True)
+    )
+    return ExplicitPreference(attribute, edges)
+
+
+@st.composite
+def around_st(draw):
+    return AroundPreference(draw(attribute_st), draw(value_st))
+
+
+@st.composite
+def between_st(draw):
+    low = draw(value_st)
+    up = draw(st.sampled_from([v for v in VALUES if v >= low]))
+    return BetweenPreference(draw(attribute_st), low, up)
+
+
+@st.composite
+def chain_st(draw):
+    ctor = draw(st.sampled_from((LowestPreference, HighestPreference)))
+    return ctor(draw(attribute_st))
+
+
+@st.composite
+def antichain_st(draw):
+    return AntiChain(draw(attribute_st))
+
+
+base_preference_st = st.one_of(
+    pos_st(), neg_st(), posneg_st(), pospos_st(), explicit_st(),
+    around_st(), between_st(), chain_st(), antichain_st(),
+)
+
+
+def preference_st(max_depth: int = 3):
+    """Arbitrary preference terms, compounds included."""
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda p: DualPreference(p), children),
+            st.builds(
+                lambda p1, p2: ParetoPreference((p1, p2)), children, children
+            ),
+            st.builds(
+                lambda p1, p2: PrioritizedPreference((p1, p2)),
+                children,
+                children,
+            ),
+            # Intersection requires identical attribute sets: derive the
+            # second operand from the first on the same attribute.
+            st.builds(
+                lambda p1, p2: IntersectionPreference(
+                    (p1, _retarget(p2, p1.attributes[0]))
+                )
+                if len(p1.attributes) == 1
+                else ParetoPreference((p1, p1.dual())),
+                base_preference_st,
+                base_preference_st,
+            ),
+        )
+
+    return st.recursive(base_preference_st, extend, max_leaves=max_depth)
+
+
+def _retarget(pref, attribute: str):
+    """Rebuild a single-attribute base preference on another attribute."""
+    from repro.engineering.serialization import (
+        preference_from_dict,
+        preference_to_dict,
+    )
+
+    data = preference_to_dict(pref)
+    if "attribute" in data:
+        data["attribute"] = attribute
+    if "attributes" in data:
+        data["attributes"] = [attribute]
+    return preference_from_dict(data)
+
+
+rows_st = st.lists(
+    st.fixed_dictionaries({a: value_st for a in ATTRIBUTES}),
+    min_size=0,
+    max_size=25,
+)
+
+nonempty_rows_st = st.lists(
+    st.fixed_dictionaries({a: value_st for a in ATTRIBUTES}),
+    min_size=1,
+    max_size=25,
+)

@@ -1,0 +1,252 @@
+"""Tests for the complex constructors (Definitions 8-12) and dual."""
+
+import pytest
+
+from repro.core.base_nonnumerical import NegPreference, PosPreference
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    DualPreference,
+    IntersectionPreference,
+    LinearSumPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+    RankPreference,
+    dual,
+    intersection,
+    linear_sum,
+    pareto,
+    prioritized,
+    rank,
+    union,
+)
+from repro.core.domains import FiniteDomain
+from repro.core.preference import AntiChain
+from repro.core.validate import check_strict_partial_order
+
+
+class TestPareto:
+    def test_definition_8(self):
+        p = pareto(HighestPreference("x"), HighestPreference("y"))
+        assert p.lt({"x": 1, "y": 1}, {"x": 2, "y": 1})  # equal is tolerable
+        assert p.lt({"x": 1, "y": 1}, {"x": 2, "y": 2})
+        assert not p.lt({"x": 1, "y": 2}, {"x": 2, "y": 1})  # trade-off
+
+    def test_projection_equality_not_score_equality(self):
+        # AROUND(0): -5 and 5 score equally but are different values, so a
+        # component holding -5 vs 5 blocks dominance (Example 2's subtlety).
+        p = pareto(AroundPreference("x", 0), HighestPreference("y"))
+        assert not p.lt({"x": -5, "y": 1}, {"x": 5, "y": 2})
+        assert p.lt({"x": 5, "y": 1}, {"x": 5, "y": 2})
+
+    def test_shared_attributes(self):
+        # Example 3: both preferences speak about the same column.
+        p5 = PosPreference("color", {"green", "yellow"})
+        p6 = NegPreference("color", {"red", "green", "blue", "purple"})
+        p = pareto(p5, p6)
+        assert p.lt("red", "yellow")
+        assert not p.lt("red", "green")    # p6 objects
+        assert not p.lt("blue", "black")   # p5 does not agree
+
+    def test_nary_equals_nested(self, probe_rows):
+        flat = pareto(
+            HighestPreference("a"), LowestPreference("b"), HighestPreference("c")
+        )
+        nested = pareto(
+            pareto(HighestPreference("a"), LowestPreference("b")),
+            HighestPreference("c"),
+        )
+        for x in probe_rows[::7]:
+            for y in probe_rows[::5]:
+                assert flat.lt(x, y) == nested.lt(x, y)
+
+    def test_needs_two_children(self):
+        with pytest.raises(ValueError):
+            ParetoPreference((HighestPreference("x"),))
+
+    def test_is_spo(self, probe_rows):
+        p = pareto(AroundPreference("a", 2), LowestPreference("b"))
+        check_strict_partial_order(p, probe_rows[::3])
+
+
+class TestPrioritized:
+    def test_definition_9(self):
+        p = prioritized(HighestPreference("x"), HighestPreference("y"))
+        assert p.lt({"x": 1, "y": 9}, {"x": 2, "y": 0})  # x decides
+        assert p.lt({"x": 1, "y": 0}, {"x": 1, "y": 1})  # tie: y decides
+        assert not p.lt({"x": 1, "y": 9}, {"x": 1, "y": 0})
+
+    def test_no_compromise_on_unranked_head(self):
+        # If the more important preference leaves the pair unranked, the
+        # less important one is NOT consulted (P1 does mind).
+        head = PosPreference("x", {1})
+        p = prioritized(head, HighestPreference("y"))
+        assert not p.lt({"x": 5, "y": 0}, {"x": 7, "y": 9})
+
+    def test_chain_propagation(self):
+        assert prioritized(
+            LowestPreference("x"), HighestPreference("y")
+        ).is_chain() is True
+        assert prioritized(
+            PosPreference("x", {1}), HighestPreference("y")
+        ).is_chain() is None
+
+    def test_is_spo(self, probe_rows):
+        p = prioritized(PosPreference("a", {1}), AroundPreference("b", 3))
+        check_strict_partial_order(p, probe_rows[::3])
+
+
+class TestRank:
+    def test_definition_10(self):
+        f1 = ScorePreference("x", lambda v: float(v), name="id")
+        f2 = ScorePreference("y", lambda v: 2.0 * v, name="double")
+        p = rank(lambda a, b: a + b, f1, f2, name="sum")
+        assert p.score({"x": 1, "y": 2}) == 5.0
+        assert p.lt({"x": 1, "y": 1}, {"x": 0, "y": 2})
+
+    def test_substitutability(self):
+        # AROUND/LOWEST/HIGHEST are SCORE sub-constructors: accepted.
+        p = rank(
+            lambda a, b: a + b,
+            AroundPreference("x", 0),
+            HighestPreference("y"),
+            name="sum",
+        )
+        assert p.score({"x": 0, "y": 3}) == 3
+
+    def test_rejects_non_score_children(self):
+        with pytest.raises(TypeError):
+            rank(lambda a: a, PosPreference("c", {"red"}))
+
+    def test_rank_nests(self):
+        inner = rank(lambda a: a * 2, HighestPreference("x"), name="dbl")
+        outer = rank(lambda a, b: a + b, inner, HighestPreference("y"), name="sum")
+        assert outer.score({"x": 1, "y": 3}) == 5
+
+    def test_not_a_chain_when_f_collapses(self):
+        p = rank(lambda a, b: a + b, HighestPreference("x"), HighestPreference("y"))
+        assert p.unranked({"x": 0, "y": 1}, {"x": 1, "y": 0})
+
+
+class TestIntersection:
+    def test_definition_11a(self):
+        p = intersection(LowestPreference("x"), AroundPreference("x", 0))
+        assert p.lt(5, 1)            # lower and closer to 0
+        assert not p.lt(-1, 0)       # lower says no (0 > -1)
+
+    def test_requires_same_attributes(self):
+        with pytest.raises(ValueError):
+            intersection(LowestPreference("x"), LowestPreference("y"))
+
+
+class TestDisjointUnion:
+    def test_definition_11b(self):
+        # Two explicit orders touching disjoint value ranges.
+        from repro.core.base_nonnumerical import ExplicitPreference
+
+        p1 = ExplicitPreference("x", [(1, 2)], rank_others=False)
+        p2 = ExplicitPreference("x", [(3, 4)], rank_others=False)
+        p = union(p1, p2)
+        assert p.lt(1, 2) and p.lt(3, 4)
+        assert not p.lt(1, 4)
+
+    def test_requires_same_attributes(self):
+        with pytest.raises(ValueError):
+            union(LowestPreference("x"), LowestPreference("y"))
+
+    def test_disjointness_validation(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+
+        p1 = ExplicitPreference("x", [(1, 2)], rank_others=False)
+        p2 = ExplicitPreference("x", [(2, 3)], rank_others=False)
+        with pytest.raises(ValueError):
+            union(p1, p2).validate_disjointness([1, 2, 3, 4])
+
+    def test_disjointness_validation_passes(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+
+        p1 = ExplicitPreference("x", [(1, 2)], rank_others=False)
+        p2 = ExplicitPreference("x", [(3, 4)], rank_others=False)
+        union(p1, p2).validate_disjointness([1, 2, 3, 4])
+
+
+class TestLinearSum:
+    def make(self) -> LinearSumPreference:
+        upper = AntiChain("brand_a", FiniteDomain(["a1", "a2"]))
+        lower = AntiChain("brand_b", FiniteDomain(["b1", "b2"]))
+        return linear_sum(upper, lower, attribute="brand")
+
+    def test_definition_12(self):
+        p = self.make()
+        assert p.lt("b1", "a1")       # lower world < upper world
+        assert not p.lt("a1", "b1")
+        assert not p.lt("a1", "a2")   # anti-chain within the upper world
+
+    def test_requires_domains(self):
+        with pytest.raises(ValueError):
+            linear_sum(AntiChain("x"), AntiChain("y", FiniteDomain([1])))
+
+    def test_requires_single_attributes(self):
+        with pytest.raises(ValueError):
+            linear_sum(
+                AntiChain(("x", "y"), FiniteDomain([1])),
+                AntiChain("z", FiniteDomain([2])),
+            )
+
+    def test_pos_characterization(self):
+        # Section 3.3.2: POS = POS-set<-> (+) other-values<->.
+        from repro.core.domains import FiniteDomain
+
+        pos_set = {"red", "blue"}
+        others = {"green", "black"}
+        sum_pref = linear_sum(
+            AntiChain("color", FiniteDomain(pos_set)),
+            AntiChain("color", FiniteDomain(others)),
+            attribute="color",
+        )
+        pos = PosPreference("color", pos_set)
+        universe = sorted(pos_set | others)
+        for x in universe:
+            for y in universe:
+                assert sum_pref.lt(x, y) == pos.lt(x, y), (x, y)
+
+    def test_is_spo(self):
+        check_strict_partial_order(self.make(), ["a1", "a2", "b1", "b2"])
+
+
+class TestDual:
+    def test_definition_3c(self):
+        p = dual(HighestPreference("x"))
+        assert p.lt(2, 1)
+
+    def test_involution_semantics(self):
+        p = HighestPreference("x")
+        dd = dual(dual(p))
+        assert dd.lt(1, 2) == p.lt(1, 2)
+
+    def test_chain_preserved(self):
+        assert dual(LowestPreference("x")).is_chain() is True
+
+
+class TestOperatorSugar:
+    def test_and_is_prioritized(self):
+        p = PosPreference("a", {1}) & PosPreference("b", {2})
+        assert isinstance(p, PrioritizedPreference)
+
+    def test_mul_is_pareto(self):
+        p = PosPreference("a", {1}) * PosPreference("b", {2})
+        assert isinstance(p, ParetoPreference)
+
+    def test_add_is_union(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+
+        p = (
+            ExplicitPreference("x", [(1, 2)], rank_others=False)
+            + ExplicitPreference("x", [(3, 4)], rank_others=False)
+        )
+        assert isinstance(p, DisjointUnionPreference)

@@ -1,0 +1,115 @@
+"""Description rendering tests: every constructor gets a faithful sentence."""
+
+from hypothesis import given
+
+from tests.conftest import preference_st
+
+from repro.core.base_nonnumerical import (
+    ExplicitPreference,
+    LayeredPreference,
+    NegPreference,
+    OTHERS,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import dual, intersection, pareto, prioritized, rank
+from repro.core.describe import describe
+from repro.core.preference import AntiChain, ChainPreference
+
+
+class TestBaseDescriptions:
+    def test_pos(self):
+        text = describe(PosPreference("color", {"red", "blue"}))
+        assert "color should be one of {blue, red}" in text
+
+    def test_neg(self):
+        assert "should not be any of {gray}" in describe(
+            NegPreference("color", {"gray"})
+        )
+
+    def test_posneg_and_pospos(self):
+        assert "anything except {gray}" in describe(
+            PosNegPreference("color", {"red"}, {"gray"})
+        )
+        assert "or failing that one of {roadster}" in describe(
+            PosPosPreference("cat", {"cabriolet"}, {"roadster"})
+        )
+
+    def test_layered(self):
+        text = describe(LayeredPreference("c", [{1}, OTHERS, {9}]))
+        assert "{1} > anything else > {9}" in text
+
+    def test_explicit(self):
+        text = describe(ExplicitPreference("c", [("b", "a")]))
+        assert "a over b" in text and "unlisted last" in text
+
+    def test_numeric(self):
+        assert "as close to 40000" in describe(AroundPreference("price", 40000))
+        assert "between 1 and 5" in describe(BetweenPreference("x", 1, 5))
+        assert "as low as possible" in describe(LowestPreference("price"))
+        assert "as high as possible" in describe(HighestPreference("hp"))
+
+    def test_score_and_chain(self):
+        assert "highest relevance score" in describe(
+            ScorePreference("doc", lambda v: v, name="relevance")
+        )
+        assert "totally ordered" in describe(ChainPreference("day"))
+
+    def test_antichain(self):
+        assert "no opinion about make" in describe(AntiChain("make"))
+
+
+class TestCompoundDescriptions:
+    def test_pareto(self):
+        text = describe(
+            pareto(LowestPreference("price"), LowestPreference("mileage"))
+        )
+        assert text.startswith("all of these, equally important:")
+        assert "price as low as possible" in text
+
+    def test_prioritized(self):
+        text = describe(
+            prioritized(PosPreference("color", {"red"}), LowestPreference("price"))
+        )
+        assert "strictly decreasing importance" in text
+
+    def test_dual(self):
+        text = describe(dual(PosPreference("color", {"red"})))
+        assert text.startswith("the opposite of:")
+
+    def test_rank(self):
+        text = describe(
+            rank(lambda a: a, HighestPreference("hp"), name="power")
+        )
+        assert "combined score power" in text
+
+    def test_intersection(self):
+        text = describe(
+            intersection(LowestPreference("x"), AroundPreference("x", 1))
+        )
+        assert "where all of these agree" in text
+
+    def test_nesting_indents(self):
+        text = describe(
+            prioritized(
+                pareto(LowestPreference("a"), LowestPreference("b")),
+                LowestPreference("c"),
+            )
+        )
+        lines = text.splitlines()
+        assert lines[1].startswith("  all of these")
+        assert lines[2].startswith("    a as low")
+
+
+@given(preference_st(max_depth=4))
+def test_every_term_describes_without_error(pref):
+    text = describe(pref)
+    assert isinstance(text, str) and text

@@ -1,0 +1,157 @@
+"""DAG toolkit tests, cross-checked against networkx as an oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.digraph import (
+    CycleError,
+    Digraph,
+    all_pairs,
+    closure_pairs,
+    induced_subgraph,
+    levels_from_mapping,
+    path_exists,
+)
+
+
+def diamond() -> Digraph:
+    return Digraph([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestBasics:
+    def test_nodes_and_edges(self):
+        g = diamond()
+        assert set(g.nodes) == {"a", "b", "c", "d"}
+        assert ("a", "b") in g.edges
+        assert g.has_edge("a", "c") and not g.has_edge("c", "a")
+
+    def test_degrees_sources_sinks(self):
+        g = diamond()
+        assert g.out_degree("a") == 2 and g.in_degree("a") == 0
+        assert g.sources() == ("a",)
+        assert g.sinks() == ("d",)
+
+    def test_add_node_idempotent(self):
+        g = Digraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert len(g) == 1
+
+
+class TestCycles:
+    def test_acyclic(self):
+        assert diamond().is_acyclic()
+
+    def test_self_loop(self):
+        g = Digraph([("a", "a")])
+        cycle = g.find_cycle()
+        assert cycle == ["a", "a"]
+
+    def test_long_cycle_reported(self):
+        g = Digraph([("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert len(cycle) == 4
+
+    def test_ensure_acyclic_raises(self):
+        g = Digraph([("a", "b"), ("b", "a")])
+        with pytest.raises(CycleError):
+            g.ensure_acyclic()
+
+    def test_topological_order_on_cycle_raises(self):
+        g = Digraph([("a", "b"), ("b", "a")])
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        for tail, head in g.edges:
+            assert order.index(tail) < order.index(head)
+
+
+edges_st = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(lambda e: e[0] < e[1]),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+
+
+class TestClosureAndReduction:
+    def test_diamond_closure(self):
+        closed = diamond().transitive_closure()
+        assert closed.has_edge("a", "d")
+
+    @given(edges_st)
+    def test_closure_matches_networkx(self, edges):
+        ours = Digraph(edges).transitive_closure()
+        theirs = nx.transitive_closure(nx.DiGraph(edges))
+        assert set(ours.edges) == set(theirs.edges())
+
+    @given(edges_st)
+    def test_reduction_matches_networkx(self, edges):
+        ours = Digraph(edges).transitive_reduction()
+        theirs = nx.transitive_reduction(nx.DiGraph(edges))
+        assert set(ours.edges) == set(theirs.edges())
+
+    @given(edges_st)
+    def test_reduction_closure_roundtrip(self, edges):
+        g = Digraph(edges)
+        again = g.transitive_reduction().transitive_closure()
+        assert set(again.edges) == set(g.transitive_closure().edges)
+
+
+class TestLevels:
+    def test_longest_path_levels(self):
+        # a -> b -> d, a -> c -> d: a is 3 levels from the sink d.
+        levels = diamond().longest_path_levels()
+        assert levels == {"d": 1, "b": 2, "c": 2, "a": 3}
+
+    @given(edges_st)
+    def test_levels_match_networkx_longest_path(self, edges):
+        g = Digraph(edges)
+        levels = g.longest_path_levels()
+        ng = nx.DiGraph(edges)
+        for node in ng.nodes:
+            longest = max(
+                (
+                    len(path) - 1
+                    for sink in (n for n in ng.nodes if ng.out_degree(n) == 0)
+                    for path in nx.all_simple_paths(ng, node, sink)
+                ),
+                default=0,
+            )
+            assert levels[node] == longest + 1
+
+
+class TestHelpers:
+    def test_closure_pairs(self):
+        pairs = closure_pairs([("a", "b"), ("b", "c")])
+        assert pairs == frozenset({("a", "b"), ("b", "c"), ("a", "c")})
+
+    def test_levels_grouping(self):
+        grouped = levels_from_mapping({"x": 2, "y": 1, "z": 2})
+        assert grouped == {1: ["y"], 2: ["x", "z"]}
+
+    def test_induced_subgraph(self):
+        sub = induced_subgraph(diamond(), ["a", "b", "d"])
+        assert set(sub.edges) == {("a", "b"), ("b", "d")}
+
+    def test_path_exists(self):
+        g = diamond()
+        assert path_exists(g, "a", "d")
+        assert not path_exists(g, "d", "a")
+        assert not path_exists(g, "a", "missing")
+
+    def test_all_pairs(self):
+        assert set(all_pairs([1, 2])) == {(1, 2), (2, 1)}
+
+    def test_reverse(self):
+        rev = diamond().reverse()
+        assert rev.has_edge("b", "a")
+        assert rev.sources() == ("d",)

@@ -1,0 +1,102 @@
+"""Unit tests for attribute domains (dom(A), Section 2)."""
+
+import pytest
+
+from repro.core.domains import (
+    FiniteDomain,
+    IntervalDomain,
+    NumericDomain,
+    ProductDomain,
+    domain_of,
+)
+
+
+class TestFiniteDomain:
+    def test_membership(self):
+        dom = FiniteDomain(["red", "green", "blue"])
+        assert "red" in dom
+        assert "purple" not in dom
+
+    def test_preserves_first_seen_order_and_dedupes(self):
+        dom = FiniteDomain(["b", "a", "b", "c", "a"])
+        assert dom.values() == ("b", "a", "c")
+        assert len(dom) == 3
+
+    def test_equality_is_set_based(self):
+        assert FiniteDomain([1, 2]) == FiniteDomain([2, 1])
+        assert FiniteDomain([1, 2]) != FiniteDomain([1, 2, 3])
+
+    def test_hashable(self):
+        assert len({FiniteDomain([1]), FiniteDomain([1])}) == 1
+
+    def test_union_and_disjointness(self):
+        d1, d2 = FiniteDomain([1, 2]), FiniteDomain([3])
+        assert d1.is_disjoint_from(d2)
+        assert set(d1.union(d2)) == {1, 2, 3}
+        assert not d1.is_disjoint_from(FiniteDomain([2]))
+
+    def test_is_finite_flag(self):
+        assert FiniteDomain([1]).is_finite
+        assert not FiniteDomain([1]).is_numeric
+
+
+class TestNumericDomain:
+    def test_accepts_numbers_and_dates(self):
+        import datetime
+
+        dom = NumericDomain()
+        assert 3 in dom
+        assert 3.5 in dom
+        assert datetime.date(2001, 11, 23) in dom
+
+    def test_rejects_strings(self):
+        assert "abc" not in NumericDomain()
+
+    def test_not_enumerable(self):
+        with pytest.raises(TypeError):
+            list(NumericDomain())
+
+
+class TestIntervalDomain:
+    def test_bounds_inclusive(self):
+        dom = IntervalDomain(1, 5)
+        assert 1 in dom and 5 in dom and 3 in dom
+        assert 0 not in dom and 6 not in dom
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalDomain(5, 1)
+
+    def test_non_comparable_value(self):
+        assert "x" not in IntervalDomain(1, 5)
+
+
+class TestProductDomain:
+    def test_membership_is_row_based(self):
+        dom = ProductDomain({"a": FiniteDomain([1, 2]), "b": FiniteDomain(["x"])})
+        assert {"a": 1, "b": "x"} in dom
+        assert {"a": 3, "b": "x"} not in dom
+        assert {"a": 1} not in dom
+        assert (1, "x") not in dom  # rows only
+
+    def test_enumeration(self):
+        dom = ProductDomain({"a": FiniteDomain([1, 2]), "b": FiniteDomain([7, 8])})
+        rows = list(dom)
+        assert len(rows) == 4
+        assert {"a": 2, "b": 7} in rows
+
+    def test_infinite_component_not_enumerable(self):
+        dom = ProductDomain({"a": NumericDomain()})
+        assert not dom.is_finite
+        with pytest.raises(TypeError):
+            list(dom)
+
+    def test_empty_products_rejected(self):
+        with pytest.raises(ValueError):
+            ProductDomain({})
+
+
+def test_domain_of_builds_finite_domain():
+    dom = domain_of([3, 1, 3, 2])
+    assert isinstance(dom, FiniteDomain)
+    assert set(dom) == {1, 2, 3}

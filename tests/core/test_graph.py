@@ -1,0 +1,113 @@
+"""Tests for better-than graphs (Definition 2)."""
+
+import pytest
+
+from repro.core.base_nonnumerical import ExplicitPreference, PosPreference
+from repro.core.base_numerical import HighestPreference, LowestPreference
+from repro.core.constructors import pareto, prioritized
+from repro.core.graph import BetterThanGraph
+from repro.core.preference import AntiChain
+
+
+def example1_graph() -> BetterThanGraph:
+    pref = ExplicitPreference(
+        "color", [("green", "yellow"), ("green", "red"), ("yellow", "white")]
+    )
+    return BetterThanGraph(
+        pref, ["white", "red", "yellow", "green", "brown", "black"]
+    )
+
+
+class TestStructure:
+    def test_maxima_and_minima(self):
+        g = example1_graph()
+        assert sorted(g.maxima()) == ["red", "white"]
+        assert sorted(g.minima()) == ["black", "brown"]
+
+    def test_levels(self):
+        g = example1_graph()
+        assert g.level("white") == 1
+        assert g.level("yellow") == 2
+        assert g.level("green") == 3
+        assert g.level("black") == 4
+        assert g.height() == 4
+
+    def test_level_groups_sorted(self):
+        groups = example1_graph().level_groups()
+        assert list(groups) == [1, 2, 3, 4]
+        assert sorted(groups[1]) == ["red", "white"]
+
+    def test_hasse_edges_are_covers_only(self):
+        g = example1_graph()
+        # green < white holds transitively but is not a covering edge.
+        assert ("green", "white") in g.edges()
+        assert ("green", "white") not in g.hasse_edges()
+        assert ("green", "yellow") in g.hasse_edges()
+
+    def test_unranked_pairs(self):
+        g = example1_graph()
+        assert ("red", "white") in g.unranked_pairs() or (
+            "white", "red"
+        ) in g.unranked_pairs()
+
+    def test_dedupes_projections(self):
+        g = BetterThanGraph(HighestPreference("x"), [{"x": 1}, {"x": 1}, {"x": 2}])
+        assert len(g.nodes) == 2
+
+
+class TestChains:
+    def test_chain_order(self):
+        g = BetterThanGraph(LowestPreference("x"), [3, 1, 2])
+        assert g.is_chain()
+        assert g.chain_order() == [1, 2, 3]
+
+    def test_chain_order_rejects_partial(self):
+        g = BetterThanGraph(PosPreference("x", {1}), [1, 2, 3])
+        assert not g.is_chain()
+        with pytest.raises(ValueError):
+            g.chain_order()
+
+    def test_antichain_detection(self):
+        g = BetterThanGraph(AntiChain("x"), [1, 2, 3])
+        assert g.is_antichain()
+
+
+class TestNodeAttributes:
+    def test_example4_projection_equal_tuples(self):
+        # val5 = (-6, 0, 6) and val6 = (-6, 0, 4) coincide on (a, b) but the
+        # paper's figure draws both nodes.
+        pref = prioritized(HighestPreference("a"), LowestPreference("b"))
+        rows = [
+            {"a": -6, "b": 0, "c": 6},
+            {"a": -6, "b": 0, "c": 4},
+        ]
+        g = BetterThanGraph(pref, rows, node_attributes=("a", "b", "c"))
+        assert len(g.nodes) == 2
+        assert g.level((-6, 0, 6)) == g.level((-6, 0, 4))
+
+    def test_node_attributes_must_cover_preference(self):
+        with pytest.raises(ValueError):
+            BetterThanGraph(
+                HighestPreference("a"), [{"a": 1, "b": 2}], node_attributes=("b",)
+            )
+
+
+class TestRendering:
+    def test_render_levels(self):
+        text = example1_graph().render()
+        assert "Level 1:" in text and "white" in text
+        assert text.splitlines()[3].startswith("Level 4:")
+
+    def test_labels(self):
+        pref = pareto(HighestPreference("a"), HighestPreference("b"))
+        rows = [{"a": 1, "b": 2}, {"a": 2, "b": 1}]
+        g = BetterThanGraph(
+            pref, rows, labels={(1, 2): "v1", (2, 1): "v2"}
+        )
+        assert "v1" in g.render()
+
+    def test_to_dot(self):
+        dot = example1_graph().to_dot()
+        assert dot.startswith("digraph")
+        assert '"green" -> "yellow"' in dot
+        assert "rankdir=BT" in dot

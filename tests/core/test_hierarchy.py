@@ -1,0 +1,139 @@
+"""The Section 3.4 constructor hierarchy as executable facts.
+
+Every sub-constructor witness must produce a term *equivalent* to the
+original (Definition 13) on an exhaustive probe.
+"""
+
+import pytest
+
+from repro.algebra.equivalence import canonical_probe, equivalent_on
+from repro.core.base_nonnumerical import (
+    NegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.core.constructors import (
+    IntersectionPreference,
+    PrioritizedPreference,
+)
+from repro.core.hierarchy import (
+    SUB_CONSTRUCTOR_EDGES,
+    around_as_between,
+    between_as_score,
+    highest_as_score,
+    intersection_as_pareto,
+    is_sub_constructor,
+    lowest_as_score,
+    neg_as_posneg,
+    pos_as_posneg,
+    pos_as_pospos,
+    pospos_as_explicit,
+    prioritized_as_rank,
+)
+
+NUMS = [-6, -3, 0, 2, 5, 7]
+
+
+class TestTaxonomyQueries:
+    def test_direct_edges(self):
+        assert is_sub_constructor("POS", "POS/POS")
+        assert is_sub_constructor("AROUND", "BETWEEN")
+        assert is_sub_constructor("intersection", "pareto")
+
+    def test_transitivity(self):
+        assert is_sub_constructor("POS", "EXPLICIT")   # via POS/POS
+        assert is_sub_constructor("AROUND", "SCORE")   # via BETWEEN
+
+    def test_reflexivity(self):
+        assert is_sub_constructor("SCORE", "SCORE")
+
+    def test_non_edges(self):
+        assert not is_sub_constructor("NEG", "POS/POS")
+        assert not is_sub_constructor("SCORE", "AROUND")
+
+    def test_edge_list_matches_paper_diagrams(self):
+        assert ("POS/POS", "EXPLICIT") in SUB_CONSTRUCTOR_EDGES
+        assert ("LOWEST", "SCORE") in SUB_CONSTRUCTOR_EDGES
+        assert ("HIGHEST", "SCORE") in SUB_CONSTRUCTOR_EDGES
+
+
+class TestNonNumericalWitnesses:
+    def test_pos_as_pospos(self):
+        pos = PosPreference("c", {"red", "blue"})
+        assert equivalent_on(pos, pos_as_pospos(pos), canonical_probe(pos))
+
+    def test_pos_as_posneg(self):
+        pos = PosPreference("c", {"red"})
+        assert equivalent_on(pos, pos_as_posneg(pos), canonical_probe(pos))
+
+    def test_neg_as_posneg(self):
+        neg = NegPreference("c", {"gray"})
+        assert equivalent_on(neg, neg_as_posneg(neg), canonical_probe(neg))
+
+    def test_pospos_as_explicit(self):
+        pp = PosPosPreference("c", {"cabriolet"}, {"roadster", "coupe"})
+        witness = pospos_as_explicit(pp)
+        assert equivalent_on(pp, witness, canonical_probe(pp))
+
+    def test_pospos_as_explicit_needs_both_sets(self):
+        with pytest.raises(ValueError):
+            pospos_as_explicit(PosPosPreference("c", {"x"}, frozenset()))
+
+
+class TestNumericalWitnesses:
+    def test_around_as_between(self):
+        around = AroundPreference("x", 3)
+        assert equivalent_on(around, around_as_between(around), NUMS)
+
+    def test_between_as_score(self):
+        between = BetweenPreference("x", 0, 4)
+        assert equivalent_on(between, between_as_score(between), NUMS)
+
+    def test_highest_as_score(self):
+        h = HighestPreference("x")
+        assert equivalent_on(h, highest_as_score(h), NUMS)
+
+    def test_lowest_as_score(self):
+        l = LowestPreference("x")
+        assert equivalent_on(l, lowest_as_score(l), NUMS)
+
+
+class TestComplexWitnesses:
+    def test_intersection_as_pareto(self):
+        inter = IntersectionPreference(
+            (AroundPreference("x", 0), LowestPreference("x"))
+        )
+        assert equivalent_on(inter, intersection_as_pareto(inter), NUMS)
+
+    def test_prioritized_as_rank_on_chains(self):
+        # The paper's "obvious possibility": '&' <= rank(F) for a properly
+        # weighted F.  Exact for injective-score (chain) children.
+        pri = PrioritizedPreference(
+            (HighestPreference("x"), LowestPreference("y"))
+        )
+        bounds = {0: (-10.0, 10.0), 1: (-10.0, 10.0)}
+        witness = prioritized_as_rank(pri, bounds)
+        probe = [
+            {"x": x, "y": y} for x in (-6, 0, 5) for y in (-3, 2, 7)
+        ]
+        assert equivalent_on(pri, witness, probe)
+
+    def test_prioritized_as_rank_requires_bounds(self):
+        pri = PrioritizedPreference(
+            (HighestPreference("x"), LowestPreference("y"))
+        )
+        with pytest.raises(ValueError):
+            prioritized_as_rank(pri, {0: (0.0, 1.0)})
+
+    def test_prioritized_as_rank_requires_score_children(self):
+        pri = PrioritizedPreference(
+            (PosPreference("c", {"red"}), HighestPreference("y"))
+        )
+        with pytest.raises(TypeError):
+            prioritized_as_rank(pri, {0: (0.0, 1.0), 1: (0.0, 1.0)})

@@ -1,0 +1,151 @@
+"""Tests for the preference protocol (Definition 1) and special cases
+(Definition 3)."""
+
+import pytest
+
+from repro.core.preference import (
+    AntiChain,
+    ChainPreference,
+    Ordering,
+    Preference,
+    SubsetPreference,
+    as_row,
+    attribute_union,
+    distinct_projections,
+    project,
+)
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import HighestPreference, LowestPreference
+
+
+class TestAsRow:
+    def test_mapping_passthrough(self):
+        assert as_row({"a": 1, "b": 2}, ("a",)) == {"a": 1, "b": 2}
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(KeyError):
+            as_row({"a": 1}, ("a", "b"))
+
+    def test_scalar_single_attribute(self):
+        assert as_row(5, ("price",)) == {"price": 5}
+
+    def test_positional_tuple(self):
+        assert as_row((1, 2), ("a", "b")) == {"a": 1, "b": 2}
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            as_row((1, 2, 3), ("a", "b"))
+
+    def test_scalar_for_multi_attribute_raises(self):
+        with pytest.raises(TypeError):
+            as_row(5, ("a", "b"))
+
+    def test_string_is_scalar_not_sequence(self):
+        assert as_row("red", ("color",)) == {"color": "red"}
+
+
+class TestPreferenceProtocol:
+    def setup_method(self):
+        self.p = HighestPreference("x")
+
+    def test_paper_direction(self):
+        # x <_P y reads "y is better than x".
+        assert self.p.lt(1, 2)
+        assert not self.p.lt(2, 1)
+
+    def test_dominates_is_flipped_lt(self):
+        assert self.p.dominates(2, 1)
+        assert not self.p.dominates(1, 2)
+
+    def test_unranked_includes_equal_values(self):
+        # Definition 1: irreflexive, so x is unranked with itself.
+        assert self.p.unranked(3, 3)
+
+    def test_compare_enum(self):
+        assert self.p.compare(2, 1) is Ordering.BETTER
+        assert self.p.compare(1, 2) is Ordering.WORSE
+        assert self.p.compare(2, 2) is Ordering.EQUAL
+        around = PosPreference("x", {9})
+        assert around.compare(1, 2) is Ordering.UNRANKED
+
+    def test_eq_on_projections(self):
+        p = PosPreference("color", {"red"})
+        assert p.eq_on({"color": "red", "noise": 1}, {"color": "red", "noise": 2})
+
+    def test_attributes_deduped_ordered(self):
+        assert attribute_union(
+            HighestPreference("b"), LowestPreference("a"), HighestPreference("b")
+        ) == ("b", "a")
+
+    def test_maximal_of_keeps_duplicates(self):
+        rows = [{"x": 2}, {"x": 2}, {"x": 1}]
+        assert self.p.maximal_of(rows) == [{"x": 2}, {"x": 2}]
+
+    def test_ranked_pairs(self):
+        pairs = self.p.ranked_pairs([1, 3])
+        assert pairs == [(1, 3)]
+
+    def test_requires_attribute(self):
+        with pytest.raises(ValueError):
+            AntiChain(())
+
+    def test_signature_equality_and_hash(self):
+        assert HighestPreference("x") == HighestPreference("x")
+        assert HighestPreference("x") != HighestPreference("y")
+        assert len({HighestPreference("x"), HighestPreference("x")}) == 1
+
+
+class TestAntiChain:
+    def test_nothing_ranked(self):
+        s = AntiChain("x")
+        assert not s.lt(1, 2) and not s.lt(2, 1)
+        assert s.unranked(1, 2)
+
+    def test_every_value_maximal(self):
+        s = AntiChain("x")
+        assert s.maximal_of([1, 2, 3]) == [1, 2, 3]
+
+
+class TestSubsetPreference:
+    def test_restricts_order(self):
+        p = HighestPreference("x")
+        sub = p.restrict_to([1, 2])
+        assert sub.lt(1, 2)
+        assert not sub.lt(1, 3)  # 3 is outside S: unranked, never raises
+        assert not sub.lt(3, 1)
+
+    def test_database_preference_semantics(self):
+        # Definition 14a: P_R is the subset preference for R[A].
+        p = LowestPreference("price")
+        database = [{"price": 10}, {"price": 30}]
+        p_r = SubsetPreference(p, database)
+        assert p_r.lt({"price": 30}, {"price": 10})
+        assert p_r.member_projections() == {(10,), (30,)}
+
+
+class TestChainPreference:
+    def test_total_order(self):
+        chain = ChainPreference("x")
+        assert chain.lt(1, 2) and chain.lt(2, 3)
+        assert chain.is_chain() is True
+
+    def test_custom_key(self):
+        by_length = ChainPreference("word", key=len, key_name="len")
+        assert by_length.lt("ab", "abc")
+
+    def test_works_for_dates(self):
+        import datetime
+
+        chain = ChainPreference("day")
+        assert chain.lt(datetime.date(2001, 1, 1), datetime.date(2001, 6, 1))
+
+
+class TestDistinctProjections:
+    def test_dedupes_on_preference_attributes(self):
+        p = HighestPreference("x")
+        rows = [{"x": 1, "y": 9}, {"x": 1, "y": 8}, {"x": 2, "y": 9}]
+        assert distinct_projections(p, rows) == [(1,), (2,)]
+
+
+def test_project_helper():
+    assert project({"a": 1, "b": 2}, ("b", "a")) == (2, 1)

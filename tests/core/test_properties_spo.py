@@ -1,0 +1,50 @@
+"""Proposition 1 as a property: EVERY term the library can build is a
+strict partial order.
+
+This is the load-bearing property test of the whole model: hypothesis
+generates arbitrary preference terms (all base constructors, Pareto,
+prioritized, intersection, dual, arbitrarily nested — including compounds
+over *shared* attributes) and validates irreflexivity, asymmetry and
+transitivity on probe rows.
+"""
+
+from hypothesis import given, settings
+
+from tests.conftest import all_rows, base_preference_st, preference_st
+
+from repro.core.validate import check_strict_partial_order
+
+PROBE = all_rows()[::5]  # 25 probe rows keep the O(n^3) check quick
+
+
+@given(base_preference_st)
+def test_base_preferences_are_strict_partial_orders(pref):
+    check_strict_partial_order(pref, PROBE)
+
+
+@given(preference_st(max_depth=4))
+@settings(max_examples=60)
+def test_compound_preferences_are_strict_partial_orders(pref):
+    check_strict_partial_order(pref, PROBE)
+
+
+@given(preference_st(max_depth=3))
+def test_dual_of_any_term_is_strict_partial_order(pref):
+    check_strict_partial_order(pref.dual(), PROBE)
+
+
+@given(preference_st(max_depth=3))
+def test_unranked_is_symmetric(pref):
+    rows = PROBE[::3]
+    for x in rows:
+        for y in rows:
+            assert pref.unranked(x, y) == pref.unranked(y, x)
+
+
+@given(preference_st(max_depth=3))
+def test_dual_flips_every_pair(pref):
+    rows = PROBE[::3]
+    d = pref.dual()
+    for x in rows:
+        for y in rows:
+            assert d.lt(x, y) == pref.lt(y, x)

@@ -1,0 +1,89 @@
+"""Tests for strict-partial-order validation (Definition 1 checks)."""
+
+import pytest
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import HighestPreference
+from repro.core.preference import AntiChain, Preference, Row
+from repro.core.validate import (
+    StrictOrderViolation,
+    are_disjoint_on,
+    check_strict_partial_order,
+    is_antichain_on,
+    is_chain_on,
+    is_strict_partial_order,
+    range_on,
+)
+
+
+class _Broken(Preference):
+    """Deliberately broken relations for negative tests."""
+
+    def __init__(self, mode: str):
+        super().__init__(("x",))
+        self.mode = mode
+
+    @property
+    def signature(self):
+        return ("broken", self.mode)
+
+    def _lt(self, x: Row, y: Row) -> bool:
+        a, b = x["x"], y["x"]
+        if self.mode == "reflexive":
+            return a == b == 1 or a < b
+        if self.mode == "symmetric":
+            return {a, b} == {1, 2}
+        if self.mode == "intransitive":
+            return (a, b) in {(1, 2), (2, 3)}  # missing (1, 3)
+        raise AssertionError(self.mode)
+
+
+class TestViolations:
+    def test_irreflexivity_caught(self):
+        with pytest.raises(StrictOrderViolation) as err:
+            check_strict_partial_order(_Broken("reflexive"), [1, 2])
+        assert err.value.law == "irreflexivity"
+
+    def test_asymmetry_caught(self):
+        with pytest.raises(StrictOrderViolation) as err:
+            check_strict_partial_order(_Broken("symmetric"), [1, 2])
+        assert err.value.law == "asymmetry"
+
+    def test_transitivity_caught(self):
+        with pytest.raises(StrictOrderViolation) as err:
+            check_strict_partial_order(_Broken("intransitive"), [1, 2, 3])
+        assert err.value.law == "transitivity"
+
+    def test_boolean_form(self):
+        assert not is_strict_partial_order(_Broken("intransitive"), [1, 2, 3])
+        assert is_strict_partial_order(HighestPreference("x"), [1, 2, 3])
+
+
+class TestChainChecks:
+    def test_chain_on(self):
+        assert is_chain_on(HighestPreference("x"), [1, 2, 3])
+        assert not is_chain_on(PosPreference("x", {1}), [2, 3])
+
+    def test_antichain_on(self):
+        assert is_antichain_on(AntiChain("x"), [1, 2, 3])
+        assert not is_antichain_on(HighestPreference("x"), [1, 2])
+
+
+class TestRange:
+    def test_range_definition_4(self):
+        p = PosPreference("x", {1})
+        # 1 participates (as better), 2 and 3 participate (as worse).
+        assert range_on(p, [1, 2, 3]) == {(1,), (2,), (3,)}
+
+    def test_antichain_has_empty_range(self):
+        assert range_on(AntiChain("x"), [1, 2, 3]) == set()
+
+    def test_disjointness(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+
+        p1 = ExplicitPreference("x", [(1, 2)], rank_others=False)
+        p2 = ExplicitPreference("x", [(3, 4)], rank_others=False)
+        p3 = ExplicitPreference("x", [(2, 4)], rank_others=False)
+        values = [1, 2, 3, 4]
+        assert are_disjoint_on(p1, p2, values)
+        assert not are_disjoint_on(p1, p3, values)

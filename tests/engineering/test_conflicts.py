@@ -1,0 +1,67 @@
+"""Conflict analysis tests."""
+
+from repro.core.base_nonnumerical import NegPreference, PosPreference
+from repro.core.base_numerical import HighestPreference, LowestPreference
+from repro.engineering.conflicts import (
+    agreement_pairs,
+    conflict_degree,
+    conflict_pairs,
+)
+
+
+class TestConflictPairs:
+    def test_total_conflict(self):
+        p1 = LowestPreference("x")
+        p2 = HighestPreference("x")
+        pairs = conflict_pairs(p1, p2, [1, 2, 3])
+        # Every unordered pair conflicts; each reported once, p1-oriented.
+        assert len(pairs) == 3
+        assert all(p1.lt(x, y) and p2.lt(y, x) for x, y in pairs)
+
+    def test_no_conflict(self):
+        p1 = PosPreference("c", {"red"})
+        p2 = PosPreference("c", {"red", "blue"})
+        assert conflict_pairs(p1, p2, ["red", "blue", "green"]) == []
+
+    def test_cross_attribute_pairs(self):
+        p1 = HighestPreference("x")
+        p2 = LowestPreference("y")
+        rows = [{"x": 1, "y": 1}, {"x": 2, "y": 2}]
+        pairs = conflict_pairs(p1, p2, rows)
+        assert len(pairs) == 1
+
+
+class TestAgreement:
+    def test_agreement_pairs(self):
+        p1 = PosPreference("c", {"red"})
+        p2 = NegPreference("c", {"green"})
+        pairs = agreement_pairs(p1, p2, ["red", "green", "blue"])
+        # Both agree only on green < red.
+        assert [(x["c"], y["c"]) for x, y in pairs] == [("green", "red")]
+
+
+class TestConflictDegree:
+    def test_extremes(self):
+        assert conflict_degree(
+            LowestPreference("x"), HighestPreference("x"), [1, 2, 3]
+        ) == 1.0
+        assert conflict_degree(
+            LowestPreference("x"), LowestPreference("x"), [1, 2, 3]
+        ) == 0.0
+
+    def test_no_overlap_is_zero(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+
+        # The two orders touch disjoint value islands: no jointly ranked
+        # pair exists, so there is nothing to conflict about.
+        p1 = ExplicitPreference("c", [(1, 2)], rank_others=False)
+        p2 = ExplicitPreference("c", [(3, 4)], rank_others=False)
+        assert conflict_degree(p1, p2, [1, 2, 3, 4]) == 0.0
+
+    def test_partial(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+
+        # The parties agree on (1, 2) and clash on {3, 4}: degree 1/2.
+        p1 = ExplicitPreference("c", [(1, 2), (3, 4)], rank_others=False)
+        p2 = ExplicitPreference("c", [(1, 2), (4, 3)], rank_others=False)
+        assert conflict_degree(p1, p2, [1, 2, 3, 4]) == 0.5

@@ -1,0 +1,88 @@
+"""Preference miner tests: recover known profiles from synthetic logs."""
+
+import pytest
+
+from repro.core.base_nonnumerical import PosPosPreference, PosPreference
+from repro.core.base_numerical import AroundPreference, BetweenPreference
+from repro.datasets.logs import generate_query_log
+from repro.engineering.mining import (
+    mine_around,
+    mine_pos,
+    mine_preferences,
+)
+
+
+class TestMinePos:
+    def test_clear_favorites(self):
+        values = ["bmw"] * 6 + ["audi"] * 5 + ["vw", "ford", "opel", "fiat"]
+        pref = mine_pos("make", values)
+        assert isinstance(pref, (PosPreference, PosPosPreference))
+        assert {"bmw", "audi"} <= set(
+            pref.pos_set if isinstance(pref, PosPreference) else pref.pos1_set
+        )
+
+    def test_uniform_distribution_yields_nothing(self):
+        values = ["a", "b", "c", "d", "e", "f"] * 3
+        assert mine_pos("make", values) is None
+
+    def test_empty(self):
+        assert mine_pos("make", []) is None
+
+    def test_second_tier(self):
+        values = ["bmw"] * 10 + ["audi"] * 3 + ["vw", "ford", "kia", "seat",
+                                                "fiat", "opel"]
+        pref = mine_pos("make", values, top_share=0.5, second_share=0.15)
+        if isinstance(pref, PosPosPreference):
+            assert "audi" in pref.pos2_set
+
+
+class TestMineAround:
+    def test_tight_distribution_is_around(self):
+        values = [995, 1000, 1000, 1005, 1010]
+        pref = mine_around("price", values)
+        assert isinstance(pref, AroundPreference)
+        assert pref.z == 1000
+
+    def test_spread_distribution_is_between(self):
+        values = [100, 500, 1000, 5000, 9000, 20000]
+        pref = mine_around("price", values)
+        assert isinstance(pref, BetweenPreference)
+        assert pref.low < pref.up
+
+    def test_empty(self):
+        assert mine_around("price", []) is None
+
+
+class TestMineProfile:
+    def test_recovers_ground_truth(self):
+        log = generate_query_log(
+            300, seed=5, favorite_makes=("BMW",), price_target=25000.0,
+            price_noise=0.05,
+        )
+        profile = mine_preferences(log)
+        make_pref = profile.preferences["make"]
+        favorites = (
+            make_pref.pos_set
+            if isinstance(make_pref, PosPreference)
+            else make_pref.pos1_set
+        )
+        assert "BMW" in favorites
+        price_pref = profile.preferences["price"]
+        assert isinstance(price_pref, AroundPreference)
+        assert abs(price_pref.z - 25000) / 25000 < 0.1
+        assert "color" not in profile.preferences  # uniform noise: no wish
+
+    def test_min_support(self):
+        log = [("make", "bmw")] * 2  # below threshold
+        profile = mine_preferences(log, min_support=3)
+        assert profile.preferences == {}
+        assert profile.support["make"] == 2
+
+    def test_combined_pareto(self):
+        log = generate_query_log(100, seed=1)
+        combined = mine_preferences(log).combined()
+        assert combined is not None
+        assert set(combined.attributes) <= {"make", "price", "color"}
+
+    def test_combined_none_when_empty(self):
+        assert mine_preferences([]).combined() is None

@@ -1,0 +1,76 @@
+"""E-negotiation tests."""
+
+import pytest
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import HighestPreference, LowestPreference
+from repro.engineering.negotiation import negotiate
+from repro.relations.relation import Relation
+
+
+def offers():
+    return [
+        {"price": 100, "quality": 9, "color": "red"},
+        {"price": 50, "quality": 5, "color": "blue"},
+        {"price": 80, "quality": 9, "color": "blue"},
+        {"price": 120, "quality": 10, "color": "red"},
+    ]
+
+
+class TestNegotiate:
+    def test_immediate_deal_when_optima_overlap(self):
+        buyer = PosPreference("color", {"blue"})
+        friend = PosPreference("color", {"blue", "red"})
+        outcome = negotiate([buyer, friend], offers())
+        assert outcome.settled
+        assert all(r["color"] == "blue" for r in outcome.immediate_deals)
+        assert outcome.recommended()[0]["color"] == "blue"
+
+    def test_conflicting_parties_get_frontier(self):
+        buyer = LowestPreference("price")
+        seller = HighestPreference("price")
+        outcome = negotiate([buyer, seller], offers())
+        assert not outcome.settled
+        # P (x) P^d makes everything unranked: all offers are candidates —
+        # the paper's "reservoir to negotiate compromises".
+        assert len(outcome.frontier) == len(offers())
+
+    def test_regret_annotations(self):
+        buyer = LowestPreference("price")
+        seller = HighestPreference("price")
+        outcome = negotiate([buyer, seller], offers())
+        by_price = {c.row["price"]: c for c in outcome.frontier}
+        assert by_price[50].regrets[0] == 0      # buyer's optimum
+        assert by_price[120].regrets[1] == 0     # seller's optimum
+        assert by_price[50].regrets[1] == 3      # worst for the seller
+
+    def test_recommended_minimizes_max_regret(self):
+        buyer = LowestPreference("price")
+        seller = HighestPreference("price")
+        outcome = negotiate([buyer, seller], offers())
+        best = outcome.recommended(1)[0]
+        # 80 and 100 sit in the middle (regrets (2,1)/(1,2) vs (0,3)/(3,0)).
+        assert best["price"] in (80, 100)
+
+    def test_three_parties(self):
+        outcome = negotiate(
+            [
+                LowestPreference("price"),
+                HighestPreference("quality"),
+                PosPreference("color", {"red"}),
+            ],
+            offers(),
+        )
+        assert len(outcome.party_optima) == 3
+        assert outcome.frontier  # never empty on non-empty data
+
+    def test_needs_two_parties(self):
+        with pytest.raises(ValueError):
+            negotiate([LowestPreference("price")], offers())
+
+    def test_works_on_relations(self):
+        rel = Relation.from_dicts("offers", offers())
+        outcome = negotiate(
+            [LowestPreference("price"), HighestPreference("quality")], rel
+        )
+        assert outcome.frontier

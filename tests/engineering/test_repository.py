@@ -1,0 +1,66 @@
+"""Preference repository tests: store, retrieve, persist."""
+
+import pytest
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import AroundPreference
+from repro.engineering.repository import PreferenceRepository
+
+
+@pytest.fixture
+def repo() -> PreferenceRepository:
+    r = PreferenceRepository()
+    r.save("julia", "color", PosPreference("color", {"yellow"}))
+    r.save("julia", "price", AroundPreference("price", 40000))
+    r.save("michael", "price", AroundPreference("price", 99999))
+    return r
+
+
+class TestStore:
+    def test_get(self, repo):
+        assert repo.get("julia", "color").pos_set == {"yellow"}
+
+    def test_owner_scoping(self, repo):
+        assert repo.get("julia", "price").z == 40000
+        assert repo.get("michael", "price").z == 99999
+
+    def test_overwrite_is_silent(self, repo):
+        repo.save("julia", "color", PosPreference("color", {"blue"}))
+        assert repo.get("julia", "color").pos_set == {"blue"}
+
+    def test_missing(self, repo):
+        with pytest.raises(KeyError):
+            repo.get("julia", "ghost")
+
+    def test_delete(self, repo):
+        repo.delete("michael", "price")
+        assert "michael" not in repo.owners()
+        with pytest.raises(KeyError):
+            repo.delete("michael", "price")
+
+    def test_listing(self, repo):
+        assert repo.owners() == ["julia", "michael"]
+        assert repo.names("julia") == ["color", "price"]
+        assert len(repo) == 3
+        assert ("julia", "color") in repo
+
+    def test_items_sorted(self, repo):
+        items = list(repo.items())
+        assert [(o, n) for o, n, _ in items] == [
+            ("julia", "color"), ("julia", "price"), ("michael", "price"),
+        ]
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, repo):
+        again = PreferenceRepository.from_json(repo.to_json())
+        assert len(again) == 3
+        assert again.get("julia", "color").signature == repo.get(
+            "julia", "color"
+        ).signature
+
+    def test_file_roundtrip(self, repo, tmp_path):
+        path = tmp_path / "prefs.json"
+        repo.dump(path)
+        again = PreferenceRepository.load(path)
+        assert again.get("michael", "price").z == 99999

@@ -1,0 +1,92 @@
+"""Serialization round-trip tests: every constructor survives JSON."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import preference_st
+
+from repro.core.base_numerical import ScorePreference
+from repro.core.constructors import (
+    LinearSumPreference,
+    RankPreference,
+    pareto,
+    prioritized,
+    rank,
+)
+from repro.core.domains import FiniteDomain
+from repro.core.preference import AntiChain
+from repro.engineering.serialization import (
+    SerializationError,
+    preference_from_dict,
+    preference_to_dict,
+)
+
+
+def roundtrip(pref, functions=None):
+    data = json.loads(json.dumps(preference_to_dict(pref)))
+    return preference_from_dict(data, functions)
+
+
+class TestRoundTrips:
+    @given(preference_st(max_depth=4))
+    @settings(max_examples=60)
+    def test_arbitrary_terms_roundtrip(self, pref):
+        assert roundtrip(pref).signature == pref.signature
+
+    def test_score_by_function_name(self):
+        fn = lambda v: v * 2
+        pref = ScorePreference("x", fn, name="double")
+        back = roundtrip(pref, functions={"double": fn})
+        assert back.score(3) == 6
+
+    def test_score_unregistered_function_rejected(self):
+        pref = ScorePreference("x", lambda v: v, name="mystery")
+        with pytest.raises(SerializationError):
+            roundtrip(pref)
+
+    def test_rank_roundtrip(self):
+        fn = lambda a, b: a + b
+        pref = rank(
+            fn,
+            ScorePreference("x", float, name="fx"),
+            ScorePreference("y", float, name="fy"),
+            name="sum",
+        )
+        back = roundtrip(
+            pref, functions={"sum": fn, "fx": float, "fy": float}
+        )
+        assert isinstance(back, RankPreference)
+        assert back.score({"x": 1, "y": 2}) == 3
+
+    def test_linear_sum_roundtrip(self):
+        pref = LinearSumPreference(
+            AntiChain("a", FiniteDomain([1, 2])),
+            AntiChain("b", FiniteDomain([3])),
+            attribute="ab",
+        )
+        back = roundtrip(pref)
+        assert back.signature == pref.signature
+        assert back.lt(3, 1)  # domain info survived
+
+    def test_compound_nesting(self):
+        from repro.core.base_nonnumerical import PosPreference
+        from repro.core.base_numerical import AroundPreference
+
+        pref = prioritized(
+            PosPreference("color", {"red"}),
+            pareto(AroundPreference("price", 100), PosPreference("make", {"a"})),
+        )
+        assert roundtrip(pref).signature == pref.signature
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerializationError):
+            preference_from_dict({"type": "teleport"})
+
+    def test_dict_is_json_safe(self):
+        from repro.core.base_nonnumerical import PosPreference
+
+        data = preference_to_dict(PosPreference("c", {"red", "blue"}))
+        json.dumps(data)  # must not raise
+        assert data["pos_set"] == sorted(["red", "blue"])

@@ -1,0 +1,155 @@
+"""End-to-end Preference SQL execution tests, including the paper's queries."""
+
+import datetime
+
+import pytest
+
+from repro.psql.executor import PreferenceSQL
+from repro.psql.translate import TranslationError
+from repro.relations.catalog import Catalog
+from repro.relations.relation import Relation
+
+
+def car_catalog() -> Catalog:
+    cars = Relation.from_dicts(
+        "car",
+        [
+            {"oid": 1, "make": "Opel", "category": "roadster", "price": 38000,
+             "power": 110, "color": "red", "mileage": 20000},
+            {"oid": 2, "make": "Opel", "category": "cabriolet", "price": 42000,
+             "power": 130, "color": "red", "mileage": 15000},
+            {"oid": 3, "make": "Opel", "category": "passenger", "price": 30000,
+             "power": 90, "color": "blue", "mileage": 70000},
+            {"oid": 4, "make": "BMW", "category": "roadster", "price": 55000,
+             "power": 200, "color": "black", "mileage": 10000},
+            {"oid": 5, "make": "Opel", "category": "suv", "price": 39000,
+             "power": 120, "color": "gray", "mileage": 40000},
+        ],
+    )
+    return Catalog({"car": cars})
+
+
+@pytest.fixture
+def psql() -> PreferenceSQL:
+    return PreferenceSQL(car_catalog())
+
+
+class TestPlainSQL:
+    def test_hard_select_and_project(self, psql):
+        out = psql.execute("SELECT oid FROM car WHERE make = 'BMW'")
+        assert out.rows() == [{"oid": 4}]
+
+    def test_limit(self, psql):
+        assert len(psql.execute("SELECT * FROM car LIMIT 2")) == 2
+
+    def test_no_preference_no_filtering(self, psql):
+        assert len(psql.execute("SELECT * FROM car")) == 5
+
+
+class TestPreferenceQueries:
+    def test_paper_car_query(self, psql):
+        out = psql.execute(
+            """
+            SELECT * FROM car WHERE make = 'Opel'
+            PREFERRING (category = 'roadster' ELSE category <> 'passenger')
+            AND price AROUND 40000 AND HIGHEST(power)
+            CASCADE color = 'red' CASCADE LOWEST(mileage)
+            """
+        )
+        # Among Opels: roadster(1) beats suv(5) on category; cabriolet(2) is
+        # level 2 like suv but closer to 40000 and stronger; passenger(3)
+        # loses everywhere.  1, 2 and 5 are Pareto-optimal... the cascades
+        # then keep red cars preferred.
+        assert sorted(r["oid"] for r in out) == [1, 2, 5]
+
+    def test_single_best_with_chain(self, psql):
+        out = psql.execute("SELECT * FROM car PREFERRING LOWEST(price)")
+        assert [r["oid"] for r in out] == [3]
+
+    def test_empty_result_problem_solved(self, psql):
+        # No car costs 1000, but BMO returns the closest one anyway.
+        out = psql.execute("SELECT * FROM car PREFERRING price AROUND 1000")
+        assert [r["oid"] for r in out] == [3]
+
+    def test_grouping_query(self, psql):
+        out = psql.execute(
+            "SELECT * FROM car PREFERRING price AROUND 40000 GROUPING make"
+        )
+        # Best per make: Opel -> 39000 (oid 5), BMW -> 55000 (oid 4).
+        assert sorted(r["oid"] for r in out) == [4, 5]
+
+    def test_top_k(self, psql):
+        out = psql.execute(
+            "SELECT * FROM car PREFERRING price AROUND 40000 TOP 3"
+        )
+        assert [r["oid"] for r in out] == [5, 1, 2]
+
+    def test_but_only_filters(self, psql):
+        out = psql.execute(
+            """
+            SELECT * FROM car PREFERRING price AROUND 41000
+            BUT ONLY DISTANCE(price) <= 1500
+            """
+        )
+        assert [r["oid"] for r in out] == [2]
+
+    def test_but_only_can_empty(self, psql):
+        out = psql.execute(
+            """
+            SELECT * FROM car PREFERRING price AROUND 10000
+            BUT ONLY DISTANCE(price) <= 100
+            """
+        )
+        assert len(out) == 0
+
+    def test_trips_query_with_dates(self):
+        trips = Relation.from_dicts(
+            "trips",
+            [
+                {"tid": 1, "start_date": datetime.date(2001, 11, 22),
+                 "duration": 14},
+                {"tid": 2, "start_date": datetime.date(2001, 11, 23),
+                 "duration": 10},
+                {"tid": 3, "start_date": datetime.date(2001, 12, 15),
+                 "duration": 14},
+            ],
+        )
+        psql = PreferenceSQL(Catalog({"trips": trips}))
+        out = psql.execute(
+            """
+            SELECT * FROM trips
+            PREFERRING start_date AROUND '2001/11/23' AND duration AROUND 14
+            BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2
+            """
+        )
+        assert [r["tid"] for r in out] == [1]
+
+    def test_rank_query(self, psql):
+        out = psql.execute(
+            "SELECT * FROM car PREFERRING RANK(sum)(HIGHEST(power), "
+            "LOWEST(mileage)) TOP 1"
+        )
+        assert len(out) == 1
+
+    def test_custom_function(self, psql):
+        psql.register_function("prestige", lambda p: p // 10000)
+        out = psql.execute(
+            "SELECT * FROM car PREFERRING SCORE(price, prestige)"
+        )
+        assert [r["oid"] for r in out] == [4]
+
+
+class TestExplain:
+    def test_explain_shows_plan(self, psql):
+        text = psql.explain(
+            "SELECT * FROM car WHERE make = 'Opel' PREFERRING LOWEST(price)"
+        )
+        assert "PreferenceSelect" in text or "Cascade" in text
+        assert "HardSelect" in text
+        assert "Scan[car]" in text
+
+    def test_unknown_table(self, psql):
+        from repro.relations.relation import RelationError
+
+        with pytest.raises(RelationError):
+            psql.execute("SELECT * FROM ghost")

@@ -1,0 +1,80 @@
+"""Preference SQL lexer tests."""
+
+import pytest
+
+from repro.psql.lexer import LexError, Token, tokenize
+
+
+def kinds(text: str) -> list[str]:
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text: str) -> list:
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert values("select Preferring CASCADE") == [
+            "SELECT", "PREFERRING", "CASCADE",
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert values("start_date Car2") == ["start_date", "Car2"]
+
+    def test_numbers(self):
+        assert values("42 3.5 -7") == [42, 3.5, -7]
+        assert isinstance(values("42")[0], int)
+        assert isinstance(values("3.5")[0], float)
+
+    def test_strings_with_escaped_quotes(self):
+        assert values("'it''s red'") == ["it's red"]
+
+    def test_date_like_strings_stay_strings(self):
+        assert values("'2001/11/23'") == ["2001/11/23"]
+
+    def test_operators(self):
+        assert values("<= >= <> != = ( ) , ; *") == [
+            "<=", ">=", "<>", "<>", "=", "(", ")", ",", ";", "*",
+        ]
+
+    def test_comments_skipped(self):
+        assert values("SELECT -- a comment\n*") == ["SELECT", "*"]
+
+    def test_eof_token(self):
+        assert kinds("x")[-1] == "EOF"
+
+    def test_preference_vocabulary(self):
+        toks = values("AROUND LOWEST HIGHEST PRIOR TO BUT ONLY LEVEL DISTANCE")
+        assert toks == [
+            "AROUND", "LOWEST", "HIGHEST", "PRIOR", "TO", "BUT", "ONLY",
+            "LEVEL", "DISTANCE",
+        ]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("price @ 5")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc ? def")
+        except LexError as err:
+            assert err.position == 4
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+    def test_is_op(self):
+        token = tokenize("<=")[0]
+        assert token.is_op("<=", "<")
+        assert not token.is_op("=")

@@ -1,0 +1,75 @@
+"""ORDER BY support: presentation ordering orthogonal to BMO semantics."""
+
+import pytest
+
+from repro.psql.executor import PreferenceSQL
+from repro.psql.parser import ParseError, parse
+from repro.relations.catalog import Catalog
+from repro.relations.relation import Relation
+
+
+@pytest.fixture
+def psql() -> PreferenceSQL:
+    cars = Relation.from_dicts(
+        "car",
+        [
+            {"oid": 1, "make": "Opel", "price": 30000, "mileage": 40000},
+            {"oid": 2, "make": "BMW", "price": 30000, "mileage": 20000},
+            {"oid": 3, "make": "Audi", "price": 20000, "mileage": 60000},
+            {"oid": 4, "make": "VW", "price": 50000, "mileage": 10000},
+        ],
+    )
+    return PreferenceSQL(Catalog({"car": cars}))
+
+
+class TestParsing:
+    def test_single_key(self):
+        q = parse("SELECT * FROM car ORDER BY price")
+        assert q.order_by == (("price", False),)
+
+    def test_multiple_keys_with_directions(self):
+        q = parse("SELECT * FROM car ORDER BY price DESC, mileage ASC")
+        assert q.order_by == (("price", True), ("mileage", False))
+
+    def test_order_by_after_top(self):
+        q = parse(
+            "SELECT * FROM car PREFERRING LOWEST(price) TOP 3 "
+            "ORDER BY mileage LIMIT 2"
+        )
+        assert q.top == 3 and q.order_by == (("mileage", False),)
+        assert q.limit == 2
+
+    def test_missing_by(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM car ORDER price")
+
+
+class TestExecution:
+    def test_plain_sql_ordering(self, psql):
+        out = psql.execute("SELECT oid FROM car ORDER BY price DESC, oid")
+        assert [r["oid"] for r in out] == [4, 1, 2, 3]
+
+    def test_ordering_is_presentation_only(self, psql):
+        # Same BMO result set, different arrangement.
+        base = psql.execute("SELECT * FROM car PREFERRING LOWEST(price)")
+        ordered = psql.execute(
+            "SELECT * FROM car PREFERRING LOWEST(price) ORDER BY mileage"
+        )
+        assert base == ordered  # bag equality ignores order
+
+    def test_ordering_after_preference(self, psql):
+        out = psql.execute(
+            "SELECT oid FROM car PREFERRING price AROUND 30000 "
+            "ORDER BY oid DESC"
+        )
+        assert [r["oid"] for r in out] == [2, 1]
+
+    def test_plan_shows_order_node(self, psql):
+        text = psql.explain(
+            "SELECT * FROM car PREFERRING LOWEST(price) ORDER BY mileage DESC"
+        )
+        assert "OrderBy[mileage DESC]" in text
+
+    def test_order_with_limit(self, psql):
+        out = psql.execute("SELECT oid FROM car ORDER BY mileage LIMIT 2")
+        assert [r["oid"] for r in out] == [4, 2]

@@ -1,0 +1,150 @@
+"""Preference SQL parser tests, including the paper's two example queries."""
+
+import pytest
+
+from repro.psql import ast as A
+from repro.psql.parser import ParseError, parse
+
+PAPER_CAR_QUERY = """
+SELECT * FROM car WHERE make = 'Opel'
+PREFERRING (category = 'roadster' ELSE category <> 'passenger') AND
+price AROUND 40000 AND HIGHEST(power)
+CASCADE color = 'red' CASCADE LOWEST(mileage);
+"""
+
+PAPER_TRIPS_QUERY = """
+SELECT * FROM trips
+PREFERRING start_date AROUND '2001/11/23' AND duration AROUND 14
+BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2;
+"""
+
+
+class TestBasicQueries:
+    def test_select_star(self):
+        q = parse("SELECT * FROM car")
+        assert q.selects_all and q.table == "car"
+
+    def test_select_list(self):
+        q = parse("SELECT make, price FROM car")
+        assert q.select == ("make", "price")
+
+    def test_where_tree(self):
+        q = parse(
+            "SELECT * FROM car WHERE make = 'Opel' AND (price < 10 OR price > 20)"
+        )
+        assert isinstance(q.where, A.BoolOp) and q.where.op == "AND"
+
+    def test_where_variants(self):
+        q = parse(
+            "SELECT * FROM car WHERE make IN ('a','b') AND color NOT IN ('x') "
+            "AND name LIKE 'B%' AND price BETWEEN 1 AND 2 AND note IS NULL "
+            "AND NOT price = 3"
+        )
+        kinds = {type(op).__name__ for op in q.where.operands}
+        assert kinds == {
+            "InList", "LikePattern", "HardBetween", "IsNull", "NotOp",
+        }
+
+    def test_limit_and_top(self):
+        q = parse("SELECT * FROM car PREFERRING LOWEST(price) TOP 5 LIMIT 3")
+        assert q.top == 5 and q.limit == 3
+
+    def test_grouping(self):
+        q = parse(
+            "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make, year"
+        )
+        assert q.grouping == ("make", "year")
+
+
+class TestPreferringGrammar:
+    def test_paper_car_query(self):
+        q = parse(PAPER_CAR_QUERY)
+        assert isinstance(q.preferring, A.ParetoExpr)
+        assert len(q.preferring.operands) == 3
+        assert isinstance(q.preferring.operands[0], A.ElseChain)
+        assert q.cascades == (
+            A.PosAtom("color", ("red",)),
+            A.LowestAtom("mileage"),
+        )
+
+    def test_paper_trips_query(self):
+        q = parse(PAPER_TRIPS_QUERY)
+        assert isinstance(q.preferring, A.ParetoExpr)
+        assert q.but_only == (
+            A.QualityExpr("distance", "start_date", "<=", 2),
+            A.QualityExpr("distance", "duration", "<=", 2),
+        )
+
+    def test_prior_to_binds_loosest(self):
+        q = parse(
+            "SELECT * FROM car PREFERRING color = 'red' AND LOWEST(price) "
+            "PRIOR TO HIGHEST(power)"
+        )
+        assert isinstance(q.preferring, A.PriorExpr)
+        assert isinstance(q.preferring.operands[0], A.ParetoExpr)
+
+    def test_else_binds_tightest(self):
+        q = parse(
+            "SELECT * FROM car PREFERRING category = 'a' ELSE category = 'b' "
+            "AND LOWEST(price)"
+        )
+        assert isinstance(q.preferring, A.ParetoExpr)
+        assert isinstance(q.preferring.operands[0], A.ElseChain)
+
+    def test_atoms(self):
+        q = parse(
+            "SELECT * FROM t PREFERRING a AROUND 5 AND b BETWEEN 1 AND 2 "
+            "AND c IN (1, 2) AND d NOT IN (3) AND e <> 4 AND LOWEST(f) "
+            "AND HIGHEST(g) AND SCORE(h, myfn)"
+        )
+        kinds = [type(op).__name__ for op in q.preferring.operands]
+        assert kinds == [
+            "AroundAtom", "BetweenAtom", "PosAtom", "NegAtom", "NegAtom",
+            "LowestAtom", "HighestAtom", "ScoreAtom",
+        ]
+
+    def test_explicit_atom(self):
+        q = parse(
+            "SELECT * FROM t PREFERRING EXPLICIT(color, ('green','yellow'), "
+            "('yellow','white'))"
+        )
+        assert q.preferring == A.ExplicitAtom(
+            "color", (("green", "yellow"), ("yellow", "white"))
+        )
+
+    def test_rank_expr(self):
+        q = parse(
+            "SELECT * FROM t PREFERRING RANK(sum)(a AROUND 1, LOWEST(b))"
+        )
+        assert isinstance(q.preferring, A.RankExpr)
+        assert q.preferring.function == "sum"
+        assert len(q.preferring.operands) == 2
+
+    def test_parenthesized_grouping(self):
+        q = parse(
+            "SELECT * FROM t PREFERRING (a = 1 PRIOR TO b = 2) AND c = 3"
+        )
+        assert isinstance(q.preferring, A.ParetoExpr)
+        assert isinstance(q.preferring.operands[0], A.PriorExpr)
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT *")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t nonsense")
+
+    def test_bad_preference_atom(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t PREFERRING LOWEST price")
+
+    def test_explicit_needs_edges(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t PREFERRING EXPLICIT(color)")
+
+    def test_but_only_requires_quality_function(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t PREFERRING a = 1 BUT ONLY price <= 2")

@@ -1,0 +1,168 @@
+"""Translation tests: PREFERRING AST -> preference terms, WHERE -> predicates."""
+
+import datetime
+
+import pytest
+
+from repro.core.base_nonnumerical import (
+    LayeredPreference,
+    NegPreference,
+    PosNegPreference,
+    PosPosPreference,
+    PosPreference,
+)
+from repro.core.base_numerical import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import (
+    ParetoPreference,
+    PrioritizedPreference,
+    RankPreference,
+)
+from repro.psql import ast as A
+from repro.psql.parser import parse
+from repro.psql.translate import (
+    TranslationError,
+    coerce_date,
+    translate_preferring,
+    translate_where,
+)
+
+
+def pref_of(text: str, functions=None):
+    q = parse(f"SELECT * FROM t PREFERRING {text}")
+    return translate_preferring(q.preferring, functions)
+
+
+class TestAtomTranslation:
+    def test_equality_is_pos(self):
+        p = pref_of("color = 'red'")
+        assert isinstance(p, PosPreference) and p.pos_set == {"red"}
+
+    def test_in_is_pos(self):
+        p = pref_of("color IN ('red', 'blue')")
+        assert isinstance(p, PosPreference) and p.pos_set == {"red", "blue"}
+
+    def test_inequality_is_neg(self):
+        p = pref_of("color <> 'gray'")
+        assert isinstance(p, NegPreference) and p.neg_set == {"gray"}
+
+    def test_not_in_is_neg(self):
+        assert isinstance(pref_of("color NOT IN ('a', 'b')"), NegPreference)
+
+    def test_numeric_atoms(self):
+        assert isinstance(pref_of("price AROUND 100"), AroundPreference)
+        assert isinstance(pref_of("price BETWEEN 1 AND 2"), BetweenPreference)
+        assert isinstance(pref_of("LOWEST(price)"), LowestPreference)
+        assert isinstance(pref_of("HIGHEST(price)"), HighestPreference)
+
+    def test_score_resolves_function(self):
+        p = pref_of("SCORE(price, half)", functions={"half": lambda v: v / 2})
+        assert isinstance(p, ScorePreference)
+        assert p.score(10) == 5
+
+    def test_score_unknown_function(self):
+        with pytest.raises(TranslationError):
+            pref_of("SCORE(price, ghost)")
+
+    def test_date_coercion_in_around(self):
+        p = pref_of("start_date AROUND '2001/11/23'")
+        assert p.z == datetime.date(2001, 11, 23)
+
+    def test_date_coercion_helper(self):
+        assert coerce_date("2001-1-5") == datetime.date(2001, 1, 5)
+        assert coerce_date("Opel") == "Opel"
+        assert coerce_date(42) == 42
+
+
+class TestElseChains:
+    def test_pos_else_pos(self):
+        p = pref_of("category = 'cabriolet' ELSE category = 'roadster'")
+        assert isinstance(p, PosPosPreference)
+
+    def test_pos_else_neg(self):
+        p = pref_of("category = 'roadster' ELSE category <> 'passenger'")
+        assert isinstance(p, PosNegPreference)
+        assert p.pos_set == {"roadster"} and p.neg_set == {"passenger"}
+
+    def test_three_level_chain(self):
+        p = pref_of("c = 'a' ELSE c = 'b' ELSE c = 'x'")
+        assert isinstance(p, LayeredPreference)
+        assert p.level("a") == 1 and p.level("b") == 2 and p.level("x") == 3
+
+    def test_chain_with_trailing_neg(self):
+        p = pref_of("c = 'a' ELSE c = 'b' ELSE c <> 'z'")
+        assert isinstance(p, LayeredPreference)
+        assert p.level("z") == 4  # below OTHERS
+
+    def test_mixed_attributes_rejected(self):
+        with pytest.raises(TranslationError):
+            pref_of("a = 1 ELSE b = 2")
+
+    def test_neg_must_be_last(self):
+        with pytest.raises(TranslationError):
+            pref_of("c <> 'z' ELSE c = 'a'")
+
+
+class TestCompounds:
+    def test_and_is_pareto(self):
+        p = pref_of("a = 1 AND b = 2")
+        assert isinstance(p, ParetoPreference)
+
+    def test_prior_to_is_prioritized(self):
+        p = pref_of("a = 1 PRIOR TO b = 2")
+        assert isinstance(p, PrioritizedPreference)
+
+    def test_rank(self):
+        p = pref_of(
+            "RANK(sum)(a AROUND 1, LOWEST(b))",
+            functions={"sum": lambda x, y: x + y},
+        )
+        assert isinstance(p, RankPreference)
+
+    def test_rank_rejects_non_score_operand(self):
+        with pytest.raises(TranslationError):
+            pref_of("RANK(sum)(a = 1)", functions={"sum": lambda *x: 0})
+
+
+class TestWhereTranslation:
+    def where(self, text: str):
+        return translate_where(parse(f"SELECT * FROM t WHERE {text}").where)
+
+    def test_comparisons(self):
+        p = self.where("price < 10")
+        assert p({"price": 5}) and not p({"price": 15})
+
+    def test_null_comparisons_false(self):
+        assert not self.where("price < 10")({"price": None})
+
+    def test_is_null(self):
+        assert self.where("price IS NULL")({"price": None})
+        assert self.where("price IS NOT NULL")({"price": 3})
+
+    def test_in_and_not_in(self):
+        assert self.where("c IN ('a', 'b')")({"c": "a"})
+        assert self.where("c NOT IN ('a')")({"c": "x"})
+
+    def test_like(self):
+        p = self.where("name LIKE 'B%w'")
+        assert p({"name": "BMW"})
+        assert not p({"name": "Audi"})
+        assert self.where("name LIKE 'B_W'")({"name": "BMW"})
+
+    def test_boolean_tree(self):
+        p = self.where("a = 1 AND (b = 2 OR NOT c = 3)")
+        assert p({"a": 1, "b": 2, "c": 3})
+        assert p({"a": 1, "b": 0, "c": 0})
+        assert not p({"a": 0, "b": 2, "c": 0})
+
+    def test_between(self):
+        p = self.where("x BETWEEN 2 AND 4")
+        assert p({"x": 3}) and not p({"x": 5})
+
+    def test_type_mismatch_is_false(self):
+        assert not self.where("price < 10")({"price": "cheap"})

@@ -1,0 +1,96 @@
+"""Preference XPath evaluation tests — the paper's Q1/Q2 end to end."""
+
+import pytest
+
+from repro.pxpath.evaluator import PreferenceXPath, evaluate_path
+from repro.pxpath.model import parse_xml
+
+DOC = """
+<CARS>
+  <CAR color="black" price="9500" mileage="40000" fuel_economy="40" horsepower="110"/>
+  <CAR color="white" price="12000" mileage="30000" fuel_economy="45" horsepower="100"/>
+  <CAR color="red" price="10000" mileage="20000" fuel_economy="50" horsepower="120"/>
+  <CAR color="black" price="10100" mileage="25000" fuel_economy="50" horsepower="95"/>
+  <CAR color="blue" price="8000" mileage="60000" fuel_economy="35" horsepower="140"/>
+</CARS>
+"""
+
+
+@pytest.fixture
+def px() -> PreferenceXPath:
+    return PreferenceXPath(parse_xml(DOC))
+
+
+class TestPaperQueries:
+    def test_q1_pareto(self, px):
+        out = px.query(
+            "/CARS/CAR #[(@fuel_economy) highest and (@horsepower) highest]#"
+        )
+        got = sorted((n.get("fuel_economy"), n.get("horsepower")) for n in out)
+        assert got == [(35, 140), (50, 120)]
+
+    def test_q2_prioritized_then_cascade(self, px):
+        out = px.query(
+            '/CARS/CAR #[(@color) in ("black", "white") prior to '
+            '(@price) around 10000]# #[(@mileage) lowest]#'
+        )
+        assert [(n.get("color"), n.get("price")) for n in out] == [
+            ("black", 10100)
+        ]
+
+
+class TestEvaluation:
+    def test_hard_predicate_filters(self, px):
+        out = px.query('/CARS/CAR [@price < 10000] #[(@mileage) lowest]#')
+        assert [(n.get("color"), n.get("mileage")) for n in out] == [
+            ("black", 40000)
+        ]
+
+    def test_no_soft_returns_all(self, px):
+        assert len(px.query("/CARS/CAR")) == 5
+
+    def test_wrong_root_returns_empty(self, px):
+        assert px.query("/GARAGE/CAR") == []
+
+    def test_missing_step_returns_empty(self, px):
+        assert px.query("/CARS/TRUCK") == []
+
+    def test_nodes_missing_attributes_pass_through(self):
+        doc = parse_xml(
+            '<CARS><CAR price="5"/><CAR color="red" price="9"/></CARS>'
+        )
+        out = evaluate_path(doc, '/CARS/CAR #[(@color) in ("red")]#')
+        # The attribute-less node cannot be ranked; it is kept (unranked
+        # values are never silently dominated).
+        assert len(out) == 2
+
+    def test_equality_else_chain(self, px):
+        out = px.query(
+            '/CARS/CAR #[(@color) = "red" else (@color) = "blue"]#'
+        )
+        assert [n.get("color") for n in out] == ["red"]
+
+    def test_cascaded_path_through_structure(self):
+        doc = parse_xml(
+            """
+            <SHOP>
+              <DEPT name="used">
+                <CAR price="10" quality="3"/>
+                <CAR price="10" quality="5"/>
+              </DEPT>
+              <DEPT name="new">
+                <CAR price="20" quality="5"/>
+              </DEPT>
+            </SHOP>
+            """
+        )
+        out = evaluate_path(
+            doc, '/SHOP/DEPT [@name = "used"] /CAR #[(@quality) highest]#'
+        )
+        assert [(n.get("price"), n.get("quality")) for n in out] == [(10, 5)]
+
+
+class TestSession:
+    def test_register_function(self, px):
+        px.register_function("boost", lambda v: v * 2)
+        assert "boost" in px.functions

@@ -1,0 +1,64 @@
+"""XML document model tests."""
+
+from repro.pxpath.model import XNode, parse_xml, to_xml
+
+DOC = """
+<CARS region="eu">
+  <CAR color="red" price="10000" rating="4.5"/>
+  <CAR color="blue" price="8000">
+    <NOTE>bargain</NOTE>
+  </CAR>
+</CARS>
+"""
+
+
+class TestParsing:
+    def test_structure(self):
+        root = parse_xml(DOC)
+        assert root.tag == "CARS"
+        assert len(root.child_elements("CAR")) == 2
+
+    def test_attribute_typing(self):
+        root = parse_xml(DOC)
+        car = root.child_elements("CAR")[0]
+        assert car.get("price") == 10000          # int
+        assert car.get("rating") == 4.5           # float
+        assert car.get("color") == "red"          # str
+
+    def test_text_content(self):
+        root = parse_xml(DOC)
+        note = root.child_elements("CAR")[1].child_elements("NOTE")[0]
+        assert note.text == "bargain"
+
+    def test_parent_links(self):
+        root = parse_xml(DOC)
+        assert root.child_elements("CAR")[0].parent is root
+
+    def test_descendants(self):
+        root = parse_xml(DOC)
+        tags = [n.tag for n in root.descendants()]
+        assert tags == ["CAR", "CAR", "NOTE"]
+
+    def test_row_view(self):
+        root = parse_xml(DOC)
+        row = root.child_elements("CAR")[0].row()
+        assert row == {"color": "red", "price": 10000, "rating": 4.5}
+
+    def test_get_default(self):
+        root = parse_xml(DOC)
+        assert root.get("missing", "dflt") == "dflt"
+
+
+class TestBuildAndSerialize:
+    def test_append(self):
+        root = XNode("ROOT")
+        child = root.append(XNode("ITEM", {"x": 1}))
+        assert child.parent is root
+        assert root.child_elements() == [child]
+
+    def test_to_xml_roundtrip_shape(self):
+        root = parse_xml(DOC)
+        text = to_xml(root)
+        again = parse_xml(text)
+        assert len(again.child_elements("CAR")) == 2
+        assert again.child_elements("CAR")[0].get("price") == 10000

@@ -1,0 +1,90 @@
+"""Preference XPath parser tests, including the paper's Q1 and Q2."""
+
+import pytest
+
+from repro.psql import ast as A
+from repro.pxpath.parser import (
+    AttrCondition,
+    ChildExists,
+    HardBool,
+    HardNot,
+    PathParseError,
+    parse_path,
+)
+
+Q1 = '/CARS/CAR #[(@fuel_economy) highest and (@horsepower) highest]#'
+Q2 = (
+    '/CARS/CAR #[(@color) in ("black", "white") prior to (@price) around '
+    '10000]# #[(@mileage) lowest]#'
+)
+
+
+class TestPaths:
+    def test_simple_path(self):
+        path = parse_path("/CARS/CAR")
+        assert [s.nodetest for s in path.steps] == ["CARS", "CAR"]
+
+    def test_q1(self):
+        path = parse_path(Q1)
+        soft = path.steps[1].softs
+        assert len(soft) == 1
+        assert isinstance(soft[0], A.ParetoExpr)
+        assert soft[0].operands == (
+            A.HighestAtom("fuel_economy"), A.HighestAtom("horsepower"),
+        )
+
+    def test_q2(self):
+        path = parse_path(Q2)
+        softs = path.steps[1].softs
+        assert len(softs) == 2  # two cascading soft qualifiers
+        assert isinstance(softs[0], A.PriorExpr)
+        assert softs[1] == A.LowestAtom("mileage")
+
+    def test_soft_atoms(self):
+        path = parse_path(
+            '/R/X #[(@a) around 5 and (@b) between 1 and 2 and (@c) not in '
+            '("x") and (@d) = "v" else (@d) <> "w"]#'
+        )
+        ops = path.steps[1].softs[0].operands
+        assert isinstance(ops[0], A.AroundAtom)
+        assert isinstance(ops[1], A.BetweenAtom)
+        assert isinstance(ops[2], A.NegAtom)
+        assert isinstance(ops[3], A.ElseChain)
+
+    def test_hard_predicates(self):
+        path = parse_path('/R/X [@price < 100 and not @color = "red"] [SUB]')
+        hards = path.steps[1].hards
+        assert len(hards) == 2
+        assert isinstance(hards[0], HardBool)
+        assert isinstance(hards[1], ChildExists)
+
+    def test_hard_in(self):
+        path = parse_path('/R/X [@c in ("a", "b")]')
+        cond = path.steps[1].hards[0]
+        assert cond == AttrCondition("c", "in", ("a", "b"))
+
+    def test_nested_parens_in_soft(self):
+        path = parse_path('/R/X #[((@a) highest prior to (@b) lowest) and (@c) highest]#')
+        assert isinstance(path.steps[1].softs[0], A.ParetoExpr)
+
+
+class TestErrors:
+    def test_missing_slash(self):
+        with pytest.raises(PathParseError):
+            parse_path("CARS/CAR")
+
+    def test_unterminated_soft(self):
+        with pytest.raises(PathParseError):
+            parse_path("/CARS/CAR #[(@a) highest")
+
+    def test_unterminated_string(self):
+        with pytest.raises(PathParseError):
+            parse_path('/CARS/CAR #[(@a) = "oops]#')
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PathParseError):
+            parse_path("/CARS/CAR junk")
+
+    def test_bad_spec(self):
+        with pytest.raises(PathParseError):
+            parse_path("/CARS/CAR #[(@a) wiggly]#")

@@ -1,0 +1,203 @@
+"""Algorithm tests: unit behaviour plus the agreement property — every
+engine must compute exactly the maxima the naive evaluator defines."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import nonempty_rows_st, preference_st
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import dual, pareto, prioritized, rank
+from repro.core.preference import AntiChain, ChainPreference
+from repro.query.algorithms import (
+    ComparisonCounter,
+    block_nested_loop,
+    compatible_sort_key,
+    divide_and_conquer,
+    naive_nested_loop,
+    skyline_axes,
+    sort_based_maxima,
+    sort_filter_skyline,
+    two_d_sweep,
+)
+
+
+def _key(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+SKYLINE_2D = pareto(HighestPreference("a"), LowestPreference("b"))
+SKYLINE_3D = pareto(
+    HighestPreference("a"), LowestPreference("b"), HighestPreference("c")
+)
+
+
+class TestNaive:
+    def test_trivial(self):
+        rows = [{"x": 1}, {"x": 3}, {"x": 2}]
+        assert naive_nested_loop(HighestPreference("x"), rows) == [{"x": 3}]
+
+    def test_duplicates_fan_out(self):
+        rows = [{"x": 3, "i": 1}, {"x": 3, "i": 2}, {"x": 1, "i": 3}]
+        out = naive_nested_loop(HighestPreference("x"), rows)
+        assert {r["i"] for r in out} == {1, 2}
+
+
+class TestAgreementProperties:
+    @given(preference_st(max_depth=3), nonempty_rows_st)
+    @settings(max_examples=60)
+    def test_bnl_agrees_with_naive(self, pref, rows):
+        assert _key(block_nested_loop(pref, rows)) == _key(
+            naive_nested_loop(pref, rows)
+        )
+
+    @given(preference_st(max_depth=3), nonempty_rows_st)
+    @settings(max_examples=60)
+    def test_sfs_agrees_with_naive_when_key_exists(self, pref, rows):
+        if compatible_sort_key(pref) is None:
+            pytest.skip("no compatible key")
+        assert _key(sort_filter_skyline(pref, rows)) == _key(
+            naive_nested_loop(pref, rows)
+        )
+
+    @given(nonempty_rows_st)
+    def test_dc_agrees_on_3d_skyline(self, rows):
+        assert _key(divide_and_conquer(SKYLINE_3D, rows, leaf_size=2)) == _key(
+            naive_nested_loop(SKYLINE_3D, rows)
+        )
+
+    @given(nonempty_rows_st)
+    def test_2d_sweep_agrees(self, rows):
+        assert _key(two_d_sweep(SKYLINE_2D, rows)) == _key(
+            naive_nested_loop(SKYLINE_2D, rows)
+        )
+
+    @given(nonempty_rows_st)
+    def test_sort_based_agrees_for_score_prefs(self, rows):
+        pref = AroundPreference("a", 2)
+        assert _key(sort_based_maxima(pref, rows)) == _key(
+            naive_nested_loop(pref, rows)
+        )
+
+
+class TestCompatibleSortKey:
+    def test_score_pref(self):
+        key = compatible_sort_key(AroundPreference("x", 10))
+        assert key({"x": 10}) > key({"x": 0})
+
+    def test_layered_pref(self):
+        key = compatible_sort_key(PosPreference("c", {"red"}))
+        assert key({"c": "red"}) > key({"c": "blue"})
+
+    def test_dual_reverses(self):
+        key = compatible_sort_key(dual(HighestPreference("x")))
+        assert key({"x": 1}) > key({"x": 5})
+
+    def test_compound_tuple_key(self):
+        pref = prioritized(PosPreference("a", {1}), HighestPreference("b"))
+        key = compatible_sort_key(pref)
+        assert key({"a": 1, "b": 0}) > key({"a": 0, "b": 9})
+
+    def test_antichain_constant(self):
+        key = compatible_sort_key(AntiChain("x"))
+        assert key({"x": 1}) == key({"x": 2})
+
+    def test_property_dominance_implies_key_order(self, probe_rows):
+        pref = pareto(
+            PosPreference("a", {1, 2}), AroundPreference("b", 2)
+        )
+        key = compatible_sort_key(pref)
+        for x in probe_rows[::6]:
+            for y in probe_rows[::7]:
+                if pref.lt(x, y):
+                    assert key(x) < key(y)
+
+    def test_sfs_without_key_raises(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+        from repro.core.constructors import union
+
+        p = union(
+            ExplicitPreference("x", [(1, 2)], rank_others=False),
+            ExplicitPreference("x", [(3, 4)], rank_others=False),
+        )
+        assert compatible_sort_key(p) is None
+        with pytest.raises(ValueError):
+            sort_filter_skyline(p, [{"x": 1}])
+
+
+class TestSkylineAxes:
+    def test_chains_accepted(self):
+        assert skyline_axes(SKYLINE_3D) is not None
+        assert len(skyline_axes(SKYLINE_3D)) == 3
+
+    def test_around_children_refused(self):
+        # Score equality is not projection equality for AROUND — vector
+        # skylines would be wrong (Example 2), so they must be refused.
+        pref = pareto(AroundPreference("a", 0), HighestPreference("b"))
+        assert skyline_axes(pref) is None
+
+    def test_non_pareto_refused(self):
+        assert skyline_axes(HighestPreference("a")) is None
+
+    def test_dual_and_chain_preference_children(self):
+        pref = pareto(
+            dual(LowestPreference("a")), ChainPreference("b", key=lambda v: v)
+        )
+        assert skyline_axes(pref) is not None
+
+    def test_dc_refuses_non_vector_preference(self):
+        pref = pareto(AroundPreference("a", 0), HighestPreference("b"))
+        with pytest.raises(ValueError):
+            divide_and_conquer(pref, [{"a": 1, "b": 1}])
+
+    def test_2d_refuses_wrong_arity(self):
+        with pytest.raises(ValueError):
+            two_d_sweep(SKYLINE_3D, [{"a": 1, "b": 1, "c": 1}])
+
+
+class TestSortBased:
+    def test_requires_score(self):
+        with pytest.raises(ValueError):
+            sort_based_maxima(PosPreference("c", {"x"}), [{"c": "x"}])
+
+    def test_rank_preferences_supported(self):
+        pref = rank(
+            lambda a, b: a + b,
+            HighestPreference("a"),
+            HighestPreference("b"),
+            name="sum",
+        )
+        rows = [{"a": 1, "b": 1}, {"a": 0, "b": 3}, {"a": 2, "b": 0}]
+        out = sort_based_maxima(pref, rows)
+        assert out == [{"a": 0, "b": 3}]
+
+
+class TestComparisonCounter:
+    def test_counts_lt_calls(self):
+        counter = ComparisonCounter()
+        pref = counter.wrap(HighestPreference("x"))
+        # Descending order maximizes work: the maximum (first candidate)
+        # must scan everyone, every loser finds its dominator immediately.
+        rows = [{"x": v} for v in reversed(range(10))]
+        naive_nested_loop(pref, rows)
+        assert counter.comparisons == 9 + 9  # 9 for the max, 1 per loser
+
+    def test_counter_upper_bound_is_all_pairs(self):
+        counter = ComparisonCounter()
+        pref = counter.wrap(HighestPreference("x"))
+        rows = [{"x": v} for v in range(10)]
+        naive_nested_loop(pref, rows)
+        assert 0 < counter.comparisons <= 10 * 9
+
+    def test_bnl_uses_fewer_comparisons_on_chains(self):
+        c_naive, c_bnl = ComparisonCounter(), ComparisonCounter()
+        rows = [{"x": v} for v in range(50)]
+        naive_nested_loop(c_naive.wrap(HighestPreference("x")), rows)
+        block_nested_loop(c_bnl.wrap(HighestPreference("x")), rows)
+        assert c_bnl.comparisons < c_naive.comparisons

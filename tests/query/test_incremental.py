@@ -1,0 +1,83 @@
+"""Incremental BMO maintenance tests, including the live Example 9 replay
+and a property: the window always equals the batch evaluation."""
+
+from hypothesis import given, settings
+
+from tests.conftest import nonempty_rows_st, preference_st
+
+from repro.core.base_numerical import AroundPreference, HighestPreference
+from repro.core.constructors import pareto
+from repro.query.algorithms import block_nested_loop
+from repro.query.incremental import IncrementalBMO
+
+
+def _keys(rows, attrs):
+    return sorted(tuple(r[a] for a in attrs) for r in rows)
+
+
+class TestExample9Live:
+    def test_non_monotonic_stream(self):
+        pref = pareto(HighestPreference("fe"), HighestPreference("ir"))
+        live = IncrementalBMO(pref)
+
+        assert live.insert({"fe": 100, "ir": 3})          # frog
+        assert not live.insert({"fe": 50, "ir": 3})       # cat: dominated
+        assert live.result_size() == 1
+
+        assert live.insert({"fe": 50, "ir": 10})          # shark widens
+        assert live.result_size() == 2
+
+        assert live.insert({"fe": 100, "ir": 10})         # turtle shrinks
+        assert live.result_size() == 1
+        assert live.result()[0] == {"fe": 100, "ir": 10}
+
+    def test_stats(self):
+        pref = HighestPreference("x")
+        live = IncrementalBMO(pref)
+        live.insert_many([{"x": 1}, {"x": 2}, {"x": 0}, {"x": 2}])
+        assert live.stats == {"inserted": 4, "rejected": 1, "evicted": 1}
+        # projection-equal duplicates share the maximal slot
+        assert len(live) == 2 and live.result_size() == 1
+
+
+class TestRemoval:
+    def test_removing_a_maximum_resurrects(self):
+        pref = HighestPreference("x")
+        live = IncrementalBMO(pref)
+        live.insert_many([{"x": 1}, {"x": 3}, {"x": 2}])
+        assert _keys(live.result(), ("x",)) == [(3,)]
+        assert live.remove({"x": 3})
+        assert _keys(live.result(), ("x",)) == [(2,)]
+
+    def test_remove_missing_is_false(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert({"x": 1})
+        assert not live.remove({"x": 99})
+        assert live.seen() == 1
+
+    def test_remove_one_duplicate_keeps_other(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert_many([{"x": 5}, {"x": 5}])
+        assert live.remove({"x": 5})
+        assert _keys(live.result(), ("x",)) == [(5,)]
+
+
+class TestAgreementProperty:
+    @given(preference_st(max_depth=3), nonempty_rows_st)
+    @settings(max_examples=50)
+    def test_window_equals_batch(self, pref, rows):
+        live = IncrementalBMO(pref)
+        live.insert_many(rows)
+        batch = block_nested_loop(pref, rows)
+        key = lambda r: tuple(sorted(r.items()))
+        assert sorted(map(key, live.result())) == sorted(map(key, batch))
+
+    @given(nonempty_rows_st)
+    def test_window_equals_batch_after_removal(self, rows):
+        pref = pareto(AroundPreference("a", 2), HighestPreference("b"))
+        live = IncrementalBMO(pref)
+        live.insert_many(rows)
+        live.remove(rows[0])
+        batch = block_nested_loop(pref, rows[1:])
+        key = lambda r: tuple(sorted(r.items()))
+        assert sorted(map(key, live.result())) == sorted(map(key, batch))

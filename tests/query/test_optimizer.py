@@ -1,0 +1,147 @@
+"""Optimizer tests: algorithm choice, cascades, plan shapes, EXPLAIN, and
+the master property — optimized execution equals naive BMO."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import nonempty_rows_st, preference_st
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.core.constructors import dual, pareto, prioritized, rank
+from repro.query.bmo import bmo
+from repro.query.optimizer import choose_algorithm, execute, explain, plan
+from repro.query.plan import Cascade, PreferenceSelect, TopK
+from repro.query.quality import QualityCondition
+from repro.relations.relation import Relation
+
+
+def rel(rows):
+    return Relation.from_dicts("r", rows) if rows else Relation.from_dicts(
+        "r", [{"a": 0, "b": 0, "c": 0}]
+    ).limit(0)
+
+
+class TestChooseAlgorithm:
+    def test_score_prefs_sort(self):
+        assert choose_algorithm(AroundPreference("x", 1)) == "sort"
+        assert choose_algorithm(
+            rank(lambda a, b: a + b, HighestPreference("x"), LowestPreference("y"))
+        ) == "sort"
+
+    def test_2d_skyline(self):
+        assert choose_algorithm(
+            pareto(HighestPreference("x"), LowestPreference("y"))
+        ) == "2d"
+
+    def test_multi_d_skyline(self):
+        assert choose_algorithm(
+            pareto(
+                HighestPreference("x"),
+                LowestPreference("y"),
+                HighestPreference("z"),
+            )
+        ) == "dc"
+
+    def test_sfs_when_key_exists(self):
+        pref = pareto(PosPreference("c", {"x"}), AroundPreference("p", 1))
+        assert choose_algorithm(pref) == "sfs"
+
+    def test_bnl_fallback(self):
+        from repro.core.base_nonnumerical import ExplicitPreference
+        from repro.core.constructors import union
+
+        pref = union(
+            ExplicitPreference("x", [(1, 2)], rank_others=False),
+            ExplicitPreference("x", [(3, 4)], rank_others=False),
+        )
+        assert choose_algorithm(pref) == "bnl"
+
+
+class TestPlanShapes:
+    def test_cascade_for_chain_heads(self):
+        pref = prioritized(
+            LowestPreference("a"), pareto(HighestPreference("b"), LowestPreference("c"))
+        )
+        p = plan(pref, rel([{"a": 1, "b": 1, "c": 1}]))
+        assert isinstance(p.root, Cascade)
+        assert len(p.root.stages) == 2
+
+    def test_no_cascade_without_chain_head(self):
+        pref = prioritized(PosPreference("a", {1}), LowestPreference("b"))
+        p = plan(pref, rel([{"a": 1, "b": 1}]))
+        assert isinstance(p.root, PreferenceSelect)
+
+    def test_top_k_plan(self):
+        p = plan(AroundPreference("a", 1), rel([{"a": 1}]), top_k=3)
+        assert isinstance(p.root, TopK)
+
+    def test_rewrites_recorded(self):
+        pref = prioritized(PosPreference("a", {1}), PosPreference("a", {1}))
+        p = plan(pref, rel([{"a": 1}]))
+        assert p.rewrites  # prioritized_covered fired
+
+    def test_rewriter_can_be_disabled(self):
+        pref = dual(dual(PosPreference("a", {1})))
+        p = plan(pref, rel([{"a": 1}]), use_rewriter=False)
+        assert not p.rewrites
+
+
+class TestExecute:
+    def test_hard_selection_applied_first(self):
+        rows = [{"a": 1, "b": 5}, {"a": 2, "b": 9}]
+        out = execute(
+            HighestPreference("b"),
+            rel(rows),
+            hard=lambda r: r["a"] == 1,
+        )
+        assert out.rows() == [{"a": 1, "b": 5}]
+
+    def test_but_only_applied_after(self):
+        rows = [{"a": 7, "b": 1}]
+        out = execute(
+            AroundPreference("a", 0),
+            rel(rows),
+            but_only=[QualityCondition("distance", "a", "<=", 2)],
+        )
+        assert len(out) == 0
+
+    def test_projection_and_limit(self):
+        rows = [{"a": 1, "b": 5}, {"a": 2, "b": 5}]
+        out = execute(
+            HighestPreference("b"), rel(rows), select=["a"], limit=1
+        )
+        assert out.attributes == ("a",)
+        assert len(out) == 1
+
+    def test_groupby(self):
+        rows = [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 5},
+        ]
+        out = execute(HighestPreference("b"), rel(rows), groupby=["a"])
+        assert sorted(r["b"] for r in out) == [5, 20]
+
+    def test_explain_mentions_algorithm_and_laws(self):
+        pref = prioritized(
+            LowestPreference("a"), prioritized(PosPreference("b", {1}),
+                                               PosPreference("b", {1}))
+        )
+        text = explain(pref, rel([{"a": 1, "b": 1}]))
+        assert "Cascade" in text or "PreferenceSelect" in text
+        assert "rewrites applied:" in text
+
+
+class TestOptimizerCorrectnessProperty:
+    @given(preference_st(max_depth=3), nonempty_rows_st)
+    @settings(max_examples=60)
+    def test_optimized_equals_naive(self, pref, rows):
+        relation = Relation.from_dicts("r", rows)
+        optimized = execute(pref, relation)
+        naive = bmo(pref, relation, algorithm="naive")
+        assert optimized == naive

@@ -1,0 +1,116 @@
+"""Direct tests for the plan node operators."""
+
+import pytest
+
+from repro.core.base_numerical import AroundPreference, HighestPreference, LowestPreference
+from repro.core.constructors import pareto
+from repro.query.plan import (
+    ButOnly,
+    Cascade,
+    GroupedPreferenceSelect,
+    HardSelect,
+    Limit,
+    Plan,
+    PreferenceSelect,
+    Project,
+    Scan,
+    TopK,
+)
+from repro.query.quality import QualityCondition
+from repro.relations.relation import Relation
+
+
+@pytest.fixture
+def rel() -> Relation:
+    return Relation.from_dicts(
+        "r",
+        [
+            {"g": 1, "x": 10, "y": 5},
+            {"g": 1, "x": 20, "y": 1},
+            {"g": 2, "x": 30, "y": 9},
+            {"g": 2, "x": 40, "y": 2},
+        ],
+    )
+
+
+class TestNodes:
+    def test_scan(self, rel):
+        assert Scan(rel).execute() is rel
+        assert "Scan[r]" in Scan(rel).explain()
+
+    def test_hard_select(self, rel):
+        node = HardSelect(Scan(rel), lambda r: r["g"] == 1, label="g = 1")
+        assert len(node.execute()) == 2
+        assert "HardSelect[g = 1]" in node.explain()
+
+    def test_preference_select(self, rel):
+        node = PreferenceSelect(Scan(rel), HighestPreference("x"), "sort")
+        assert node.execute().rows() == [{"g": 2, "x": 40, "y": 2}]
+        assert "algorithm=sort" in node.explain()
+
+    def test_grouped_preference_select(self, rel):
+        node = GroupedPreferenceSelect(
+            Scan(rel), HighestPreference("x"), ("g",)
+        )
+        assert sorted(r["x"] for r in node.execute()) == [20, 40]
+
+    def test_cascade(self, rel):
+        node = Cascade(
+            Scan(rel),
+            ((LowestPreference("y"), "sort"), (HighestPreference("x"), "sort")),
+        )
+        assert node.execute().rows() == [{"g": 1, "x": 20, "y": 1}]
+        assert "Proposition 11" in node.explain()
+
+    def test_topk(self, rel):
+        node = TopK(Scan(rel), HighestPreference("x"), 2)
+        assert [r["x"] for r in node.execute()] == [40, 30]
+
+    def test_but_only(self, rel):
+        pref = AroundPreference("x", 25)
+        node = ButOnly(
+            PreferenceSelect(Scan(rel), pref, "sort"),
+            pref,
+            (QualityCondition("distance", "x", "<=", 1),),
+        )
+        assert len(node.execute()) == 0
+        assert "ButOnly[DISTANCE(x) <= 1]" in node.explain()
+
+    def test_project_and_limit(self, rel):
+        node = Limit(Project(Scan(rel), ("x",)), 2)
+        out = node.execute()
+        assert out.attributes == ("x",) and len(out) == 2
+
+    def test_plan_explain_with_rewrites(self, rel):
+        plan = Plan(
+            Scan(rel),
+            rewrites=(("dual", "(P^d)^d", "P"),),
+        )
+        text = plan.explain()
+        assert "rewrites applied:" in text and "dual" in text
+
+    def test_plan_without_rewrites(self, rel):
+        assert "rewrites" not in Plan(Scan(rel)).explain()
+
+
+class TestComposition:
+    def test_full_stack(self, rel):
+        pref = pareto(HighestPreference("x"), LowestPreference("y"))
+        node = Limit(
+            Project(
+                PreferenceSelect(
+                    HardSelect(Scan(rel), lambda r: r["x"] > 10, "x > 10"),
+                    pref,
+                    "bnl",
+                ),
+                ("x", "y"),
+            ),
+            5,
+        )
+        out = node.execute()
+        assert set(out.attributes) == {"x", "y"}
+        assert all(r["x"] > 10 for r in out)
+        # explain renders the whole stack, innermost last
+        lines = node.explain().splitlines()
+        assert lines[0].startswith("Limit")
+        assert lines[-1].strip().startswith("Scan")

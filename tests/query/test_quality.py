@@ -1,0 +1,119 @@
+"""LEVEL / DISTANCE quality functions and BUT ONLY (Section 6.1)."""
+
+import datetime
+
+import pytest
+
+from repro.core.base_nonnumerical import ExplicitPreference, PosNegPreference
+from repro.core.base_numerical import AroundPreference, BetweenPreference
+from repro.core.constructors import pareto, prioritized
+from repro.query.quality import (
+    QualityCondition,
+    base_preferences_by_attribute,
+    but_only,
+    distance_of,
+    explain_quality,
+    level_of,
+)
+
+
+def wish():
+    return pareto(
+        PosNegPreference("color", {"yellow"}, {"gray"}),
+        AroundPreference("price", 40000),
+    )
+
+
+class TestBasePreferenceWalk:
+    def test_finds_leaves_by_attribute(self):
+        found = base_preferences_by_attribute(wish())
+        assert set(found) == {"color", "price"}
+
+    def test_nested(self):
+        pref = prioritized(wish(), BetweenPreference("mileage", 0, 50000))
+        found = base_preferences_by_attribute(pref)
+        assert "mileage" in found
+
+
+class TestLevelAndDistance:
+    def test_level_of_layered(self):
+        row = {"color": "gray", "price": 40000}
+        assert level_of(wish(), "color", row) == 3
+
+    def test_level_of_explicit(self):
+        pref = ExplicitPreference("c", [("b", "a")])
+        assert level_of(pref, "c", {"c": "a"}) == 1
+        assert level_of(pref, "c", {"c": "b"}) == 2
+        # Unlisted values sit one level below the whole graph (Example 1).
+        assert level_of(pref, "c", {"c": "zzz"}) == 3
+
+    def test_level_of_missing(self):
+        assert level_of(wish(), "price", {"color": "x", "price": 1}) is None
+
+    def test_distance_of_numeric(self):
+        row = {"color": "yellow", "price": 42000}
+        assert distance_of(wish(), "price", row) == 2000
+
+    def test_distance_of_missing(self):
+        assert distance_of(wish(), "color", {"color": "x", "price": 1}) is None
+
+
+class TestQualityCondition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QualityCondition("sharpness", "price", "<=", 1)
+        with pytest.raises(ValueError):
+            QualityCondition("level", "price", "~~", 1)
+
+    def test_matches_level(self):
+        cond = QualityCondition("level", "color", "<=", 2)
+        assert cond.matches(wish(), {"color": "blue", "price": 0})
+        assert not cond.matches(wish(), {"color": "gray", "price": 0})
+
+    def test_matches_distance(self):
+        cond = QualityCondition("distance", "price", "<=", 1000)
+        assert cond.matches(wish(), {"color": "x", "price": 40500})
+        assert not cond.matches(wish(), {"color": "x", "price": 45000})
+
+    def test_unknown_attribute_raises(self):
+        cond = QualityCondition("distance", "mileage", "<=", 1)
+        with pytest.raises(ValueError):
+            cond.matches(wish(), {"color": "x", "price": 1})
+
+    def test_timedelta_bound_coercion(self):
+        # DISTANCE(start_date) <= 2 means two days (the trips example).
+        pref = AroundPreference("start", datetime.date(2001, 11, 23))
+        cond = QualityCondition("distance", "start", "<=", 2)
+        assert cond.matches(pref, {"start": datetime.date(2001, 11, 24)})
+        assert not cond.matches(pref, {"start": datetime.date(2001, 11, 28)})
+
+    def test_describe(self):
+        cond = QualityCondition("distance", "price", "<=", 1000)
+        text = cond.describe(wish(), {"color": "x", "price": 45000})
+        assert "rejected" in text
+
+
+class TestButOnly:
+    def test_filters_relaxed_matches(self):
+        rows = [
+            {"color": "yellow", "price": 40100},
+            {"color": "yellow", "price": 48000},
+        ]
+        out = but_only(
+            wish(), rows, [QualityCondition("distance", "price", "<=", 500)]
+        )
+        assert out == [rows[0]]
+
+    def test_can_empty_the_result(self):
+        rows = [{"color": "gray", "price": 99999}]
+        out = but_only(
+            wish(), rows, [QualityCondition("level", "color", "<=", 1)]
+        )
+        assert out == []
+
+    def test_explain_quality_lines(self):
+        rows = [{"color": "yellow", "price": 41000}]
+        lines = explain_quality(
+            wish(), rows, [QualityCondition("distance", "price", "<=", 500)]
+        )
+        assert len(lines) == 1 and "DISTANCE(price)" in lines[0]

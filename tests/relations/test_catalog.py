@@ -1,0 +1,45 @@
+"""Catalog tests."""
+
+import pytest
+
+from repro.relations.catalog import Catalog
+from repro.relations.relation import Relation, RelationError
+
+
+def rel(name: str) -> Relation:
+    return Relation.from_dicts(name, [{"x": 1}])
+
+
+class TestCatalog:
+    def test_register_and_get_case_insensitive(self):
+        cat = Catalog()
+        cat.register(rel("Car"))
+        assert cat.get("CAR").name == "Car"
+        assert "car" in cat and "CAR" in cat
+
+    def test_double_register_rejected(self):
+        cat = Catalog()
+        cat.register(rel("car"))
+        with pytest.raises(RelationError):
+            cat.register(rel("car"))
+        cat.register(rel("car"), replace=True)  # explicit replace is fine
+
+    def test_unknown_relation(self):
+        with pytest.raises(RelationError):
+            Catalog().get("ghost")
+
+    def test_drop(self):
+        cat = Catalog()
+        cat.register(rel("car"))
+        cat.drop("car")
+        assert len(cat) == 0
+        with pytest.raises(RelationError):
+            cat.drop("car")
+
+    def test_init_mapping_renames(self):
+        cat = Catalog({"trips": rel("whatever")})
+        assert cat.get("trips").name == "trips"
+
+    def test_names_sorted(self):
+        cat = Catalog({"b": rel("b"), "a": rel("a")})
+        assert cat.names() == ["a", "b"]

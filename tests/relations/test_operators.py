@@ -1,0 +1,102 @@
+"""Functional operator and aggregation tests."""
+
+import pytest
+
+from repro.relations.operators import (
+    aggregate,
+    cross_join,
+    difference,
+    distinct,
+    equi_join,
+    group_by,
+    intersect,
+    natural_join,
+    order_by,
+    project,
+    rename,
+    select,
+    union_all,
+)
+from repro.relations.relation import Relation, RelationError
+
+
+def left() -> Relation:
+    return Relation.from_dicts(
+        "orders",
+        [
+            {"oid": 1, "cid": 10, "amount": 5},
+            {"oid": 2, "cid": 20, "amount": 7},
+            {"oid": 3, "cid": 10, "amount": 1},
+        ],
+    )
+
+
+def right() -> Relation:
+    return Relation.from_dicts(
+        "customers",
+        [{"id": 10, "name": "julia"}, {"id": 20, "name": "leslie"}],
+    )
+
+
+class TestFunctionalWrappers:
+    def test_select_project_compose(self):
+        out = project(select(left(), lambda r: r["amount"] > 2), ["oid"])
+        assert out.tuples() == [(1,), (2,)]
+
+    def test_rename_orderby(self):
+        out = order_by(rename(left(), {"amount": "qty"}), ["qty"])
+        assert [r["qty"] for r in out] == [1, 5, 7]
+
+    def test_set_ops(self):
+        l = left()
+        assert len(union_all(l, l)) == 6
+        assert len(intersect(l, l)) == 3
+        assert len(difference(l, l)) == 0
+        assert len(distinct(union_all(l, l))) == 3
+
+
+class TestJoins:
+    def test_equi_join(self):
+        joined = equi_join(left(), right(), on=[("cid", "id")])
+        assert len(joined) == 3
+        assert {r["name"] for r in joined} == {"julia", "leslie"}
+        assert "id" not in joined.attributes  # right join key dropped
+
+    def test_equi_join_unknown_attributes(self):
+        with pytest.raises(RelationError):
+            equi_join(left(), right(), on=[("nope", "id")])
+        with pytest.raises(RelationError):
+            equi_join(left(), right(), on=[("cid", "nope")])
+
+    def test_equi_join_name_clash(self):
+        clashing = right().rename({"name": "amount"})
+        with pytest.raises(RelationError):
+            equi_join(left(), clashing, on=[("cid", "id")])
+
+    def test_natural_join_wrapper(self):
+        r2 = right().rename({"id": "cid"})
+        assert len(natural_join(left(), r2)) == 3
+
+    def test_cross_join(self):
+        r2 = right().rename({"id": "xid"})
+        assert len(cross_join(left(), r2)) == 6
+
+    def test_cross_join_requires_disjoint(self):
+        with pytest.raises(RelationError):
+            cross_join(left(), left())
+
+
+class TestAggregate:
+    def test_group_and_fold(self):
+        out = aggregate(
+            left(),
+            ["cid"],
+            {"total": ("amount", sum), "n": ("amount", len)},
+        )
+        rows = {r["cid"]: r for r in out}
+        assert rows[10]["total"] == 6 and rows[10]["n"] == 2
+        assert rows[20]["total"] == 7
+
+    def test_group_by_wrapper(self):
+        groups = group_by(left(), ["cid"])
+        assert len(groups[(10,)]) == 2

@@ -1,0 +1,80 @@
+"""Schema and attribute tests."""
+
+import datetime
+
+import pytest
+
+from repro.relations.schema import Attribute, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_numeric_detection(self):
+        assert Attribute("price", int).is_numeric
+        assert Attribute("when", datetime.date).is_numeric
+        assert not Attribute("name", str).is_numeric
+        assert not Attribute("flag", bool).is_numeric
+        assert not Attribute("anything").is_numeric
+
+    def test_validation(self):
+        Attribute("price", int).validate(5)
+        Attribute("price", float).validate(5)      # int where float expected
+        Attribute("price").validate("anything")    # untyped accepts all
+        Attribute("price", int).validate(None)     # NULLs always pass
+        with pytest.raises(SchemaError):
+            Attribute("price", int).validate("5")
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestSchema:
+    def test_mixed_construction(self):
+        schema = Schema(["a", ("b", int), Attribute("c", str)])
+        assert schema.names == ("a", "b", "c")
+        assert schema["b"].data_type is int
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"])["zzz"]
+
+    def test_validate_row(self):
+        schema = Schema([("a", int), ("b", str)])
+        schema.validate_row({"a": 1, "b": "x"})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1, "b": "x", "z": 0})
+
+    def test_project_and_rename(self):
+        schema = Schema([("a", int), ("b", str)])
+        assert schema.project(["b"]).names == ("b",)
+        renamed = schema.rename({"a": "alpha"})
+        assert renamed.names == ("alpha", "b")
+        assert renamed["alpha"].data_type is int
+
+    def test_join_merges_and_checks_types(self):
+        s1 = Schema([("a", int), ("b", str)])
+        s2 = Schema([("b", str), ("c", float)])
+        assert s1.join(s2).names == ("a", "b", "c")
+        with pytest.raises(SchemaError):
+            s1.join(Schema([("b", int)]))
+
+    def test_infer(self):
+        schema = Schema.infer(
+            [{"a": 1, "b": "x"}, {"a": 2.5, "b": "y"}, {"a": 3, "b": None}]
+        )
+        assert schema["a"].data_type is float  # int+float generalize
+        assert schema["b"].data_type is str
+
+    def test_infer_needs_rows(self):
+        with pytest.raises(SchemaError):
+            Schema.infer([])

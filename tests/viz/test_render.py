@@ -1,0 +1,47 @@
+"""Rendering tests."""
+
+from repro.core.base_nonnumerical import ExplicitPreference
+from repro.core.graph import BetterThanGraph
+from repro.core.preference import AntiChain
+from repro.viz import render_edges, render_levels, to_dot, write_dot
+
+
+def example1_graph() -> BetterThanGraph:
+    pref = ExplicitPreference(
+        "color", [("green", "yellow"), ("green", "red"), ("yellow", "white")]
+    )
+    return BetterThanGraph(
+        pref, ["white", "red", "yellow", "green", "brown", "black"]
+    )
+
+
+class TestRenderLevels:
+    def test_matches_paper_figure(self):
+        lines = render_levels(example1_graph()).splitlines()
+        assert lines[0] == "Level 1:  red  white"
+        assert lines[1] == "Level 2:  yellow"
+        assert lines[2] == "Level 3:  green"
+        assert lines[3] == "Level 4:  black  brown"
+
+
+class TestRenderEdges:
+    def test_cover_edges_only(self):
+        text = render_edges(example1_graph())
+        assert "white <- yellow" in text
+        assert "yellow <- green" in text
+        # transitive edge green -> white must not appear
+        assert "white <- green" not in text
+
+    def test_antichain_message(self):
+        g = BetterThanGraph(AntiChain("x"), [1, 2])
+        assert "anti-chain" in render_edges(g)
+
+
+class TestDot:
+    def test_to_dot(self):
+        dot = to_dot(example1_graph())
+        assert '"green" -> "yellow"' in dot
+
+    def test_write_dot(self, tmp_path):
+        target = write_dot(example1_graph(), tmp_path / "g.dot")
+        assert target.read_text().startswith("digraph")
