@@ -3,31 +3,29 @@
 Run:  python examples/quickstart.py
 
 Walks the core loop of the library in five minutes: declare base
-preferences, compose them with Pareto and prioritized accumulation, draw
-the better-than graph, and ask a Best-Matches-Only query that never comes
-back empty.
+preferences, compose them with Pareto and prioritized accumulation, and ask
+Best-Matches-Only queries through the unified fluent API — one lazily
+planned ``PreferenceQuery`` pipeline shared by the builder, Preference SQL,
+and Preference XPath.
 """
 
-from repro import AROUND, EXPLICIT, LOWEST, POS, pareto, prioritized
+from repro import AROUND, EXPLICIT, LOWEST, POS, Session, pareto, prioritized
 from repro.core.graph import BetterThanGraph
-from repro.query import bmo, explain, execute
-from repro.relations import Relation
 
 
 def main() -> None:
-    # -- 1. A database set (Section 5: the "reality" side of match-making).
-    cars = Relation.from_dicts(
-        "car",
-        [
+    # -- 1. A session over a database set (Section 5: the "reality" side).
+    s = Session({
+        "car": [
             {"id": 1, "color": "red", "price": 42000, "mileage": 20000},
             {"id": 2, "color": "black", "price": 38500, "mileage": 60000},
             {"id": 3, "color": "gray", "price": 39000, "mileage": 15000},
             {"id": 4, "color": "red", "price": 55000, "mileage": 5000},
             {"id": 5, "color": "blue", "price": 39500, "mileage": 45000},
         ],
-    )
+    })
     print("catalog:")
-    print(cars.head())
+    print(s.catalog.get("car").head())
 
     # -- 2. Wishes (Section 3): base preferences...
     colour = POS("color", {"red", "black"})     # favourites first
@@ -39,16 +37,31 @@ def main() -> None:
     print(f"\nwish: {wish!r}")
 
     # -- 3. The BMO query: all best matches, only best matches (Def. 15).
-    best = bmo(wish, cars)
+    #    Nothing runs until a terminal method (.run/.explain/.iter/.to_sql).
+    query = s.query("car").prefer(wish)
+    best = query.run()
     print("\nbest matches:")
     print(best.head())
 
     # -- 4. Even impossible wishes get cooperative answers - never empty.
-    dreamer = AROUND("price", 1000)
     print("\nclosest to an impossible price of 1000:")
-    print(bmo(dreamer, cars).head())
+    print(s.query("car").prefer(AROUND("price", 1000)).run().head())
 
-    # -- 5. Better-than graphs are the visual face of a preference (Def. 2).
+    # -- 5. Builders chain freely: hard filters, grouping, top-k, SQL text.
+    print("\nbest red-or-black car per color group, as SQL92:")
+    grouped = s.query("car").prefer(price).groupby("color")
+    print(grouped.to_sql())
+    print(grouped.run().head())
+
+    # -- 6. Preference SQL runs through the same pipeline (and plan cache).
+    from_sql = s.sql(
+        "SELECT * FROM car PREFERRING (color IN ('red', 'black')"
+        " AND price AROUND 40000) PRIOR TO LOWEST(mileage)"
+    )
+    assert from_sql == best
+    print("\nPreference SQL agrees with the fluent query.")
+
+    # -- 7. Better-than graphs are the visual face of a preference (Def. 2).
     taste = EXPLICIT(
         "color", [("gray", "blue"), ("blue", "red"), ("blue", "black")]
     )
@@ -56,13 +69,11 @@ def main() -> None:
     print("\nhandcrafted colour taste (level 1 = best):")
     print(graph.render())
 
-    # -- 6. The optimizer explains itself (which laws fired, which engine).
+    # -- 8. The planner explains itself (which laws fired, which engine),
+    #    and repeated queries hit the session's plan cache.
     print("\nquery plan:")
-    print(explain(wish, cars))
-
-    result = execute(wish, cars)
-    assert result == best
-    print("\noptimized execution agrees with the declarative evaluation.")
+    print(query.explain())
+    print(f"\nplan cache: {s.cache_info()}")
 
 
 if __name__ == "__main__":

@@ -10,16 +10,40 @@ and Preference XPath.
 
 Quickstart::
 
-    from repro import POS, AROUND, LOWEST, pareto, prioritized
-    from repro.relations import Relation
-    from repro.query import bmo
+    from repro import AROUND, POS, Session, pareto, prioritized
 
-    cars = Relation.from_dicts("car", [
+    s = Session({"car": [
         {"color": "red", "price": 40000},
         {"color": "gray", "price": 20000},
-    ])
+    ]})
     wish = prioritized(POS("color", {"red"}), AROUND("price", 25000))
-    best = bmo(wish, cars)
+    best = s.query("car").prefer(wish).run()
+    print(s.query("car").prefer(wish).explain())   # plan + fired laws
+    same = s.sql("SELECT * FROM car PREFERRING color = 'red'")
+
+Every entry point — the fluent :class:`~repro.query.api.PreferenceQuery`
+builder above, Preference SQL (:class:`~repro.psql.executor.PreferenceSQL`
+or ``Session.sql``), and Preference XPath — funnels through one lazily
+evaluated planning pipeline with a per-session plan cache.
+
+Migrating from the pre-Session functional helpers (still available as
+deprecated shims):
+
+===================================  =========================================
+old entry point                      fluent equivalent
+===================================  =========================================
+``bmo(p, rel)``                      ``PreferenceQuery.over(rel).prefer(p).run()``
+``bmo(p, rel, algorithm="sfs")``     ``...prefer(p).using("sfs").run()``
+``bmo_groupby(p, by, rel)``          ``...prefer(p).groupby(*by).run()``
+``top_k(p, rel, k, ties=t)``         ``...prefer(p).top(k, ties=t).run()``
+``but_only(p, rel, conds)``          ``...prefer(p).but_only(*conds).run()``
+``optimizer.execute(p, rel, ...)``   ``Session(cat).query(name).prefer(p).run()``
+``optimizer.explain(p, rel, ...)``   ``...prefer(p).explain()``
+``PreferenceSQL(cat).execute(text)`` ``Session(cat).sql(text)``
+===================================  =========================================
+
+(Catalog-bound queries via ``Session.query`` additionally memoize their
+plans, keyed on the relation's catalog version.)
 """
 
 from repro.core import (
@@ -54,6 +78,10 @@ from repro.core import (
     rank,
     union,
 )
+from repro.query.api import PreferenceQuery
+from repro.relations.catalog import Catalog
+from repro.relations.relation import Relation
+from repro.session import Session
 
 # Paper-style aliases: read like Definition 6/7 constructor applications.
 POS = PosPreference
@@ -76,6 +104,7 @@ __all__ = [
     "BETWEEN",
     "BetterThanGraph",
     "BetweenPreference",
+    "Catalog",
     "ChainPreference",
     "DisjointUnionPreference",
     "DualPreference",
@@ -98,10 +127,13 @@ __all__ = [
     "PosPosPreference",
     "PosPreference",
     "Preference",
+    "PreferenceQuery",
     "PrioritizedPreference",
     "RankPreference",
+    "Relation",
     "SCORE",
     "ScorePreference",
+    "Session",
     "SubsetPreference",
     "dual",
     "intersection",

@@ -23,7 +23,7 @@ from typing import Any, Sequence
 from repro.core.constructors import ParetoPreference
 from repro.core.graph import BetterThanGraph
 from repro.core.preference import Preference, Row
-from repro.query.bmo import _repack, _unpack, bmo
+from repro.query.bmo import _repack, _unpack, winnow
 from repro.relations.relation import Relation
 
 
@@ -101,13 +101,13 @@ def negotiate(
         raise ValueError("negotiation needs at least two parties")
     rows, _ = _unpack(data)
 
-    solo = [bmo(p, rows) for p in party_preferences]
+    solo = [winnow(p, rows) for p in party_preferences]
     solo_keys = [{_row_key(r) for r in s} for s in solo]
     common = set.intersection(*solo_keys)
     immediate = [r for r in rows if _row_key(r) in common]
 
     joint = ParetoPreference(tuple(party_preferences))
-    frontier_rows = bmo(joint, rows)
+    frontier_rows = winnow(joint, rows)
     regret_maps = [_regret_levels(p, rows) for p in party_preferences]
     frontier = [
         Candidate(

@@ -2,14 +2,18 @@
 
 :class:`PreferenceSQL` owns a catalog of relations and a registry of scoring
 / combining functions for SCORE and RANK.  ``execute`` returns a relation;
-``explain`` shows the chosen plan including the algebra laws that fired —
-the front-end face of the whole library.
+``explain`` shows the chosen plan including the algebra laws that fired.
+
+Since the unified-API redesign this class is a thin front end over
+:class:`~repro.session.Session`: every statement is translated into a
+:class:`~repro.query.api.PreferenceQuery` and planned/executed through the
+same pipeline as the fluent API and Preference XPath — one execution path,
+one plan cache.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.core.constructors import PrioritizedPreference
 from repro.core.preference import Preference
@@ -17,51 +21,41 @@ from repro.psql.ast import Query
 from repro.psql.parser import parse
 from repro.psql.translate import (
     TranslationError,
+    render_where,
     translate_preferring,
-    translate_quality,
-    translate_where,
 )
-from repro.query.optimizer import plan as build_plan
 from repro.query.plan import Plan
 from repro.relations.catalog import Catalog
 from repro.relations.relation import Relation
-
-#: Combining functions available to RANK(...) out of the box.
-DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
-    "sum": lambda *xs: sum(xs),
-    "avg": lambda *xs: sum(xs) / len(xs),
-    "min": lambda *xs: min(xs),
-    "max": lambda *xs: max(xs),
-    "product": lambda *xs: statistics.prod(xs) if hasattr(statistics, "prod")
-    else _product(xs),
-    "identity": lambda x: x,
-    "negate": lambda x: -x,
-}
-
-
-def _product(xs: tuple) -> Any:
-    out = 1
-    for x in xs:
-        out *= x
-    return out
+from repro.session import DEFAULT_FUNCTIONS, Session
 
 
 class PreferenceSQL:
-    """A Preference SQL session bound to a catalog."""
+    """A Preference SQL session bound to a catalog.
+
+    Thin wrapper over :class:`~repro.session.Session`; kept as the
+    language-centric face (``execute(text)`` / ``explain(text)``) of the
+    shared query pipeline.
+    """
 
     def __init__(
         self,
         catalog: Catalog,
-        functions: dict[str, Callable[..., Any]] | None = None,
+        functions: Mapping[str, Callable[..., Any]] | None = None,
     ):
-        self.catalog = catalog
-        self.functions = dict(DEFAULT_FUNCTIONS)
-        if functions:
-            self.functions.update(functions)
+        self.session = Session(catalog, functions=functions)
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.session.catalog
+
+    @property
+    def functions(self) -> dict[str, Callable[..., Any]]:
+        return self.session.functions
 
     def register_function(self, name: str, fn: Callable[..., Any]) -> None:
         """Register a scoring/combining function for SCORE / RANK atoms."""
-        self.functions[name] = fn
+        self.session.register_function(name, fn)
 
     # -- pipeline ------------------------------------------------------------
 
@@ -85,83 +79,22 @@ class PreferenceSQL:
             return parts[0]
         return PrioritizedPreference(tuple(parts))
 
+    def query(self, text: str):
+        """The statement as a fluent :class:`PreferenceQuery` (lazy)."""
+        return self.session.sql_query(text)
+
     def plan(self, text: str) -> Plan:
-        query = self.parse(text)
-        relation = self.catalog.get(query.table)
-        pref = self.preference_of(query)
-
-        hard = None
-        hard_label = "<none>"
-        if query.where is not None:
-            hard = translate_where(query.where)
-            hard_label = _render_where(query.where)
-
-        select = None if query.selects_all else tuple(query.select)
-        if pref is None:
-            # Plain SQL: hard selection, ordering, projection, limit.
-            from repro.query.plan import (
-                HardSelect,
-                Limit,
-                OrderBy,
-                Plan as _Plan,
-                PlanNode,
-                Project,
-                Scan,
-            )
-
-            node: PlanNode = Scan(relation)
-            if hard is not None:
-                node = HardSelect(node, hard, label=hard_label)
-            if query.order_by:
-                node = OrderBy(node, query.order_by)
-            if select:
-                node = Project(node, select)
-            if query.limit is not None:
-                node = Limit(node, query.limit)
-            return _Plan(node)
-
-        conditions = tuple(translate_quality(q) for q in query.but_only)
-        return build_plan(
-            pref,
-            relation,
-            hard=hard,
-            hard_label=hard_label,
-            groupby=query.grouping or None,
-            top_k=query.top,
-            but_only=conditions or None,
-            select=select,
-            order_by=query.order_by or None,
-            limit=query.limit,
-        )
+        return self.query(text).plan()
 
     def execute(self, text: str) -> Relation:
         """Run one statement and return the result relation."""
-        return self.plan(text).execute()
+        return self.query(text).run()
 
     def explain(self, text: str) -> str:
         """The plan (operators, algorithms, fired laws) without running it."""
-        return self.plan(text).explain()
+        return self.query(text).explain()
 
 
 def _render_where(expr: Any) -> str:
-    """A compact WHERE rendering for plan labels."""
-    from repro.psql import ast as A
-
-    if isinstance(expr, A.Comparison):
-        return f"{expr.attribute} {expr.op} {expr.value!r}"
-    if isinstance(expr, A.InList):
-        op = "NOT IN" if expr.negated else "IN"
-        return f"{expr.attribute} {op} {expr.values!r}"
-    if isinstance(expr, A.LikePattern):
-        op = "NOT LIKE" if expr.negated else "LIKE"
-        return f"{expr.attribute} {op} {expr.pattern!r}"
-    if isinstance(expr, A.IsNull):
-        return f"{expr.attribute} IS {'NOT ' if expr.negated else ''}NULL"
-    if isinstance(expr, A.HardBetween):
-        return f"{expr.attribute} BETWEEN {expr.low!r} AND {expr.up!r}"
-    if isinstance(expr, A.BoolOp):
-        inner = f" {expr.op} ".join(_render_where(op) for op in expr.operands)
-        return f"({inner})"
-    if isinstance(expr, A.NotOp):
-        return f"NOT {_render_where(expr.operand)}"
-    return "<where>"
+    """Deprecated alias; use :func:`repro.psql.translate.render_where`."""
+    return render_where(expr)

@@ -284,3 +284,29 @@ def _like_regex(pattern: str) -> re.Pattern:
 
 def translate_quality(expr: QualityExpr) -> QualityCondition:
     return QualityCondition(expr.kind, expr.attribute, expr.op, expr.bound)
+
+
+# -- display --------------------------------------------------------------------------
+
+def render_where(expr: HardExpr) -> str:
+    """A compact WHERE rendering for plan labels."""
+    from repro.psql import ast as A
+
+    if isinstance(expr, A.Comparison):
+        return f"{expr.attribute} {expr.op} {expr.value!r}"
+    if isinstance(expr, A.InList):
+        op = "NOT IN" if expr.negated else "IN"
+        return f"{expr.attribute} {op} {expr.values!r}"
+    if isinstance(expr, A.LikePattern):
+        op = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{expr.attribute} {op} {expr.pattern!r}"
+    if isinstance(expr, A.IsNull):
+        return f"{expr.attribute} IS {'NOT ' if expr.negated else ''}NULL"
+    if isinstance(expr, A.HardBetween):
+        return f"{expr.attribute} BETWEEN {expr.low!r} AND {expr.up!r}"
+    if isinstance(expr, A.BoolOp):
+        inner = f" {expr.op} ".join(render_where(op) for op in expr.operands)
+        return f"({inner})"
+    if isinstance(expr, A.NotOp):
+        return f"NOT {render_where(expr.operand)}"
+    return "<where>"

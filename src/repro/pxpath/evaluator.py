@@ -5,6 +5,10 @@ applies hard predicates as exact-match filters, then applies each soft
 ``#[...]#`` qualifier as a BMO selection over the surviving nodes.  Several
 soft qualifiers cascade — exactly how the paper's Q2 combines a prioritized
 colour/price wish with a mileage wish.
+
+Soft qualifiers are evaluated through the unified
+:class:`~repro.query.api.PreferenceQuery` pipeline — the same planner and
+algorithm selection the fluent API and Preference SQL use.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from repro.pxpath.parser import (
     Step,
     parse_path,
 )
-from repro.query.bmo import bmo
+from repro.query.api import PreferenceQuery
 
 
 def _eval_hard(condition: Any, node: XNode) -> bool:
@@ -78,8 +82,8 @@ def _apply_step(
         ]
         missing = [n for n in selected if n not in have]
         rows = [n.row() for n in have]
-        best = bmo(pref, rows)
-        # bmo copies rows, so map survivors back by projection.
+        best = PreferenceQuery.over(rows).prefer(pref).run()
+        # the query layer copies rows, so map survivors back by projection.
         attrs = pref.attributes
         best_keys = {tuple(r[a] for a in attrs) for r in best}
         survivors = [

@@ -2,9 +2,13 @@
 
 Public surface:
 
-* :func:`~repro.query.bmo.bmo` / :func:`~repro.query.bmo.bmo_groupby` —
-  the declarative query operators ``sigma[P](R)`` and
-  ``sigma[P groupby A](R)``,
+* :class:`~repro.query.api.PreferenceQuery` — the fluent, lazily-planned
+  query builder every front end funnels through (start one with
+  ``Session(catalog).query(name)`` or ``PreferenceQuery.over(rows)``),
+* :func:`~repro.query.bmo.winnow` / :func:`~repro.query.bmo.winnow_groupby`
+  — the engine-level operators ``sigma[P](R)`` and
+  ``sigma[P groupby A](R)`` (the historical ``bmo`` / ``bmo_groupby`` /
+  ``top_k`` helpers remain as deprecated shims),
 * :mod:`repro.query.algorithms` — naive / BNL / SFS / 2-d sweep / divide &
   conquer / sort-based engines,
 * :mod:`repro.query.decomposition` — Propositions 8-12 as executable
@@ -28,12 +32,15 @@ from repro.query.algorithms import (
     sort_filter_skyline,
     two_d_sweep,
 )
+from repro.query.api import PreferenceQuery
 from repro.query.bmo import (
     bmo,
     bmo_groupby,
     is_dream,
     perfect_matches,
     result_size,
+    winnow,
+    winnow_groupby,
 )
 from repro.query.decomposition import (
     better_than_in,
@@ -55,12 +62,13 @@ from repro.query.quality import (
     explain_quality,
     level_of,
 )
-from repro.query.topk import ThresholdStats, threshold_topk, top_k
+from repro.query.topk import ThresholdStats, k_best, threshold_topk, top_k
 
 __all__ = [
     "ALGORITHMS",
     "ComparisonCounter",
     "IncrementalBMO",
+    "PreferenceQuery",
     "QualityCondition",
     "ThresholdStats",
     "better_than_in",
@@ -82,6 +90,7 @@ __all__ = [
     "explain",
     "explain_quality",
     "is_dream",
+    "k_best",
     "level_of",
     "naive_nested_loop",
     "nmax_projections",
@@ -94,5 +103,7 @@ __all__ = [
     "threshold_topk",
     "top_k",
     "two_d_sweep",
+    "winnow",
+    "winnow_groupby",
     "yy_set",
 ]

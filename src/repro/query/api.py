@@ -1,0 +1,562 @@
+"""The fluent preference query API — one entry point over the whole engine.
+
+:class:`PreferenceQuery` is a chainable, lazily-evaluated builder over the
+paper's declarative model: hard ``where`` filters, a ``prefer`` term
+evaluated under BMO (with optional ``cascade`` stages, ``groupby``
+partitioning, ``but_only`` quality supervision and ``top``-k ranking), plus
+presentation clauses (``order_by``, ``select``, ``limit``).  Nothing runs
+until a terminal is called:
+
+* :meth:`~PreferenceQuery.run` — plan and execute, returning a relation
+  (or a plain row list when built over one),
+* :meth:`~PreferenceQuery.explain` — the plan text: operators, chosen
+  algorithms, and the algebra laws that fired,
+* :meth:`~PreferenceQuery.to_sql` — the plug-and-go SQL92 rewriting,
+* :meth:`~PreferenceQuery.iter` — iterate result rows.
+
+All terminals funnel through one planning pipeline
+(:func:`repro.query.optimizer.plan` -> :class:`repro.query.plan.Plan`), the
+same path the Preference SQL executor and the Preference XPath evaluator
+take — every front end shares one seam.
+
+Builders are immutable: each clause method returns a new query, so prefixes
+can be shared and reused freely::
+
+    from repro import Session, pareto, AROUND, POS
+
+    s = Session({"car": rows})
+    q = s.query("car").where(make="Opel")
+    best = q.prefer(pareto(POS("color", {"red"}), AROUND("price", 40000)))
+    print(best.explain())
+    for row in best.top(3).run():
+        ...
+
+Queries bound to a :class:`~repro.session.Session` memoize their plans in
+the session's plan cache, keyed on (query fingerprint, relation name,
+relation version) — repeated queries skip planning until the catalog entry
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Sequence, TYPE_CHECKING
+
+from repro.core.constructors import PrioritizedPreference
+from repro.core.preference import Preference, Row
+from repro.query import optimizer as _optimizer
+from repro.query.plan import Plan
+from repro.query.quality import QualityCondition
+from repro.relations.relation import Relation
+from repro.relations.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.session import Session
+
+
+@dataclass(frozen=True)
+class WhereSpec:
+    """One hard filter: a predicate plus optional SQL AST provenance.
+
+    The AST (a :class:`repro.psql.ast.HardExpr`) is kept when known so the
+    query stays SQL-translatable and hashable for plan caching; a bare
+    callable is fingerprinted by identity instead.
+    """
+
+    predicate: Callable[[Row], bool]
+    label: str = "<predicate>"
+    ast: Any = None
+
+    @property
+    def cache_key(self) -> Any:
+        return self.ast if self.ast is not None else self.predicate
+
+
+class PreferenceQuery:
+    """A lazily-planned preference query over one relation."""
+
+    __slots__ = (
+        "_session", "_source", "_pref", "_cascades", "_wheres", "_groupby",
+        "_quality", "_top", "_top_ties", "_select", "_order_by", "_limit",
+        "_algorithm", "_use_rewriter", "_sql_ast",
+    )
+
+    def __init__(
+        self,
+        source: Any,
+        session: "Session | None" = None,
+    ):
+        self._session = session
+        self._source = source  # ("catalog", name) | ("relation", Relation) | ("rows", tuple)
+        self._pref: Preference | None = None
+        self._cascades: tuple[Preference, ...] = ()
+        self._wheres: tuple[WhereSpec, ...] = ()
+        self._groupby: tuple[str, ...] = ()
+        self._quality: tuple[QualityCondition, ...] = ()
+        self._top: int | None = None
+        self._top_ties: str = "strict"
+        self._select: tuple[str, ...] | None = None
+        self._order_by: tuple[tuple[str, bool], ...] = ()
+        self._limit: int | None = None
+        self._algorithm: Any = None
+        self._use_rewriter: bool = True
+        self._sql_ast: Any = None  # original psql ast.Query, when parsed
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def over(
+        cls, data: Relation | Sequence[Mapping[str, Any]]
+    ) -> "PreferenceQuery":
+        """A query over a relation or a plain list of dict rows.
+
+        Row-list queries return row lists from :meth:`run`, mirroring the
+        shape-preservation of the historical functional helpers.
+        """
+        if isinstance(data, Relation):
+            return cls(("relation", data))
+        return cls(("rows", tuple(dict(r) for r in data)))
+
+    def _copy(self, **changes: Any) -> "PreferenceQuery":
+        out = PreferenceQuery.__new__(PreferenceQuery)
+        for name in PreferenceQuery.__slots__:
+            setattr(out, name, changes.get(name.lstrip("_"), getattr(self, name)))
+        return out
+
+    # -- chainable clauses ------------------------------------------------------
+
+    def where(
+        self,
+        condition: Callable[[Row], bool] | Any | None = None,
+        label: str | None = None,
+        **equalities: Any,
+    ) -> "PreferenceQuery":
+        """Add a hard (exact-match) filter, applied *before* the winnow.
+
+        Accepts a row predicate, a Preference SQL WHERE AST node, and/or
+        attribute equalities as keyword arguments (``where(make="Opel")``).
+        Multiple ``where`` calls conjoin.
+        """
+        specs = list(self._wheres)
+        if condition is not None:
+            if callable(condition):
+                specs.append(
+                    WhereSpec(condition, label or _callable_label(condition))
+                )
+            else:
+                from repro.psql.ast import HardExpr
+                from repro.psql.translate import render_where, translate_where
+
+                if not isinstance(condition, HardExpr):
+                    raise TypeError(
+                        "where() takes a callable predicate, a psql WHERE "
+                        f"AST node, or attribute keywords; got {condition!r}"
+                    )
+                specs.append(
+                    WhereSpec(
+                        translate_where(condition),
+                        label or render_where(condition),
+                        ast=condition,
+                    )
+                )
+        for attribute, value in equalities.items():
+            from repro.psql.ast import Comparison
+            from repro.psql.translate import translate_where
+
+            expr = Comparison(attribute, "=", value)
+            specs.append(
+                WhereSpec(
+                    translate_where(expr), f"{attribute} = {value!r}", ast=expr
+                )
+            )
+        if len(specs) == len(self._wheres):
+            raise TypeError("where() needs a condition or attribute keywords")
+        return self._copy(wheres=tuple(specs))
+
+    def prefer(self, pref: Preference) -> "PreferenceQuery":
+        """Set the soft preference term ``P`` of ``sigma[P](R)``.
+
+        Calling ``prefer`` again replaces the term; use :meth:`cascade` to
+        append lower-priority stages instead.
+        """
+        if not isinstance(pref, Preference):
+            raise TypeError(f"prefer() needs a Preference, got {pref!r}")
+        return self._copy(pref=pref)
+
+    def cascade(self, pref: Preference) -> "PreferenceQuery":
+        """Append a lower-priority preference stage (SQL's CASCADE clause).
+
+        ``q.prefer(p1).cascade(p2)`` evaluates ``p1 & p2`` (prioritized
+        accumulation): among ``p1``'s best matches, prefer by ``p2``.
+        """
+        if not isinstance(pref, Preference):
+            raise TypeError(f"cascade() needs a Preference, got {pref!r}")
+        return self._copy(cascades=(*self._cascades, pref))
+
+    def groupby(self, *attributes: str) -> "PreferenceQuery":
+        """Evaluate the preference within each group (Definition 16)."""
+        if not attributes:
+            raise ValueError("groupby() needs at least one attribute")
+        return self._copy(groupby=tuple(attributes))
+
+    def but_only(
+        self, *conditions: QualityCondition | tuple
+    ) -> "PreferenceQuery":
+        """Supervise required quality (the BUT ONLY clause, Section 6.1).
+
+        Conditions are :class:`~repro.query.quality.QualityCondition`
+        objects or ``(kind, attribute, op, bound)`` tuples, e.g.
+        ``("distance", "price", "<=", 2000)``.
+        """
+        if not conditions:
+            raise ValueError("but_only() needs at least one condition")
+        cooked = tuple(
+            c if isinstance(c, QualityCondition) else QualityCondition(*c)
+            for c in conditions
+        )
+        return self._copy(quality=(*self._quality, *cooked))
+
+    def top(self, k: int, ties: str = "strict") -> "PreferenceQuery":
+        """Switch to ranked k-best semantics (Section 6.2) for SCORE terms."""
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if ties not in ("strict", "all"):
+            raise ValueError(f"ties must be 'strict' or 'all', got {ties!r}")
+        return self._copy(top=k, top_ties=ties)
+
+    def select(self, *attributes: str) -> "PreferenceQuery":
+        """Project the result onto ``attributes`` (the SELECT list)."""
+        if not attributes:
+            raise ValueError("select() needs at least one attribute")
+        return self._copy(select=tuple(attributes))
+
+    def order_by(
+        self, *keys: str | tuple[str, bool], descending: bool = False
+    ) -> "PreferenceQuery":
+        """Presentation ordering; keys are names or (name, descending)."""
+        if not keys:
+            raise ValueError("order_by() needs at least one key")
+        cooked = tuple(
+            (k, descending) if isinstance(k, str) else (k[0], bool(k[1]))
+            for k in keys
+        )
+        return self._copy(order_by=(*self._order_by, *cooked))
+
+    def limit(self, n: int) -> "PreferenceQuery":
+        if n < 0:
+            raise ValueError(f"limit must be non-negative, got {n}")
+        return self._copy(limit=n)
+
+    def using(self, algorithm: Any) -> "PreferenceQuery":
+        """Force one evaluation engine (an ALGORITHMS name or a callable),
+        bypassing automatic selection and cascade splitting."""
+        return self._copy(algorithm=algorithm)
+
+    def optimize(self, enabled: bool = True) -> "PreferenceQuery":
+        """Toggle the algebraic rewriter (on by default)."""
+        return self._copy(use_rewriter=bool(enabled))
+
+    def _with_sql_ast(self, ast_query: Any) -> "PreferenceQuery":
+        return self._copy(sql_ast=ast_query)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def preference(self) -> Preference | None:
+        """The combined preference term (prefer + cascades), if any."""
+        if self._pref is None:
+            return None
+        if not self._cascades:
+            return self._pref
+        return PrioritizedPreference((self._pref, *self._cascades))
+
+    def fingerprint(self) -> tuple:
+        """A hashable structural identity for plan caching and equality.
+
+        Two queries with equal fingerprints (over the same relation
+        version) plan and execute identically, regardless of the order
+        their clauses were chained in.
+        """
+        pref = self._pref.signature if self._pref is not None else None
+        return (
+            "pq1",
+            self._source_key(),
+            pref,
+            tuple(c.signature for c in self._cascades),
+            tuple(w.cache_key for w in self._wheres),
+            self._groupby,
+            self._quality,
+            self._top,
+            self._top_ties,
+            self._select,
+            self._order_by,
+            self._limit,
+            self._algorithm,
+            self._use_rewriter,
+        )
+
+    def _source_key(self) -> tuple:
+        kind, payload = self._source
+        if kind == "catalog":
+            return ("catalog", payload.lower())
+        return (kind, id(payload))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PreferenceQuery):
+            return NotImplemented
+        try:
+            return self.fingerprint() == other.fingerprint()
+        except TypeError:  # unhashable payloads: fall back to identity
+            return self is other
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+    def __repr__(self) -> str:
+        kind, payload = self._source
+        name = payload if kind == "catalog" else getattr(
+            payload, "name", f"{len(payload)} rows"
+        )
+        clauses = []
+        if self._wheres:
+            clauses.append(f"where={' AND '.join(w.label for w in self._wheres)}")
+        if self._pref is not None:
+            clauses.append(f"prefer={self.preference!r}")
+        if self._groupby:
+            clauses.append(f"groupby={list(self._groupby)}")
+        if self._quality:
+            clauses.append(f"but_only={[str(c) for c in self._quality]}")
+        if self._top is not None:
+            clauses.append(f"top={self._top}")
+        inner = ", ".join([repr(name), *clauses])
+        return f"PreferenceQuery({inner})"
+
+    # -- planning ---------------------------------------------------------------
+
+    def relation(self) -> Relation:
+        """Resolve the source relation (catalog lookup happens here)."""
+        kind, payload = self._source
+        if kind == "catalog":
+            if self._session is None:
+                raise ValueError(
+                    f"query over catalog relation {payload!r} needs a Session"
+                )
+            return self._session.catalog.get(payload)
+        if kind == "relation":
+            return payload
+        return _rows_relation(payload, self.preference)
+
+    def plan(self) -> Plan:
+        """Build (or fetch from the session plan cache) the execution plan."""
+        kind, payload = self._source
+        if self._session is not None and kind == "catalog":
+            name = payload.lower()
+            version = self._session.catalog.version(name)
+            key = (self.fingerprint(), name, version)
+            try:
+                hash(key)
+            except TypeError:  # unhashable literal somewhere: skip caching
+                return self._build_plan()
+            return self._session.cached_plan(key, self._build_plan)
+        return self._build_plan()
+
+    def _build_plan(self) -> Plan:
+        pref = self.preference
+        if pref is None and (self._groupby or self._quality or self._top):
+            raise ValueError(
+                "groupby/but_only/top need a preference term; call .prefer()"
+            )
+        hard, hard_label = self._combined_where()
+        return _optimizer.plan(
+            pref,
+            self.relation(),
+            hard=hard,
+            hard_label=hard_label,
+            groupby=self._groupby or None,
+            top_k=self._top,
+            top_ties=self._top_ties,
+            but_only=self._quality or None,
+            select=self._select,
+            order_by=self._order_by or None,
+            limit=self._limit,
+            use_rewriter=self._use_rewriter,
+            algorithm=self._algorithm,
+        )
+
+    def _combined_where(
+        self,
+    ) -> tuple[Callable[[Row], bool] | None, str]:
+        if not self._wheres:
+            return None, "<none>"
+        if len(self._wheres) == 1:
+            spec = self._wheres[0]
+            return spec.predicate, spec.label
+        predicates = tuple(w.predicate for w in self._wheres)
+
+        def conjunction(row: Row) -> bool:
+            return all(p(row) for p in predicates)
+
+        return conjunction, " AND ".join(w.label for w in self._wheres)
+
+    # -- terminals --------------------------------------------------------------
+
+    def run(self) -> Any:
+        """Plan and execute; returns a Relation (or rows for row sources)."""
+        result = self.plan().execute()
+        if self._source[0] == "rows":
+            return result.rows()
+        return result
+
+    def iter(self) -> Iterator[Row]:
+        """Iterate the result rows."""
+        result = self.plan().execute()
+        return iter(result.rows())
+
+    __iter__ = iter
+
+    def count(self) -> int:
+        return len(self.plan().execute())
+
+    def explain(self) -> str:
+        """The plan text: operators, algorithms, and fired algebra laws."""
+        plan = self.plan()
+        text = plan.explain()
+        if not plan.rewrites:
+            text += "\nrewrites applied: (none)"
+        return text
+
+    def to_sql(self) -> str:
+        """The plug-and-go SQL92 rewriting of this query (Section 6.1).
+
+        Queries parsed from Preference SQL text translate verbatim; fluent
+        queries are reconstructed from their clauses.  Raises
+        ``ValueError`` for constructs with no SQL equivalent (callable
+        predicates, SCORE/RANK terms needing a function registry).
+        """
+        from repro.psql.sqlgen import to_sql92
+
+        return to_sql92(self._ast_query())
+
+    def _ast_query(self) -> Any:
+        if self._sql_ast is not None:
+            return self._sql_ast
+        from repro.psql import ast as A
+
+        kind, payload = self._source
+        if kind == "catalog":
+            table = payload
+        else:
+            table = getattr(payload, "name", None)
+            if not table:
+                raise ValueError(
+                    "to_sql() needs a named relation source (catalog or "
+                    "Relation); got a bare row list"
+                )
+
+        where: Any = None
+        if self._wheres:
+            asts = [w.ast for w in self._wheres]
+            if any(a is None for a in asts):
+                bad = [w.label for w in self._wheres if w.ast is None]
+                raise ValueError(
+                    "to_sql() cannot translate callable where-predicates "
+                    f"{bad}; build them from attribute keywords or psql AST"
+                )
+            where = asts[0] if len(asts) == 1 else A.BoolOp("AND", tuple(asts))
+
+        preferring = (
+            preference_to_ast(self._pref) if self._pref is not None else None
+        )
+        cascades = tuple(preference_to_ast(c) for c in self._cascades)
+        return A.Query(
+            select=self._select if self._select is not None else "*",
+            table=table,
+            where=where,
+            preferring=preferring,
+            cascades=cascades,
+            grouping=self._groupby,
+            but_only=tuple(
+                A.QualityExpr(c.kind, c.attribute, c.op, c.bound)
+                for c in self._quality
+            ),
+            top=self._top,
+            order_by=self._order_by,
+            limit=self._limit,
+        )
+
+
+def _callable_label(fn: Callable) -> str:
+    name = getattr(fn, "__name__", None)
+    return f"<{name}>" if name and name != "<lambda>" else "<predicate>"
+
+
+def _rows_relation(
+    rows: tuple[Row, ...], pref: Preference | None
+) -> Relation:
+    """Wrap a plain row tuple in an anonymous relation for planning."""
+    names: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            names.setdefault(key, None)
+    if not names and pref is not None:
+        for attribute in pref.attributes:
+            names.setdefault(attribute, None)
+    return Relation("rows", Schema(list(names)), rows, validate=False)
+
+
+def preference_to_ast(pref: Preference) -> Any:
+    """Best-effort reconstruction of a Preference SQL PREFERRING AST.
+
+    Covers the paper's named base constructors and the Pareto / prioritized
+    accumulations — the terms Preference SQL itself can express.  Raises
+    ``ValueError`` for terms with no syntactic equivalent (bare SCORE
+    closures, rank(F), intersection, linear sum, duals).
+    """
+    from repro.core.base_nonnumerical import (
+        ExplicitPreference,
+        NegPreference,
+        PosNegPreference,
+        PosPosPreference,
+        PosPreference,
+    )
+    from repro.core.base_numerical import (
+        AroundPreference,
+        BetweenPreference,
+        HighestPreference,
+        LowestPreference,
+    )
+    from repro.core.constructors import ParetoPreference
+    from repro.psql import ast as A
+
+    if isinstance(pref, PosNegPreference):
+        return A.ElseChain(
+            A.PosAtom(pref.attribute, tuple(sorted(pref.pos_set))),
+            A.NegAtom(pref.attribute, tuple(sorted(pref.neg_set))),
+        )
+    if isinstance(pref, PosPosPreference):
+        return A.ElseChain(
+            A.PosAtom(pref.attribute, tuple(sorted(pref.pos1_set))),
+            A.PosAtom(pref.attribute, tuple(sorted(pref.pos2_set))),
+        )
+    if isinstance(pref, PosPreference):
+        return A.PosAtom(pref.attribute, tuple(sorted(pref.pos_set)))
+    if isinstance(pref, NegPreference):
+        return A.NegAtom(pref.attribute, tuple(sorted(pref.neg_set)))
+    if isinstance(pref, ExplicitPreference):
+        return A.ExplicitAtom(pref.attribute, pref.edges)
+    if isinstance(pref, AroundPreference):
+        return A.AroundAtom(pref.attribute, pref.z)
+    if isinstance(pref, BetweenPreference):
+        return A.BetweenAtom(pref.attribute, pref.low, pref.up)
+    if isinstance(pref, HighestPreference):
+        return A.HighestAtom(pref.attribute)
+    if isinstance(pref, LowestPreference):
+        return A.LowestAtom(pref.attribute)
+    if isinstance(pref, ParetoPreference):
+        return A.ParetoExpr(tuple(preference_to_ast(c) for c in pref.children))
+    if isinstance(pref, PrioritizedPreference):
+        return A.PriorExpr(tuple(preference_to_ast(c) for c in pref.children))
+    raise ValueError(
+        f"{type(pref).__name__} has no Preference SQL syntax; to_sql() "
+        "supports the named base constructors, Pareto and prioritized terms"
+    )

@@ -8,10 +8,16 @@ non-maximal tuples are discarded on the fly.
 
 Functions here accept either a :class:`~repro.relations.relation.Relation`
 or a plain list of dict rows, and return the same shape they were given.
+
+:func:`winnow` / :func:`winnow_groupby` are the engine-level operators used
+by plan nodes; the historical :func:`bmo` / :func:`bmo_groupby` helpers are
+deprecated shims that route through the unified
+:class:`~repro.query.api.PreferenceQuery` pipeline.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.base_nonnumerical import ExplicitPreference, LayeredPreference
@@ -39,37 +45,44 @@ def _repack(rows: list[Row], template: Relation | None) -> Any:
     return Relation(template.name, template.schema, rows, validate=False)
 
 
-def bmo(
+def _resolve_engine(
+    algorithm: str | Callable[[Preference, list[Row]], list[Row]],
+) -> Callable[[Preference, list[Row]], list[Row]]:
+    if callable(algorithm):
+        return algorithm
+    try:
+        return ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+def winnow(
     pref: Preference,
     data: Relation | Sequence[Row],
     algorithm: str | Callable[[Preference, list[Row]], list[Row]] = "bnl",
 ) -> Any:
     """``sigma[P](R)``: all tuples whose projection is maximal in ``P_R``.
 
-    ``algorithm`` picks an engine from
+    The engine-level winnow operator (Chomicki's name for the paper's BMO
+    selection).  ``algorithm`` picks an engine from
     :data:`repro.query.algorithms.ALGORITHMS` ("naive", "bnl", "sfs", "dc",
     "2d", "sort") or is a callable; "bnl" is the default because it is
     correct for every strict partial order.  Use
-    :func:`repro.query.optimizer.execute` for automatic selection.
+    :class:`~repro.query.api.PreferenceQuery` (or
+    :func:`repro.query.optimizer.execute`) for automatic selection.
     """
     rows, template = _unpack(data)
-    if callable(algorithm):
-        engine = algorithm
-    else:
-        try:
-            engine = ALGORITHMS[algorithm]
-        except KeyError:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
-            ) from None
+    engine = _resolve_engine(algorithm)
     return _repack(engine(pref, rows), template)
 
 
-def bmo_groupby(
+def winnow_groupby(
     pref: Preference,
     by: Sequence[str],
     data: Relation | Sequence[Row],
-    algorithm: str = "bnl",
+    algorithm: str | Callable[[Preference, list[Row]], list[Row]] = "bnl",
 ) -> Any:
     """``sigma[P groupby A](R)  :=  sigma[A<-> & P](R)`` (Definition 16).
 
@@ -87,11 +100,70 @@ def bmo_groupby(
             groups[key] = []
             order.append(key)
         groups[key].append(row)
-    engine = ALGORITHMS[algorithm]
+    engine = _resolve_engine(algorithm)
     out: list[Row] = []
     for key in order:
         out.extend(engine(pref, groups[key]))
     return _repack(out, template)
+
+
+# -- deprecated functional entry points ----------------------------------------------
+
+def bmo(
+    pref: Preference,
+    data: Relation | Sequence[Row],
+    algorithm: str | Callable[[Preference, list[Row]], list[Row]] = "bnl",
+) -> Any:
+    """Deprecated shim for ``sigma[P](R)``.
+
+    Use ``PreferenceQuery.over(data).prefer(pref).run()`` or
+    ``Session(catalog).query(name).prefer(pref).run()`` instead; the shim
+    routes through the same unified planning pipeline.
+    """
+    warnings.warn(
+        "bmo() is deprecated; use PreferenceQuery.over(data).prefer(pref)"
+        ".run() (see repro.query.api) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.query.api import PreferenceQuery
+
+    return (
+        PreferenceQuery.over(data)
+        .prefer(pref)
+        .using(algorithm)
+        .optimize(False)
+        .run()
+    )
+
+
+def bmo_groupby(
+    pref: Preference,
+    by: Sequence[str],
+    data: Relation | Sequence[Row],
+    algorithm: str = "bnl",
+) -> Any:
+    """Deprecated shim for ``sigma[P groupby A](R)``.
+
+    Use ``PreferenceQuery.over(data).prefer(pref).groupby(*by).run()``
+    instead; the shim routes through the same unified planning pipeline.
+    """
+    warnings.warn(
+        "bmo_groupby() is deprecated; use PreferenceQuery.over(data)"
+        ".prefer(pref).groupby(*by).run() (see repro.query.api) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.query.api import PreferenceQuery
+
+    return (
+        PreferenceQuery.over(data)
+        .prefer(pref)
+        .groupby(*by)
+        .using(algorithm)
+        .optimize(False)
+        .run()
+    )
 
 
 def result_size(

@@ -27,7 +27,7 @@ from repro.core.constructors import (
 )
 from repro.core.preference import Preference, Row
 from repro.query.algorithms import block_nested_loop
-from repro.query.bmo import _repack, _unpack, bmo, bmo_groupby
+from repro.query.bmo import _repack, _unpack, winnow, winnow_groupby
 from repro.relations.relation import Relation
 
 
@@ -133,8 +133,8 @@ def eval_union(
 ) -> Any:
     """Proposition 8: ``sigma[P1+P2](R) = sigma[P1](R) intersect sigma[P2](R)``."""
     rows, template = _unpack(data)
-    r1 = bmo(p1, rows)
-    r2 = bmo(p2, rows)
+    r1 = winnow(p1, rows)
+    r2 = winnow(p2, rows)
     return _repack(_set_intersect(r1, r2), template)
 
 
@@ -143,8 +143,8 @@ def eval_intersection(
 ) -> Any:
     """Proposition 9: ``sigma[P1<>P2](R) = sigma[P1](R) u sigma[P2](R) u YY``."""
     rows, template = _unpack(data)
-    r1 = bmo(p1, rows)
-    r2 = bmo(p2, rows)
+    r1 = winnow(p1, rows)
+    r2 = winnow(p2, rows)
     r3 = yy_set(p1, p2, rows)
     return _repack(_set_union(r1, r2, r3), template)
 
@@ -159,15 +159,15 @@ def eval_prioritized_grouping(
     for identical attribute sets Prop. 4a collapses ``P1 & P2`` to ``P1``.
     """
     if p1.attribute_set == p2.attribute_set:
-        return bmo(p1, data)
+        return winnow(p1, data)
     shared = p1.attribute_set & p2.attribute_set
     if shared:
         raise ValueError(
             f"Proposition 10 needs disjoint attribute sets; shared: {sorted(shared)}"
         )
     rows, template = _unpack(data)
-    r1 = bmo(p1, rows)
-    r2 = bmo_groupby(p2, p1.attributes, rows)
+    r1 = winnow(p1, rows)
+    r2 = winnow_groupby(p2, p1.attributes, rows)
     return _repack(_set_intersect(r1, r2), template)
 
 
@@ -182,7 +182,7 @@ def eval_prioritized_cascade(
             f"Proposition 11 requires a chain as the more important "
             f"preference; {p1!r} is not statically known to be one"
         )
-    return bmo(p2, bmo(p1, data))
+    return winnow(p2, winnow(p1, data))
 
 
 def eval_pareto_decomposition(

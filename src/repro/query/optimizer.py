@@ -84,34 +84,63 @@ def _cascade_stages(
 
 
 def plan(
-    pref: Preference,
+    pref: Preference | None,
     relation: Relation,
     hard: Callable[[Row], bool] | None = None,
     hard_label: str = "<predicate>",
     groupby: Sequence[str] | None = None,
     top_k: int | None = None,
+    top_ties: str = "strict",
     but_only: Sequence[QualityCondition] | None = None,
     select: Sequence[str] | None = None,
     order_by: Sequence[tuple[str, bool]] | None = None,
     limit: int | None = None,
     use_rewriter: bool = True,
+    algorithm: Any | None = None,
 ) -> Plan:
-    """Build an execution plan for ``sigma[P](sigma_hard(R))`` and friends."""
+    """Build an execution plan for ``sigma[P](sigma_hard(R))`` and friends.
+
+    ``pref=None`` plans a plain exact-match query (hard selection, ordering,
+    projection, limit only).  ``algorithm`` forces one evaluation engine —
+    a name from :data:`repro.query.algorithms.ALGORITHMS` or a callable —
+    bypassing both automatic selection and cascade splitting.
+    """
+    node: PlanNode = Scan(relation)
+    if hard is not None:
+        node = HardSelect(node, hard, label=hard_label)
+
+    if pref is None:
+        for clause, value in (
+            ("groupby", groupby), ("top_k", top_k), ("but_only", but_only)
+        ):
+            if value:
+                raise ValueError(
+                    f"{clause} requires a preference term, but none was given"
+                )
+        if order_by:
+            node = OrderBy(node, tuple(order_by))
+        if select:
+            node = Project(node, tuple(select))
+        if limit is not None:
+            node = Limit(node, limit)
+        return Plan(node)
+
     rewrites: tuple[tuple[str, str, str], ...] = ()
     if use_rewriter:
         rewrites = tuple(rewrite_trace(pref))
         pref = simplify(pref)
 
-    node: PlanNode = Scan(relation)
-    if hard is not None:
-        node = HardSelect(node, hard, label=hard_label)
-
     if top_k is not None:
-        node = TopK(node, pref, top_k)
+        node = TopK(node, pref, top_k, ties=top_ties)
     elif groupby:
         node = GroupedPreferenceSelect(
-            node, pref, tuple(groupby), algorithm=choose_algorithm(pref)
+            node,
+            pref,
+            tuple(groupby),
+            algorithm=choose_algorithm(pref) if algorithm is None else algorithm,
         )
+    elif algorithm is not None:
+        node = PreferenceSelect(node, pref, algorithm=algorithm)
     else:
         stages = _cascade_stages(pref)
         if stages is not None:

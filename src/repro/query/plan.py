@@ -13,10 +13,15 @@ from typing import Any, Callable, Sequence
 
 from repro.core.preference import Preference, Row
 from repro.query.algorithms import ALGORITHMS
-from repro.query.bmo import bmo, bmo_groupby
+from repro.query.bmo import winnow, winnow_groupby
 from repro.query.quality import QualityCondition, but_only
-from repro.query.topk import top_k
+from repro.query.topk import k_best
 from repro.relations.relation import Relation
+
+def _algorithm_label(algorithm: Any) -> str:
+    if callable(algorithm):
+        return getattr(algorithm, "__name__", repr(algorithm))
+    return str(algorithm)
 
 
 class PlanNode:
@@ -75,15 +80,16 @@ class PreferenceSelect(PlanNode):
 
     child: PlanNode
     pref: Preference
-    algorithm: str = "bnl"
+    algorithm: Any = "bnl"
 
     def execute(self) -> Relation:
-        return bmo(self.pref, self.child.execute(), algorithm=self.algorithm)
+        return winnow(self.pref, self.child.execute(), algorithm=self.algorithm)
 
     def lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
         return [
-            f"{pad}PreferenceSelect[{self.pref!r}] algorithm={self.algorithm}",
+            f"{pad}PreferenceSelect[{self.pref!r}] "
+            f"algorithm={_algorithm_label(self.algorithm)}",
             *self.child.lines(indent + 1),
         ]
 
@@ -95,10 +101,10 @@ class GroupedPreferenceSelect(PlanNode):
     child: PlanNode
     pref: Preference
     by: tuple[str, ...]
-    algorithm: str = "bnl"
+    algorithm: Any = "bnl"
 
     def execute(self) -> Relation:
-        return bmo_groupby(
+        return winnow_groupby(
             self.pref, self.by, self.child.execute(), algorithm=self.algorithm
         )
 
@@ -106,7 +112,7 @@ class GroupedPreferenceSelect(PlanNode):
         pad = "  " * indent
         return [
             f"{pad}GroupedPreferenceSelect[{self.pref!r} groupby "
-            f"{list(self.by)}] algorithm={self.algorithm}",
+            f"{list(self.by)}] algorithm={_algorithm_label(self.algorithm)}",
             *self.child.lines(indent + 1),
         ]
 
@@ -125,14 +131,17 @@ class Cascade(PlanNode):
     def execute(self) -> Relation:
         current = self.child.execute()
         for pref, algorithm in self.stages:
-            current = bmo(pref, current, algorithm=algorithm)
+            current = winnow(pref, current, algorithm=algorithm)
         return current
 
     def lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
         out = [f"{pad}Cascade[{len(self.stages)} stages]  (Proposition 11)"]
         for i, (pref, algorithm) in enumerate(self.stages, start=1):
-            out.append(f"{pad}  stage {i}: {pref!r} algorithm={algorithm}")
+            out.append(
+                f"{pad}  stage {i}: {pref!r} "
+                f"algorithm={_algorithm_label(algorithm)}"
+            )
         out.extend(self.child.lines(indent + 1))
         return out
 
@@ -147,12 +156,12 @@ class TopK(PlanNode):
     ties: str = "strict"
 
     def execute(self) -> Relation:
-        return top_k(self.pref, self.child.execute(), self.k, ties=self.ties)
+        return k_best(self.pref, self.child.execute(), self.k, ties=self.ties)
 
     def lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
         return [
-            f"{pad}TopK[k={self.k}, {self.pref!r}]",
+            f"{pad}TopK[k={self.k}, ties={self.ties}, {self.pref!r}]",
             *self.child.lines(indent + 1),
         ]
 

@@ -4,6 +4,11 @@ Preference SQL resolves ``FROM`` clauses and Preference XPath resolves
 document roots against a catalog.  Catalogs are deliberately simple: a
 mutable mapping with registration-time schema sanity, case-insensitive
 lookup (SQL style) and defensive copies on every read.
+
+Every registration (including replacement) and drop bumps a per-name
+monotonically increasing *version*.  Relations themselves are immutable, so
+``(name, version)`` uniquely identifies a relation's contents — the query
+layer keys its memoized plan cache on it for invalidation.
 """
 
 from __future__ import annotations
@@ -18,6 +23,9 @@ class Catalog:
 
     def __init__(self, relations: dict[str, Relation] | None = None):
         self._relations: dict[str, Relation] = {}
+        # Version counters survive drops so a re-registered name never
+        # repeats an old (name, version) pair.
+        self._versions: dict[str, int] = {}
         if relations:
             for name, rel in relations.items():
                 self.register(rel.with_name(name))
@@ -30,6 +38,16 @@ class Catalog:
                 f"(pass replace=True to overwrite)"
             )
         self._relations[key] = relation
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def version(self, name: str) -> int:
+        """The registration version of ``name`` (0 if never registered).
+
+        Bumped on every :meth:`register` (replacement included) and
+        :meth:`drop`; relations are immutable, so equal ``(name, version)``
+        implies identical contents.
+        """
+        return self._versions.get(name.lower(), 0)
 
     def get(self, name: str) -> Relation:
         try:
@@ -41,10 +59,12 @@ class Catalog:
             ) from None
 
     def drop(self, name: str) -> None:
+        key = name.lower()
         try:
-            del self._relations[name.lower()]
+            del self._relations[key]
         except KeyError:
             raise RelationError(f"unknown relation {name!r}") from None
+        self._versions[key] = self._versions.get(key, 0) + 1
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._relations

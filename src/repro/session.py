@@ -1,0 +1,216 @@
+"""Sessions: the stateful home of catalogs, functions, and plan caches.
+
+A :class:`Session` owns
+
+* a :class:`~repro.relations.catalog.Catalog` of named relations,
+* a registry of scoring / combining functions for SCORE and RANK atoms,
+* a memoized plan cache keyed on (query fingerprint, relation name,
+  relation version) — repeated queries skip planning entirely, and any
+  catalog change to a relation invalidates its cached plans by version.
+
+It is the single entry point the fluent API, the Preference SQL front end,
+and programmatic callers share::
+
+    from repro import Session, AROUND, POS, pareto
+
+    s = Session({"car": car_rows})
+    best = (
+        s.query("car")
+        .where(make="Opel")
+        .prefer(pareto(POS("color", {"red"}), AROUND("price", 40000)))
+        .run()
+    )
+    same = s.sql(
+        "SELECT * FROM car WHERE make = 'Opel' "
+        "PREFERRING color = 'red' AND price AROUND 40000"
+    )
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping, NamedTuple, Sequence
+
+from repro.query.api import PreferenceQuery
+from repro.query.plan import Plan
+from repro.relations.catalog import Catalog
+from repro.relations.relation import Relation
+
+#: Combining functions available to RANK(...) and SCORE(...) out of the box.
+DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "sum": lambda *xs: sum(xs),
+    "avg": lambda *xs: sum(xs) / len(xs),
+    "min": lambda *xs: min(xs),
+    "max": lambda *xs: max(xs),
+    "product": lambda *xs: math.prod(xs),
+    "identity": lambda x: x,
+    "negate": lambda x: -x,
+}
+
+
+class CacheInfo(NamedTuple):
+    """Plan-cache statistics, `functools.lru_cache`-style."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+class Session:
+    """A preference query session bound to a catalog of relations."""
+
+    def __init__(
+        self,
+        catalog: Catalog | Mapping[str, Any] | None = None,
+        functions: Mapping[str, Callable[..., Any]] | None = None,
+    ):
+        if catalog is None:
+            self.catalog = Catalog()
+        elif isinstance(catalog, Catalog):
+            self.catalog = catalog
+        else:
+            self.catalog = Catalog()
+            for name, data in catalog.items():
+                self.register(name, data)
+        self.functions: dict[str, Callable[..., Any]] = dict(DEFAULT_FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+        self._plan_cache: dict[tuple, Plan] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- catalog management -----------------------------------------------------
+
+    def register(
+        self,
+        name: str | Relation,
+        data: Relation | Sequence[Mapping[str, Any]] | None = None,
+        replace: bool = False,
+    ) -> Relation:
+        """Register a relation under ``name``.
+
+        Accepts a :class:`Relation` directly (optionally renamed), or a
+        name plus rows / a relation.  Returns the registered relation.
+        """
+        if isinstance(name, Relation):
+            relation = name
+        elif isinstance(data, Relation):
+            relation = data.with_name(name)
+        elif data is not None:
+            relation = Relation.from_dicts(name, list(data))
+        else:
+            raise TypeError("register() needs a Relation or a name plus rows")
+        self.catalog.register(relation, replace=replace)
+        return relation
+
+    def register_function(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a scoring/combining function for SCORE / RANK atoms."""
+        self.functions[name] = fn
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(self, relation_name: str) -> PreferenceQuery:
+        """Start a fluent :class:`PreferenceQuery` over a catalog relation.
+
+        Resolution is lazy: the relation is looked up (and the plan built)
+        only when a terminal method runs.
+        """
+        return PreferenceQuery(("catalog", relation_name), session=self)
+
+    def sql_query(self, text: str) -> PreferenceQuery:
+        """Translate one Preference SQL statement into a fluent query.
+
+        The returned query is indistinguishable from a hand-chained one —
+        both front ends share the planning pipeline and the plan cache —
+        but remembers its parse tree so :meth:`PreferenceQuery.to_sql`
+        reproduces the statement faithfully.
+        """
+        from repro.psql.parser import parse
+        from repro.psql.translate import (
+            TranslationError,
+            translate_preferring,
+            translate_quality,
+        )
+
+        parsed = parse(text)
+        if parsed.preferring is None:
+            for clause, value in (
+                ("TOP", parsed.top),
+                ("GROUPING", parsed.grouping),
+                ("BUT ONLY", parsed.but_only),
+            ):
+                if value:
+                    raise TranslationError(
+                        f"{clause} needs a PREFERRING clause to rank by"
+                    )
+        q = self.query(parsed.table)
+        if parsed.where is not None:
+            q = q.where(parsed.where)
+        if parsed.preferring is not None:
+            q = q.prefer(translate_preferring(parsed.preferring, self.functions))
+            for stage in parsed.cascades:
+                q = q.cascade(translate_preferring(stage, self.functions))
+        if parsed.grouping:
+            q = q.groupby(*parsed.grouping)
+        if parsed.but_only:
+            q = q.but_only(*(translate_quality(b) for b in parsed.but_only))
+        if parsed.top is not None:
+            q = q.top(parsed.top)
+        if parsed.order_by:
+            q = q.order_by(*parsed.order_by)
+        if not parsed.selects_all:
+            q = q.select(*parsed.select)
+        if parsed.limit is not None:
+            q = q.limit(parsed.limit)
+        return q._with_sql_ast(parsed)
+
+    def sql(self, text: str) -> Relation:
+        """Parse, plan, and run one Preference SQL statement."""
+        return self.sql_query(text).run()
+
+    def explain_sql(self, text: str) -> str:
+        """The plan text for a Preference SQL statement, without running it."""
+        return self.sql_query(text).explain()
+
+    # -- plan cache -------------------------------------------------------------
+
+    def cached_plan(self, key: tuple, build: Callable[[], Plan]) -> Plan:
+        """Fetch a memoized plan, building and storing it on first miss.
+
+        ``key`` is ``(fingerprint, relation_name, relation_version)``.
+        Storing a plan evicts same-relation entries with older versions:
+        the version counter only grows, so those can never hit again and
+        would otherwise pin the superseded relations' rows via their Scan
+        nodes.
+        """
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._cache_hits += 1
+            return plan
+        self._cache_misses += 1
+        plan = build()
+        _, name, version = key
+        stale = [
+            k for k in self._plan_cache if k[1] == name and k[2] < version
+        ]
+        for k in stale:
+            del self._plan_cache[k]
+        self._plan_cache[key] = plan
+        return plan
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            self._cache_hits, self._cache_misses, len(self._plan_cache)
+        )
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.catalog.names()}, "
+            f"{len(self.functions)} functions, "
+            f"{len(self._plan_cache)} cached plans)"
+        )

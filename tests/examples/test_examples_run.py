@@ -42,7 +42,8 @@ def test_quickstart_output_details(capsys):
     out = capsys.readouterr().out
     assert "best matches:" in out
     assert "Level 1:" in out
-    assert "optimized execution agrees" in out
+    assert "Preference SQL agrees with the fluent query." in out
+    assert "plan cache:" in out
 
 
 def test_car_shopping_output_details(capsys):
