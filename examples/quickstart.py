@@ -9,7 +9,7 @@ planned ``PreferenceQuery`` pipeline shared by the builder, Preference SQL,
 and Preference XPath.
 """
 
-from repro import AROUND, EXPLICIT, LOWEST, POS, Session, pareto, prioritized
+from repro import AROUND, EXPLICIT, HIGHEST, LOWEST, POS, Session, pareto, prioritized
 from repro.core.graph import BetterThanGraph
 
 
@@ -74,6 +74,20 @@ def main() -> None:
     print("\nquery plan:")
     print(query.explain())
     print(f"\nplan cache: {s.cache_info()}")
+
+    # -- 9. Execution backends: large Pareto/skyline winnows run on the
+    #    columnar engine (vectorized dominance over per-attribute score
+    #    vectors) — same results, picked automatically, or steered with
+    #    the .backend() knob ("auto" / "row" / "columnar").
+    from repro.datasets.skyline_data import skyline_relation
+
+    s.register("sky", skyline_relation("independent", 2000, 2))
+    sky_wish = pareto(HIGHEST("d0"), LOWEST("d1"))
+    sky_query = s.query("sky").prefer(sky_wish)
+    print("\nskyline plan at 2000 rows (backend chosen by the planner):")
+    print(sky_query.explain().splitlines()[0])
+    assert sky_query.run() == sky_query.backend("row").run()
+    print("columnar and row backends agree.")
 
 
 if __name__ == "__main__":

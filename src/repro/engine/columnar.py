@@ -1,0 +1,343 @@
+"""The columnar winnow: BMO evaluation over per-attribute score vectors.
+
+This is the engine behind the planner's ``backend=columnar`` choice.  The
+pipeline for ``sigma[P](R)``:
+
+1. **Columnarize** — take the relation's cached column vectors
+   (:meth:`Relation.columns`) or columnarize a row list once.
+2. **Deduplicate** — distinct projections over ``P``'s attributes, with the
+   member lists needed to fan maximal projections back out to tuples
+   (BMO keeps every tuple whose projection is maximal).
+3. **Extract axes** — one "bigger is better" value vector per Pareto child
+   (:func:`columnar_axes`), mirroring ``skyline_axes`` in the row engine:
+   valid only when every child is a chain with an injective score on its
+   attribute, so vector dominance *is* the Pareto order and vector equality
+   *is* projection equality.
+4. **Rank-encode** each axis into dense integer codes and run a vectorized
+   kernel (:mod:`repro.engine.vectorized`) — NumPy broadcasting when
+   available, pure-Python block sweeps otherwise.  Results are identical
+   either way.
+
+SCORE-representable terms take a short cut: the maxima are the argmax-score
+rows, one columnar pass, no dominance matrix needed.
+
+The kernels are also registered in the row-level algorithm registry as
+``"vsfs"`` and ``"vbnl"``, so ``PreferenceQuery.using("vsfs")``,
+``winnow(..., algorithm="vbnl")`` and grouped winnows can name them like
+any other algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.base_numerical import (
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+    score_function_of,
+)
+from repro.core.constructors import DualPreference, ParetoPreference
+from repro.core.preference import ChainPreference, Preference
+from repro.engine.backend import get_numpy
+from repro.engine.columns import ColumnStore, encode_axis
+from repro.engine.vectorized import DEFAULT_BLOCK, KERNELS, skyline_2d
+from repro.query.algorithms import ALGORITHMS
+from repro.relations.relation import Relation
+
+Row = dict[str, Any]
+
+#: One skyline dimension: ``(attribute, key or None, sign)``.  The axis
+#: value of a row is ``key(row[attribute])`` (``None`` = the raw value);
+#: ``sign`` +1 means bigger-is-better, -1 the reverse.  Keeping direction
+#: as a sign on the *integer codes* instead of a wrapper on every value
+#: keeps rank encoding on native comparisons.
+ColumnAxis = tuple[str, "Callable[[Any], Any] | None", int]
+
+
+class NotColumnarError(ValueError):
+    """The preference has no columnar evaluation (see :func:`columnar_axes`)."""
+
+
+# -- axis extraction ----------------------------------------------------------------
+
+
+def _value_axis(child: Preference) -> ColumnAxis | None:
+    """The :data:`ColumnAxis` of one Pareto child, or None.
+
+    The value-level mirror of ``_chain_axis`` in the row engine: only
+    injective chains qualify (LOWEST, HIGHEST, ChainPreference, and duals
+    thereof).  AROUND/BETWEEN/SCORE children are refused — their scores
+    identify distinct values, so a vector skyline over them would merge
+    tuples the Pareto order keeps apart (Example 2 of the paper).
+    """
+    if isinstance(child, HighestPreference):
+        return child.attribute, None, 1
+    if isinstance(child, LowestPreference):
+        return child.attribute, None, -1
+    if isinstance(child, ChainPreference):
+        return child.attribute, child.key, 1
+    if isinstance(child, DualPreference):
+        inner = _value_axis(child.base)
+        if inner is None:
+            return None
+        attribute, fn, sign = inner
+        return attribute, fn, -sign
+    return None
+
+
+def columnar_axes(pref: Preference) -> list[ColumnAxis] | None:
+    """Per-dimension column transforms when winnow = vector skyline.
+
+    Pareto accumulations of injective chains yield one axis per child; a
+    bare injective chain is a one-dimensional skyline.  ``None`` means the
+    term has no columnar dominance evaluation (the score path in
+    :func:`columnar_winnow` may still apply).
+    """
+    if isinstance(pref, ParetoPreference):
+        axes = []
+        for child in pref.children:
+            axis = _value_axis(child)
+            if axis is None:
+                return None
+            axes.append(axis)
+        return axes
+    single = _value_axis(pref)
+    return None if single is None else [single]
+
+
+def columnar_profile(pref: Preference) -> str | None:
+    """How the columnar engine would evaluate ``pref``.
+
+    ``"score"`` — one columnar argmax pass, ``"skyline"`` — rank-encoded
+    vector dominance (the case where the columnar backend beats the row
+    engine asymptotically), ``None`` — not columnar-evaluable.  Score is
+    checked first, mirroring ``choose_algorithm`` in the row engine: a
+    bare HIGHEST/LOWEST is both a 1-d skyline and an argmax, and the
+    argmax is the cheaper evaluation — this is also what keeps
+    ``choose_backend``'s auto mode from columnarizing already-linear
+    score terms.
+    """
+    if score_function_of(pref) is not None:
+        return "score"
+    if columnar_axes(pref) is not None:
+        return "skyline"
+    return None
+
+
+# -- the winnow ---------------------------------------------------------------------
+
+
+def columnar_winnow(
+    pref: Preference,
+    data: Relation | Sequence[Row],
+    strategy: str = "sfs",
+    block_size: int = DEFAULT_BLOCK,
+) -> Any:
+    """``sigma[P](R)`` over column vectors; same results as the row winnow.
+
+    ``strategy`` names a kernel from
+    :data:`repro.engine.vectorized.KERNELS` (``"sfs"`` — presorted
+    grow-only window, the default — or ``"bnl"``); SCORE-representable
+    terms ignore it and take the argmax path.  Raises
+    :class:`NotColumnarError` for terms with neither evaluation — callers
+    wanting automatic fallback should go through the planner, which only
+    picks this backend when it applies.
+    """
+    if isinstance(data, Relation):
+        store = ColumnStore.from_relation(data)
+        template: Relation | None = data
+    else:
+        # Materialize only the preference's columns: row lists may be
+        # heterogeneous on attributes the winnow never reads, and the row
+        # engine tolerates that.
+        store = ColumnStore.from_rows(list(data), attributes=pref.attributes)
+        template = None
+
+    if store.length == 0:
+        return [] if template is None else template
+    for a in pref.attributes:
+        if a not in store.columns:
+            raise KeyError(
+                f"preference attribute {a!r} missing from input columns"
+            )
+
+    # Score first (same precedence as columnar_profile / choose_algorithm):
+    # for terms that are both — a bare HIGHEST is a 1-d skyline too — the
+    # single argmax pass beats the dominance kernel.
+    if score_function_of(pref) is not None:
+        picked = _score_rows(store, pref)
+    else:
+        axes = columnar_axes(pref)
+        if axes is None:
+            raise NotColumnarError(
+                f"{pref!r} is neither a Pareto/chain skyline nor "
+                "SCORE-representable; use the row engine"
+            )
+        picked = _skyline_rows(store, axes, strategy, block_size)
+
+    rows = [store.rows[i] for i in picked]
+    if template is None:
+        # Return the caller's own dict objects, matching the identity
+        # semantics of the row algorithms (kernels never mutate rows).
+        return rows
+    return Relation(template.name, template.schema, rows, validate=False)
+
+
+def _encoded_axes(
+    store: ColumnStore, axes: list[ColumnAxis]
+) -> tuple[list[Any], list[bool] | None]:
+    """``(code vectors, incomparable row mask)`` over *all* rows.
+
+    One dense int code vector per axis, sign applied.  The mask marks rows
+    with a NaN-like value on *any* axis: such values are unranked against
+    everything, so those rows can neither dominate nor be dominated — they
+    are unconditionally BMO-maximal and must bypass the kernels (whose
+    total integer codes cannot express incomparability).  ``None`` when no
+    such value exists.
+    """
+    encoded = []
+    combined: list[bool] | None = None
+    for attribute, fn, sign in axes:
+        column = store.column(attribute)
+        values = column if fn is None else [fn(v) for v in column]
+        codes, incomparable = encode_axis(values)
+        if sign < 0:
+            codes = [-c for c in codes] if isinstance(codes, list) else -codes
+        encoded.append(codes)
+        if incomparable is not None:
+            if combined is None:
+                combined = list(incomparable)
+            else:
+                combined = [a or b for a, b in zip(combined, incomparable)]
+    return encoded, combined
+
+
+def _skyline_rows(
+    store: ColumnStore,
+    axes: list[ColumnAxis],
+    strategy: str,
+    block_size: int,
+) -> list[int]:
+    """Row indices whose projection is Pareto-maximal, in ascending order.
+
+    Because every preference attribute carries at least one injective axis,
+    code-vector equality coincides with projection equality — so distinct
+    projections (the unit BMO reasons about) are exactly the distinct code
+    vectors, and fan-out back to duplicate-carrying tuples is a membership
+    test on the vector ids.  With NumPy both steps are ``np.unique`` /
+    ``np.isin``; the fallback uses one dict pass.
+    """
+    try:
+        kernel = KERNELS[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown columnar strategy {strategy!r}; known: {sorted(KERNELS)}"
+        ) from None
+    if len(axes) == 2:
+        # Both strategies specialize to the O(n log n) two-dimensional
+        # sweep: same results, and immune to the O(n * skyline) blow-up
+        # the pairwise kernels hit on all-maximal (anti-correlated) data.
+        kernel = lambda matrix, block_size: skyline_2d(matrix)  # noqa: E731
+    if store.length == 0:
+        return []
+    encoded, incomparable = _encoded_axes(store, axes)
+    np = get_numpy()
+    if np is not None:
+        matrix = np.stack(
+            [np.asarray(codes, dtype=np.int64) for codes in encoded], axis=1
+        )
+        if incomparable is None:
+            clean = None
+        else:
+            # NaN-like rows bypass the kernel: unconditionally maximal,
+            # never dominating (their code entries are junk).
+            clean = np.flatnonzero(~np.asarray(incomparable, dtype=bool))
+            matrix = matrix[clean]
+        if not len(matrix):
+            picked_clean: list[int] = []
+        else:
+            distinct, inverse = np.unique(
+                matrix, axis=0, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            # Feed the kernel descending-lex order: a dominator is
+            # lex-greater, so it precedes its victims — the BNL window
+            # never churns and the SFS window check prunes blocks early.
+            kept_reversed = kernel(distinct[::-1], block_size=block_size)
+            last = len(distinct) - 1
+            kept = np.asarray(
+                [last - i for i in kept_reversed], dtype=np.int64
+            )
+            mask = np.isin(inverse, kept)
+            hits = np.flatnonzero(mask)
+            picked_clean = (
+                hits.tolist() if clean is None else clean[hits].tolist()
+            )
+        if incomparable is None:
+            return picked_clean
+        always = [i for i, bad in enumerate(incomparable) if bad]
+        return sorted(picked_clean + always)
+
+    vectors = list(zip(*encoded))
+    group_of: dict[tuple, int] = {}
+    distinct_vectors: list[tuple] = []
+    inverse_of: dict[int, int] = {}
+    for i, vector in enumerate(vectors):
+        if incomparable is not None and incomparable[i]:
+            continue
+        gid = group_of.get(vector)
+        if gid is None:
+            gid = len(distinct_vectors)
+            group_of[vector] = gid
+            distinct_vectors.append(vector)
+        inverse_of[i] = gid
+    kept_set = set(kernel(distinct_vectors, block_size=block_size))
+    return sorted(
+        i
+        for i in range(store.length)
+        if (incomparable is not None and incomparable[i])
+        or inverse_of.get(i) in kept_set
+    )
+
+
+def _score_rows(store: ColumnStore, pref: Preference) -> list[int]:
+    """Argmax-score row indices — one pass, mirroring sort_based_maxima."""
+    score = score_function_of(pref)
+    assert score is not None
+    if isinstance(pref, ScorePreference) and len(pref.attributes) == 1:
+        column = store.column(pref.attributes[0])
+        values = [pref.score(v) for v in column]
+    else:
+        values = [score(row) for row in store.rows]
+    best = None
+    for s in values:
+        if best is None or best < s:
+            best = s
+    return [i for i, s in enumerate(values) if not (s < best)]
+
+
+# -- row-level algorithm adapters ---------------------------------------------------
+
+
+def columnar_sfs(pref: Preference, rows: list[Row]) -> list[Row]:
+    """ALGORITHMS adapter: the columnar winnow with the SFS kernel."""
+    _require_dominance_axes(pref)
+    return columnar_winnow(pref, rows, strategy="sfs")
+
+
+def columnar_bnl(pref: Preference, rows: list[Row]) -> list[Row]:
+    """ALGORITHMS adapter: the columnar winnow with the block-BNL kernel."""
+    _require_dominance_axes(pref)
+    return columnar_winnow(pref, rows, strategy="bnl")
+
+
+def _require_dominance_axes(pref: Preference) -> None:
+    if columnar_profile(pref) is None:
+        raise NotColumnarError(
+            f"no columnar axes for {pref!r}; vsfs/vbnl need a Pareto of "
+            "injective chains or a SCORE-representable term"
+        )
+
+
+ALGORITHMS.update({"vsfs": columnar_sfs, "vbnl": columnar_bnl})

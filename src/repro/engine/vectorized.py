@@ -1,0 +1,278 @@
+"""Skyline kernels over rank-encoded integer matrices.
+
+Input is an ``n x d`` matrix of dense integer codes (rows = distinct
+projections, columns = "bigger is better" axes) in which **rows are
+pairwise distinct** — the axis extraction in :mod:`repro.engine.columnar`
+only applies when every axis is injective on its attribute, so distinct
+projections yield distinct vectors and vector dominance
+
+    ``a`` dominates ``b``  iff  ``a >= b`` componentwise (and ``a != b``)
+
+is *exactly* the Pareto order of the preference (see ``skyline_axes`` in
+:mod:`repro.query.algorithms` for why that restriction is load-bearing).
+Distinctness lets the NumPy kernels drop the "somewhere strictly greater"
+term: componentwise ``>=`` against a *different* row already implies strict
+dominance.  Callers feeding these kernels directly must uphold it.
+
+Two kernels, each with a NumPy and a pure-Python implementation:
+
+* :func:`skyline_sfs` — vectorized sort-filter-skyline: presort descending
+  by the code sum (a dominance-compatible key: dominance strictly increases
+  the sum), then sweep candidate *blocks* against a grow-only window.
+  Accepted window members are final, so each block needs one broadcasted
+  ``window x block`` comparison; only candidates that survive it are
+  cross-checked among themselves (sound by transitivity: a candidate
+  dominated by a window victim is dominated by the window too).
+* :func:`skyline_bnl` — block-wise vectorized BNL: no presort; window
+  members dominated by later candidates are evicted.  Kept as a
+  cross-check and for callers that need input order untouched.
+
+Both return the indices of maximal rows in ascending order, making results
+deterministic and directly comparable across kernels and backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.backend import get_numpy
+
+#: Candidates compared per broadcasted batch.  The ``window x block x d``
+#: and ``block x block x d`` boolean temporaries stay small enough to live
+#: in cache while each NumPy call stays large enough to amortize dispatch.
+DEFAULT_BLOCK = 256
+
+#: Window rows per broadcasted window-vs-block comparison.  The window can
+#: grow to the full skyline (every row, on fully anti-correlated data), so
+#: the window axis must be chunked too or the boolean temporaries scale as
+#: ``skyline x block x d`` — gigabytes at 50k+ rows.
+WINDOW_CHUNK = 1024
+
+Matrix = Sequence[Sequence[int]]
+
+
+def _dominates(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Pareto dominance on code vectors (componentwise >=, somewhere >)."""
+    strict = False
+    for av, bv in zip(a, b):
+        if av < bv:
+            return False
+        if av > bv:
+            strict = True
+    return strict
+
+
+# -- sort-filter-skyline ------------------------------------------------------------
+
+
+def skyline_sfs(matrix: Matrix, block_size: int = DEFAULT_BLOCK) -> list[int]:
+    """Indices of Pareto-maximal rows via vectorized SFS (NumPy if present)."""
+    np = get_numpy()
+    if np is not None:
+        return _sfs_numpy(np, matrix, block_size)
+    return _sfs_python(matrix)
+
+
+def _dominated_by_window(np: Any, window: Any, block: Any) -> Any:
+    """Mask of block rows dominated by some window row, window-chunked.
+
+    Chunking bounds peak memory at ``WINDOW_CHUNK x block x d`` booleans
+    regardless of skyline size; already-dominated block rows are dropped
+    from later chunks, so the common case (most of a block dies against
+    the first chunks) exits early.
+    """
+    dominated = np.zeros(len(block), dtype=bool)
+    for start in range(0, len(window), WINDOW_CHUNK):
+        chunk = window[start : start + WINDOW_CHUNK]
+        remaining = np.flatnonzero(~dominated)
+        if not len(remaining):
+            break
+        contenders = block[remaining]
+        hit = (
+            (chunk[:, None, :] >= contenders[None, :, :])
+            .all(axis=-1)
+            .any(axis=0)
+        )
+        dominated[remaining[hit]] = True
+    return dominated
+
+
+def _survivors(np: Any, window: Any, block: Any) -> Any:
+    """Mask of block rows not dominated by the window nor by block peers."""
+    if len(window):
+        dominated = _dominated_by_window(np, window, block)
+        if dominated.all():
+            return ~dominated
+        candidates = block[~dominated]
+    else:
+        dominated = np.zeros(len(block), dtype=bool)
+        candidates = block
+    ge = (candidates[:, None, :] >= candidates[None, :, :]).all(axis=-1)
+    np.fill_diagonal(ge, False)
+    alive = np.flatnonzero(~dominated)
+    dominated[alive[ge.any(axis=0)]] = True
+    return ~dominated
+
+
+def _sfs_numpy(np: Any, matrix: Matrix, block_size: int) -> list[int]:
+    m = np.ascontiguousarray(matrix, dtype=np.int64)
+    n = len(m)
+    if n == 0:
+        return []
+    order = np.argsort(-m.sum(axis=1), kind="stable")
+    s = m[order]
+    window = np.empty((0, m.shape[1]), dtype=np.int64)
+    kept: list[Any] = []
+    # Blocks grow geometrically: early blocks stay small while the window
+    # is being seeded (bounding the quadratic intra-block check), later
+    # blocks are large so the window sweep runs in few broadcasted calls.
+    start, size = 0, block_size
+    while start < n:
+        block = s[start : start + size]
+        alive = _survivors(np, window, block)
+        if alive.any():
+            window = np.concatenate([window, block[alive]])
+            kept.append(order[start : start + len(block)][alive])
+        start += len(block)
+        size = min(size * 2, 32 * block_size)
+    return sorted(int(i) for chunk in kept for i in chunk)
+
+
+def _sfs_python(matrix: Matrix) -> list[int]:
+    n = len(matrix)
+    if n == 0:
+        return []
+    order = sorted(range(n), key=lambda i: -sum(matrix[i]))
+    window: list[Sequence[int]] = []
+    kept: list[int] = []
+    for i in order:
+        candidate = matrix[i]
+        if not any(_dominates(w, candidate) for w in window):
+            window.append(candidate)
+            kept.append(i)
+    return sorted(kept)
+
+
+# -- the two-dimensional sweep ------------------------------------------------------
+
+
+def skyline_2d(matrix: Matrix) -> list[int]:
+    """Maxima of *distinct* 2-d code vectors by the classic [KLP75] sweep.
+
+    Sort lex-descending; within one axis-0 group only the max-axis-1 row
+    (the group's first, and unique since rows are distinct) can be
+    maximal, and it is iff its axis-1 value beats every strictly-greater
+    axis-0 group — one running maximum.  O(n log n), no pairwise matrix:
+    this is what makes all-maximal inputs (perfect anti-correlation)
+    cheap where the generic kernels degrade to O(n * skyline).
+    """
+    np = get_numpy()
+    if np is not None:
+        return _sweep_2d_numpy(np, matrix)
+    return _sweep_2d_python(matrix)
+
+
+def _sweep_2d_numpy(np: Any, matrix: Matrix) -> list[int]:
+    m = np.ascontiguousarray(matrix, dtype=np.int64)
+    if len(m) == 0:
+        return []
+    order = np.lexsort((-m[:, 1], -m[:, 0]))
+    s0 = m[order, 0]
+    s1 = m[order, 1]
+    group_starts = np.flatnonzero(np.r_[True, s0[1:] != s0[:-1]])
+    running_max = np.maximum.accumulate(s1)
+    # A group's first row is maximal iff its axis-1 value exceeds the max
+    # over all previous (strictly axis-0-greater) groups.
+    best_before = running_max[group_starts - 1]
+    maximal = s1[group_starts] > best_before
+    maximal[0] = True  # nothing precedes the first group
+    return sorted(int(i) for i in order[group_starts[maximal]])
+
+
+def _sweep_2d_python(matrix: Matrix) -> list[int]:
+    n = len(matrix)
+    if n == 0:
+        return []
+    order = sorted(range(n), key=lambda i: (-matrix[i][0], -matrix[i][1]))
+    kept: list[int] = []
+    best1: int | None = None
+    position = 0
+    while position < n:
+        index = order[position]
+        group0, candidate1 = matrix[index][0], matrix[index][1]
+        if best1 is None or candidate1 > best1:
+            kept.append(index)
+            best1 = candidate1
+        while position < n and matrix[order[position]][0] == group0:
+            position += 1
+    return sorted(kept)
+
+
+# -- block-nested-loops -------------------------------------------------------------
+
+
+def skyline_bnl(matrix: Matrix, block_size: int = DEFAULT_BLOCK) -> list[int]:
+    """Indices of Pareto-maximal rows via block-wise vectorized BNL."""
+    np = get_numpy()
+    if np is not None:
+        return _bnl_numpy(np, matrix, block_size)
+    return _bnl_python(matrix)
+
+
+def _bnl_numpy(np: Any, matrix: Matrix, block_size: int) -> list[int]:
+    m = np.ascontiguousarray(matrix, dtype=np.int64)
+    n = len(m)
+    if n == 0:
+        return []
+    window = np.empty((0, m.shape[1]), dtype=np.int64)
+    window_idx = np.empty((0,), dtype=np.int64)
+    indices = np.arange(n)
+    # Unlike SFS, blocks stay fixed-size: the input order is the caller's,
+    # so nothing bounds how many of a block's rows are still undominated,
+    # and the intra-block check is quadratic in that number.
+    for start in range(0, n, block_size):
+        block = m[start : start + block_size]
+        alive = _survivors(np, window, block)
+        arrivals = block[alive]
+        arrival_idx = indices[start : start + len(block)][alive]
+        if not len(arrivals):
+            continue
+        if len(window):
+            # Evict window members dominated by a new arrival
+            # (window-chunked, same memory bound as _dominated_by_window).
+            evicted = np.zeros(len(window), dtype=bool)
+            for wstart in range(0, len(window), WINDOW_CHUNK):
+                chunk = window[wstart : wstart + WINDOW_CHUNK]
+                evicted[wstart : wstart + len(chunk)] = (
+                    (arrivals[:, None, :] >= chunk[None, :, :])
+                    .all(axis=-1)
+                    .any(axis=0)
+                )
+            window = window[~evicted]
+            window_idx = window_idx[~evicted]
+        window = np.concatenate([window, arrivals])
+        window_idx = np.concatenate([window_idx, arrival_idx])
+    return sorted(int(i) for i in window_idx)
+
+
+def _bnl_python(matrix: Matrix) -> list[int]:
+    window: list[tuple[int, Sequence[int]]] = []
+    for i, candidate in enumerate(matrix):
+        dominated = False
+        survivors: list[tuple[int, Sequence[int]]] = []
+        for entry in window:
+            if _dominates(entry[1], candidate):
+                dominated = True
+                survivors = window
+                break
+            if not _dominates(candidate, entry[1]):
+                survivors.append(entry)
+        if dominated:
+            continue
+        survivors.append((i, candidate))
+        window = survivors
+    return sorted(i for i, _ in window)
+
+
+#: Kernel registry keyed by the planner's strategy names.
+KERNELS = {"sfs": skyline_sfs, "bnl": skyline_bnl}

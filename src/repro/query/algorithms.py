@@ -49,6 +49,8 @@ from repro.core.preference import (
 )
 
 #: Registry of row-level maxima algorithms by name (filled at module end).
+#: The columnar engine (:mod:`repro.engine.columnar`) registers its
+#: vectorized kernels here too, as ``"vsfs"`` and ``"vbnl"``.
 ALGORITHMS: dict[str, Callable[[Preference, list[Row]], list[Row]]] = {}
 
 

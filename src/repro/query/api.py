@@ -14,6 +14,11 @@ until a terminal is called:
 * :meth:`~PreferenceQuery.to_sql` — the plug-and-go SQL92 rewriting,
 * :meth:`~PreferenceQuery.iter` — iterate result rows.
 
+Execution backends are a planner concern, not a semantic one: the winnow
+runs on the row engine or — for large vector-skyline workloads — on the
+columnar engine (:mod:`repro.engine`), with identical results either way.
+:meth:`~PreferenceQuery.backend` overrides the automatic choice.
+
 All terminals funnel through one planning pipeline
 (:func:`repro.query.optimizer.plan` -> :class:`repro.query.plan.Plan`), the
 same path the Preference SQL executor and the Preference XPath evaluator
@@ -78,7 +83,7 @@ class PreferenceQuery:
     __slots__ = (
         "_session", "_source", "_pref", "_cascades", "_wheres", "_groupby",
         "_quality", "_top", "_top_ties", "_select", "_order_by", "_limit",
-        "_algorithm", "_use_rewriter", "_sql_ast",
+        "_algorithm", "_backend", "_use_rewriter", "_sql_ast",
     )
 
     def __init__(
@@ -99,6 +104,7 @@ class PreferenceQuery:
         self._order_by: tuple[tuple[str, bool], ...] = ()
         self._limit: int | None = None
         self._algorithm: Any = None
+        self._backend: str = "auto"
         self._use_rewriter: bool = True
         self._sql_ast: Any = None  # original psql ast.Query, when parsed
 
@@ -243,14 +249,46 @@ class PreferenceQuery:
         return self._copy(order_by=(*self._order_by, *cooked))
 
     def limit(self, n: int) -> "PreferenceQuery":
+        """Keep only the first ``n`` result rows (applied after ordering).
+
+        A presentation clause like :meth:`order_by` — unlike :meth:`top`
+        it does not change BMO semantics, it just truncates the output.
+        """
         if n < 0:
             raise ValueError(f"limit must be non-negative, got {n}")
         return self._copy(limit=n)
 
     def using(self, algorithm: Any) -> "PreferenceQuery":
         """Force one evaluation engine (an ALGORITHMS name or a callable),
-        bypassing automatic selection and cascade splitting."""
+        bypassing automatic selection and cascade splitting.
+
+        The columnar kernels are reachable here by name too (``"vsfs"``,
+        ``"vbnl"``); for planner-driven backend choice use :meth:`backend`
+        instead.  Mutually exclusive with a non-``"auto"`` backend hint.
+        """
         return self._copy(algorithm=algorithm)
+
+    def backend(self, name: str) -> "PreferenceQuery":
+        """Steer the winnow between execution backends (default ``"auto"``).
+
+        * ``"auto"`` — the planner cost-ranks: large Pareto-of-chains
+          winnows go columnar when NumPy is available, everything else
+          stays on the row engine,
+        * ``"columnar"`` — force the columnar engine (pure-Python kernels
+          when NumPy is absent); planning raises ``ValueError`` if the
+          preference has no columnar form,
+        * ``"row"`` — never columnarize.
+
+        Results are identical across backends; only the evaluation
+        representation changes.  The choice is visible in
+        :meth:`explain` (columnar plans print
+        ``backend=columnar kernel=...``).
+        """
+        from repro.query.optimizer import BACKENDS
+
+        if name not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+        return self._copy(backend=name)
 
     def optimize(self, enabled: bool = True) -> "PreferenceQuery":
         """Toggle the algebraic rewriter (on by default)."""
@@ -292,6 +330,7 @@ class PreferenceQuery:
             self._order_by,
             self._limit,
             self._algorithm,
+            self._backend,
             self._use_rewriter,
         )
 
@@ -381,6 +420,7 @@ class PreferenceQuery:
             limit=self._limit,
             use_rewriter=self._use_rewriter,
             algorithm=self._algorithm,
+            backend=self._backend,
         )
 
     def _combined_where(
@@ -415,6 +455,7 @@ class PreferenceQuery:
     __iter__ = iter
 
     def count(self) -> int:
+        """Plan, execute, and return only the result cardinality."""
         return len(self.plan().execute())
 
     def explain(self) -> str:

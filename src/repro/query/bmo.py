@@ -68,8 +68,8 @@ def winnow(
     The engine-level winnow operator (Chomicki's name for the paper's BMO
     selection).  ``algorithm`` picks an engine from
     :data:`repro.query.algorithms.ALGORITHMS` ("naive", "bnl", "sfs", "dc",
-    "2d", "sort") or is a callable; "bnl" is the default because it is
-    correct for every strict partial order.  Use
+    "2d", "sort", plus the columnar "vsfs"/"vbnl") or is a callable; "bnl"
+    is the default because it is correct for every strict partial order.  Use
     :class:`~repro.query.api.PreferenceQuery` (or
     :func:`repro.query.optimizer.execute`) for automatic selection.
     """

@@ -13,25 +13,36 @@ Given a preference term and a database set, the optimizer
    * terms with a dominance-compatible sort key -> SFS,
    * everything else -> BNL (always correct),
 
-3. places hard selections below the preference operator and quality
+3. chooses an execution *backend* for dominance-heavy winnows: the row
+   engine by default, the columnar engine (:mod:`repro.engine`) for large
+   Pareto-of-chains inputs where block-vectorized evaluation wins
+   (:func:`choose_backend`; overridable per query via
+   ``PreferenceQuery.backend``),
+
+4. places hard selections below the preference operator and quality
    filters (BUT ONLY) above it, and top-k on top for ranked queries.
 
-``explain()`` on the resulting plan shows the chosen algorithms and every
+``explain()`` on the resulting plan shows the chosen algorithms, the
+backend (columnar nodes print ``backend=columnar kernel=...``), and every
 algebra law that fired.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.algebra.rewriter import rewrite_trace, simplify
 from repro.core.base_numerical import score_function_of
 from repro.core.constructors import PrioritizedPreference
 from repro.core.preference import Preference, Row
+from repro.engine.backend import numpy_available
+from repro.engine.columnar import columnar_profile
 from repro.query.algorithms import compatible_sort_key, skyline_axes
 from repro.query.plan import (
     ButOnly,
     Cascade,
+    ColumnarPreferenceSelect,
     GroupedPreferenceSelect,
     HardSelect,
     Limit,
@@ -46,9 +57,17 @@ from repro.query.plan import (
 from repro.query.quality import QualityCondition
 from repro.relations.relation import Relation
 
+#: Minimum input cardinality before the auto-chosen columnar backend pays
+#: for its setup (dedup, axis extraction, rank encoding).  Below this the
+#: row engine's vector algorithms (2d/dc) are at least as fast.
+COLUMNAR_ROW_THRESHOLD = 512
+
+#: Valid values of the ``backend`` planning hint.
+BACKENDS = ("auto", "row", "columnar")
+
 
 def choose_algorithm(pref: Preference) -> str:
-    """Pick the cheapest known-correct algorithm for a preference term."""
+    """Pick the cheapest known-correct row algorithm for a preference term."""
     if score_function_of(pref) is not None:
         return "sort"
     axes = skyline_axes(pref)
@@ -57,6 +76,58 @@ def choose_algorithm(pref: Preference) -> str:
     if compatible_sort_key(pref) is not None:
         return "sfs"
     return "bnl"
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """The planner's backend decision plus its one-line rationale."""
+
+    backend: str  # "row" | "columnar"
+    reason: str
+
+    @property
+    def columnar(self) -> bool:
+        return self.backend == "columnar"
+
+
+def choose_backend(
+    pref: Preference, cardinality: int, hint: str = "auto"
+) -> BackendChoice:
+    """Cost-rank the row engine against the columnar engine for a winnow.
+
+    The columnar engine applies to terms with a vector-skyline form (Pareto
+    over injective chains, or a bare injective chain) and to
+    SCORE-representable terms.  Under ``hint="auto"`` it is chosen only for
+    the skyline case — where the row engine is super-linear — and only when
+    the input is large enough (:data:`COLUMNAR_ROW_THRESHOLD`) and NumPy is
+    present; SCORE terms stay on the already-linear row ``sort`` path.
+    ``hint="columnar"`` forces it (pure-Python kernels included) and raises
+    ``ValueError`` for ineligible terms; ``hint="row"`` never columnarizes.
+    """
+    if hint not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {hint!r}")
+    profile = columnar_profile(pref)
+    if hint == "row":
+        return BackendChoice("row", "backend=row requested")
+    if hint == "columnar":
+        if profile is None:
+            raise ValueError(
+                f"{pref!r} has no columnar evaluation (needs a Pareto of "
+                "injective chains or a SCORE-representable term); "
+                "drop the backend='columnar' hint"
+            )
+        return BackendChoice("columnar", "backend=columnar requested")
+    if profile != "skyline":
+        return BackendChoice("row", "no columnar dominance form")
+    if cardinality < COLUMNAR_ROW_THRESHOLD:
+        return BackendChoice(
+            "row", f"input below columnar threshold ({cardinality} rows)"
+        )
+    if not numpy_available():
+        return BackendChoice("row", "NumPy unavailable")
+    return BackendChoice(
+        "columnar", f"vector skyline over {cardinality} rows"
+    )
 
 
 def _cascade_stages(
@@ -97,14 +168,25 @@ def plan(
     limit: int | None = None,
     use_rewriter: bool = True,
     algorithm: Any | None = None,
+    backend: str = "auto",
 ) -> Plan:
     """Build an execution plan for ``sigma[P](sigma_hard(R))`` and friends.
 
     ``pref=None`` plans a plain exact-match query (hard selection, ordering,
     projection, limit only).  ``algorithm`` forces one evaluation engine —
     a name from :data:`repro.query.algorithms.ALGORITHMS` or a callable —
-    bypassing both automatic selection and cascade splitting.
+    bypassing both automatic selection and cascade splitting.  ``backend``
+    ("auto" / "row" / "columnar") steers the winnow between the row engine
+    and the columnar engine (see :func:`choose_backend`); it cannot be
+    combined with a forced ``algorithm``, which already names an engine.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if algorithm is not None and backend != "auto":
+        raise ValueError(
+            "algorithm= already forces an engine; drop the backend= hint "
+            "(the columnar kernels are algorithms 'vsfs' and 'vbnl')"
+        )
     node: PlanNode = Scan(relation)
     if hard is not None:
         node = HardSelect(node, hard, label=hard_label)
@@ -131,22 +213,39 @@ def plan(
         pref = simplify(pref)
 
     if top_k is not None:
+        if backend == "columnar":
+            raise ValueError(
+                "top-k is ranked by scores, not dominance; the columnar "
+                "backend does not apply (drop the backend='columnar' hint)"
+            )
         node = TopK(node, pref, top_k, ties=top_ties)
     elif groupby:
+        group_algorithm = algorithm
+        if group_algorithm is None:
+            if backend == "columnar":
+                # Eligibility check only; per-group sizes are unknown, so an
+                # explicit hint is the one way groups go columnar.
+                choose_backend(pref, len(relation), backend)
+                group_algorithm = "vsfs"
+            else:
+                group_algorithm = choose_algorithm(pref)
         node = GroupedPreferenceSelect(
-            node,
-            pref,
-            tuple(groupby),
-            algorithm=choose_algorithm(pref) if algorithm is None else algorithm,
+            node, pref, tuple(groupby), algorithm=group_algorithm
         )
     elif algorithm is not None:
         node = PreferenceSelect(node, pref, algorithm=algorithm)
     else:
-        stages = _cascade_stages(pref)
-        if stages is not None:
-            node = Cascade(node, stages)
+        choice = choose_backend(pref, len(relation), backend)
+        if choice.columnar:
+            node = ColumnarPreferenceSelect(node, pref)
         else:
-            node = PreferenceSelect(node, pref, algorithm=choose_algorithm(pref))
+            stages = _cascade_stages(pref)
+            if stages is not None:
+                node = Cascade(node, stages)
+            else:
+                node = PreferenceSelect(
+                    node, pref, algorithm=choose_algorithm(pref)
+                )
 
     if but_only:
         node = ButOnly(node, pref, tuple(but_only))

@@ -95,6 +95,37 @@ class PreferenceSelect(PlanNode):
 
 
 @dataclass
+class ColumnarPreferenceSelect(PlanNode):
+    """``sigma[P](...)`` on the columnar backend (:mod:`repro.engine`).
+
+    Chosen by the planner for large Pareto-of-chains winnows (or forced via
+    ``PreferenceQuery.backend("columnar")``): dominance is evaluated
+    block-wise over rank-encoded column vectors — NumPy-vectorized when
+    available, pure-Python block sweeps otherwise — instead of per-row-pair
+    ``pref._lt`` calls.  Results are identical to the row engine's.
+    """
+
+    child: PlanNode
+    pref: Preference
+    strategy: str = "sfs"
+
+    def execute(self) -> Relation:
+        from repro.engine.columnar import columnar_winnow
+
+        return columnar_winnow(self.pref, self.child.execute(), self.strategy)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        from repro.engine.backend import backend_label
+
+        pad = "  " * indent
+        return [
+            f"{pad}ColumnarPreferenceSelect[{self.pref!r}] "
+            f"backend=columnar kernel=v{self.strategy}({backend_label()})",
+            *self.child.lines(indent + 1),
+        ]
+
+
+@dataclass
 class GroupedPreferenceSelect(PlanNode):
     """``sigma[P groupby A](...)`` (Definition 16)."""
 

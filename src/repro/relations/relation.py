@@ -37,6 +37,9 @@ class Relation:
             for row in cooked:
                 schema.validate_row(row)
         self._rows = cooked
+        # Lazily built columnar materialization (see columns()).  Relations
+        # are immutable, so once built it can never go stale.
+        self._column_cache: dict[str, tuple] | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -112,6 +115,22 @@ class Relation:
                 f"unknown attribute {attribute!r} in relation {self.name!r}"
             )
         return [r[attribute] for r in self._rows]
+
+    def columns(self) -> dict[str, tuple]:
+        """The columnar materialization: attribute -> value tuple, row order.
+
+        Built lazily on first access and cached for the relation's lifetime
+        — immutability makes the cache sound, and because the catalog hands
+        out one relation instance per ``(name, version)``, the cache is
+        effectively per catalog version, alongside the plan cache.  This is
+        the representation the columnar execution engine
+        (:mod:`repro.engine`) evaluates winnows over.
+        """
+        if self._column_cache is None:
+            self._column_cache = {
+                n: tuple(r[n] for r in self._rows) for n in self.schema.names
+            }
+        return dict(self._column_cache)
 
     def tuples(self, attributes: Sequence[str] | None = None) -> list[tuple]:
         """Rows as positional tuples over ``attributes`` (default: all)."""

@@ -6,7 +6,9 @@ A :class:`Session` owns
 * a registry of scoring / combining functions for SCORE and RANK atoms,
 * a memoized plan cache keyed on (query fingerprint, relation name,
   relation version) — repeated queries skip planning entirely, and any
-  catalog change to a relation invalidates its cached plans by version.
+  catalog change to a relation invalidates its cached plans by version,
+* a :meth:`~Session.column_store` accessor exposing the columnar
+  materialization of catalog relations, memoized per (name, version).
 
 It is the single entry point the fluent API, the Preference SQL front end,
 and programmatic callers share::
@@ -78,6 +80,7 @@ class Session:
         self._plan_cache: dict[tuple, Plan] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._column_cache: dict[tuple[str, int], Any] = {}
 
     # -- catalog management -----------------------------------------------------
 
@@ -199,14 +202,48 @@ class Session:
         return plan
 
     def cache_info(self) -> CacheInfo:
+        """Hit/miss/size statistics of the plan cache."""
         return CacheInfo(
             self._cache_hits, self._cache_misses, len(self._plan_cache)
         )
 
     def clear_plan_cache(self) -> None:
+        """Drop all memoized plans and reset the hit/miss counters."""
         self._plan_cache.clear()
         self._cache_hits = 0
         self._cache_misses = 0
+
+    # -- columnar materialization -----------------------------------------------
+
+    def column_store(self, name: str) -> Any:
+        """The columnar materialization of a catalog relation, for callers.
+
+        Returns a :class:`repro.engine.columns.ColumnStore` over the
+        current version of ``name``, memoized per ``(name, version)``:
+        re-registering or dropping the relation bumps its catalog version,
+        which both retires stale entries and keys the fresh one.
+
+        This is a *convenience accessor* for programmatic use of the
+        engine; columnar plan execution does not route through it — it
+        reads :meth:`Relation.columns` directly, which caches the vectors
+        on the (immutable, per-version) relation instance, so winnows pay
+        materialization once per catalog version either way.  The store
+        returned here shares those same cached vectors.
+        """
+        from repro.engine.columns import ColumnStore
+
+        key = (name.lower(), self.catalog.version(name))
+        store = self._column_cache.get(key)
+        if store is None:
+            store = ColumnStore.from_relation(self.catalog.get(name))
+            stale = [
+                k for k in self._column_cache
+                if k[0] == key[0] and k[1] < key[1]
+            ]
+            for k in stale:
+                del self._column_cache[k]
+            self._column_cache[key] = store
+        return store
 
     def __repr__(self) -> str:
         return (

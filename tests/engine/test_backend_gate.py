@@ -1,0 +1,84 @@
+"""The NumPy gate: env kill-switch, monkeypatched-attribute fallback, and a
+full module reload with the ``numpy`` import blocked — the closest a test
+can get to an environment where NumPy was never installed.
+"""
+
+import builtins
+import importlib
+
+import pytest
+
+import repro.engine.backend as engine_backend
+from repro.core.base_numerical import HighestPreference, LowestPreference
+from repro.core.constructors import pareto
+from repro.datasets.skyline_data import independent
+from repro.query.algorithms import block_nested_loop
+
+
+def row_set(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+HAS_NUMPY = engine_backend._numpy is not None
+
+
+class TestGate:
+    def test_monkeypatched_attribute_disables(self, monkeypatch):
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        assert engine_backend.get_numpy() is None
+        assert not engine_backend.numpy_available()
+        assert engine_backend.backend_label() == "python-fallback"
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert engine_backend.get_numpy() is None
+        assert not engine_backend.numpy_available()
+
+    def test_env_zero_means_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "0")
+        assert engine_backend.numpy_available() == HAS_NUMPY
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy genuinely absent")
+    def test_label_with_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+        assert engine_backend.backend_label() == "numpy"
+
+
+class TestMonkeypatchedImport:
+    def test_reload_with_numpy_import_blocked(self, monkeypatch):
+        """Reload the gate module under an ImportError-raising importer.
+
+        The module-level ``import numpy`` must degrade to ``None`` (not
+        crash), and columnar winnows must keep producing row-engine
+        results through the pure-Python kernels.  The module dict is
+        shared with every ``from ... import`` site, so the reload flips
+        the whole engine at once; a final reload restores reality.
+        """
+        real_import = builtins.__import__
+
+        def blocking_import(name, *args, **kwargs):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError(f"blocked for test: {name}")
+            return real_import(name, *args, **kwargs)
+
+        try:
+            monkeypatch.setattr(builtins, "__import__", blocking_import)
+            importlib.reload(engine_backend)
+            assert engine_backend._numpy is None
+            assert not engine_backend.numpy_available()
+
+            from repro.engine.columnar import columnar_winnow
+
+            rows = independent(150, 3, seed=41)
+            pref = pareto(
+                HighestPreference("d0"),
+                LowestPreference("d1"),
+                HighestPreference("d2"),
+            )
+            assert row_set(columnar_winnow(pref, rows)) == row_set(
+                block_nested_loop(pref, rows)
+            )
+        finally:
+            monkeypatch.setattr(builtins, "__import__", real_import)
+            importlib.reload(engine_backend)
+        assert engine_backend._numpy is not None or not HAS_NUMPY

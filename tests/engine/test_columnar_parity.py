@@ -1,0 +1,276 @@
+"""Row/columnar parity: identical winnow results across backends.
+
+Property-style sweep over the paper's example preferences and the skyline
+dataset generators: for every (preference, dataset, strategy) combination
+the columnar winnow must return exactly the row engine's BMO set — with
+NumPy and with the pure-Python fallback.
+"""
+
+import random
+
+import pytest
+
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.core.constructors import dual, pareto
+from repro.core.preference import ChainPreference
+from repro.datasets.skyline_data import DISTRIBUTIONS
+from repro.engine import backend as engine_backend
+from repro.engine.columnar import (
+    NotColumnarError,
+    columnar_axes,
+    columnar_profile,
+    columnar_winnow,
+)
+from repro.query.algorithms import block_nested_loop, naive_nested_loop
+from repro.relations.relation import Relation
+
+
+def row_set(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+def grid_rows(n, dims, seed, top=6):
+    """Integer-grid rows: plenty of duplicate projections (fan-out tests)."""
+    rng = random.Random(seed)
+    return [
+        {f"d{i}": rng.randrange(top) for i in range(dims)} for _ in range(n)
+    ]
+
+
+PREFERENCES = {
+    2: [
+        pareto(HighestPreference("d0"), HighestPreference("d1")),
+        pareto(HighestPreference("d0"), LowestPreference("d1")),
+        pareto(dual(HighestPreference("d0")), LowestPreference("d1")),
+        pareto(
+            ChainPreference("d0", key=lambda v: -3 * v, key_name="neg3"),
+            HighestPreference("d1"),
+        ),
+    ],
+    3: [
+        pareto(
+            HighestPreference("d0"),
+            LowestPreference("d1"),
+            HighestPreference("d2"),
+        ),
+        pareto(
+            dual(LowestPreference("d0")),
+            LowestPreference("d1"),
+            dual(dual(HighestPreference("d2"))),
+        ),
+    ],
+}
+
+
+class TestSkylineDatasetParity:
+    @pytest.mark.parametrize("kind", sorted(DISTRIBUTIONS))
+    @pytest.mark.parametrize("dims", [2, 3])
+    @pytest.mark.parametrize("strategy", ["sfs", "bnl"])
+    def test_matches_row_engine(self, kind, dims, strategy):
+        rows = DISTRIBUTIONS[kind](300, dims, seed=31)
+        for pref in PREFERENCES[dims]:
+            expected = row_set(block_nested_loop(pref, rows))
+            got = columnar_winnow(pref, rows, strategy=strategy)
+            assert row_set(got) == expected, (kind, dims, strategy, pref)
+
+    @pytest.mark.parametrize("strategy", ["sfs", "bnl"])
+    def test_matches_without_numpy(self, monkeypatch, strategy):
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        rows = DISTRIBUTIONS["anticorrelated"](200, 3, seed=7)
+        for pref in PREFERENCES[3]:
+            expected = row_set(block_nested_loop(pref, rows))
+            got = columnar_winnow(pref, rows, strategy=strategy)
+            assert row_set(got) == expected
+
+
+class TestDuplicateFanOut:
+    @pytest.mark.parametrize("strategy", ["sfs", "bnl"])
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_every_carrying_tuple_is_kept(
+        self, monkeypatch, strategy, use_numpy
+    ):
+        if not use_numpy:
+            monkeypatch.setattr(engine_backend, "_numpy", None)
+        rows = grid_rows(400, 2, seed=3)
+        pref = pareto(HighestPreference("d0"), LowestPreference("d1"))
+        expected = row_set(naive_nested_loop(pref, rows))
+        got = columnar_winnow(pref, rows, strategy=strategy)
+        assert row_set(got) == expected
+
+    def test_extra_attributes_distinguish_tuples(self):
+        rows = [
+            {"d0": 1, "d1": 1, "tag": "a"},
+            {"d0": 1, "d1": 1, "tag": "b"},  # projection-equal: both kept
+            {"d0": 0, "d1": 2, "tag": "c"},
+        ]
+        pref = pareto(HighestPreference("d0"), HighestPreference("d1"))
+        got = columnar_winnow(pref, rows)
+        assert row_set(got) == row_set(block_nested_loop(pref, rows))
+        assert {r["tag"] for r in got} >= {"a", "b"}
+
+
+class TestPathologicalValues:
+    """Exactness and incomparability cases the integer encoding must not
+    paper over: lossy float64 promotion, NaN (unranked vs everything,
+    hence unconditionally maximal), heterogeneous row lists."""
+
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_big_ints_not_collapsed_by_float_promotion(
+        self, monkeypatch, use_numpy
+    ):
+        if not use_numpy:
+            monkeypatch.setattr(engine_backend, "_numpy", None)
+        rows = [
+            {"d0": 2**63, "d1": 1},
+            {"d0": 2**63 + 1, "d1": 2},  # same float64 as 2**63
+            {"d0": 0, "d1": 3},
+        ]
+        pref = pareto(HighestPreference("d0"), LowestPreference("d1"))
+        got = columnar_winnow(pref, rows)
+        assert row_set(got) == row_set(block_nested_loop(pref, rows))
+        assert len(got) == 2
+
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    @pytest.mark.parametrize("dims", [2, 3])
+    @pytest.mark.parametrize("strategy", ["sfs", "bnl"])
+    def test_nan_rows_are_maximal_like_the_row_engine(
+        self, monkeypatch, use_numpy, dims, strategy
+    ):
+        if not use_numpy:
+            monkeypatch.setattr(engine_backend, "_numpy", None)
+        nan = float("nan")
+        rows = DISTRIBUTIONS["independent"](60, dims, seed=8)
+        rows[3]["d0"] = nan
+        rows[11]["d1"] = nan
+        rows[12] = {f"d{i}": nan for i in range(dims)}
+        pref = pareto(
+            *(
+                HighestPreference(f"d{i}")
+                if i % 2 == 0
+                else LowestPreference(f"d{i}")
+                for i in range(dims)
+            )
+        )
+        expected = block_nested_loop(pref, rows)
+        got = columnar_winnow(pref, rows, strategy=strategy)
+        key = lambda r: tuple(sorted((k, repr(v)) for k, v in r.items()))
+        assert sorted(map(key, got)) == sorted(map(key, expected))
+
+    def test_heterogeneous_row_lists(self):
+        out = columnar_winnow(
+            HighestPreference("d0"), [{"d0": 1, "extra": 2}, {"d0": 3}]
+        )
+        assert out == [{"d0": 3}]
+
+    def test_rows_returned_by_identity(self):
+        rows = [{"d0": 1, "d1": 2}, {"d0": 2, "d1": 1}]
+        out = columnar_winnow(
+            pareto(HighestPreference("d0"), HighestPreference("d1")), rows
+        )
+        assert all(any(o is r for r in rows) for o in out)
+
+
+class TestRelationShapes:
+    def test_relation_in_relation_out(self):
+        rel = Relation.from_dicts("grid", grid_rows(120, 3, seed=9))
+        pref = pareto(
+            HighestPreference("d0"),
+            LowestPreference("d1"),
+            HighestPreference("d2"),
+        )
+        out = columnar_winnow(pref, rel)
+        assert isinstance(out, Relation)
+        assert out.name == rel.name and out.schema is rel.schema
+        assert row_set(out.rows()) == row_set(
+            block_nested_loop(pref, rel.rows())
+        )
+
+    def test_rows_in_rows_out(self):
+        rows = grid_rows(50, 2, seed=2)
+        out = columnar_winnow(
+            pareto(HighestPreference("d0"), HighestPreference("d1")), rows
+        )
+        assert isinstance(out, list) and all(isinstance(r, dict) for r in out)
+
+    def test_empty_input(self):
+        pref = pareto(HighestPreference("d0"), HighestPreference("d1"))
+        assert columnar_winnow(pref, []) == []
+
+
+class TestScorePath:
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_around_matches_sort_based(self, monkeypatch, use_numpy):
+        from repro.query.algorithms import sort_based_maxima
+
+        if not use_numpy:
+            monkeypatch.setattr(engine_backend, "_numpy", None)
+        rows = grid_rows(200, 1, seed=5, top=9)
+        pref = AroundPreference("d0", 4)
+        assert row_set(columnar_winnow(pref, rows)) == row_set(
+            sort_based_maxima(pref, rows)
+        )
+
+    def test_profile_classification(self):
+        assert (
+            columnar_profile(
+                pareto(HighestPreference("d0"), LowestPreference("d1"))
+            )
+            == "skyline"
+        )
+        assert columnar_profile(AroundPreference("d0", 1)) == "score"
+        from repro.core.base_nonnumerical import PosPreference
+
+        assert columnar_profile(PosPreference("d0", {1})) is None
+
+
+class TestEligibility:
+    def test_around_children_are_refused_axes(self):
+        pref = pareto(HighestPreference("d0"), AroundPreference("d1", 0))
+        assert columnar_axes(pref) is None
+
+    def test_ineligible_raises(self):
+        from repro.core.base_nonnumerical import PosPreference
+
+        with pytest.raises(NotColumnarError):
+            columnar_winnow(PosPreference("d0", {1}), [{"d0": 1}])
+
+    def test_unknown_strategy_raises(self):
+        pref = pareto(HighestPreference("d0"), HighestPreference("d1"))
+        with pytest.raises(ValueError, match="unknown columnar strategy"):
+            columnar_winnow(pref, [{"d0": 1, "d1": 1}], strategy="zap")
+
+    def test_missing_attribute_raises(self):
+        pref = pareto(HighestPreference("d0"), HighestPreference("nope"))
+        with pytest.raises(KeyError, match="nope"):
+            columnar_winnow(pref, [{"d0": 1, "d1": 1}])
+
+    def test_registered_algorithm_names(self):
+        from repro.query.algorithms import ALGORITHMS
+
+        assert "vsfs" in ALGORITHMS and "vbnl" in ALGORITHMS
+
+    def test_algorithm_adapters_reject_ineligible(self):
+        from repro.core.base_nonnumerical import PosPreference
+        from repro.engine.columnar import columnar_bnl, columnar_sfs
+
+        for adapter in (columnar_sfs, columnar_bnl):
+            with pytest.raises(NotColumnarError):
+                adapter(PosPreference("d0", {1}), [{"d0": 1}])
+
+
+class TestGroupedWinnow:
+    def test_vsfs_by_name_matches_bnl(self):
+        from repro.query.bmo import winnow_groupby
+
+        rows = [
+            {"g": i % 4, "d0": (i * 13) % 17, "d1": (i * 7) % 11}
+            for i in range(150)
+        ]
+        pref = pareto(HighestPreference("d0"), LowestPreference("d1"))
+        fast = winnow_groupby(pref, ["g"], rows, algorithm="vsfs")
+        slow = winnow_groupby(pref, ["g"], rows, algorithm="bnl")
+        assert row_set(fast) == row_set(slow)

@@ -1,0 +1,92 @@
+"""Columnar materialization: ColumnStore, rank encoding, relation caching."""
+
+import pytest
+
+from repro.engine import backend as engine_backend
+from repro.engine.columns import ColumnStore, rank_code_vector, rank_codes
+from repro.relations.relation import Relation
+
+
+ROWS = [
+    {"a": 3, "b": "x"},
+    {"a": 1, "b": "y"},
+    {"a": 3, "b": "x"},
+    {"a": 2, "b": "z"},
+]
+
+
+class TestColumnStore:
+    def test_from_rows_columns_in_row_order(self):
+        store = ColumnStore.from_rows(ROWS)
+        assert store.column("a") == (3, 1, 3, 2)
+        assert store.column("b") == ("x", "y", "x", "z")
+        assert len(store) == 4
+
+    def test_from_relation_shares_cached_columns(self):
+        rel = Relation.from_dicts("r", ROWS)
+        store = ColumnStore.from_relation(rel)
+        assert store.column("a") == tuple(rel.column("a"))
+        assert store.length == len(rel)
+
+    def test_unknown_column_raises(self):
+        store = ColumnStore.from_rows(ROWS)
+        with pytest.raises(KeyError, match="no column 'c'"):
+            store.column("c")
+
+    def test_attributes_union_over_sparse_rows(self):
+        store = ColumnStore.from_rows(
+            [{"a": 1, "b": 2}], attributes=("a", "b")
+        )
+        assert sorted(store.columns) == ["a", "b"]
+
+
+class TestRankCodes:
+    def test_order_preserving_and_dense(self):
+        assert rank_codes([3.5, 1.0, 3.5, 2.0]) == [2, 0, 2, 1]
+
+    def test_strings(self):
+        assert rank_codes(["b", "a", "c", "a"]) == [1, 0, 2, 0]
+
+    def test_empty(self):
+        assert rank_codes([]) == []
+
+    def test_python_and_numpy_paths_agree(self, monkeypatch):
+        values = [0.25, -1.5, 0.25, 7.0, 3.25, -1.5]
+        with_numpy = rank_codes(values)
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        assert rank_codes(values) == with_numpy
+
+    def test_object_values_fall_back(self):
+        class Odd:
+            def __init__(self, v):
+                self.v = v
+
+            def __lt__(self, other):
+                return self.v < other.v
+
+        codes = rank_codes([Odd(2), Odd(1), Odd(2)])
+        assert codes == [1, 0, 1]
+
+    def test_vector_form_matches_list_form(self):
+        values = [5, 1, 5, 3]
+        vector = rank_code_vector(values)
+        listed = list(vector) if not isinstance(vector, list) else vector
+        assert [int(c) for c in listed] == rank_codes(values)
+
+
+class TestRelationColumns:
+    def test_columns_match_rows(self):
+        rel = Relation.from_dicts("r", ROWS)
+        assert rel.columns() == {"a": (3, 1, 3, 2), "b": ("x", "y", "x", "z")}
+
+    def test_cached_once(self):
+        rel = Relation.from_dicts("r", ROWS)
+        first = rel.columns()
+        assert rel._column_cache is not None
+        assert rel.columns() == first
+
+    def test_returned_mapping_is_defensive(self):
+        rel = Relation.from_dicts("r", ROWS)
+        view = rel.columns()
+        view["a"] = ()
+        assert rel.columns()["a"] == (3, 1, 3, 2)

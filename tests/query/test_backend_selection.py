@@ -1,0 +1,180 @@
+"""Planner backend choice: when winnows go columnar, and how it's surfaced.
+
+Covers :func:`repro.query.optimizer.choose_backend`, the ``backend=`` hint
+on the fluent API, the ColumnarPreferenceSelect plan node, explain() output,
+plan-cache fingerprinting, and the session's columnar-store cache.
+"""
+
+import pytest
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.core.constructors import pareto, prioritized
+from repro.datasets.skyline_data import skyline_relation
+from repro.engine import backend as engine_backend
+from repro.query.optimizer import (
+    BackendChoice,
+    COLUMNAR_ROW_THRESHOLD,
+    choose_backend,
+    plan,
+)
+from repro.query.plan import Cascade, ColumnarPreferenceSelect, PreferenceSelect
+from repro.session import Session
+
+SKY = pareto(HighestPreference("d0"), LowestPreference("d1"))
+# Env-aware: a REPRO_NO_NUMPY=1 run exercises the fallback suite-wide and
+# skips the numpy-only expectations just like a NumPy-less install does.
+HAS_NUMPY = engine_backend.numpy_available()
+
+BIG = COLUMNAR_ROW_THRESHOLD
+
+
+@pytest.fixture
+def session():
+    return Session(
+        {
+            "big": skyline_relation("independent", BIG + 10, 2, seed=3),
+            "small": skyline_relation("independent", 40, 2, seed=3),
+        }
+    )
+
+
+class TestChooseBackend:
+    def test_rejects_unknown_hint(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            choose_backend(SKY, 10, hint="gpu")
+
+    def test_row_hint_always_row(self):
+        assert choose_backend(SKY, 10**6, "row") == BackendChoice(
+            "row", "backend=row requested"
+        )
+
+    def test_columnar_hint_forces(self):
+        assert choose_backend(SKY, 1, "columnar").columnar
+
+    def test_columnar_hint_on_ineligible_raises(self):
+        with pytest.raises(ValueError, match="no columnar evaluation"):
+            choose_backend(PosPreference("d0", {1}), BIG * 2, "columnar")
+
+    def test_auto_needs_size(self):
+        assert not choose_backend(SKY, BIG - 1, "auto").columnar
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="auto requires numpy")
+    def test_auto_goes_columnar_when_big(self):
+        choice = choose_backend(SKY, BIG, "auto")
+        assert choice.columnar and "vector skyline" in choice.reason
+
+    def test_auto_stays_row_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        choice = choose_backend(SKY, BIG * 4, "auto")
+        assert choice == BackendChoice("row", "NumPy unavailable")
+
+    def test_score_terms_stay_row_on_auto(self):
+        choice = choose_backend(AroundPreference("d0", 1), BIG * 4, "auto")
+        assert choice.backend == "row"
+
+    def test_bare_chain_score_terms_stay_row_on_auto(self):
+        # HIGHEST/LOWEST are 1-d skylines *and* argmaxes; the row `sort`
+        # path is already linear, so auto must not columnarize them.
+        for pref in (HighestPreference("d0"), LowestPreference("d0")):
+            assert not choose_backend(pref, BIG * 4, "auto").columnar
+
+
+class TestPlannerIntegration:
+    @pytest.mark.skipif(not HAS_NUMPY, reason="auto requires numpy")
+    def test_big_skyline_plans_columnar(self, session):
+        q = session.query("big").prefer(SKY)
+        assert "ColumnarPreferenceSelect" in q.explain()
+        assert "backend=columnar" in q.explain()
+
+    def test_small_stays_row(self, session):
+        text = session.query("small").prefer(SKY).explain()
+        assert "ColumnarPreferenceSelect" not in text
+
+    def test_backend_row_overrides_auto(self, session):
+        text = session.query("big").prefer(SKY).backend("row").explain()
+        assert "ColumnarPreferenceSelect" not in text
+
+    def test_backend_columnar_forces_small(self, session):
+        text = session.query("small").prefer(SKY).backend("columnar").explain()
+        assert "backend=columnar" in text and "kernel=vsfs" in text
+
+    def test_results_identical_across_backends(self, session):
+        base = session.query("big").prefer(SKY)
+        assert base.backend("columnar").run() == base.backend("row").run()
+
+    def test_cascades_unaffected(self, session):
+        pref = prioritized(LowestPreference("d0"), HighestPreference("d1"))
+        p = plan(pref, session.catalog.get("big"))
+        assert isinstance(p.root, Cascade)
+
+    def test_invalid_backend_name_rejected_early(self, session):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            session.query("big").prefer(SKY).backend("gpu")
+
+    def test_backend_with_forced_algorithm_rejected(self, session):
+        q = session.query("big").prefer(SKY).using("sfs").backend("row")
+        with pytest.raises(ValueError, match="algorithm= already forces"):
+            q.explain()
+
+    def test_columnar_with_top_rejected(self, session):
+        q = (
+            session.query("big")
+            .prefer(AroundPreference("d0", 0.5))
+            .top(3)
+            .backend("columnar")
+        )
+        with pytest.raises(ValueError, match="top-k"):
+            q.explain()
+
+    def test_groupby_columnar_hint_uses_vsfs(self, session):
+        q = session.query("big").prefer(SKY).groupby("d0").backend("columnar")
+        assert "algorithm=vsfs" in q.explain()
+        assert q.run() == session.query("big").prefer(SKY).groupby("d0").run()
+
+    def test_using_vsfs_names_columnar_kernel(self, session):
+        q = session.query("small").prefer(SKY).using("vsfs")
+        assert "algorithm=vsfs" in q.explain()
+        assert q.run() == session.query("small").prefer(SKY).run()
+
+    def test_ineligible_forced_columnar_raises_at_plan_time(self, session):
+        q = (
+            session.query("big")
+            .prefer(PosPreference("d0", {0.5}))
+            .backend("columnar")
+        )
+        with pytest.raises(ValueError, match="no columnar evaluation"):
+            q.explain()
+
+
+class TestFingerprintAndCache:
+    def test_backend_in_fingerprint(self, session):
+        q = session.query("big").prefer(SKY)
+        assert q.fingerprint() != q.backend("row").fingerprint()
+        assert q.fingerprint() == q.backend("auto").fingerprint()
+
+    def test_plans_cached_per_backend(self, session):
+        session.query("big").prefer(SKY).backend("row").run()
+        session.query("big").prefer(SKY).backend("row").run()
+        info = session.cache_info()
+        assert info.hits >= 1 and info.misses >= 1
+
+
+class TestSessionColumnStore:
+    def test_cached_per_version(self, session):
+        first = session.column_store("big")
+        assert session.column_store("big") is first
+        session.register(
+            "big", skyline_relation("independent", 20, 2, seed=9), replace=True
+        )
+        second = session.column_store("big")
+        assert second is not first and len(second) == 20
+
+    def test_store_matches_relation(self, session):
+        store = session.column_store("small")
+        rel = session.catalog.get("small")
+        assert store.column("d0") == tuple(rel.column("d0"))

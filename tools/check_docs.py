@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Run every ```python code block in README.md and docs/*.md.
+
+Documentation that doesn't execute is documentation that lies.  This
+runner extracts fenced ``python`` blocks (anything else — ``text``,
+bare fences — is treated as illustrative and skipped) and executes them
+top-to-bottom, one shared namespace per file, so later blocks in a file
+may build on earlier ones.
+
+Used two ways:
+
+* ``python tools/check_docs.py`` — the CI docs job (exit 1 on failure),
+* ``tests/docs/test_docs_examples.py`` — the tier-1 suite imports
+  :func:`check_all` so doc breakage fails ordinary test runs too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ```python ... ``` with any indentation stripped from the fence line.
+_BLOCK_RE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
+)
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    """README.md plus every markdown file under docs/, sorted."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def python_blocks(text: str) -> list[str]:
+    return [m.group(1) for m in _BLOCK_RE.finditer(text)]
+
+
+def check_file(path: Path) -> list[str]:
+    """Execute a file's python blocks; return error descriptions."""
+    errors: list[str] = []
+    namespace: dict = {"__name__": f"docs:{path.name}"}
+    for number, source in enumerate(python_blocks(path.read_text()), start=1):
+        try:
+            code = compile(source, f"{path.name}[block {number}]", "exec")
+            exec(code, namespace)  # noqa: S102 - the whole point
+        except Exception:
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)} block {number}:\n"
+                + traceback.format_exc(limit=3)
+            )
+    return errors
+
+
+def check_all(root: Path = REPO_ROOT) -> list[str]:
+    """Run all doc code blocks; return the list of failures (empty = good)."""
+    src = root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    errors: list[str] = []
+    for path in doc_files(root):
+        count = len(python_blocks(path.read_text()))
+        print(f"checking {path.relative_to(root)} ({count} python blocks)")
+        errors.extend(check_file(path))
+    return errors
+
+
+def main() -> int:
+    errors = check_all()
+    if errors:
+        print(f"\n{len(errors)} documentation block(s) failed:\n")
+        for error in errors:
+            print(error)
+        return 1
+    print("all documentation code blocks ran cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
