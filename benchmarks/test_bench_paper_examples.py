@@ -19,7 +19,7 @@ from repro.core.base_numerical import (
 from repro.core.constructors import intersection, pareto, prioritized, rank
 from repro.core.graph import BetterThanGraph
 from repro.core.preference import AntiChain
-from repro.datasets.cars import example6_preferences, generate_cars
+from repro.datasets.cars import example6_preferences
 from repro.query.bmo import bmo, perfect_matches
 from repro.query.decomposition import eval_prioritized_grouping, yy_set
 from repro.relations.relation import Relation

@@ -7,7 +7,6 @@ point), while returning exactly the same k-best set as a full scan.
 
 from repro.core.base_numerical import ScorePreference
 from repro.core.constructors import rank
-from repro.datasets.cars import generate_cars
 from repro.query.topk import threshold_topk, top_k
 
 

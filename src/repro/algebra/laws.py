@@ -14,8 +14,8 @@ conditions next to each equation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.base_nonnumerical import NegPreference, PosPreference
 from repro.core.base_numerical import HighestPreference, LowestPreference

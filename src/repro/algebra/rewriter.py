@@ -25,6 +25,9 @@ Rules (bottom-up, to fixpoint):
 * ``<>``: drop duplicated children (Prop. 3f); a child pair ``{C, C^d}`` or
   an anti-chain child collapses the whole term to ``attrs<->`` (Prop. 3g)
 * ``BETWEEN(a, z, z) -> AROUND(a, z)``            (hierarchy, Section 3.4)
+* a subset preference restricted to the empty value set ranks nothing —
+  it degenerates to the anti-chain ``A<->`` (empty-domain no-op; the plan
+  rewriter then drops the winnow entirely)
 """
 
 from __future__ import annotations
@@ -45,7 +48,7 @@ from repro.core.constructors import (
     ParetoPreference,
     PrioritizedPreference,
 )
-from repro.core.preference import AntiChain, Preference
+from repro.core.preference import AntiChain, Preference, SubsetPreference
 
 Rule = Callable[[Preference], "Preference | None"]
 
@@ -273,6 +276,19 @@ def _rule_intersection_simplify(term: Preference) -> Preference | None:
 
 # -- numerical hierarchy normalization -------------------------------------------
 
+def _rule_empty_domain(term: Preference) -> Preference | None:
+    """A restriction to the empty value set never ranks anything.
+
+    ``P|_∅`` (Definition 3d over an empty S) has an empty order: it is the
+    anti-chain over its attributes.  Normalizing it lets downstream
+    consumers — the plan rewriter's ``drop_trivial_winnow`` above all —
+    treat the winnow as the identity instead of running an engine.
+    """
+    if isinstance(term, SubsetPreference) and not term.member_projections():
+        return AntiChain(term.attributes)
+    return None
+
+
 def _rule_between_point(term: Preference) -> Preference | None:
     if (
         isinstance(term, BetweenPreference)
@@ -295,6 +311,7 @@ RULES: tuple[tuple[str, Rule], ...] = (
     ("pareto_antichain", _rule_pareto_antichain),
     ("pareto_shared_attrs", _rule_pareto_shared_attrs),
     ("intersection_simplify", _rule_intersection_simplify),
+    ("empty_domain_noop", _rule_empty_domain),
     ("between_point", _rule_between_point),
 )
 

@@ -29,7 +29,6 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.core.base_numerical import ScorePreference
 from repro.core.domains import Domain, FiniteDomain
 from repro.core.preference import (
-    AntiChain,
     Preference,
     Row,
     attribute_union,

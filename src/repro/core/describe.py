@@ -9,7 +9,6 @@ useful in UIs, EXPLAIN output and error messages.
 
 from __future__ import annotations
 
-from typing import Any
 
 from repro.core.base_nonnumerical import (
     ExplicitPreference,

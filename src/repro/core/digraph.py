@@ -23,7 +23,7 @@ paper's figure sense (better values drawn above) therefore look at edge
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Iterator, Mapping
+from typing import Hashable, Iterable, Iterator, Mapping
 
 Node = Hashable
 Edge = tuple[Node, Node]

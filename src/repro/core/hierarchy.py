@@ -19,7 +19,7 @@ constructor substitutability.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Callable
 
 from repro.core.base_nonnumerical import (
     ExplicitPreference,

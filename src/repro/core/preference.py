@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.domains import Domain, FiniteDomain
 

@@ -18,7 +18,7 @@ order" — this is the assurance tool).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 from repro.core.preference import Preference, as_row
 

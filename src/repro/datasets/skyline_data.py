@@ -15,9 +15,7 @@ Generators are seeded and return plain rows or a
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Any
 
 from repro.relations.relation import Relation
 

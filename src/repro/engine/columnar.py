@@ -51,8 +51,12 @@ Row = dict[str, Any]
 #: value of a row is ``key(row[attribute])`` (``None`` = the raw value);
 #: ``sign`` +1 means bigger-is-better, -1 the reverse.  Keeping direction
 #: as a sign on the *integer codes* instead of a wrapper on every value
-#: keeps rank encoding on native comparisons.
-ColumnAxis = tuple[str, "Callable[[Any], Any] | None", int]
+#: keeps rank encoding on native comparisons.  A *composite* axis — one
+#: Pareto arm that is itself a prioritization of disjoint chains — names a
+#: tuple of attributes and a key over the zipped value tuple; it is
+#: rank-encoded independently like any other axis and re-merged with its
+#: sibling arms inside the skyline kernel.
+ColumnAxis = tuple["str | tuple[str, ...]", "Callable[[Any], Any] | None", int]
 
 
 class NotColumnarError(ValueError):
@@ -65,7 +69,7 @@ class NotColumnarError(ValueError):
 def _value_axis(child: Preference) -> ColumnAxis | None:
     """The :data:`ColumnAxis` of one Pareto child, or None.
 
-    The value-level mirror of ``_chain_axis`` in the row engine: only
+    The value-level mirror of ``chain_axis`` in the row engine: only
     injective chains qualify (LOWEST, HIGHEST, ChainPreference, and duals
     thereof).  AROUND/BETWEEN/SCORE children are refused — their scores
     identify distinct values, so a vector skyline over them would merge
@@ -83,6 +87,26 @@ def _value_axis(child: Preference) -> ColumnAxis | None:
             return None
         attribute, fn, sign = inner
         return attribute, fn, -sign
+    from repro.core.constructors import PrioritizedPreference
+
+    if isinstance(child, PrioritizedPreference) and child.is_chain() is True:
+        # Proposition 3h: a prioritization of chains over disjoint
+        # attributes is a chain under the lexicographic order — encode the
+        # whole arm as one composite axis whose value is the tuple of
+        # per-stage row-axis values (injective, so tuple equality is
+        # projection equality).  The row engine's chain_axis builds the
+        # per-stage values, directions included.
+        from repro.query.algorithms import chain_axis
+
+        arm_axis = chain_axis(child)
+        if arm_axis is None:
+            return None
+        attributes = child.attributes
+
+        def composite(values: tuple) -> Any:
+            return arm_axis(dict(zip(attributes, values)))
+
+        return attributes, composite, 1
     return None
 
 
@@ -199,7 +223,12 @@ def _encoded_axes(
     encoded = []
     combined: list[bool] | None = None
     for attribute, fn, sign in axes:
-        column = store.column(attribute)
+        if isinstance(attribute, tuple):  # composite arm: zip its columns
+            column: Sequence[Any] = list(
+                zip(*(store.column(a) for a in attribute))
+            )
+        else:
+            column = store.column(attribute)
         values = column if fn is None else [fn(v) for v in column]
         codes, incomparable = encode_axis(values)
         if sign < 0:

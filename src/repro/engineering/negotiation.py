@@ -17,13 +17,13 @@ non-dominated compromise candidates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.constructors import ParetoPreference
 from repro.core.graph import BetterThanGraph
 from repro.core.preference import Preference, Row
-from repro.query.bmo import _repack, _unpack, winnow
+from repro.query.bmo import _unpack, winnow
 from repro.relations.relation import Relation
 
 

@@ -15,7 +15,6 @@ from typing import Any, Callable, Iterator
 
 from repro.core.preference import Preference
 from repro.engineering.serialization import (
-    SerializationError,
     preference_from_dict,
     preference_to_dict,
 )

@@ -13,7 +13,7 @@ Plus the query node tying them together with GROUPING, BUT ONLY and TOP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 

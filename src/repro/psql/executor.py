@@ -20,14 +20,13 @@ from repro.core.preference import Preference
 from repro.psql.ast import Query
 from repro.psql.parser import parse
 from repro.psql.translate import (
-    TranslationError,
     render_where,
     translate_preferring,
 )
 from repro.query.plan import Plan
 from repro.relations.catalog import Catalog
 from repro.relations.relation import Relation
-from repro.session import DEFAULT_FUNCTIONS, Session
+from repro.session import Session
 
 
 class PreferenceSQL:

@@ -39,14 +39,7 @@ from repro.core.constructors import (
     ParetoPreference,
     PrioritizedPreference,
 )
-from repro.core.preference import (
-    AntiChain,
-    ChainPreference,
-    Preference,
-    Row,
-    as_row,
-    project,
-)
+from repro.core.preference import AntiChain, ChainPreference, Preference, Row
 
 #: Registry of row-level maxima algorithms by name (filled at module end).
 #: The columnar engine (:mod:`repro.engine.columnar`) registers its
@@ -303,14 +296,20 @@ def skyline_axes(pref: Preference) -> list[Callable[[Row], Any]] | None:
         return None
     axes: list[Callable[[Row], Any]] = []
     for child in pref.children:
-        axis = _chain_axis(child)
+        axis = chain_axis(child)
         if axis is None:
             return None
         axes.append(axis)
     return axes
 
 
-def _chain_axis(child: Preference) -> Callable[[Row], Any] | None:
+def chain_axis(child: Preference) -> Callable[[Row], Any] | None:
+    """The "bigger is better" row-axis of one injective chain, or None.
+
+    Public seam shared with the columnar engine's composite-arm support
+    (:func:`repro.engine.columnar.columnar_axes` builds its value-level
+    axes on top of these row-level ones).
+    """
     from repro.core.base_numerical import HighestPreference, LowestPreference
 
     if isinstance(child, HighestPreference):
@@ -322,10 +321,23 @@ def _chain_axis(child: Preference) -> Callable[[Row], Any] | None:
     if isinstance(child, ChainPreference):
         return lambda row: child.key(row[child.attribute])
     if isinstance(child, DualPreference):
-        inner = _chain_axis(child.base)
+        inner = chain_axis(child.base)
         if inner is None:
             return None
         return lambda row: _Reversed(inner(row))
+    if isinstance(child, PrioritizedPreference) and child.is_chain() is True:
+        # Proposition 3h: prioritization of chains over pairwise disjoint
+        # attributes is itself a chain — its order is lexicographic, so a
+        # tuple of the per-stage axis values is an injective axis for the
+        # whole arm (tuple equality is projection equality because every
+        # component axis is injective on its own attribute).  This is what
+        # lets the decompose_pareto rule evaluate Pareto terms with
+        # compound arms as vector skylines: one composite axis per arm.
+        stage_axes = [chain_axis(c) for c in child.children]
+        if any(axis is None for axis in stage_axes):
+            return None
+        axes = tuple(stage_axes)
+        return lambda row: tuple(axis(row) for axis in axes)  # type: ignore[misc]
     return None
 
 

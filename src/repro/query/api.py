@@ -59,6 +59,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.session import Session
 
 
+#: ``where()`` keyword operator suffixes: ``price__le=4`` -> ``price <= 4``.
+_WHERE_OPS = {
+    "eq": "=",
+    "ne": "<>",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+}
+
+
 @dataclass(frozen=True)
 class WhereSpec:
     """One hard filter: a predicate plus optional SQL AST provenance.
@@ -140,8 +151,20 @@ class PreferenceQuery:
         """Add a hard (exact-match) filter, applied *before* the winnow.
 
         Accepts a row predicate, a Preference SQL WHERE AST node, and/or
-        attribute equalities as keyword arguments (``where(make="Opel")``).
-        Multiple ``where`` calls conjoin.
+        attribute conditions as keyword arguments: ``where(make="Opel")``
+        is an equality, and a ``__op`` suffix names a comparison —
+        ``where(price__le=40000)`` means ``price <= 40000`` (``eq``,
+        ``ne``, ``lt``, ``le``, ``gt``, ``ge``; only these six suffixes
+        are reserved — any other keyword, double underscores included, is
+        an equality on the attribute of that name, so a column literally
+        named like ``score__le`` needs an explicit AST node).  Multiple
+        ``where`` calls conjoin.
+
+        Keyword and AST conditions carry syntactic provenance the plan
+        rewriter can analyse — equality conjuncts feed constant pruning,
+        and bound conjuncts rigid w.r.t. the preference are certified by
+        the ``push_select_below_winnow`` rule; bare callables are opaque
+        and always stay below the winnow.
         """
         specs = list(self._wheres)
         if condition is not None:
@@ -165,14 +188,22 @@ class PreferenceQuery:
                         ast=condition,
                     )
                 )
-        for attribute, value in equalities.items():
+        for keyword, value in equalities.items():
             from repro.psql.ast import Comparison
             from repro.psql.translate import translate_where
 
-            expr = Comparison(attribute, "=", value)
+            attribute, op = keyword, "="
+            if "__" in keyword:
+                head, _, suffix = keyword.rpartition("__")
+                if suffix in _WHERE_OPS and head:
+                    # Only the six known suffixes are reserved; any other
+                    # keyword — including attribute names that contain a
+                    # double underscore — stays a plain equality filter.
+                    attribute, op = head, _WHERE_OPS[suffix]
+            expr = Comparison(attribute, op, value)
             specs.append(
                 WhereSpec(
-                    translate_where(expr), f"{attribute} = {value!r}", ast=expr
+                    translate_where(expr), f"{attribute} {op} {value!r}", ast=expr
                 )
             )
         if len(specs) == len(self._wheres):
@@ -313,11 +344,17 @@ class PreferenceQuery:
 
         Two queries with equal fingerprints (over the same relation
         version) plan and execute identically, regardless of the order
-        their clauses were chained in.
+        their clauses were chained in.  The rewrite engine's
+        :data:`~repro.query.rewrite.RULESET_VERSION` participates, so a
+        session plan cache can never replay a plan whose rewrites an
+        upgraded rule set would no longer produce.
         """
+        from repro.query.rewrite import RULESET_VERSION
+
         pref = self._pref.signature if self._pref is not None else None
         return (
             "pq1",
+            RULESET_VERSION,
             self._source_key(),
             pref,
             tuple(c.signature for c in self._cascades),
@@ -405,12 +442,10 @@ class PreferenceQuery:
             raise ValueError(
                 "groupby/but_only/top need a preference term; call .prefer()"
             )
-        hard, hard_label = self._combined_where()
         return _optimizer.plan(
             pref,
             self.relation(),
-            hard=hard,
-            hard_label=hard_label,
+            wheres=self._wheres,
             groupby=self._groupby or None,
             top_k=self._top,
             top_ties=self._top_ties,
@@ -422,21 +457,6 @@ class PreferenceQuery:
             algorithm=self._algorithm,
             backend=self._backend,
         )
-
-    def _combined_where(
-        self,
-    ) -> tuple[Callable[[Row], bool] | None, str]:
-        if not self._wheres:
-            return None, "<none>"
-        if len(self._wheres) == 1:
-            spec = self._wheres[0]
-            return spec.predicate, spec.label
-        predicates = tuple(w.predicate for w in self._wheres)
-
-        def conjunction(row: Row) -> bool:
-            return all(p(row) for p in predicates)
-
-        return conjunction, " AND ".join(w.label for w in self._wheres)
 
     # -- terminals --------------------------------------------------------------
 
@@ -459,7 +479,14 @@ class PreferenceQuery:
         return len(self.plan().execute())
 
     def explain(self) -> str:
-        """The plan text: operators, algorithms, and fired algebra laws."""
+        """The plan text: operators, algorithms, and the rewrite trace.
+
+        Plans with rewrites show a compact ``rewrites: [rule, ...]``
+        summary (term-level algebra laws and plan-level rules such as
+        ``push_select_below_winnow`` / ``split_prio`` alike) followed by
+        per-step ``rule: before -> after`` lines; plans without any end
+        with ``rewrites applied: (none)``.
+        """
         plan = self.plan()
         text = plan.explain()
         if not plan.rewrites:

@@ -18,7 +18,7 @@ deprecated shims that route through the unified
 from __future__ import annotations
 
 import warnings
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.base_nonnumerical import ExplicitPreference, LayeredPreference
 from repro.core.base_numerical import BetweenPreference, ScorePreference

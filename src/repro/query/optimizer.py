@@ -20,11 +20,18 @@ Given a preference term and a database set, the optimizer
    ``PreferenceQuery.backend``),
 
 4. places hard selections below the preference operator and quality
-   filters (BUT ONLY) above it, and top-k on top for ranked queries.
+   filters (BUT ONLY) above it, and top-k on top for ranked queries,
+
+5. runs the algebraic *plan* rewriter (:mod:`repro.query.rewrite`):
+   law-driven plan-to-plan transforms — rigid-selection pushdown below the
+   winnow, Proposition-11 prioritization splitting into cascades, Pareto
+   arm decomposition into composite skyline axes, constant-attribute
+   pruning under equality selections, and trivial-winnow elimination.
 
 ``explain()`` on the resulting plan shows the chosen algorithms, the
-backend (columnar nodes print ``backend=columnar kernel=...``), and every
-algebra law that fired.
+backend (columnar nodes print ``backend=columnar kernel=...``), the
+compact ``rewrites: [...]`` rule summary, and every algebra law and plan
+rule that fired.
 """
 
 from __future__ import annotations
@@ -34,14 +41,13 @@ from typing import Any, Callable, Sequence
 
 from repro.algebra.rewriter import rewrite_trace, simplify
 from repro.core.base_numerical import score_function_of
-from repro.core.constructors import PrioritizedPreference
 from repro.core.preference import Preference, Row
 from repro.engine.backend import numpy_available
 from repro.engine.columnar import columnar_profile
+from repro.query import rewrite as _rewrite
 from repro.query.algorithms import compatible_sort_key, skyline_axes
 from repro.query.plan import (
     ButOnly,
-    Cascade,
     ColumnarPreferenceSelect,
     GroupedPreferenceSelect,
     HardSelect,
@@ -119,6 +125,17 @@ def choose_backend(
         return BackendChoice("columnar", "backend=columnar requested")
     if profile != "skyline":
         return BackendChoice("row", "no columnar dominance form")
+    from repro.core.constructors import PrioritizedPreference
+
+    if isinstance(pref, PrioritizedPreference):
+        # A bare prioritization of chains has a columnar form (one
+        # composite lexicographic axis) but a better row plan: split_prio
+        # cascades it into linear argmax stages.  The composite axes earn
+        # their keep as Pareto *arms*, where they unlock the vector
+        # skyline for the whole term.
+        return BackendChoice(
+            "row", "chain prioritization cascades on the row engine"
+        )
     if cardinality < COLUMNAR_ROW_THRESHOLD:
         return BackendChoice(
             "row", f"input below columnar threshold ({cardinality} rows)"
@@ -130,28 +147,25 @@ def choose_backend(
     )
 
 
-def _cascade_stages(
-    pref: Preference,
-) -> tuple[tuple[Preference, str], ...] | None:
-    """Split ``P1 & ... & Pn`` into Proposition-11 cascade stages.
+def _conjuncts(
+    hard: Callable[[Row], bool] | None,
+    hard_label: str,
+    wheres: Sequence[Any] | None,
+) -> list[tuple[Callable[[Row], bool], str, Any]]:
+    """Normalize the two hard-selection inputs into (predicate, label, ast).
 
-    Every stage except the last must be a (statically known) chain; the
-    remaining suffix becomes one final stage.  Returns None when the head
-    is not a chain (no cascade advantage).
+    ``hard`` is the legacy single opaque callable; ``wheres`` carries
+    structured per-conjunct specs (anything with ``predicate`` / ``label``
+    / ``ast`` attributes, e.g. :class:`repro.query.api.WhereSpec`) whose
+    AST provenance feeds the rewrite engine's rigidity and
+    constant-propagation analyses.
     """
-    if not isinstance(pref, PrioritizedPreference):
-        return None
-    children = list(pref.children)
-    stages: list[tuple[Preference, str]] = []
-    while len(children) > 1 and children[0].is_chain() is True:
-        head = children.pop(0)
-        stages.append((head, choose_algorithm(head)))
-    if not stages:
-        return None
-    rest: Preference
-    rest = children[0] if len(children) == 1 else PrioritizedPreference(tuple(children))
-    stages.append((rest, choose_algorithm(rest)))
-    return tuple(stages)
+    out: list[tuple[Callable[[Row], bool], str, Any]] = []
+    if hard is not None:
+        out.append((hard, hard_label, None))
+    for spec in wheres or ():
+        out.append((spec.predicate, spec.label, getattr(spec, "ast", None)))
+    return out
 
 
 def plan(
@@ -159,6 +173,7 @@ def plan(
     relation: Relation,
     hard: Callable[[Row], bool] | None = None,
     hard_label: str = "<predicate>",
+    wheres: Sequence[Any] | None = None,
     groupby: Sequence[str] | None = None,
     top_k: int | None = None,
     top_ties: str = "strict",
@@ -179,6 +194,14 @@ def plan(
     ("auto" / "row" / "columnar") steers the winnow between the row engine
     and the columnar engine (see :func:`choose_backend`); it cannot be
     combined with a forced ``algorithm``, which already names an engine.
+
+    With ``use_rewriter=True`` (the default) the plan is rewritten by
+    :func:`repro.query.rewrite.rewrite_plan`: WHERE conjuncts proven rigid
+    w.r.t. the preference are emitted in their canonical outer position and
+    pushed below the winnow by the ``push_select_below_winnow`` rule,
+    prioritizations split into cascades, and so on — every step lands in
+    :attr:`Plan.rewrites`.  ``use_rewriter=False`` plans the canonical
+    (unrewritten) form: equivalent results, none of the speedups.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -187,9 +210,8 @@ def plan(
             "algorithm= already forces an engine; drop the backend= hint "
             "(the columnar kernels are algorithms 'vsfs' and 'vbnl')"
         )
+    conjuncts = _conjuncts(hard, hard_label, wheres)
     node: PlanNode = Scan(relation)
-    if hard is not None:
-        node = HardSelect(node, hard, label=hard_label)
 
     if pref is None:
         for clause, value in (
@@ -199,6 +221,8 @@ def plan(
                 raise ValueError(
                     f"{clause} requires a preference term, but none was given"
                 )
+        for predicate, label, ast in conjuncts:
+            node = HardSelect(node, predicate, label, ast)
         if order_by:
             node = OrderBy(node, tuple(order_by))
         if select:
@@ -207,10 +231,36 @@ def plan(
             node = Limit(node, limit)
         return Plan(node)
 
-    rewrites: tuple[tuple[str, str, str], ...] = ()
+    # BUT ONLY quality conditions address base preferences *inside the
+    # user's term* (DISTANCE(price) names the AROUND the user wrote);
+    # simplification may legally drop such bases (e.g. a covered
+    # prioritization stage), so quality supervision keeps the original.
+    original_pref = pref
+    rewrites: list[tuple[str, str, str]] = []
     if use_rewriter:
-        rewrites = tuple(rewrite_trace(pref))
+        rewrites.extend(rewrite_trace(pref))
         pref = simplify(pref)
+
+    # Rigid conjuncts commute with the winnow (both positions are
+    # equivalent), so the builder emits them in canonical outer position
+    # and lets the push_select_below_winnow rule place them on the cheap
+    # side; everything else is pinned below by WHERE-before-PREFERRING
+    # semantics.  Only the maximal rigid *suffix* is lifted: the pushed
+    # conjuncts land back directly below the winnow, above the pinned
+    # ones, so suffix-lifting preserves the user's conjunct evaluation
+    # order exactly — an opaque predicate guarded by an earlier conjunct
+    # (where(a__ne=0).where(lambda r: 1 / r["a"] > 0)) stays guarded.
+    # Ranked (top-k) and grouped winnows keep every conjunct below — the
+    # commutation law is about plain winnows.
+    lifted: list[tuple[Callable[[Row], bool], str, Any]] = []
+    below = list(conjuncts)
+    if use_rewriter and top_k is None and not groupby:
+        while below and below[-1][2] is not None and _rewrite.is_rigid(
+            below[-1][2], pref
+        ):
+            lifted.insert(0, below.pop())
+    for predicate, label, ast in below:
+        node = HardSelect(node, predicate, label, ast)
 
     if top_k is not None:
         if backend == "columnar":
@@ -239,23 +289,28 @@ def plan(
         if choice.columnar:
             node = ColumnarPreferenceSelect(node, pref)
         else:
-            stages = _cascade_stages(pref)
-            if stages is not None:
-                node = Cascade(node, stages)
-            else:
-                node = PreferenceSelect(
-                    node, pref, algorithm=choose_algorithm(pref)
-                )
+            node = PreferenceSelect(node, pref, algorithm=choose_algorithm(pref))
+    for predicate, label, ast in lifted:
+        node = HardSelect(node, predicate, label, ast)
 
     if but_only:
-        node = ButOnly(node, pref, tuple(but_only))
+        node = ButOnly(node, original_pref, tuple(but_only))
     if order_by:
         node = OrderBy(node, tuple(order_by))
     if select:
         node = Project(node, tuple(select))
     if limit is not None:
         node = Limit(node, limit)
-    return Plan(node, rewrites)
+
+    if use_rewriter:
+        ctx = _rewrite.RewriteContext(
+            forced_algorithm=algorithm,
+            backend=backend,
+            cardinality=len(relation),
+        )
+        node, plan_steps = _rewrite.rewrite_plan(node, ctx)
+        rewrites.extend(plan_steps)
+    return Plan(node, tuple(rewrites))
 
 
 def execute(

@@ -8,11 +8,10 @@ so users can see the paper's laws at work on their own queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.preference import Preference, Row
-from repro.query.algorithms import ALGORITHMS
 from repro.query.bmo import winnow, winnow_groupby
 from repro.query.quality import QualityCondition, but_only
 from repro.query.topk import k_best
@@ -65,6 +64,11 @@ class HardSelect(PlanNode):
     child: PlanNode
     predicate: Callable[[Row], bool]
     label: str = "<predicate>"
+    #: Preference SQL AST provenance (a :class:`repro.psql.ast.HardExpr`),
+    #: when known.  The rewrite engine's rigidity / constant-propagation
+    #: analyses are syntactic, so bare callables (ast=None) are opaque to
+    #: them and simply stay where the builder put them.
+    ast: Any = None
 
     def execute(self) -> Relation:
         return self.child.execute().select(self.predicate)
@@ -273,7 +277,14 @@ class Limit(PlanNode):
 
 @dataclass
 class Plan:
-    """A rooted plan plus optimizer provenance."""
+    """A rooted plan plus optimizer provenance.
+
+    ``rewrites`` records every term-level algebra law *and* plan-level
+    rewrite rule that fired while planning, in application order, as
+    ``(rule, before, after)`` triples.  ``explain()`` renders them twice:
+    a compact ``rewrites: [rule, ...]`` summary line (deduplicated, in
+    first-fired order) and the full per-step trace.
+    """
 
     root: PlanNode
     rewrites: tuple[tuple[str, str, str], ...] = ()
@@ -281,9 +292,14 @@ class Plan:
     def execute(self) -> Relation:
         return self.root.execute()
 
+    def rewrite_rules(self) -> tuple[str, ...]:
+        """The distinct rewrite-rule names that fired, in first-fired order."""
+        return tuple(dict.fromkeys(rule for rule, _, _ in self.rewrites))
+
     def explain(self) -> str:
         out = [self.root.explain()]
         if self.rewrites:
+            out.append(f"rewrites: [{', '.join(self.rewrite_rules())}]")
             out.append("rewrites applied:")
             for rule, before, after in self.rewrites:
                 out.append(f"  {rule}: {before}  ->  {after}")

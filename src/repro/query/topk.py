@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import heapq
 import warnings
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.core.base_numerical import ScorePreference
 from repro.core.constructors import RankPreference

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.relations.schema import Attribute, Schema, SchemaError
+from repro.relations.schema import Attribute, Schema
 
 Row = dict[str, Any]
 

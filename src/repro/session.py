@@ -181,6 +181,10 @@ class Session:
         """Fetch a memoized plan, building and storing it on first miss.
 
         ``key`` is ``(fingerprint, relation_name, relation_version)``.
+        Cached plans carry their rewrite trace, so a cache hit replays the
+        rewritten plan *and* its provenance; the fingerprint embeds
+        :data:`repro.query.rewrite.RULESET_VERSION`, so plans rewritten by
+        an outdated rule set can never be served.
         Storing a plan evicts same-relation entries with older versions:
         the version counter only grows, so those can never hit again and
         would otherwise pin the superseded relations' rows via their Scan

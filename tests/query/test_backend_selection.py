@@ -108,9 +108,28 @@ class TestPlannerIntegration:
         assert base.backend("columnar").run() == base.backend("row").run()
 
     def test_cascades_unaffected(self, session):
+        """Chain prioritizations keep their row-engine cascade even though
+        they now have a columnar form (one composite lexicographic axis):
+        split_prio's linear argmax stages beat the encode-and-sweep."""
         pref = prioritized(LowestPreference("d0"), HighestPreference("d1"))
         p = plan(pref, session.catalog.get("big"))
         assert isinstance(p.root, Cascade)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="auto mode needs NumPy")
+    def test_composite_pareto_arm_goes_columnar_when_big(self, session):
+        """Prioritized-chain *arms* of a Pareto term do go columnar: the
+        decompose_pareto rule encodes each arm as one composite axis."""
+        pref = pareto(
+            prioritized(LowestPreference("d0"), HighestPreference("d1")),
+            HighestPreference("d1"),
+        )
+        p = plan(pref, session.catalog.get("big"))
+        assert isinstance(p.root, ColumnarPreferenceSelect)
+        assert "decompose_pareto" in p.rewrite_rules()
+        big = session.catalog.get("big")
+        from repro.query.bmo import winnow
+
+        assert p.execute().rows() == winnow(pref, big, algorithm="bnl").rows()
 
     def test_invalid_backend_name_rejected_early(self, session):
         with pytest.raises(ValueError, match="backend must be one of"):

@@ -67,14 +67,25 @@ class TestPlanShapes:
         pref = prioritized(
             LowestPreference("a"), pareto(HighestPreference("b"), LowestPreference("c"))
         )
-        p = plan(pref, rel([{"a": 1, "b": 1, "c": 1}]))
+        rows = [{"a": i % 3, "b": i % 5, "c": i % 7} for i in range(20)]
+        p = plan(pref, rel(rows))
         assert isinstance(p.root, Cascade)
         assert len(p.root.stages) == 2
+        assert "split_prio" in p.rewrite_rules()
 
     def test_no_cascade_without_chain_head(self):
         pref = prioritized(PosPreference("a", {1}), LowestPreference("b"))
-        p = plan(pref, rel([{"a": 1, "b": 1}]))
+        rows = [{"a": i % 3, "b": i % 5} for i in range(20)]
+        p = plan(pref, rel(rows))
         assert isinstance(p.root, PreferenceSelect)
+
+    def test_single_tuple_shortcut(self):
+        """Rule 4: winnows over provably <=1-row inputs are the identity."""
+        pref = prioritized(LowestPreference("a"), HighestPreference("b"))
+        p = plan(pref, rel([{"a": 1, "b": 1}]))
+        assert not isinstance(p.root, (Cascade, PreferenceSelect))
+        assert "drop_trivial_winnow" in p.rewrite_rules()
+        assert p.execute().rows() == [{"a": 1, "b": 1}]
 
     def test_top_k_plan(self):
         p = plan(AroundPreference("a", 1), rel([{"a": 1}]), top_k=3)

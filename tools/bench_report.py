@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Benchmark regression report: medians + speedup ratios -> BENCH_<pr>.json.
+
+Runs the repository's pinned benchmark workloads directly (no pytest
+harness, so timings are not diluted by fixture plumbing), writes a
+machine-readable report, and **fails** (exit 1) when a speedup criterion
+regresses:
+
+* ``columnar_vs_bnl`` — the PR-2 acceptance criterion: the columnar
+  winnow must beat row-level BNL by >= 5x on 50k-row skylines (NumPy
+  required; the check is skipped, and recorded as skipped, without it).
+* ``rewrite_pushdown`` — the PR-3 acceptance criterion: the rewritten
+  (selection-pushed) plan must beat the unrewritten plan by >= 2x on the
+  filtered 50k-row workload.
+
+Usage::
+
+    python tools/bench_report.py --output BENCH_3.json          # CI
+    python tools/bench_report.py --quick                        # smoke run
+
+The CI benchmark job uploads the JSON as a build artifact, so regressions
+come with numbers attached.  Report schema::
+
+    {
+      "schema": "repro-bench-report/v1",
+      "environment": {"python": "...", "numpy": "...", "rows": 50000},
+      "benchmarks": {"<name>": {"median_ns": ..., "rounds": ...}},
+      "ratios": {"<name>": ...},
+      "criteria": {"<name>": {"ratio": ..., "threshold": ..., "pass": ...}}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.base_numerical import HighestPreference, LowestPreference  # noqa: E402
+from repro.core.constructors import pareto  # noqa: E402
+from repro.engine.backend import numpy_available  # noqa: E402
+from repro.engine.columnar import columnar_winnow  # noqa: E402
+from repro.query.algorithms import block_nested_loop  # noqa: E402
+
+
+def median_ns(fn, rounds: int) -> int:
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        fn()
+        samples.append(time.perf_counter_ns() - start)
+    return int(statistics.median(samples))
+
+
+def _skyline_pref(dims: int):
+    return pareto(*(
+        HighestPreference(f"d{i}") if i % 2 == 0 else LowestPreference(f"d{i}")
+        for i in range(dims)
+    ))
+
+
+def bench_columnar_vs_bnl(report: dict, n_rows: int, rounds: int) -> None:
+    from repro.datasets.skyline_data import skyline_relation
+
+    pref = _skyline_pref(3)
+    ratios = []
+    for kind in ("independent", "correlated"):
+        relation = skyline_relation(kind, n_rows, 3, seed=13)
+        relation.columns()  # materialize outside the timed region
+        rows = relation.rows()
+
+        bnl = median_ns(lambda: block_nested_loop(pref, rows), rounds)
+        columnar = median_ns(lambda: columnar_winnow(pref, relation), rounds)
+        report["benchmarks"][f"skyline_{kind}_{n_rows}_bnl"] = {
+            "median_ns": bnl, "rounds": rounds,
+        }
+        report["benchmarks"][f"skyline_{kind}_{n_rows}_columnar"] = {
+            "median_ns": columnar, "rounds": rounds,
+        }
+        ratios.append(bnl / columnar)
+        report["ratios"][f"columnar_vs_bnl_{kind}"] = round(bnl / columnar, 2)
+    report["criteria"]["columnar_vs_bnl"] = {
+        "ratio": round(min(ratios), 2),
+        "threshold": 5.0,
+        "pass": min(ratios) >= 5.0,
+    }
+
+
+def bench_rewrite_pushdown(report: dict, n_rows: int, rounds: int) -> None:
+    import random
+
+    from repro.core.base_numerical import AroundPreference
+    from repro.session import Session
+
+    rng = random.Random(7)
+    rows = [
+        {"price": rng.uniform(0, 100_000), "power": rng.uniform(50, 400)}
+        for _ in range(n_rows)
+    ]
+    session = Session({"car": rows})
+    query = (
+        session.query("car")
+        .prefer(pareto(
+            AroundPreference("price", 40_000), HighestPreference("power")
+        ))
+        .but_only(("distance", "price", "<=", 2_000))
+    )
+    rewritten = query.plan()
+    canonical = query.optimize(False).plan()
+    assert "push_select_below_winnow" in query.explain()
+
+    canonical_ns = median_ns(canonical.execute, rounds)
+    rewritten_ns = median_ns(rewritten.execute, rounds)
+    report["benchmarks"][f"pushdown_{n_rows}_canonical"] = {
+        "median_ns": canonical_ns, "rounds": rounds,
+    }
+    report["benchmarks"][f"pushdown_{n_rows}_rewritten"] = {
+        "median_ns": rewritten_ns, "rounds": rounds,
+    }
+    ratio = canonical_ns / rewritten_ns
+    report["ratios"]["rewrite_pushdown"] = round(ratio, 2)
+    report["criteria"]["rewrite_pushdown"] = {
+        "ratio": round(ratio, 2),
+        "threshold": 2.0,
+        "pass": ratio >= 2.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_3.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per benchmark (median is kept)")
+    parser.add_argument("--rows", type=int, default=50_000,
+                        help="workload cardinality (default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="5k-row smoke run; criteria are still checked")
+    args = parser.parse_args(argv)
+    n_rows = 5_000 if args.quick else args.rows
+
+    numpy_version = None
+    if numpy_available():
+        import numpy
+
+        numpy_version = numpy.__version__
+    report: dict = {
+        "schema": "repro-bench-report/v1",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy_version,
+            "rows": n_rows,
+        },
+        "benchmarks": {},
+        "ratios": {},
+        "criteria": {},
+    }
+
+    if numpy_available():
+        bench_columnar_vs_bnl(report, n_rows, args.rounds)
+    else:
+        report["criteria"]["columnar_vs_bnl"] = {
+            "ratio": None, "threshold": 5.0, "pass": None,
+            "skipped": "NumPy unavailable",
+        }
+    bench_rewrite_pushdown(report, n_rows, args.rounds)
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    failed = [
+        name for name, crit in report["criteria"].items()
+        if crit["pass"] is False
+    ]
+    for name, crit in sorted(report["criteria"].items()):
+        status = {True: "pass", False: "FAIL", None: "skip"}[crit["pass"]]
+        print(f"{name}: ratio={crit['ratio']} "
+              f"(threshold {crit['threshold']}x) -> {status}")
+    print(f"report written to {args.output}")
+    if failed:
+        print(f"criteria regressed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
