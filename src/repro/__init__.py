@@ -81,7 +81,7 @@ from repro.core import (
 from repro.query.api import PreferenceQuery
 from repro.relations.catalog import Catalog
 from repro.relations.relation import Relation
-from repro.session import Session
+from repro.session import MutationEvent, Session
 
 # Paper-style aliases: read like Definition 6/7 constructor applications.
 POS = PosPreference
@@ -133,6 +133,7 @@ __all__ = [
     "Relation",
     "SCORE",
     "ScorePreference",
+    "MutationEvent",
     "Session",
     "SubsetPreference",
     "dual",

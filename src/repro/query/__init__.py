@@ -53,7 +53,7 @@ from repro.query.decomposition import (
     nmax_projections,
     yy_set,
 )
-from repro.query.incremental import IncrementalBMO
+from repro.query.incremental import BMODelta, IncrementalBMO, merge_deltas
 from repro.query.optimizer import choose_algorithm, execute, explain, plan
 from repro.query.quality import (
     QualityCondition,
@@ -66,6 +66,7 @@ from repro.query.topk import ThresholdStats, k_best, threshold_topk, top_k
 
 __all__ = [
     "ALGORITHMS",
+    "BMODelta",
     "ComparisonCounter",
     "IncrementalBMO",
     "PreferenceQuery",
@@ -92,6 +93,7 @@ __all__ = [
     "is_dream",
     "k_best",
     "level_of",
+    "merge_deltas",
     "naive_nested_loop",
     "nmax_projections",
     "perfect_matches",

@@ -13,9 +13,9 @@ layer keys its memoized plan cache on it for invalidation.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
-from repro.relations.relation import Relation, RelationError
+from repro.relations.relation import Relation, RelationError, Row
 
 
 class Catalog:
@@ -48,6 +48,66 @@ class Catalog:
         implies identical contents.
         """
         return self._versions.get(name.lower(), 0)
+
+    def insert_rows(
+        self, name: str, rows: Sequence[Mapping[str, Any]]
+    ) -> Relation:
+        """Append ``rows`` to ``name`` as one versioned mutation.
+
+        Relations stay immutable: a new relation instance with the combined
+        rows replaces the old one, bumping the per-name version — exactly
+        like a re-registration, so plan caches and column stores keyed on
+        ``(name, version)`` invalidate for this relation and no other.
+        Rows are schema-validated *before* the swap, so a bad batch leaves
+        the catalog untouched.  Returns the new relation.
+        """
+        old = self.get(name)
+        cooked = [dict(r) for r in rows]
+        for row in cooked:
+            old.schema.validate_row(row)
+        new = Relation(
+            old.name, old.schema, [*old.rows(), *cooked], validate=False
+        )
+        self.register(new, replace=True)
+        return new
+
+    def delete_rows(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]] | None = None,
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> tuple[Relation, list[Row]]:
+        """Delete rows from ``name`` as one versioned mutation.
+
+        Either ``rows`` (bag semantics: each given row removes *one*
+        matching stored row) or ``predicate`` (every matching row goes).
+        Returns ``(new relation, deleted rows)`` — the deleted list is what
+        continuous views need to maintain their windows.  Deleting nothing
+        still bumps the version: the mutation happened, even if vacuous.
+        """
+        if (rows is None) == (predicate is None):
+            raise RelationError(
+                "delete_rows() needs exactly one of rows= or predicate="
+            )
+        old = self.get(name)
+        kept: list[Row] = []
+        deleted: list[Row] = []
+        if predicate is not None:
+            for row in old.rows():
+                (deleted if predicate(row) else kept).append(row)
+        else:
+            targets = [dict(r) for r in rows or ()]
+            for row in old.rows():
+                for i, target in enumerate(targets):
+                    if row == target:
+                        del targets[i]
+                        deleted.append(row)
+                        break
+                else:
+                    kept.append(row)
+        new = Relation(old.name, old.schema, kept, validate=False)
+        self.register(new, replace=True)
+        return new, deleted
 
     def get(self, name: str) -> Relation:
         try:

@@ -1,0 +1,52 @@
+"""The serving layer: a concurrent preference query server (Section 8's
+"preference search engine", grown from the one-shot library).
+
+Layered bottom-up:
+
+* :mod:`repro.server.service` — :class:`PreferenceService`: thread-safe
+  queries, versioned mutations, continuous-view answering, worker pool,
+* :mod:`repro.server.views` — materialized continuous winnow views over
+  the generalized incremental BMO maintainer,
+* :mod:`repro.server.protocol` — the line-delimited JSON wire format,
+* :mod:`repro.server.server` — the asyncio TCP server and the
+  :func:`run_in_thread` embedding,
+* :mod:`repro.server.client` — a synchronous client,
+* :mod:`repro.server.metrics` — qps / cache / view-refresh counters.
+
+Start one in-process::
+
+    from repro.server import PreferenceClient, PreferenceService, run_in_thread
+
+    service = PreferenceService({"car": rows})
+    with run_in_thread(service) as handle:
+        with PreferenceClient(port=handle.port) as client:
+            best = client.query(
+                "SELECT * FROM car PREFERRING price AROUND 40000"
+            )
+
+or from a shell: ``python -m repro.server --port 7654``.
+"""
+
+from repro.server.client import ClientError, PreferenceClient
+from repro.server.metrics import ServiceMetrics
+from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.server import PreferenceServer, ServerHandle, run_in_thread
+from repro.server.service import PreferenceService, QueryAnswer, ServiceError
+from repro.server.views import ContinuousView, ViewRegistry, ViewSpec
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClientError",
+    "ContinuousView",
+    "PreferenceClient",
+    "PreferenceServer",
+    "PreferenceService",
+    "ProtocolError",
+    "QueryAnswer",
+    "ServerHandle",
+    "ServiceError",
+    "ServiceMetrics",
+    "ViewRegistry",
+    "ViewSpec",
+    "run_in_thread",
+]

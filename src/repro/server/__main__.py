@@ -1,0 +1,155 @@
+"""Command-line entry point: ``python -m repro.server``.
+
+Serves the demo car catalog (or an empty catalog) over TCP::
+
+    python -m repro.server --port 7654 --cars 10000
+
+``--selftest`` boots a server on an ephemeral port, drives it end to end
+with concurrent clients (queries, mutations, a delta subscriber), checks
+every answer against fresh plan executions, and exits non-zero on any
+mismatch — the CI smoke leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.server.client import PreferenceClient
+from repro.server.server import run_in_thread
+from repro.server.service import PreferenceService
+
+
+def _demo_service(n_cars: int) -> PreferenceService:
+    from repro.datasets.cars import generate_cars
+
+    catalog = {}
+    if n_cars:
+        catalog["car"] = generate_cars(n_cars, seed=11).rows()
+    return PreferenceService(catalog)
+
+
+def selftest(n_cars: int = 2000, n_clients: int = 8) -> int:
+    """End-to-end smoke: concurrent clients + a subscriber, all verified."""
+    service = _demo_service(n_cars)
+    handle = run_in_thread(service)
+    print(f"selftest server on 127.0.0.1:{handle.port} "
+          f"({n_cars} cars, {n_clients} clients)")
+    sql = (
+        "SELECT * FROM car WHERE category = 'roadster' "
+        "PREFERRING price AROUND 30000"
+    )
+    expected = {
+        tuple(sorted(r.items()))
+        for r in service.session.sql(sql).rows()
+    }
+    template = service.session.catalog.get("car").rows()[0]
+    failures: list[str] = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            with PreferenceClient(port=handle.port) as client:
+                client.ping()
+                for round_no in range(3):
+                    rows = client.query(sql)
+                    got = {tuple(sorted(r.items())) for r in rows}
+                    if got != expected:
+                        failures.append(
+                            f"client {worker_id} round {round_no}: "
+                            f"{len(got)} rows != {len(expected)} expected"
+                        )
+                    # Non-roadster inserts exercise concurrent mutations
+                    # without ever entering the WHERE-filtered expected set.
+                    client.insert("car", [dict(
+                        template,
+                        oid=10 * (worker_id + 1) * 10**5 + round_no,
+                        category="limo",
+                    )])
+                    spec = {"relation": "car",
+                            "prefer": {"type": "lowest",
+                                       "attribute": "mileage"}}
+                    client.query(spec=spec)
+        except Exception as exc:  # noqa: BLE001 - report, don't hang
+            failures.append(f"client {worker_id}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    hung = [t.name for t in threads if t.is_alive()]
+    if hung:
+        failures.append(f"client thread(s) still running after 60s: {hung}")
+
+    # Subscription: the Example-9 stream, verified delta by delta.
+    with PreferenceClient(port=handle.port) as client:
+        client.insert("car", [dict(template, oid=10**6, price=30000)])
+        sub = client.subscribe(
+            "car",
+            prefer={"type": "around", "attribute": "price", "z": 30000},
+        )
+        client.insert("car", [dict(template, oid=10**6 + 1, price=30000)])
+        delta = client.wait_delta(timeout=15)
+        if not delta.get("enter"):
+            failures.append(f"subscriber saw no enter rows: {delta}")
+        stats = client.metrics()
+        print(f"qps={stats['qps']} "
+              f"queries={stats['queries']} views={len(stats['views'])}")
+        client.unsubscribe(sub["subscription"])
+
+    handle.stop()
+    service.close()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"selftest passed: {n_clients} concurrent clients, "
+          f"answers verified against fresh plans")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654)
+    parser.add_argument(
+        "--cars", type=int, default=1000,
+        help="demo car rows to preload (0 = empty catalog)",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="run the end-to-end smoke (ephemeral port) and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest(n_cars=max(args.cars, 100))
+
+    import asyncio
+
+    from repro.server.server import PreferenceServer
+
+    service = _demo_service(args.cars)
+    server = PreferenceServer(service, host=args.host, port=args.port)
+
+    async def serve() -> None:
+        await server.start()
+        print(f"preference server listening on {server.host}:{server.port} "
+              f"({args.cars} demo cars); ctrl-c to stop")
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,266 @@
+"""A synchronous client for the preference server.
+
+Speaks the line-delimited JSON protocol over a plain socket — no asyncio
+required on the caller's side, which keeps tests, examples, and benchmark
+harnesses straight-line code::
+
+    with PreferenceClient(port=handle.port) as client:
+        best = client.query("SELECT * FROM car PREFERRING price AROUND 40000")
+        client.insert("car", [{"price": 39000, ...}])
+        sub = client.subscribe("car", prefer={"type": "around",
+                                              "attribute": "price",
+                                              "z": 40000})
+        delta = client.wait_delta()      # pushed enter/exit rows
+
+Responses are matched to requests by correlation id; ``delta`` push
+messages arriving in between are buffered and surfaced through
+:meth:`deltas` / :meth:`wait_delta`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.server import protocol
+
+
+class ClientError(RuntimeError):
+    """A failed request: server-side error response or transport fault."""
+
+    def __init__(self, message: str, code: str = "client"):
+        super().__init__(message)
+        self.code = code
+
+
+class PreferenceClient:
+    """A blocking preference-server client (context-manager friendly).
+
+    Safe for use from multiple threads: requests serialize on an internal
+    lock, so each caller sees its own complete response.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+    ):
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer = bytearray()
+        self._seq = itertools.count(1)
+        self._deltas: deque[dict[str, Any]] = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- transport --------------------------------------------------------------
+
+    def _read_message(self, deadline: float | None) -> dict[str, Any] | None:
+        """The next message line, or None when ``deadline`` passes first."""
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                if not line.strip():
+                    continue
+                return protocol.decode_message(line)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._sock.settimeout(remaining)
+            else:
+                self._sock.settimeout(None)
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except (TimeoutError, socket.timeout):
+                return None
+            except OSError as exc:
+                raise ClientError(f"connection lost: {exc}") from exc
+            if not chunk:
+                raise ClientError("server closed the connection")
+            self._buffer.extend(chunk)
+
+    def _request(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request; return its (chunk-assembled) response."""
+        request_id = next(self._seq)
+        message = {"id": request_id, "op": op}
+        message.update(
+            {k: v for k, v in params.items() if v is not None}
+        )
+        rows: list[dict[str, Any]] = []
+        with self._lock:
+            if self._closed:
+                raise ClientError("client is closed")
+            self._sock.settimeout(self.timeout)
+            try:
+                self._sock.sendall(protocol.encode_message(message))
+            except OSError as exc:
+                raise ClientError(f"send failed: {exc}") from exc
+            deadline = time.monotonic() + self.timeout
+            while True:
+                response = self._read_message(deadline)
+                if response is None:
+                    raise ClientError(
+                        f"timed out waiting for {op!r} response",
+                        code="timeout",
+                    )
+                if response.get("kind") == "delta":
+                    self._deltas.append(response)
+                    continue
+                if response.get("id") != request_id:
+                    continue  # stale response from an abandoned request
+                if not response.get("ok"):
+                    raise ClientError(
+                        response.get("error", "request failed"),
+                        code=response.get("code", "error"),
+                    )
+                if response.get("kind") == "rows":
+                    rows.extend(response.get("rows", ()))
+                    if response.get("done"):
+                        response["rows"] = rows
+                        return response
+                    continue
+                return response
+
+    # -- operations -------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self._request("ping")
+
+    def query(
+        self,
+        sql: str | None = None,
+        spec: Mapping[str, Any] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run a query (SQL text or spec dict); returns the result rows."""
+        return self.query_info(sql=sql, spec=spec)["rows"]
+
+    def query_info(
+        self,
+        sql: str | None = None,
+        spec: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Like :meth:`query`, with the full final-chunk envelope —
+        ``source`` ("view"/"plan"), ``elapsed_ns``, ``total``."""
+        return self._request(
+            "query", sql=sql, spec=dict(spec) if spec else None
+        )
+
+    def explain(
+        self,
+        sql: str | None = None,
+        spec: Mapping[str, Any] | None = None,
+    ) -> str:
+        return self._request(
+            "explain", sql=sql, spec=dict(spec) if spec else None
+        )["plan"]
+
+    def insert(
+        self, relation: str, rows: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        return self._request(
+            "insert", relation=relation, rows=[dict(r) for r in rows]
+        )
+
+    def delete(
+        self,
+        relation: str,
+        rows: Sequence[Mapping[str, Any]] | None = None,
+        where: Any = None,
+    ) -> dict[str, Any]:
+        return self._request(
+            "delete", relation=relation,
+            rows=[dict(r) for r in rows] if rows is not None else None,
+            where=where,
+        )
+
+    def subscribe(
+        self,
+        relation: str,
+        prefer: Mapping[str, Any],
+        groupby: Iterable[str] = (),
+        top: int | None = None,
+        ties: str | None = None,
+        snapshot: bool = False,
+    ) -> dict[str, Any]:
+        """Subscribe to a continuous view's BMO delta stream.
+
+        Returns the subscription envelope (``subscription`` id, and the
+        current ``rows`` when ``snapshot=True``).  Deltas arrive via
+        :meth:`deltas` / :meth:`wait_delta`.
+        """
+        return self._request(
+            "subscribe", relation=relation, prefer=dict(prefer),
+            groupby=list(groupby) or None, top=top, ties=ties,
+            snapshot=snapshot or None,
+        )
+
+    def unsubscribe(self, subscription: int) -> dict[str, Any]:
+        return self._request("unsubscribe", subscription=subscription)
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("metrics")["metrics"]
+
+    def relations(self) -> list[dict[str, Any]]:
+        return self._request("relations")["relations"]
+
+    # -- delta stream -----------------------------------------------------------
+
+    def deltas(self, timeout: float = 0.0) -> list[dict[str, Any]]:
+        """Drain buffered delta pushes, reading the wire up to ``timeout``.
+
+        Raises :class:`ClientError` if the connection is lost — same
+        contract as :meth:`wait_delta` — so pollers notice a dead server
+        instead of receiving empty lists forever.
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                message = self._read_message(deadline)
+                if message is None:
+                    break
+                if message.get("kind") == "delta":
+                    self._deltas.append(message)
+            out = list(self._deltas)
+            self._deltas.clear()
+        return out
+
+    def wait_delta(self, timeout: float = 10.0) -> dict[str, Any]:
+        """Block until the next delta push arrives (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            if self._deltas:
+                return self._deltas.popleft()
+            while True:
+                message = self._read_message(deadline)
+                if message is None:
+                    raise ClientError(
+                        "timed out waiting for a delta", code="timeout"
+                    )
+                if message.get("kind") == "delta":
+                    return message
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "PreferenceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

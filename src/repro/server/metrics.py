@@ -1,0 +1,146 @@
+"""Serving-layer metrics: counters and latency aggregates.
+
+One :class:`ServiceMetrics` instance per :class:`~repro.server.service
+.PreferenceService`.  Everything is guarded by one lock and cheap to
+record, so the hot query path pays a few dict updates.  ``snapshot()``
+renders the whole thing as a JSON-safe dict — the payload of the server's
+``metrics`` op (the `/metrics`-style endpoint).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+
+class _LatencySeries:
+    """Count / total / max / last of one latency stream, in nanoseconds."""
+
+    __slots__ = ("count", "total_ns", "max_ns", "last_ns")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ns = 0
+        self.max_ns = 0
+        self.last_ns = 0
+
+    def record(self, elapsed_ns: int) -> None:
+        self.count += 1
+        self.total_ns += elapsed_ns
+        self.last_ns = elapsed_ns
+        if elapsed_ns > self.max_ns:
+            self.max_ns = elapsed_ns
+
+    def to_dict(self) -> dict[str, Any]:
+        mean = self.total_ns / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "mean_ns": round(mean),
+            "max_ns": self.max_ns,
+            "last_ns": self.last_ns,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters for the preference service.
+
+    Tracked dimensions:
+
+    * ``queries`` — total queries answered, split into ``from_view``
+      (materialized continuous view hits) and ``planned`` (fresh
+      optimizer runs),
+    * ``mutations`` — inserts / deletes applied,
+    * ``subscriptions`` — live delta subscriptions,
+    * latency series for ``query_view`` / ``query_planned`` /
+      ``view_refresh`` (per-mutation view maintenance) — the honest
+      view-refresh numbers come straight from the generalized
+      :class:`~repro.query.incremental.IncrementalBMO` maintenance work.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self.queries_total = 0
+        self.queries_from_view = 0
+        self.queries_planned = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.rows_inserted = 0
+        self.rows_deleted = 0
+        self.subscriptions = 0
+        self.deltas_pushed = 0
+        self.errors = 0
+        self._latency: dict[str, _LatencySeries] = {
+            "query_view": _LatencySeries(),
+            "query_planned": _LatencySeries(),
+            "view_refresh": _LatencySeries(),
+        }
+
+    # -- recording --------------------------------------------------------------
+
+    def record_query(self, source: str, elapsed_ns: int) -> None:
+        """Record one answered query; ``source`` is "view" or "plan"."""
+        with self._lock:
+            self.queries_total += 1
+            if source == "view":
+                self.queries_from_view += 1
+                self._latency["query_view"].record(elapsed_ns)
+            else:
+                self.queries_planned += 1
+                self._latency["query_planned"].record(elapsed_ns)
+
+    def record_mutation(self, kind: str, n_rows: int) -> None:
+        with self._lock:
+            if kind == "insert":
+                self.inserts += 1
+                self.rows_inserted += n_rows
+            else:
+                self.deletes += 1
+                self.rows_deleted += n_rows
+
+    def record_view_refresh(self, elapsed_ns: int) -> None:
+        with self._lock:
+            self._latency["view_refresh"].record(elapsed_ns)
+
+    def record_subscription(self, delta: int) -> None:
+        with self._lock:
+            self.subscriptions += delta
+
+    def record_delta_push(self, n: int = 1) -> None:
+        with self._lock:
+            self.deltas_pushed += n
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    # -- reporting --------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe point-in-time rendering of every counter."""
+        with self._lock:
+            uptime = max(time.time() - self._started, 1e-9)
+            return {
+                "uptime_seconds": round(uptime, 3),
+                "qps": round(self.queries_total / uptime, 3),
+                "queries": {
+                    "total": self.queries_total,
+                    "from_view": self.queries_from_view,
+                    "planned": self.queries_planned,
+                },
+                "mutations": {
+                    "inserts": self.inserts,
+                    "deletes": self.deletes,
+                    "rows_inserted": self.rows_inserted,
+                    "rows_deleted": self.rows_deleted,
+                },
+                "subscriptions": self.subscriptions,
+                "deltas_pushed": self.deltas_pushed,
+                "errors": self.errors,
+                "latency": {
+                    name: series.to_dict()
+                    for name, series in self._latency.items()
+                },
+            }

@@ -1,0 +1,429 @@
+"""The asyncio TCP front end of the preference service.
+
+One :class:`PreferenceServer` multiplexes any number of concurrent client
+connections over one shared :class:`~repro.server.service
+.PreferenceService`.  The event loop only ever parses lines and routes
+requests; every CPU-bound call (planning, winnows, mutations, view
+seeding) runs on the service's worker pool via ``run_in_executor``, so a
+50k-row skyline never stalls other clients' round trips.
+
+Connections are served independently; within one connection requests are
+handled in arrival order (responses never interleave, which keeps the
+protocol trivially parseable).  ``subscribe`` registers the connection for
+push delivery: every mutation that visibly changes the subscribed
+continuous view is fanned out as a ``delta`` message with the BMO
+``enter`` / ``exit`` rows.
+
+:func:`run_in_thread` boots a server on a daemon thread and returns a
+handle with the bound port — the idiom the sync client, the tests, and the
+examples use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.query.incremental import BMODelta
+from repro.server import protocol
+from repro.server.service import PreferenceService, ServiceError
+from repro.server.views import ContinuousView
+from repro.session import MutationEvent
+
+#: The ``server`` field of the hello/ping payload.
+SERVER_NAME = "repro-preference-server"
+
+
+@dataclass
+class _Subscription:
+    id: int
+    connection: "_Connection"
+    view_key: tuple
+    relation: str
+
+
+class _Connection:
+    """One client connection: framed reads, serialized writes."""
+
+    def __init__(
+        self,
+        server: "PreferenceServer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ):
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self._write_lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, message: dict[str, Any]) -> None:
+        if self.closed:
+            return
+        data = protocol.encode_message(message)
+        async with self._write_lock:
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                self.closed = True
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def run(self) -> None:
+        try:
+            while not self.closed:
+                try:
+                    line = await self.reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self.send(protocol.error_response(
+                        None, "message line too long", code="protocol"
+                    ))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.parse_request(
+                        protocol.decode_message(line)
+                    )
+                except protocol.ProtocolError as exc:
+                    await self.send(protocol.error_response(
+                        None, str(exc), code="protocol"
+                    ))
+                    continue
+                await self.server.handle_request(self, request)
+        finally:
+            await self.server.forget_connection(self)
+            await self.close()
+
+
+class PreferenceServer:
+    """A line-delimited-JSON preference query server (see module docs)."""
+
+    def __init__(
+        self,
+        service: PreferenceService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunk_rows: int = protocol.DEFAULT_CHUNK_ROWS,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.chunk_rows = chunk_rows
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._connections: set[_Connection] = set()
+        self._subscriptions: dict[int, _Subscription] = {}
+        self._sub_seq = itertools.count(1)
+        self._stopped: asyncio.Event | None = None
+        self._listener: Any = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; sets :attr:`port`."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._listener = self.service.add_delta_listener(self._on_delta)
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+
+    async def serve(self) -> None:
+        """Start and serve until :meth:`stop` is called."""
+        await self.start()
+        await self.wait_stopped()
+
+    async def stop(self) -> None:
+        """Stop accepting, drop subscribers, close every connection."""
+        if self._listener is not None:
+            self.service.remove_delta_listener(self._listener)
+            self._listener = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        live = len(self._subscriptions)
+        if live:
+            self.service.metrics.record_subscription(-live)
+        self._subscriptions.clear()
+        for connection in list(self._connections):
+            await connection.close()
+        self._connections.clear()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(self, reader, writer)
+        self._connections.add(connection)
+        await connection.run()
+
+    async def forget_connection(self, connection: _Connection) -> None:
+        self._connections.discard(connection)
+        stale = [
+            s for s in self._subscriptions.values()
+            if s.connection is connection
+        ]
+        for sub in stale:
+            del self._subscriptions[sub.id]
+        if stale:
+            self.service.metrics.record_subscription(-len(stale))
+
+    # -- delta fan-out ----------------------------------------------------------
+
+    def _on_delta(
+        self, view: ContinuousView, delta: BMODelta, event: MutationEvent
+    ) -> None:
+        # Listeners fire on executor threads (mutations run there); hop
+        # onto the event loop to touch connections.
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self._dispatch_delta, view, delta, event)
+
+    def _dispatch_delta(
+        self, view: ContinuousView, delta: BMODelta, event: MutationEvent
+    ) -> None:
+        for sub in list(self._subscriptions.values()):
+            if sub.view_key != view.spec.key:
+                continue
+            message = protocol.delta_message(
+                sub.id, event.relation, event.version,
+                delta.entered, delta.exited,
+            )
+            self.service.metrics.record_delta_push()
+            asyncio.ensure_future(sub.connection.send(message))
+
+    # -- request routing --------------------------------------------------------
+
+    async def _run(self, fn, /, *args: Any, **kwargs: Any) -> Any:
+        """Run a service call on the worker pool, off the event loop."""
+        assert self._loop is not None
+        return await self._loop.run_in_executor(
+            self.service.executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    async def handle_request(
+        self, connection: _Connection, request: protocol.Request
+    ) -> None:
+        try:
+            await self._route(connection, request)
+        except (ServiceError, protocol.ProtocolError) as exc:
+            await connection.send(
+                protocol.error_response(request.id, str(exc))
+            )
+        except Exception as exc:  # internal fault: report, keep serving
+            self.service.metrics.record_error()
+            await connection.send(protocol.error_response(
+                request.id, f"internal error: {exc}", code="internal"
+            ))
+
+    async def _route(
+        self, connection: _Connection, request: protocol.Request
+    ) -> None:
+        op, params, rid = request.op, request.params, request.id
+        if op == "ping":
+            await connection.send(protocol.ok_response(
+                rid, pong=True, server=SERVER_NAME,
+                protocol=protocol.PROTOCOL_VERSION,
+            ))
+        elif op == "query":
+            answer = await self._run(
+                self.service.query,
+                sql=params.get("sql"), spec=params.get("spec"),
+            )
+            for message in protocol.rows_chunks(
+                rid, answer.rows, self.chunk_rows,
+                source=answer.source, elapsed_ns=answer.elapsed_ns,
+                relation=answer.relation,
+            ):
+                await connection.send(message)
+        elif op == "explain":
+            plan = await self._run(
+                self.service.explain,
+                sql=params.get("sql"), spec=params.get("spec"),
+            )
+            await connection.send(protocol.ok_response(rid, plan=plan))
+        elif op == "insert":
+            summary = await self._run(
+                self.service.insert,
+                params.get("relation", ""), params.get("rows") or [],
+            )
+            await connection.send(protocol.ok_response(rid, **summary))
+        elif op == "delete":
+            summary = await self._run(
+                self.service.delete,
+                params.get("relation", ""),
+                rows=params.get("rows"), where=params.get("where"),
+            )
+            await connection.send(protocol.ok_response(rid, **summary))
+        elif op == "subscribe":
+            await self._subscribe(connection, request)
+        elif op == "unsubscribe":
+            sub = self._subscriptions.get(params.get("subscription"))
+            if sub is None or sub.connection is not connection:
+                raise ServiceError(
+                    f"no such subscription {params.get('subscription')!r}"
+                )
+            del self._subscriptions[sub.id]
+            self.service.metrics.record_subscription(-1)
+            await connection.send(
+                protocol.ok_response(rid, unsubscribed=sub.id)
+            )
+        elif op == "metrics":
+            stats = await self._run(self.service.stats)
+            await connection.send(protocol.ok_response(rid, metrics=stats))
+        elif op == "relations":
+            await connection.send(protocol.ok_response(
+                rid, relations=self.service.relations()
+            ))
+        elif op == "close":
+            await connection.send(protocol.ok_response(rid, bye=True))
+            await connection.close()
+        else:  # unreachable: parse_request validated op
+            raise protocol.ProtocolError(f"unroutable op {op!r}")
+
+    async def _subscribe(
+        self, connection: _Connection, request: protocol.Request
+    ) -> None:
+        params = request.params
+        relation = params.get("relation")
+        prefer = params.get("prefer")
+        if not relation or prefer is None:
+            raise ServiceError("subscribe needs 'relation' and 'prefer'")
+        view = await self._run(
+            self.service.materialize,
+            relation, prefer,
+            groupby=tuple(params.get("groupby") or ()),
+            top=params.get("top"), ties=params.get("ties", "strict"),
+        )
+        sub = _Subscription(
+            next(self._sub_seq), connection, view.spec.key, view.spec.relation
+        )
+        self._subscriptions[sub.id] = sub
+        self.service.metrics.record_subscription(+1)
+        payload: dict[str, Any] = {
+            "subscription": sub.id,
+            "relation": view.spec.relation,
+            "view": view.spec.describe(),
+        }
+        if params.get("snapshot"):
+            # Large views copy many rows — keep that off the event loop.
+            # The paired version lets the client discard delta pushes
+            # with version <= snapshot version (already included here).
+            rows, version = await self._run(view.snapshot)
+            payload["rows"] = rows
+            payload["version"] = version
+        await connection.send(protocol.ok_response(request.id, **payload))
+
+
+# -- threaded embedding --------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread, plus its shutdown switch."""
+
+    def __init__(
+        self,
+        server: PreferenceServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def service(self) -> PreferenceService:
+        return self.server.service
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self._thread.is_alive() and not self._loop.is_closed():
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            )
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_in_thread(
+    service: PreferenceService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start_timeout: float = 10.0,
+) -> ServerHandle:
+    """Boot a :class:`PreferenceServer` on a daemon thread.
+
+    Returns once the socket is bound, with the ephemeral port resolved —
+    the embedding the sync client, tests, and examples use::
+
+        handle = run_in_thread(PreferenceService({"car": rows}))
+        client = PreferenceClient(port=handle.port)
+        ...
+        handle.stop()
+    """
+    server = PreferenceServer(service, host, port)
+    started = threading.Event()
+    failure: list[BaseException] = []
+    holder: dict[str, Any] = {}
+
+    def main() -> None:
+        async def body() -> None:
+            try:
+                await server.start()
+                holder["loop"] = asyncio.get_running_loop()
+            except BaseException as exc:  # bind failures land on the caller
+                failure.append(exc)
+                return
+            finally:
+                started.set()
+            await server.wait_stopped()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(
+        target=main, name="preference-server", daemon=True
+    )
+    thread.start()
+    if not started.wait(start_timeout):
+        raise RuntimeError("preference server failed to start in time")
+    if failure:
+        raise failure[0]
+    return ServerHandle(server, holder["loop"], thread)

@@ -1,0 +1,505 @@
+"""The thread-safe preference service: queries, mutations, views, metrics.
+
+:class:`PreferenceService` is the serving layer's engine room.  It wraps
+one shared :class:`~repro.session.Session` (thread-safe plan and column
+caches) and adds everything a long-running server needs:
+
+* **Queries** — Preference SQL text or a JSON-safe *spec* dict (preference
+  terms in the :mod:`repro.engineering.serialization` wire format), both
+  funnelling through the one planning pipeline every front end shares.
+* **Mutations** — :meth:`insert` / :meth:`delete` apply versioned catalog
+  mutations, invalidate exactly the touched relation's cached plans and
+  column stores, refresh continuous views, and fan the resulting BMO
+  enter/exit deltas out to delta listeners.
+* **Continuous views** — repeat view-eligible queries auto-materialize
+  (after ``auto_view_threshold`` sightings) into
+  :class:`~repro.server.views.ContinuousView`\\ s and are then answered
+  from the maintained window instead of re-planning; results are identical
+  to a fresh plan execution.
+* **A worker pool** — CPU-bound winnows run on :attr:`executor` threads so
+  the asyncio front end (:mod:`repro.server.server`) never blocks its
+  event loop.
+
+The service is synchronous and safe to call from any thread; the asyncio
+server wraps calls in ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.base_numerical import ScorePreference
+from repro.core.preference import Preference, Row
+from repro.engineering.serialization import preference_from_dict
+from repro.query.api import PreferenceQuery
+from repro.query.incremental import BMODelta
+from repro.relations.catalog import Catalog
+from repro.server.metrics import ServiceMetrics
+from repro.server.views import ContinuousView, ViewRegistry, ViewSpec
+from repro.session import MutationEvent, Session
+
+#: Spec/wire comparison operators accepted by ``where`` triples.
+_SPEC_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+#: Cap on the repeat-query sighting counter: one-off view-shaped specs
+#: (e.g. per-user AROUND targets) must not accumulate forever.
+_SEEN_SPECS_CAP = 4096
+
+
+class ServiceError(ValueError):
+    """A request the service cannot honor (bad spec, unknown relation...).
+
+    Protocol-visible: the server maps these to error responses instead of
+    dropping the connection.
+    """
+
+
+#: A delta listener: called with (view, delta, mutation event) after every
+#: mutation that visibly changed a continuous view.
+DeltaListener = Callable[[ContinuousView, BMODelta, MutationEvent], None]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One answered query: the rows, where they came from, and the cost."""
+
+    rows: list[Row]
+    source: str  # "view" | "plan"
+    elapsed_ns: int
+    relation: str
+
+
+class PreferenceService:
+    """A concurrent preference query service over one shared catalog."""
+
+    def __init__(
+        self,
+        catalog: Session | Catalog | Mapping[str, Any] | None = None,
+        functions: Mapping[str, Callable[..., Any]] | None = None,
+        auto_view_threshold: int | None = 2,
+        max_auto_views: int = 64,
+        max_workers: int | None = None,
+    ):
+        if isinstance(catalog, Session):
+            self.session = catalog
+            for name, fn in (functions or {}).items():
+                self.session.register_function(name, fn)
+        else:
+            self.session = Session(catalog, functions)
+        self.views = ViewRegistry()
+        self.metrics = ServiceMetrics()
+        #: Repeat view-eligible queries materialize after this many
+        #: sightings; ``None`` disables auto-materialization.
+        self.auto_view_threshold = auto_view_threshold
+        #: Ceiling on the view registry before auto-materialization stops
+        #: (each view's maintainer holds a relation-sized history, and
+        #: every mutation refreshes every view of its relation — both
+        #: must stay bounded).  Explicit ``materialize``/``subscribe``
+        #: are deliberate capacity decisions and are not capped.
+        self.max_auto_views = max_auto_views
+        self._seen_specs: dict[tuple, int] = {}
+        self._seen_lock = threading.Lock()
+        self._delta_listeners: list[DeltaListener] = []
+        # The session's mutation lock, shared: mutations, hook delivery,
+        # and view seeding all serialize on this one lock, so a view is
+        # never seeded from a snapshot that a concurrent mutation
+        # straddles and no lock-order inversion can arise between the
+        # session's direct mutation path and the service's.
+        self._mutation_lock = self.session.mutation_lock
+        self._mutation_hook = self.session.on_mutation(self._on_mutation)
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="prefserve"
+        )
+
+    def close(self) -> None:
+        """Detach from the session and shut down the worker pool
+        (idempotent).  A shared session keeps working after close —
+        mutations just stop maintaining this service's views."""
+        self.session.off_mutation(self._mutation_hook)
+        self._delta_listeners.clear()
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- query building ---------------------------------------------------------
+
+    def build_query(
+        self, sql: str | None = None, spec: Mapping[str, Any] | None = None
+    ) -> PreferenceQuery:
+        """A :class:`PreferenceQuery` from SQL text or a spec dict.
+
+        Exactly one of ``sql`` / ``spec`` must be given.  The spec format
+        is JSON-safe end to end::
+
+            {"relation": "car",
+             "where": [["make", "=", "Opel"]],        # or {"make": "Opel"}
+             "prefer": {"type": "around", "attribute": "price", "z": 40000},
+             "cascade": [...],                        # lower-priority stages
+             "groupby": ["category"],
+             "top": 5, "ties": "all",
+             "but_only": [["distance", "price", "<=", 2000]],
+             "order_by": [["price", false]], "select": [...], "limit": 10,
+             "backend": "auto"}
+
+        Preference dicts use the :mod:`repro.engineering.serialization`
+        format; SCORE / rank(F) function names resolve against the
+        session's function registry.
+        """
+        if (sql is None) == (spec is None):
+            raise ServiceError("pass exactly one of sql= or spec=")
+        try:
+            if sql is not None:
+                return self.session.sql_query(sql)
+            return self._query_from_spec(spec or {})
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise ServiceError(f"bad query: {exc}") from exc
+
+    def _query_from_spec(self, spec: Mapping[str, Any]) -> PreferenceQuery:
+        known = {
+            "relation", "where", "prefer", "cascade", "groupby", "top",
+            "ties", "but_only", "order_by", "select", "limit", "backend",
+        }
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ServiceError(f"unknown spec field(s) {unknown}")
+        relation = spec.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise ServiceError("spec needs a 'relation' name")
+        q = self.session.query(relation)
+        for expr in self._where_asts(spec.get("where")):
+            q = q.where(expr)
+        if "prefer" in spec:
+            q = q.prefer(self._pref(spec["prefer"]))
+        for stage in spec.get("cascade", ()):
+            q = q.cascade(self._pref(stage))
+        if spec.get("groupby"):
+            q = q.groupby(*spec["groupby"])
+        if spec.get("but_only"):
+            q = q.but_only(*(tuple(c) for c in spec["but_only"]))
+        if spec.get("top") is not None:
+            q = q.top(int(spec["top"]), ties=spec.get("ties", "strict"))
+        if spec.get("order_by"):
+            keys = [
+                (k, False) if isinstance(k, str) else (k[0], bool(k[1]))
+                for k in spec["order_by"]
+            ]
+            q = q.order_by(*keys)
+        if spec.get("select"):
+            q = q.select(*spec["select"])
+        if spec.get("limit") is not None:
+            q = q.limit(int(spec["limit"]))
+        if spec.get("backend"):
+            q = q.backend(spec["backend"])
+        return q
+
+    def _pref(self, data: Any) -> Preference:
+        if isinstance(data, Preference):
+            return data
+        if not isinstance(data, Mapping):
+            raise ServiceError(
+                f"preference must be a serialized dict, got {data!r}"
+            )
+        return preference_from_dict(dict(data), dict(self.session.functions))
+
+    def _where_asts(self, where: Any) -> list[Any]:
+        from repro.psql.ast import Comparison
+
+        if where is None:
+            return []
+        if isinstance(where, Mapping):
+            return [Comparison(a, "=", v) for a, v in where.items()]
+        out = []
+        for triple in where:
+            if not (isinstance(triple, Sequence) and len(triple) == 3):
+                raise ServiceError(
+                    f"where entries are [attribute, op, value], got {triple!r}"
+                )
+            attribute, op, value = triple
+            if op not in _SPEC_OPS:
+                raise ServiceError(f"unknown where operator {op!r}")
+            out.append(Comparison(attribute, "<>" if op == "!=" else op, value))
+        return out
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(
+        self, sql: str | None = None, spec: Mapping[str, Any] | None = None
+    ) -> QueryAnswer:
+        """Answer one query, from a current continuous view when possible.
+
+        View answers apply the query's presentation clauses (order_by /
+        select / limit) on top of the maintained window and are identical,
+        row for row, to a fresh plan execution.
+        """
+        q = self.build_query(sql, spec)
+        start = time.perf_counter_ns()
+        relation = self._relation_of(q)
+        view = self._answering_view(q, relation)
+        if view is not None:
+            try:
+                rows = self._present(view.rows(), q)
+            except Exception as exc:
+                # Same error contract as the plan path (e.g. an unknown
+                # order_by/select attribute is a bad request either way).
+                self.metrics.record_error()
+                raise ServiceError(f"query failed: {exc}") from exc
+            elapsed = time.perf_counter_ns() - start
+            self.metrics.record_query("view", elapsed)
+            return QueryAnswer(rows, "view", elapsed, relation)
+        try:
+            result = q.run()
+        except ServiceError:
+            raise
+        except Exception as exc:
+            self.metrics.record_error()
+            raise ServiceError(f"query failed: {exc}") from exc
+        rows = result.rows() if not isinstance(result, list) else result
+        elapsed = time.perf_counter_ns() - start
+        self.metrics.record_query("plan", elapsed)
+        return QueryAnswer(rows, "plan", elapsed, relation)
+
+    def explain(
+        self, sql: str | None = None, spec: Mapping[str, Any] | None = None
+    ) -> str:
+        """The plan text, annotated with the view that would answer it."""
+        q = self.build_query(sql, spec)
+        try:
+            text = q.explain()
+        except Exception as exc:
+            raise ServiceError(f"explain failed: {exc}") from exc
+        view_spec = self._view_spec_of(q, self._relation_of(q))
+        if view_spec is not None:
+            view = self.views.get(view_spec)
+            if view is not None and self._is_current(view):
+                text += (
+                    f"\nanswered from view: {view.spec.describe()} "
+                    f"(version {view.version}, {view.refreshes} refreshes)"
+                )
+        return text
+
+    def _relation_of(self, q: PreferenceQuery) -> str:
+        kind, payload = q._source
+        if kind != "catalog":
+            raise ServiceError("service queries run over catalog relations")
+        return payload.lower()
+
+    def _is_current(self, view: ContinuousView) -> bool:
+        return view.version == self.session.catalog.version(view.spec.relation)
+
+    def _view_spec_of(
+        self, q: PreferenceQuery, relation: str
+    ) -> ViewSpec | None:
+        """The view that could answer ``q``, or None if not view-shaped.
+
+        View-eligible queries have a preference term over the whole
+        relation: no hard WHERE filters, no BUT ONLY supervision, no
+        forced algorithm/backend, rewriter untouched.  Presentation
+        clauses are fine — they are applied on top of the window.
+        """
+        pref = q.preference
+        if pref is None or q._wheres or q._quality:
+            return None
+        if q._algorithm is not None or q._backend != "auto":
+            return None
+        if not q._use_rewriter:
+            return None
+        if q._top is not None and not isinstance(pref, ScorePreference):
+            return None
+        if q._top is not None and q._groupby:
+            # The planner evaluates top-k globally and ignores grouping; a
+            # view would maintain per-group cuts and answer differently.
+            return None
+        return ViewSpec(
+            relation, pref, q._groupby, q._top,
+            q._top_ties if q._top is not None else "strict",
+        )
+
+    def _answering_view(
+        self, q: PreferenceQuery, relation: str
+    ) -> ContinuousView | None:
+        spec = self._view_spec_of(q, relation)
+        if spec is None:
+            return None
+        view = self.views.get(spec)
+        if (
+            view is None
+            and self.auto_view_threshold is not None
+            and len(self.views) < self.max_auto_views
+        ):
+            with self._seen_lock:
+                seen = self._seen_specs.pop(spec.key, 0) + 1
+                if seen < self.auto_view_threshold:
+                    # Reinsertion keeps the counter recency-ordered; when
+                    # full, the coldest sighting goes (bounded memory
+                    # under an endless stream of one-off specs).
+                    if len(self._seen_specs) >= _SEEN_SPECS_CAP:
+                        self._seen_specs.pop(next(iter(self._seen_specs)))
+                    self._seen_specs[spec.key] = seen
+            if seen >= self.auto_view_threshold:
+                view = self._materialize(spec)
+        if view is not None and self._is_current(view):
+            return view
+        return None
+
+    def _present(self, rows: list[Row], q: PreferenceQuery) -> list[Row]:
+        """Apply presentation clauses (order_by / select / limit) to view
+        rows — the same operators the plan applies above the winnow."""
+        for attribute, descending in reversed(q._order_by):
+            rows = sorted(
+                rows, key=lambda r: r[attribute], reverse=descending
+            )
+        if q._select is not None:
+            rows = [{a: r[a] for a in q._select} for r in rows]
+        if q._limit is not None:
+            rows = rows[: q._limit]
+        return [dict(r) for r in rows]
+
+    # -- views ------------------------------------------------------------------
+
+    def materialize(
+        self,
+        relation: str,
+        pref: Preference | Mapping[str, Any],
+        groupby: Sequence[str] = (),
+        top: int | None = None,
+        ties: str = "strict",
+    ) -> ContinuousView:
+        """Materialize (or fetch) a continuous view for a standing query."""
+        spec = ViewSpec(
+            relation.lower(), self._pref(pref), tuple(groupby), top, ties
+        )
+        return self._materialize(spec)
+
+    def _snapshot(self, relation: str) -> tuple[Any, int]:
+        try:
+            rel = self.session.catalog.get(relation)
+        except Exception as exc:
+            raise ServiceError(str(exc)) from exc
+        return rel, self.session.catalog.version(relation)
+
+    def _materialize(self, spec: ViewSpec) -> ContinuousView:
+        # Seeding is a full winnow over the snapshot, so it runs *outside*
+        # the mutation lock (mutations never stall on a 50k-row seed);
+        # adoption re-checks the version and reseeds if the catalog moved.
+        for _ in range(3):
+            with self._mutation_lock:
+                existing = self.views.get(spec)
+                if existing is not None:
+                    return existing
+                rel, version = self._snapshot(spec.relation)
+            view = ContinuousView(spec)
+            view.seed(rel.rows(), version)
+            with self._mutation_lock:
+                if self.session.catalog.version(spec.relation) == version:
+                    return self.views.adopt(view)
+        # Constant churn fallback: seed under the lock, guaranteed current.
+        with self._mutation_lock:
+            rel, version = self._snapshot(spec.relation)
+            return self.views.register(spec, rel.rows(), version)
+
+    def add_delta_listener(self, listener: DeltaListener) -> DeltaListener:
+        """Register a callback for non-empty view deltas (see
+        :data:`DeltaListener`); used by the server's ``subscribe`` op."""
+        self._delta_listeners.append(listener)
+        return listener
+
+    def remove_delta_listener(self, listener: DeltaListener) -> None:
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # -- mutations --------------------------------------------------------------
+
+    def insert(
+        self, relation: str, rows: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """Insert rows; refreshes views and notifies delta listeners."""
+        if not rows:
+            raise ServiceError("insert needs at least one row")
+        with self._mutation_lock:
+            try:
+                event = self.session.insert_rows(relation, rows)
+            except Exception as exc:
+                raise ServiceError(f"insert failed: {exc}") from exc
+        self.metrics.record_mutation("insert", len(event.inserted))
+        return {
+            "relation": event.relation,
+            "inserted": len(event.inserted),
+            "version": event.version,
+        }
+
+    def delete(
+        self,
+        relation: str,
+        rows: Sequence[Mapping[str, Any]] | None = None,
+        where: Any = None,
+    ) -> dict[str, Any]:
+        """Delete rows (bag-matched) or by spec-style ``where`` conditions."""
+        predicate: Callable[[Row], bool] | None = None
+        if where is not None:
+            from repro.psql.translate import translate_where
+
+            predicates = [
+                translate_where(a) for a in self._where_asts(where)
+            ]
+
+            def conjunction(row: Row) -> bool:
+                return all(p(row) for p in predicates)
+
+            predicate = conjunction
+        with self._mutation_lock:
+            try:
+                event = self.session.delete_rows(
+                    relation, rows=rows, predicate=predicate
+                )
+            except ServiceError:
+                raise
+            except Exception as exc:
+                raise ServiceError(f"delete failed: {exc}") from exc
+        self.metrics.record_mutation("delete", len(event.deleted))
+        return {
+            "relation": event.relation,
+            "deleted": len(event.deleted),
+            "version": event.version,
+        }
+
+    def _on_mutation(self, event: MutationEvent) -> None:
+        # Fired by the session after the catalog swap; re-entrant under
+        # the mutation lock when the mutation came through the service.
+        with self._mutation_lock:
+            refreshed = self.views.refresh_all(event)
+        for view, delta in refreshed:
+            self.metrics.record_view_refresh(view.refresh_last_ns)
+            if delta:
+                for listener in list(self._delta_listeners):
+                    listener(view, delta, event)
+
+    # -- introspection ----------------------------------------------------------
+
+    def relations(self) -> list[dict[str, Any]]:
+        """Name / cardinality / version of every catalog relation."""
+        catalog = self.session.catalog
+        return [
+            {
+                "name": name,
+                "rows": len(catalog.get(name)),
+                "version": catalog.version(name),
+            }
+            for name in catalog.names()
+        ]
+
+    def stats(self) -> dict[str, Any]:
+        """The `/metrics` payload: counters, cache info, per-view stats."""
+        info = self.session.cache_info()
+        snapshot = self.metrics.snapshot()
+        snapshot["plan_cache"] = {
+            "hits": info.hits, "misses": info.misses, "size": info.size,
+        }
+        snapshot["views"] = self.views.stats()
+        snapshot["relations"] = self.relations()
+        return snapshot

@@ -1,0 +1,226 @@
+"""Materialized continuous winnow views.
+
+A :class:`ContinuousView` is a standing preference query over one catalog
+relation — plain winnow, grouped winnow, or ranked top-k — kept current by
+the generalized :class:`~repro.query.incremental.IncrementalBMO` maintainer
+instead of being re-planned per query.  Views are registered per
+``(relation, preference fingerprint, groupby, top, ties)`` in a
+:class:`ViewRegistry`, refreshed on every catalog mutation, and answer
+repeat queries straight from their maintained window.
+
+Every refresh yields a :class:`~repro.query.incremental.BMODelta` of rows
+entering / leaving the BMO result — the event stream the server pushes to
+``subscribe``\\ d clients (Example 9's non-monotonic evolution, live).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.base_numerical import ScorePreference
+from repro.core.constructors import RankPreference
+from repro.core.preference import Preference, Row
+from repro.query.incremental import BMODelta, IncrementalBMO
+from repro.session import MutationEvent
+
+
+def _score_identities(pref: Preference) -> tuple[int, ...]:
+    """Identities of the ad-hoc scoring callables inside a term.
+
+    Bare ``SCORE`` / ``rank(F)`` signatures carry only the function
+    *name* — two different lambdas both named ``<lambda>`` would be
+    signature-equal, and a registry keyed on signatures alone would serve
+    one standing query's rows for the other.  Folding the callables'
+    identities into the view key keeps such terms distinct, while
+    structural subclasses (HIGHEST / LOWEST) and registry-resolved wire
+    preferences (one stable function object per name) still share views.
+    """
+    out: list[int] = []
+    stack: list[Any] = [pref]
+    while stack:
+        node = stack.pop()
+        if type(node) is RankPreference:
+            out.append(id(node.combine))
+        elif type(node) is ScorePreference:
+            out.append(id(node._f))
+        stack.extend(getattr(node, "children", ()) or ())
+        for attr in ("base", "first", "second"):
+            child = getattr(node, attr, None)
+            if isinstance(child, Preference):
+                stack.append(child)
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """The standing query a continuous view materializes."""
+
+    relation: str
+    pref: Preference
+    groupby: tuple[str, ...] = ()
+    top: int | None = None
+    ties: str = "strict"
+
+    @property
+    def key(self) -> tuple:
+        """The registry key: hashable structural identity of the view.
+
+        Ad-hoc SCORE/rank callables participate by identity (see
+        :func:`_score_identities`), so signature-equal terms with
+        different scoring code never alias to one view.
+        """
+        return (
+            self.relation.lower(),
+            self.pref.signature,
+            _score_identities(self.pref),
+            self.groupby,
+            self.top,
+            self.ties,
+        )
+
+    def describe(self) -> str:
+        parts = [f"sigma[{self.pref!r}]({self.relation})"]
+        if self.groupby:
+            parts.append(f"groupby {list(self.groupby)}")
+        if self.top is not None:
+            parts.append(f"top {self.top} ({self.ties})")
+        return " ".join(parts)
+
+
+class ContinuousView:
+    """One materialized winnow, maintained under mutations.
+
+    Thread-safe: refreshes and reads serialize on a per-view lock (so a
+    reader never observes a half-applied mutation batch), while distinct
+    views refresh independently.
+    """
+
+    def __init__(self, spec: ViewSpec):
+        self.spec = spec
+        self._live = IncrementalBMO(
+            spec.pref, groupby=spec.groupby or None, top=spec.top,
+            ties=spec.ties,
+        )
+        self._lock = threading.RLock()
+        self.version = 0          # catalog version the view is current at
+        self.served = 0           # queries answered from this view
+        self.refreshes = 0
+        self.refresh_total_ns = 0
+        self.refresh_last_ns = 0
+
+    def seed(self, rows: Iterable[Row], version: int) -> None:
+        """Load the view from a relation snapshot at ``version``."""
+        with self._lock:
+            self._live.insert_many(rows)
+            self.version = version
+
+    def refresh(self, event: MutationEvent) -> BMODelta:
+        """Apply one mutation batch; returns the net enter/exit delta."""
+        start = time.perf_counter_ns()
+        with self._lock:
+            delta = self._live.apply(
+                inserted=event.inserted, deleted=event.deleted
+            )
+            self.version = event.version
+            elapsed = time.perf_counter_ns() - start
+            self.refreshes += 1
+            self.refresh_total_ns += elapsed
+            self.refresh_last_ns = elapsed
+        return delta
+
+    def rows(self) -> list[Row]:
+        """A snapshot of the current view result (counts as a serve)."""
+        with self._lock:
+            self.served += 1
+            return self._live.result()
+
+    def snapshot(self) -> tuple[list[Row], int]:
+        """The current result together with the version it is current at,
+        read atomically — subscribers use the version to discard delta
+        pushes the snapshot already includes."""
+        with self._lock:
+            self.served += 1
+            return self._live.result(), self.version
+
+    def stats(self) -> dict[str, Any]:
+        """Maintenance statistics, including the maintainer's own honest
+        counters (rebuilds triggered by deletions included)."""
+        with self._lock:
+            return {
+                "view": self.spec.describe(),
+                "version": self.version,
+                "size": len(self._live),
+                "served": self.served,
+                "refreshes": self.refreshes,
+                "refresh_total_ns": self.refresh_total_ns,
+                "refresh_last_ns": self.refresh_last_ns,
+                "maintenance": dict(self._live.stats),
+            }
+
+    def __repr__(self) -> str:
+        return f"ContinuousView({self.spec.describe()}, v{self.version})"
+
+
+class ViewRegistry:
+    """All continuous views of one service, indexed by spec key."""
+
+    def __init__(self) -> None:
+        self._views: dict[tuple, ContinuousView] = {}
+        self._lock = threading.RLock()
+
+    def get(self, spec: ViewSpec) -> ContinuousView | None:
+        with self._lock:
+            return self._views.get(spec.key)
+
+    def register(
+        self, spec: ViewSpec, rows: Sequence[Row], version: int
+    ) -> ContinuousView:
+        """Materialize (or return the already-registered) view for
+        ``spec``, seeded from ``rows`` at catalog ``version``."""
+        with self._lock:
+            view = self._views.get(spec.key)
+            if view is not None:
+                return view
+            view = ContinuousView(spec)
+            view.seed(rows, version)
+            self._views[spec.key] = view
+            return view
+
+    def adopt(self, view: ContinuousView) -> ContinuousView:
+        """Register an externally seeded view; returns the registered one
+        (the already-present view wins a registration race)."""
+        with self._lock:
+            return self._views.setdefault(view.spec.key, view)
+
+    def drop(self, spec: ViewSpec) -> bool:
+        with self._lock:
+            return self._views.pop(spec.key, None) is not None
+
+    def views_of(self, relation: str) -> list[ContinuousView]:
+        key = relation.lower()
+        with self._lock:
+            return [
+                v for v in self._views.values() if v.spec.key[0] == key
+            ]
+
+    def refresh_all(
+        self, event: MutationEvent
+    ) -> list[tuple[ContinuousView, BMODelta]]:
+        """Refresh every view of the mutated relation; returns per-view
+        deltas (empty deltas included, so callers see refresh latencies)."""
+        return [
+            (view, view.refresh(event))
+            for view in self.views_of(event.relation)
+        ]
+
+    def stats(self) -> list[dict[str, Any]]:
+        with self._lock:
+            views = list(self._views.values())
+        return [v.stats() for v in views]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._views)

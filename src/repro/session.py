@@ -31,12 +31,14 @@ and programmatic callers share::
 from __future__ import annotations
 
 import math
+import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, NamedTuple, Sequence
 
 from repro.query.api import PreferenceQuery
 from repro.query.plan import Plan
 from repro.relations.catalog import Catalog
-from repro.relations.relation import Relation
+from repro.relations.relation import Relation, Row
 
 #: Combining functions available to RANK(...) and SCORE(...) out of the box.
 DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
@@ -56,6 +58,20 @@ class CacheInfo(NamedTuple):
     hits: int
     misses: int
     size: int
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One versioned catalog mutation, as delivered to mutation hooks.
+
+    ``inserted`` / ``deleted`` are the row batches the mutation applied;
+    ``version`` is the relation's catalog version *after* the mutation.
+    """
+
+    relation: str
+    inserted: tuple[Row, ...] = ()
+    deleted: tuple[Row, ...] = ()
+    version: int = 0
 
 
 class Session:
@@ -81,6 +97,19 @@ class Session:
         self._cache_hits = 0
         self._cache_misses = 0
         self._column_cache: dict[tuple[str, int], Any] = {}
+        # One reentrant lock guards the plan cache, the column-store cache,
+        # and catalog mutations, so worker threads (the preference server
+        # runs winnows in an executor) can share one session.  Plan
+        # *execution* never takes the lock — only cache bookkeeping and the
+        # catalog swap do, so concurrent queries stay parallel.
+        self._lock = threading.RLock()
+        #: Serializes whole mutations *including* hook delivery, so hooks
+        #: always observe MutationEvents in catalog-version order (the
+        #: invariant continuous views depend on).  Public and reentrant:
+        #: the serving layer shares it to keep view seeding atomic with
+        #: mutations — one lock, so no ordering inversions are possible.
+        self.mutation_lock = threading.RLock()
+        self._mutation_hooks: list[Callable[[MutationEvent], None]] = []
 
     # -- catalog management -----------------------------------------------------
 
@@ -109,6 +138,109 @@ class Session:
     def register_function(self, name: str, fn: Callable[..., Any]) -> None:
         """Register a scoring/combining function for SCORE / RANK atoms."""
         self.functions[name] = fn
+
+    # -- mutations --------------------------------------------------------------
+
+    def on_mutation(
+        self, hook: Callable[[MutationEvent], None]
+    ) -> Callable[[MutationEvent], None]:
+        """Register a hook called after every :meth:`insert_rows` /
+        :meth:`delete_rows`, with the :class:`MutationEvent` applied.
+
+        Hooks run synchronously, in registration order, under
+        :attr:`mutation_lock` (but never under the cache lock) — so a
+        hook observing version ``n`` has seen every event before ``n``,
+        the invariant the serving layer's continuous views depend on.
+        Returns the hook (decorator-friendly); remove with
+        :meth:`off_mutation`.
+        """
+        self._mutation_hooks.append(hook)
+        return hook
+
+    def off_mutation(self, hook: Callable[[MutationEvent], None]) -> None:
+        """Unregister a mutation hook (a no-op if it is not registered)."""
+        try:
+            self._mutation_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _fire_mutation(self, event: MutationEvent) -> None:
+        for hook in list(self._mutation_hooks):
+            hook(event)
+
+    def insert_rows(
+        self, name: str, rows: Sequence[Mapping[str, Any]]
+    ) -> MutationEvent:
+        """Append rows to a catalog relation as one versioned mutation.
+
+        Bumps the relation's catalog version (invalidating its cached
+        plans and column stores — and only its), then fires the mutation
+        hooks.  Returns the :class:`MutationEvent` applied.
+        """
+        cooked = [dict(r) for r in rows]  # accept iterators: iterate once
+        with self.mutation_lock:
+            with self._lock:
+                new = self.catalog.insert_rows(name, cooked)
+                version = self.catalog.version(name)
+                self._invalidate_locked(name)
+            event = MutationEvent(
+                relation=new.name,
+                inserted=tuple(cooked),
+                version=version,
+            )
+            self._fire_mutation(event)
+        return event
+
+    def delete_rows(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]] | None = None,
+        predicate: Callable[[Row], bool] | None = None,
+    ) -> MutationEvent:
+        """Delete rows from a catalog relation as one versioned mutation.
+
+        Pass ``rows`` (each removes one matching stored row, bag
+        semantics) or ``predicate``.  Same invalidation and hook contract
+        as :meth:`insert_rows`; the event carries the rows actually
+        deleted.
+        """
+        with self.mutation_lock:
+            with self._lock:
+                new, deleted = self.catalog.delete_rows(
+                    name, rows=rows, predicate=predicate
+                )
+                version = self.catalog.version(name)
+                self._invalidate_locked(name)
+            event = MutationEvent(
+                relation=new.name,
+                deleted=tuple(deleted),
+                version=version,
+            )
+            self._fire_mutation(event)
+        return event
+
+    def invalidate(self, name: str) -> None:
+        """Eagerly drop cached plans and column stores for one relation.
+
+        Mutations call this automatically; it exists for callers that
+        mutate the catalog directly (``session.catalog.register(...,
+        replace=True)``) and want the caches trimmed now rather than at
+        the next version-keyed miss.
+        """
+        with self._lock:
+            self._invalidate_locked(name)
+
+    def _invalidate_locked(self, name: str) -> None:
+        key = name.lower()
+        version = self.catalog.version(key)
+        for k in [
+            k for k in self._plan_cache if k[1] == key and k[2] < version
+        ]:
+            del self._plan_cache[k]
+        for k in [
+            k for k in self._column_cache if k[0] == key and k[1] < version
+        ]:
+            del self._column_cache[k]
 
     # -- queries ----------------------------------------------------------------
 
@@ -190,32 +322,39 @@ class Session:
         would otherwise pin the superseded relations' rows via their Scan
         nodes.
         """
-        plan = self._plan_cache.get(key)
-        if plan is not None:
-            self._cache_hits += 1
-            return plan
-        self._cache_misses += 1
+        with self._lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._cache_hits += 1
+                return plan
+            self._cache_misses += 1
+        # Planning happens outside the lock (it can be expensive and never
+        # touches the caches); concurrent same-key misses both plan, and
+        # the identical results race benignly into the cache.
         plan = build()
-        _, name, version = key
-        stale = [
-            k for k in self._plan_cache if k[1] == name and k[2] < version
-        ]
-        for k in stale:
-            del self._plan_cache[k]
-        self._plan_cache[key] = plan
+        with self._lock:
+            _, name, version = key
+            stale = [
+                k for k in self._plan_cache if k[1] == name and k[2] < version
+            ]
+            for k in stale:
+                del self._plan_cache[k]
+            self._plan_cache[key] = plan
         return plan
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/size statistics of the plan cache."""
-        return CacheInfo(
-            self._cache_hits, self._cache_misses, len(self._plan_cache)
-        )
+        with self._lock:
+            return CacheInfo(
+                self._cache_hits, self._cache_misses, len(self._plan_cache)
+            )
 
     def clear_plan_cache(self) -> None:
         """Drop all memoized plans and reset the hit/miss counters."""
-        self._plan_cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._lock:
+            self._plan_cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
 
     # -- columnar materialization -----------------------------------------------
 
@@ -236,17 +375,23 @@ class Session:
         """
         from repro.engine.columns import ColumnStore
 
-        key = (name.lower(), self.catalog.version(name))
-        store = self._column_cache.get(key)
+        with self._lock:
+            key = (name.lower(), self.catalog.version(name))
+            store = self._column_cache.get(key)
+            relation = None if store is not None else self.catalog.get(name)
         if store is None:
-            store = ColumnStore.from_relation(self.catalog.get(name))
-            stale = [
-                k for k in self._column_cache
-                if k[0] == key[0] and k[1] < key[1]
-            ]
-            for k in stale:
-                del self._column_cache[k]
-            self._column_cache[key] = store
+            # Materialization runs outside the lock; a concurrent
+            # same-version build produces an identical store.
+            store = ColumnStore.from_relation(relation)
+            with self._lock:
+                stale = [
+                    k for k in self._column_cache
+                    if k[0] == key[0] and k[1] < key[1]
+                ]
+                for k in stale:
+                    del self._column_cache[k]
+                self._column_cache.setdefault(key, store)
+                store = self._column_cache[key]
         return store
 
     def __repr__(self) -> str:

@@ -5,14 +5,24 @@ from hypothesis import given, settings
 
 from tests.conftest import nonempty_rows_st, preference_st
 
-from repro.core.base_numerical import AroundPreference, HighestPreference
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    ScorePreference,
+)
 from repro.core.constructors import pareto
 from repro.query.algorithms import block_nested_loop
-from repro.query.incremental import IncrementalBMO
+from repro.query.bmo import winnow_groupby
+from repro.query.incremental import BMODelta, IncrementalBMO, merge_deltas
+from repro.query.topk import k_best
 
 
 def _keys(rows, attrs):
     return sorted(tuple(r[a] for a in attrs) for r in rows)
+
+
+def _canon(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
 
 
 class TestExample9Live:
@@ -35,9 +45,71 @@ class TestExample9Live:
         pref = HighestPreference("x")
         live = IncrementalBMO(pref)
         live.insert_many([{"x": 1}, {"x": 2}, {"x": 0}, {"x": 2}])
-        assert live.stats == {"inserted": 4, "rejected": 1, "evicted": 1}
+        assert live.stats == {
+            "inserted": 4, "rejected": 1, "evicted": 1,
+            "removed": 0, "resurrected": 0, "rebuilds": 0,
+        }
         # projection-equal duplicates share the maximal slot
         assert len(live) == 2 and live.result_size() == 1
+
+
+class TestDeltas:
+    def test_insert_delta_reports_evictions(self):
+        pref = pareto(HighestPreference("fe"), HighestPreference("ir"))
+        live = IncrementalBMO(pref)
+        live.insert_many([{"fe": 100, "ir": 3}, {"fe": 50, "ir": 10}])
+        delta = live.insert_delta({"fe": 100, "ir": 10})
+        assert delta.entered == ({"fe": 100, "ir": 10},)
+        assert _canon(delta.exited) == _canon(
+            [{"fe": 100, "ir": 3}, {"fe": 50, "ir": 10}]
+        )
+
+    def test_dominated_arrival_is_empty_delta(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert({"x": 5})
+        delta = live.insert_delta({"x": 1})
+        assert not delta and delta.entered == () and delta.exited == ()
+
+    def test_remove_delta_reports_resurrection(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert_many([{"x": 1}, {"x": 3}, {"x": 2}])
+        delta = live.remove_delta({"x": 3})
+        assert delta.exited == ({"x": 3},)
+        assert delta.entered == ({"x": 2},)
+        assert live.stats["rebuilds"] == 1
+        assert live.stats["resurrected"] == 1
+
+    def test_remove_missing_returns_none(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert({"x": 1})
+        assert live.remove_delta({"x": 99}) is None
+
+    def test_remove_nonmaximum_is_empty_delta(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert_many([{"x": 1}, {"x": 3}])
+        delta = live.remove_delta({"x": 1})
+        assert delta is not None and not delta
+
+    def test_apply_merges_batch(self):
+        pref = pareto(HighestPreference("fe"), HighestPreference("ir"))
+        live = IncrementalBMO(pref)
+        live.insert({"fe": 100, "ir": 3})
+        delta = live.apply(
+            inserted=[{"fe": 50, "ir": 10}, {"fe": 100, "ir": 10}]
+        )
+        # shark enters then exits within the batch: nets out entirely.
+        assert _canon(delta.entered) == _canon([{"fe": 100, "ir": 10}])
+        assert _canon(delta.exited) == _canon([{"fe": 100, "ir": 3}])
+
+    def test_merge_deltas_cancels(self):
+        a = BMODelta(entered=({"x": 1},))
+        b = BMODelta(exited=({"x": 1},), entered=({"x": 2},))
+        merged = merge_deltas([a, b])
+        assert merged.entered == ({"x": 2},) and merged.exited == ()
+
+    def test_to_dict_is_json_shaped(self):
+        delta = BMODelta(entered=({"x": 1},), exited=({"x": 2},))
+        assert delta.to_dict() == {"enter": [{"x": 1}], "exit": [{"x": 2}]}
 
 
 class TestRemoval:
@@ -60,6 +132,87 @@ class TestRemoval:
         live.insert_many([{"x": 5}, {"x": 5}])
         assert live.remove({"x": 5})
         assert _keys(live.result(), ("x",)) == [(5,)]
+
+
+class TestGroupedMaintenance:
+    def test_per_group_windows(self):
+        live = IncrementalBMO(HighestPreference("x"), groupby=("g",))
+        live.insert_many([
+            {"g": 1, "x": 1}, {"g": 1, "x": 3},
+            {"g": 2, "x": 5}, {"g": 2, "x": 4},
+        ])
+        assert _canon(live.result()) == _canon(
+            [{"g": 1, "x": 3}, {"g": 2, "x": 5}]
+        )
+        assert live.result_size() == 2
+
+    def test_matches_batch_groupby(self):
+        rows = [
+            {"g": g, "x": x} for g in (1, 2, 3) for x in (4, 2, 4, 1)
+        ]
+        live = IncrementalBMO(HighestPreference("x"), groupby=("g",))
+        live.insert_many(rows)
+        batch = winnow_groupby(HighestPreference("x"), ("g",), rows)
+        assert _canon(live.result()) == _canon(batch)
+
+    def test_remove_rebuilds_only_the_touched_group(self):
+        live = IncrementalBMO(HighestPreference("x"), groupby=("g",))
+        live.insert_many([
+            {"g": 1, "x": 3}, {"g": 1, "x": 2}, {"g": 2, "x": 5},
+        ])
+        delta = live.remove_delta({"g": 1, "x": 3})
+        assert delta.exited == ({"g": 1, "x": 3},)
+        assert delta.entered == ({"g": 1, "x": 2},)
+        assert live.stats["rebuilds"] == 1
+        assert _canon(live.result()) == _canon(
+            [{"g": 1, "x": 2}, {"g": 2, "x": 5}]
+        )
+
+    def test_emptied_group_disappears(self):
+        live = IncrementalBMO(HighestPreference("x"), groupby=("g",))
+        live.insert_many([{"g": 1, "x": 1}, {"g": 2, "x": 2}])
+        live.remove({"g": 1, "x": 1})
+        assert _canon(live.result()) == _canon([{"g": 2, "x": 2}])
+        assert live.result_size() == 1
+
+
+class TestRankedMaintenance:
+    def _score(self):
+        return ScorePreference("x", lambda v: v, name="x")
+
+    def test_matches_k_best(self):
+        rows = [{"x": v} for v in (3, 1, 4, 1, 5, 9, 2, 6)]
+        live = IncrementalBMO(self._score(), top=3)
+        live.insert_many(rows)
+        assert live.result() == k_best(self._score(), rows, 3)
+
+    def test_ties_all_extends_cut(self):
+        rows = [{"x": v} for v in (5, 5, 5, 1)]
+        live = IncrementalBMO(self._score(), top=2, ties="all")
+        live.insert_many(rows)
+        assert live.result() == k_best(self._score(), rows, 2, ties="all")
+
+    def test_insert_delta_reports_cut_change(self):
+        live = IncrementalBMO(self._score(), top=2)
+        live.insert_many([{"x": 1}, {"x": 5}])
+        delta = live.insert_delta({"x": 3})
+        assert delta.entered == ({"x": 3},)
+        assert delta.exited == ({"x": 1},)
+
+    def test_remove_promotes_runner_up(self):
+        live = IncrementalBMO(self._score(), top=2)
+        live.insert_many([{"x": 1}, {"x": 5}, {"x": 3}])
+        delta = live.remove_delta({"x": 5})
+        assert delta.exited == ({"x": 5},)
+        assert delta.entered == ({"x": 1},)
+        assert live.result() == [{"x": 3}, {"x": 1}]
+
+    def test_needs_score_preference(self):
+        import pytest
+
+        pareto_pref = pareto(HighestPreference("x"), HighestPreference("y"))
+        with pytest.raises(TypeError):
+            IncrementalBMO(pareto_pref, top=2)
 
 
 class TestAgreementProperty:

@@ -1,0 +1,87 @@
+"""Wire-format tests: framing, request validation, chunking, pushes."""
+
+import pytest
+
+from repro.server import protocol
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"id": 1, "op": "query", "sql": "SELECT *"}
+        line = protocol.encode_message(message)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert protocol.decode_message(line[:-1]) == message
+
+    def test_sets_and_tuples_serialize(self):
+        line = protocol.encode_message(
+            {"pos_set": {"red", "blue"}, "pair": (1, 2)}
+        )
+        decoded = protocol.decode_message(line[:-1])
+        assert decoded == {"pos_set": ["blue", "red"], "pair": [1, 2]}
+
+    def test_bad_json_is_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"{nope")
+
+    def test_non_object_is_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"[1,2]")
+
+    def test_oversized_line_rejected(self):
+        big = b"x" * (protocol.MAX_LINE_BYTES + 1)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(big)
+
+
+class TestRequests:
+    def test_parse_request(self):
+        req = protocol.parse_request(
+            {"id": 9, "op": "insert", "relation": "car", "rows": []}
+        )
+        assert req.id == 9 and req.op == "insert"
+        assert req.params == {"relation": "car", "rows": []}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request({"id": 1, "op": "drop_table"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request({"id": 1})
+
+    def test_every_op_is_known(self):
+        for op in protocol.OPS:
+            assert protocol.parse_request({"op": op}).op == op
+
+
+class TestChunking:
+    def test_chunks_cover_rows_in_order(self):
+        rows = [{"i": i} for i in range(7)]
+        chunks = list(protocol.rows_chunks(1, rows, chunk_rows=3, source="plan"))
+        assert [len(c["rows"]) for c in chunks] == [3, 3, 1]
+        assert [c["done"] for c in chunks] == [False, False, True]
+        assert chunks[-1]["total"] == 7 and chunks[-1]["source"] == "plan"
+        reassembled = [r for c in chunks for r in c["rows"]]
+        assert reassembled == rows
+
+    def test_empty_result_is_one_done_chunk(self):
+        (only,) = protocol.rows_chunks(2, [], chunk_rows=10)
+        assert only["done"] and only["rows"] == [] and only["total"] == 0
+
+    def test_chunk_seq_numbers(self):
+        chunks = list(protocol.rows_chunks(1, [{"i": 1}] * 5, chunk_rows=2))
+        assert [c["seq"] for c in chunks] == [0, 1, 2]
+
+
+class TestBuilders:
+    def test_error_response(self):
+        msg = protocol.error_response(4, "boom", code="internal")
+        assert msg == {"id": 4, "ok": False, "error": "boom",
+                       "code": "internal"}
+
+    def test_delta_message(self):
+        msg = protocol.delta_message(
+            3, "car", 7, [{"x": 1}], [{"x": 2}]
+        )
+        assert msg["kind"] == "delta" and msg["subscription"] == 3
+        assert msg["enter"] == [{"x": 1}] and msg["exit"] == [{"x": 2}]

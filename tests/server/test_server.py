@@ -1,0 +1,235 @@
+"""End-to-end server tests: concurrent clients, mutations, subscriptions.
+
+These drive the real asyncio server over real sockets via the sync client
+— the acceptance path: >= 8 concurrent clients issuing Preference SQL
+queries and mutations against one shared relation, and a subscriber
+receiving correct BMO enter/exit deltas for the Example-9 stream.
+"""
+
+import threading
+
+import pytest
+
+from repro.server import (
+    ClientError,
+    PreferenceClient,
+    PreferenceService,
+    run_in_thread,
+)
+
+PARETO_SPEC = {
+    "type": "pareto",
+    "children": [
+        {"type": "highest", "attribute": "fe"},
+        {"type": "highest", "attribute": "ir"},
+    ],
+}
+
+
+def _canon(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+@pytest.fixture
+def served():
+    service = PreferenceService(
+        {"animal": [
+            {"name": "frog", "fe": 100, "ir": 3},
+            {"name": "cat", "fe": 50, "ir": 3},
+        ]}
+    )
+    handle = run_in_thread(service)
+    yield handle
+    handle.stop()
+    service.close()
+
+
+class TestBasicOps:
+    def test_ping(self, served):
+        with PreferenceClient(port=served.port) as client:
+            hello = client.ping()
+            assert hello["pong"] and hello["protocol"] == 1
+
+    def test_sql_and_spec_agree(self, served):
+        with PreferenceClient(port=served.port) as client:
+            by_sql = client.query(
+                sql="SELECT * FROM animal "
+                    "PREFERRING HIGHEST(fe) AND HIGHEST(ir)"
+            )
+            by_spec = client.query(
+                spec={"relation": "animal", "prefer": PARETO_SPEC}
+            )
+            assert _canon(by_sql) == _canon(by_spec)
+
+    def test_explain(self, served):
+        with PreferenceClient(port=served.port) as client:
+            plan = client.explain(
+                sql="SELECT * FROM animal PREFERRING HIGHEST(fe)"
+            )
+            assert "Scan[animal]" in plan
+
+    def test_chunked_streaming(self, served):
+        served.server.chunk_rows = 10
+        with PreferenceClient(port=served.port) as client:
+            client.insert(
+                "animal",
+                [{"name": f"a{i}", "fe": i, "ir": -i} for i in range(95)],
+            )
+            rows = client.query(sql="SELECT * FROM animal")
+            assert len(rows) == 97
+
+    def test_error_response_keeps_connection_alive(self, served):
+        with PreferenceClient(port=served.port) as client:
+            with pytest.raises(ClientError):
+                client.query(sql="SELEKT nonsense")
+            assert client.ping()["pong"]
+
+    def test_mutations_round_trip(self, served):
+        with PreferenceClient(port=served.port) as client:
+            assert client.insert(
+                "animal", [{"name": "eel", "fe": 10, "ir": 10}]
+            )["inserted"] == 1
+            assert client.delete(
+                "animal", where=[["name", "=", "eel"]]
+            )["deleted"] == 1
+
+    def test_metrics_and_relations(self, served):
+        with PreferenceClient(port=served.port) as client:
+            client.query(sql="SELECT * FROM animal")
+            stats = client.metrics()
+            assert stats["queries"]["total"] >= 1
+            (info,) = client.relations()
+            assert info["name"] == "animal"
+
+
+class TestSubscriptions:
+    def test_example9_delta_stream(self, served):
+        """The shark/turtle scenario, delta by delta, over the wire."""
+        with PreferenceClient(port=served.port) as sub_client, \
+                PreferenceClient(port=served.port) as mutator:
+            sub = sub_client.subscribe(
+                "animal", prefer=PARETO_SPEC, snapshot=True
+            )
+            assert _canon(sub["rows"]) == _canon(
+                [{"name": "frog", "fe": 100, "ir": 3}]
+            )
+            # The snapshot names the version it is current at, so a
+            # client can discard deltas with version <= this one.
+            assert sub["version"] == served.service.session.catalog.version(
+                "animal"
+            )
+
+            mutator.insert(
+                "animal", [{"name": "shark", "fe": 50, "ir": 10}]
+            )
+            delta = sub_client.wait_delta()
+            assert delta["enter"] == [{"name": "shark", "fe": 50, "ir": 10}]
+            assert delta["exit"] == []
+
+            mutator.insert(
+                "animal", [{"name": "turtle", "fe": 100, "ir": 10}]
+            )
+            delta = sub_client.wait_delta()
+            assert delta["enter"] == [
+                {"name": "turtle", "fe": 100, "ir": 10}
+            ]
+            assert _canon(delta["exit"]) == _canon([
+                {"name": "frog", "fe": 100, "ir": 3},
+                {"name": "shark", "fe": 50, "ir": 10},
+            ])
+
+            mutator.delete("animal", where=[["name", "=", "turtle"]])
+            delta = sub_client.wait_delta()
+            assert delta["exit"] == [{"name": "turtle", "fe": 100, "ir": 10}]
+            assert _canon(delta["enter"]) == _canon([
+                {"name": "frog", "fe": 100, "ir": 3},
+                {"name": "shark", "fe": 50, "ir": 10},
+            ])
+
+    def test_unsubscribe_stops_deltas(self, served):
+        with PreferenceClient(port=served.port) as client:
+            sub = client.subscribe("animal", prefer=PARETO_SPEC)
+            client.unsubscribe(sub["subscription"])
+            client.insert("animal", [{"name": "x", "fe": 999, "ir": 999}])
+            assert client.deltas(timeout=0.3) == []
+
+    def test_invisible_mutation_pushes_nothing(self, served):
+        with PreferenceClient(port=served.port) as client:
+            client.subscribe("animal", prefer=PARETO_SPEC)
+            # cat is dominated; removing it never changes the BMO result.
+            client.delete("animal", where=[["name", "=", "cat"]])
+            assert client.deltas(timeout=0.3) == []
+
+
+class TestConcurrency:
+    def test_eight_concurrent_clients_query_and_mutate(self, served):
+        """The acceptance criterion: >= 8 clients, one shared relation."""
+        sql = ("SELECT * FROM animal WHERE ir <= 3 "
+               "PREFERRING HIGHEST(fe)")
+        expected = _canon(
+            served.service.query(sql=sql).rows
+        )
+        errors, results = [], []
+
+        def worker(worker_id):
+            try:
+                with PreferenceClient(port=served.port) as client:
+                    for round_no in range(5):
+                        results.append(_canon(client.query(sql=sql)))
+                        # ir > 3 rows never enter the WHERE-filtered set.
+                        client.insert("animal", [{
+                            "name": f"w{worker_id}r{round_no}",
+                            "fe": 1000 + worker_id, "ir": 50 + round_no,
+                        }])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert len(results) == 40
+        assert all(r == expected for r in results)
+        # All 40 mutations landed in the shared relation.
+        assert len(served.service.session.catalog.get("animal")) == 2 + 40
+
+    def test_subscriber_sees_all_concurrent_mutator_deltas(self, served):
+        with PreferenceClient(port=served.port) as sub_client:
+            sub_client.subscribe(
+                "animal",
+                prefer={"type": "highest", "attribute": "fe"},
+            )
+
+            def mutate(offset):
+                with PreferenceClient(port=served.port) as client:
+                    for i in range(5):
+                        client.insert("animal", [{
+                            "name": f"m{offset}i{i}",
+                            "fe": 1000 + offset * 10 + i, "ir": 1,
+                        }])
+
+            threads = [
+                threading.Thread(target=mutate, args=(i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+
+            # Every insert beats the previous maximum of its mutator, so
+            # each visible change pushes one delta; collect until the
+            # stream settles at the global maximum.
+            final_max = 1000 + 2 * 10 + 4
+            seen = []
+            for _ in range(30):
+                seen.extend(sub_client.deltas(timeout=0.5))
+                tops = [r["fe"] for d in seen for r in d["enter"]]
+                if tops and max(tops) == final_max:
+                    break
+            assert max(
+                r["fe"] for d in seen for r in d["enter"]
+            ) == final_max

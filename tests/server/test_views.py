@@ -1,0 +1,105 @@
+"""Continuous-view tests: registration, maintenance, deltas, stats."""
+
+from repro.core.base_numerical import HighestPreference, ScorePreference
+from repro.core.constructors import pareto
+from repro.server.views import ContinuousView, ViewRegistry, ViewSpec
+from repro.session import MutationEvent
+
+
+def _canon(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+def _pareto():
+    return pareto(HighestPreference("fe"), HighestPreference("ir"))
+
+
+class TestViewSpec:
+    def test_key_is_structural(self):
+        a = ViewSpec("Car", _pareto())
+        b = ViewSpec("car", _pareto())
+        assert a.key == b.key
+
+    def test_key_distinguishes_modes(self):
+        pref = ScorePreference("x", lambda v: v, name="x")
+        keys = {
+            ViewSpec("r", pref).key,
+            ViewSpec("r", pref, groupby=("g",)).key,
+            ViewSpec("r", pref, top=3).key,
+            ViewSpec("r", pref, top=3, ties="all").key,
+        }
+        assert len(keys) == 4
+
+    def test_describe_mentions_modes(self):
+        pref = ScorePreference("x", lambda v: v, name="x")
+        text = ViewSpec("r", pref, groupby=("g",), top=3).describe()
+        assert "groupby" in text and "top 3" in text
+
+
+class TestContinuousView:
+    def test_seed_and_refresh(self):
+        view = ContinuousView(ViewSpec("animal", _pareto()))
+        view.seed([{"fe": 100, "ir": 3}, {"fe": 50, "ir": 3}], version=1)
+        assert _canon(view.rows()) == _canon([{"fe": 100, "ir": 3}])
+
+        delta = view.refresh(MutationEvent(
+            "animal", inserted=({"fe": 50, "ir": 10},), version=2
+        ))
+        assert delta.entered == ({"fe": 50, "ir": 10},)
+        assert view.version == 2
+
+    def test_delete_refresh_resurrects(self):
+        view = ContinuousView(ViewSpec("animal", _pareto()))
+        view.seed(
+            [{"fe": 100, "ir": 3}, {"fe": 50, "ir": 10},
+             {"fe": 100, "ir": 10}],
+            version=1,
+        )
+        delta = view.refresh(MutationEvent(
+            "animal", deleted=({"fe": 100, "ir": 10},), version=2
+        ))
+        assert _canon(delta.entered) == _canon(
+            [{"fe": 100, "ir": 3}, {"fe": 50, "ir": 10}]
+        )
+        assert delta.exited == ({"fe": 100, "ir": 10},)
+
+    def test_stats_track_refresh_work(self):
+        view = ContinuousView(ViewSpec("animal", _pareto()))
+        view.seed([{"fe": 1, "ir": 1}], version=1)
+        view.refresh(MutationEvent(
+            "animal", inserted=({"fe": 2, "ir": 2},), version=2
+        ))
+        view.refresh(MutationEvent(
+            "animal", deleted=({"fe": 2, "ir": 2},), version=3
+        ))
+        stats = view.stats()
+        assert stats["refreshes"] == 2
+        assert stats["refresh_total_ns"] >= stats["refresh_last_ns"] > 0
+        assert stats["maintenance"]["rebuilds"] == 1
+        assert stats["version"] == 3
+
+
+class TestViewRegistry:
+    def test_register_is_idempotent(self):
+        registry = ViewRegistry()
+        spec = ViewSpec("r", _pareto())
+        a = registry.register(spec, [{"fe": 1, "ir": 1}], version=1)
+        b = registry.register(spec, [{"fe": 9, "ir": 9}], version=5)
+        assert a is b and len(registry) == 1
+
+    def test_refresh_all_touches_only_the_relation(self):
+        registry = ViewRegistry()
+        hit = registry.register(ViewSpec("a", _pareto()), [], version=1)
+        miss = registry.register(ViewSpec("b", _pareto()), [], version=1)
+        refreshed = registry.refresh_all(MutationEvent(
+            "a", inserted=({"fe": 1, "ir": 1},), version=2
+        ))
+        assert [view for view, _ in refreshed] == [hit]
+        assert miss.version == 1
+
+    def test_drop(self):
+        registry = ViewRegistry()
+        spec = ViewSpec("r", _pareto())
+        registry.register(spec, [], version=1)
+        assert registry.drop(spec) and not registry.drop(spec)
+        assert len(registry) == 0

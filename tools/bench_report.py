@@ -12,10 +12,14 @@ regresses:
 * ``rewrite_pushdown`` — the PR-3 acceptance criterion: the rewritten
   (selection-pushed) plan must beat the unrewritten plan by >= 2x on the
   filtered 50k-row workload.
+* ``view_serving`` — the PR-4 acceptance criterion: repeat queries
+  answered from a materialized continuous winnow view must beat
+  re-planned execution by >= 5x on the 50k-row catalog (and return
+  identical rows).
 
 Usage::
 
-    python tools/bench_report.py --output BENCH_3.json          # CI
+    python tools/bench_report.py --output BENCH_4.json          # CI
     python tools/bench_report.py --quick                        # smoke run
 
 The CI benchmark job uploads the JSON as a build artifact, so regressions
@@ -133,9 +137,62 @@ def bench_rewrite_pushdown(report: dict, n_rows: int, rounds: int) -> None:
     }
 
 
+def bench_view_serving(report: dict, n_rows: int, rounds: int) -> None:
+    from repro.core.base_numerical import AroundPreference
+    from repro.datasets.cars import generate_cars
+    from repro.query import optimizer
+    from repro.server import PreferenceService
+
+    pref = pareto(
+        AroundPreference("price", 30_000), HighestPreference("horsepower")
+    )
+    spec = {
+        "relation": "car",
+        "prefer": {
+            "type": "pareto",
+            "children": [
+                {"type": "around", "attribute": "price", "z": 30_000},
+                {"type": "highest", "attribute": "horsepower"},
+            ],
+        },
+    }
+    service = PreferenceService({"car": generate_cars(n_rows, seed=11).rows()})
+    try:
+        relation = service.session.catalog.get("car")
+        service.query(spec=spec)
+        answer = service.query(spec=spec)  # second sighting materializes
+        assert answer.source == "view"
+        fresh = optimizer.plan(pref, relation).execute()
+
+        def canon(rows):
+            return sorted(tuple(sorted(r.items())) for r in rows)
+
+        assert canon(answer.rows) == canon(fresh.rows())
+
+        planned = median_ns(
+            lambda: optimizer.plan(pref, relation).execute(), rounds
+        )
+        viewed = median_ns(lambda: service.query(spec=spec), rounds)
+    finally:
+        service.close()
+    report["benchmarks"][f"serving_{n_rows}_replanned"] = {
+        "median_ns": planned, "rounds": rounds,
+    }
+    report["benchmarks"][f"serving_{n_rows}_view"] = {
+        "median_ns": viewed, "rounds": rounds,
+    }
+    ratio = planned / viewed
+    report["ratios"]["view_serving"] = round(ratio, 2)
+    report["criteria"]["view_serving"] = {
+        "ratio": round(ratio, 2),
+        "threshold": 5.0,
+        "pass": ratio >= 5.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_3.json",
+    parser.add_argument("--output", default="BENCH_4.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per benchmark (median is kept)")
@@ -171,6 +228,7 @@ def main(argv: list[str] | None = None) -> int:
             "skipped": "NumPy unavailable",
         }
     bench_rewrite_pushdown(report, n_rows, args.rounds)
+    bench_view_serving(report, n_rows, args.rounds)
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     failed = [
