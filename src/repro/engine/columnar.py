@@ -157,16 +157,21 @@ def columnar_winnow(
     data: Relation | Sequence[Row],
     strategy: str = "sfs",
     block_size: int = DEFAULT_BLOCK,
+    partitions: int = 1,
 ) -> Any:
     """``sigma[P](R)`` over column vectors; same results as the row winnow.
 
     ``strategy`` names a kernel from
     :data:`repro.engine.vectorized.KERNELS` (``"sfs"`` — presorted
     grow-only window, the default — or ``"bnl"``); SCORE-representable
-    terms ignore it and take the argmax path.  Raises
-    :class:`NotColumnarError` for terms with neither evaluation — callers
-    wanting automatic fallback should go through the planner, which only
-    picks this backend when it applies.
+    terms ignore it and take the argmax path.  ``partitions > 1`` runs
+    the dominance kernel via the partition-and-merge executor
+    (:func:`repro.engine.parallel.parallel_skyline`) — identical results,
+    the dominance phase split across workers; the argmax path is already
+    linear and ignores it.  Raises :class:`NotColumnarError` for terms
+    with neither evaluation — callers wanting automatic fallback should
+    go through the planner, which only picks this backend when it
+    applies.
     """
     if isinstance(data, Relation):
         store = ColumnStore.from_relation(data)
@@ -198,7 +203,7 @@ def columnar_winnow(
                 f"{pref!r} is neither a Pareto/chain skyline nor "
                 "SCORE-representable; use the row engine"
             )
-        picked = _skyline_rows(store, axes, strategy, block_size)
+        picked = _skyline_rows(store, axes, strategy, block_size, partitions)
 
     rows = [store.rows[i] for i in picked]
     if template is None:
@@ -247,6 +252,7 @@ def _skyline_rows(
     axes: list[ColumnAxis],
     strategy: str,
     block_size: int,
+    partitions: int = 1,
 ) -> list[int]:
     """Row indices whose projection is Pareto-maximal, in ascending order.
 
@@ -263,13 +269,29 @@ def _skyline_rows(
         raise ValueError(
             f"unknown columnar strategy {strategy!r}; known: {sorted(KERNELS)}"
         ) from None
+    local_strategy = strategy
     if len(axes) == 2:
         # Both strategies specialize to the O(n log n) two-dimensional
         # sweep: same results, and immune to the O(n * skyline) blow-up
         # the pairwise kernels hit on all-maximal (anti-correlated) data.
-        kernel = lambda matrix, block_size: skyline_2d(matrix)  # noqa: E731
+        kernel = lambda matrix, block_size, ordered=True: skyline_2d(  # noqa: E731
+            matrix, ordered=ordered
+        )
+        local_strategy = "2d"
     if store.length == 0:
         return []
+
+    def run_kernel(matrix: Any) -> list[int]:
+        # Kernel output feeds a membership test (np.isin / a set), so the
+        # ascending-order contract is paid for once at the end, not here.
+        if partitions > 1:
+            from repro.engine.parallel import parallel_skyline
+
+            return parallel_skyline(
+                matrix, partitions, strategy=local_strategy,
+                block_size=block_size,
+            )
+        return kernel(matrix, block_size=block_size, ordered=False)
     encoded, incomparable = _encoded_axes(store, axes)
     np = get_numpy()
     if np is not None:
@@ -293,7 +315,7 @@ def _skyline_rows(
             # Feed the kernel descending-lex order: a dominator is
             # lex-greater, so it precedes its victims — the BNL window
             # never churns and the SFS window check prunes blocks early.
-            kept_reversed = kernel(distinct[::-1], block_size=block_size)
+            kept_reversed = run_kernel(distinct[::-1])
             last = len(distinct) - 1
             kept = np.asarray(
                 [last - i for i in kept_reversed], dtype=np.int64
@@ -321,7 +343,7 @@ def _skyline_rows(
             group_of[vector] = gid
             distinct_vectors.append(vector)
         inverse_of[i] = gid
-    kept_set = set(kernel(distinct_vectors, block_size=block_size))
+    kept_set = set(run_kernel(distinct_vectors))
     return sorted(
         i
         for i in range(store.length)

@@ -28,7 +28,11 @@ Two kernels, each with a NumPy and a pure-Python implementation:
   cross-check and for callers that need input order untouched.
 
 Both return the indices of maximal rows in ascending order, making results
-deterministic and directly comparable across kernels and backends.
+deterministic and directly comparable across kernels and backends.  Callers
+that re-sort anyway (the columnar winnow maps kernel output through an
+``np.isin`` membership test; the parallel merge re-sorts the union once)
+can pass ``ordered=False`` to skip the final sort and take the indices in
+kernel order.
 """
 
 from __future__ import annotations
@@ -65,12 +69,14 @@ def _dominates(a: Sequence[int], b: Sequence[int]) -> bool:
 # -- sort-filter-skyline ------------------------------------------------------------
 
 
-def skyline_sfs(matrix: Matrix, block_size: int = DEFAULT_BLOCK) -> list[int]:
+def skyline_sfs(
+    matrix: Matrix, block_size: int = DEFAULT_BLOCK, ordered: bool = True
+) -> list[int]:
     """Indices of Pareto-maximal rows via vectorized SFS (NumPy if present)."""
     np = get_numpy()
     if np is not None:
-        return _sfs_numpy(np, matrix, block_size)
-    return _sfs_python(matrix)
+        return _sfs_numpy(np, matrix, block_size, ordered)
+    return _sfs_python(matrix, ordered)
 
 
 def _dominated_by_window(np: Any, window: Any, block: Any) -> Any:
@@ -114,7 +120,9 @@ def _survivors(np: Any, window: Any, block: Any) -> Any:
     return ~dominated
 
 
-def _sfs_numpy(np: Any, matrix: Matrix, block_size: int) -> list[int]:
+def _sfs_numpy(
+    np: Any, matrix: Matrix, block_size: int, ordered: bool = True
+) -> list[int]:
     m = np.ascontiguousarray(matrix, dtype=np.int64)
     n = len(m)
     if n == 0:
@@ -135,10 +143,11 @@ def _sfs_numpy(np: Any, matrix: Matrix, block_size: int) -> list[int]:
             kept.append(order[start : start + len(block)][alive])
         start += len(block)
         size = min(size * 2, 32 * block_size)
-    return sorted(int(i) for chunk in kept for i in chunk)
+    out = (int(i) for chunk in kept for i in chunk)
+    return sorted(out) if ordered else list(out)
 
 
-def _sfs_python(matrix: Matrix) -> list[int]:
+def _sfs_python(matrix: Matrix, ordered: bool = True) -> list[int]:
     n = len(matrix)
     if n == 0:
         return []
@@ -150,13 +159,13 @@ def _sfs_python(matrix: Matrix) -> list[int]:
         if not any(_dominates(w, candidate) for w in window):
             window.append(candidate)
             kept.append(i)
-    return sorted(kept)
+    return sorted(kept) if ordered else kept
 
 
 # -- the two-dimensional sweep ------------------------------------------------------
 
 
-def skyline_2d(matrix: Matrix) -> list[int]:
+def skyline_2d(matrix: Matrix, ordered: bool = True) -> list[int]:
     """Maxima of *distinct* 2-d code vectors by the classic [KLP75] sweep.
 
     Sort lex-descending; within one axis-0 group only the max-axis-1 row
@@ -168,11 +177,11 @@ def skyline_2d(matrix: Matrix) -> list[int]:
     """
     np = get_numpy()
     if np is not None:
-        return _sweep_2d_numpy(np, matrix)
-    return _sweep_2d_python(matrix)
+        return _sweep_2d_numpy(np, matrix, ordered)
+    return _sweep_2d_python(matrix, ordered)
 
 
-def _sweep_2d_numpy(np: Any, matrix: Matrix) -> list[int]:
+def _sweep_2d_numpy(np: Any, matrix: Matrix, ordered: bool = True) -> list[int]:
     m = np.ascontiguousarray(matrix, dtype=np.int64)
     if len(m) == 0:
         return []
@@ -186,10 +195,11 @@ def _sweep_2d_numpy(np: Any, matrix: Matrix) -> list[int]:
     best_before = running_max[group_starts - 1]
     maximal = s1[group_starts] > best_before
     maximal[0] = True  # nothing precedes the first group
-    return sorted(int(i) for i in order[group_starts[maximal]])
+    out = (int(i) for i in order[group_starts[maximal]])
+    return sorted(out) if ordered else list(out)
 
 
-def _sweep_2d_python(matrix: Matrix) -> list[int]:
+def _sweep_2d_python(matrix: Matrix, ordered: bool = True) -> list[int]:
     n = len(matrix)
     if n == 0:
         return []
@@ -205,21 +215,25 @@ def _sweep_2d_python(matrix: Matrix) -> list[int]:
             best1 = candidate1
         while position < n and matrix[order[position]][0] == group0:
             position += 1
-    return sorted(kept)
+    return sorted(kept) if ordered else kept
 
 
 # -- block-nested-loops -------------------------------------------------------------
 
 
-def skyline_bnl(matrix: Matrix, block_size: int = DEFAULT_BLOCK) -> list[int]:
+def skyline_bnl(
+    matrix: Matrix, block_size: int = DEFAULT_BLOCK, ordered: bool = True
+) -> list[int]:
     """Indices of Pareto-maximal rows via block-wise vectorized BNL."""
     np = get_numpy()
     if np is not None:
-        return _bnl_numpy(np, matrix, block_size)
-    return _bnl_python(matrix)
+        return _bnl_numpy(np, matrix, block_size, ordered)
+    return _bnl_python(matrix, ordered)
 
 
-def _bnl_numpy(np: Any, matrix: Matrix, block_size: int) -> list[int]:
+def _bnl_numpy(
+    np: Any, matrix: Matrix, block_size: int, ordered: bool = True
+) -> list[int]:
     m = np.ascontiguousarray(matrix, dtype=np.int64)
     n = len(m)
     if n == 0:
@@ -252,10 +266,11 @@ def _bnl_numpy(np: Any, matrix: Matrix, block_size: int) -> list[int]:
             window_idx = window_idx[~evicted]
         window = np.concatenate([window, arrivals])
         window_idx = np.concatenate([window_idx, arrival_idx])
-    return sorted(int(i) for i in window_idx)
+    out = (int(i) for i in window_idx)
+    return sorted(out) if ordered else list(out)
 
 
-def _bnl_python(matrix: Matrix) -> list[int]:
+def _bnl_python(matrix: Matrix, ordered: bool = True) -> list[int]:
     window: list[tuple[int, Sequence[int]]] = []
     for i, candidate in enumerate(matrix):
         dominated = False
@@ -271,7 +286,8 @@ def _bnl_python(matrix: Matrix) -> list[int]:
             continue
         survivors.append((i, candidate))
         window = survivors
-    return sorted(i for i, _ in window)
+    out = (i for i, _ in window)
+    return sorted(out) if ordered else list(out)
 
 
 #: Kernel registry keyed by the planner's strategy names.

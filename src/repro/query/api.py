@@ -94,7 +94,7 @@ class PreferenceQuery:
     __slots__ = (
         "_session", "_source", "_pref", "_cascades", "_wheres", "_groupby",
         "_quality", "_top", "_top_ties", "_select", "_order_by", "_limit",
-        "_algorithm", "_backend", "_use_rewriter", "_sql_ast",
+        "_algorithm", "_backend", "_partitions", "_use_rewriter", "_sql_ast",
     )
 
     def __init__(
@@ -116,6 +116,7 @@ class PreferenceQuery:
         self._limit: int | None = None
         self._algorithm: Any = None
         self._backend: str = "auto"
+        self._partitions: int | None = None
         self._use_rewriter: bool = True
         self._sql_ast: Any = None  # original psql ast.Query, when parsed
 
@@ -299,27 +300,44 @@ class PreferenceQuery:
         """
         return self._copy(algorithm=algorithm)
 
-    def backend(self, name: str) -> "PreferenceQuery":
+    def backend(
+        self, name: str, partitions: int | None = None
+    ) -> "PreferenceQuery":
         """Steer the winnow between execution backends (default ``"auto"``).
 
-        * ``"auto"`` — the planner cost-ranks: large Pareto-of-chains
-          winnows go columnar when NumPy is available, everything else
-          stays on the row engine,
+        * ``"auto"`` — the planner's statistics-driven cost model ranks
+          the row engine against serial and partitioned columnar
+          execution and takes the cheapest (see
+          :func:`repro.query.optimizer.choose_backend`),
         * ``"columnar"`` — force the columnar engine (pure-Python kernels
           when NumPy is absent); planning raises ``ValueError`` if the
           preference has no columnar form,
+        * ``"parallel"`` — force partition-and-merge parallel execution
+          (:mod:`repro.engine.parallel`); ``partitions`` fixes the worker
+          count (default: the visible core count).  Dominance winnows
+          need a columnar form; grouped winnows partition by group hash
+          and top-k by row range, so they take any term,
         * ``"row"`` — never columnarize.
 
         Results are identical across backends; only the evaluation
         representation changes.  The choice is visible in
         :meth:`explain` (columnar plans print
-        ``backend=columnar kernel=...``).
+        ``backend=columnar kernel=...`` plus the cost-model rationale).
         """
         from repro.query.optimizer import BACKENDS
 
         if name not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
-        return self._copy(backend=name)
+        if partitions is not None:
+            if name != "parallel":
+                raise ValueError(
+                    "partitions= only applies to backend('parallel')"
+                )
+            if partitions < 1:
+                raise ValueError(
+                    f"partitions must be positive, got {partitions}"
+                )
+        return self._copy(backend=name, partitions=partitions)
 
     def optimize(self, enabled: bool = True) -> "PreferenceQuery":
         """Toggle the algebraic rewriter (on by default)."""
@@ -368,6 +386,7 @@ class PreferenceQuery:
             self._limit,
             self._algorithm,
             self._backend,
+            self._partitions,
             self._use_rewriter,
         )
 
@@ -456,6 +475,7 @@ class PreferenceQuery:
             use_rewriter=self._use_rewriter,
             algorithm=self._algorithm,
             backend=self._backend,
+            partitions=self._partitions,
         )
 
     # -- terminals --------------------------------------------------------------

@@ -13,10 +13,13 @@ Given a preference term and a database set, the optimizer
    * terms with a dominance-compatible sort key -> SFS,
    * everything else -> BNL (always correct),
 
-3. chooses an execution *backend* for dominance-heavy winnows: the row
-   engine by default, the columnar engine (:mod:`repro.engine`) for large
-   Pareto-of-chains inputs where block-vectorized evaluation wins
-   (:func:`choose_backend`; overridable per query via
+3. chooses an execution *backend* for dominance-heavy winnows with a
+   **statistics-driven cost model** (:func:`choose_backend` /
+   :func:`estimate_cost`): per-column table statistics
+   (:mod:`repro.relations.stats`) feed estimated kernel costs —
+   cardinality x preference arity x expected skyline selectivity — and
+   the cheapest of row, columnar, and *parallel-columnar* execution wins,
+   partition count included (overridable per query via
    ``PreferenceQuery.backend``),
 
 4. places hard selections below the preference operator and quality
@@ -36,14 +39,16 @@ rule that fired.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.algebra.rewriter import rewrite_trace, simplify
 from repro.core.base_numerical import score_function_of
 from repro.core.preference import Preference, Row
 from repro.engine.backend import numpy_available
-from repro.engine.columnar import columnar_profile
+from repro.engine.columnar import columnar_axes, columnar_profile
+from repro.engine.parallel import MIN_PARTITION_ROWS, cpu_count
 from repro.query import rewrite as _rewrite
 from repro.query.algorithms import compatible_sort_key, skyline_axes
 from repro.query.plan import (
@@ -63,13 +68,188 @@ from repro.query.plan import (
 from repro.query.quality import QualityCondition
 from repro.relations.relation import Relation
 
-#: Minimum input cardinality before the auto-chosen columnar backend pays
-#: for its setup (dedup, axis extraction, rank encoding).  Below this the
-#: row engine's vector algorithms (2d/dc) are at least as fast.
-COLUMNAR_ROW_THRESHOLD = 512
+#: Valid values of the ``backend`` planning hint.  ``"parallel"`` forces
+#: the partition-and-merge executor (:mod:`repro.engine.parallel`);
+#: ``"auto"`` picks it by cost when the machine has the cores to pay for
+#: the dispatch.
+BACKENDS = ("auto", "row", "columnar", "parallel")
 
-#: Valid values of the ``backend`` planning hint.
-BACKENDS = ("auto", "row", "columnar")
+# -- the cost model -----------------------------------------------------------------
+#
+# All costs are in abstract *comparison units*, calibrated against the
+# benchmark suite: 1.0 ~ one interpreted per-row dominance step on the
+# row engine.  Absolute values are meaningless; only ratios steer the
+# choice, so the constants encode "a broadcasted integer comparison is
+# ~64x cheaper than a pref._lt call", "rank-encoding a value costs a
+# couple of comparisons", and so on.
+
+ROW_SCAN_COST = 0.2       #: touch one attribute value in a linear row pass
+ROW_COMPARE_COST = 1.0    #: one per-axis step of a pref._lt dominance test
+ROW_SWEEP_COST = 1.0      #: one sort-key element in the row 2-d sweep
+ENCODE_COST = 2.0         #: rank-encode one value into an integer code
+VEC_COMPARE_COST = 1 / 64  #: one broadcasted int comparison (NumPy kernels)
+VEC_SWEEP_COST = 1 / 32   #: one element of the vectorized 2-d sweep
+FANOUT_COST = 0.05        #: np.isin membership test per input row
+COLUMNAR_SETUP_COST = 20_000.0  #: fixed: axis extraction, unique, dispatch
+PARTITION_OVERHEAD = 15_000.0   #: per-partition dispatch + merge bookkeeping
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The cost model's working: estimated effort of each execution.
+
+    ``selectivity`` is the expected skyline fraction of the distinct
+    projections; ``parallel_cost`` is the cost at ``partitions`` workers
+    (equal to ``columnar_cost`` when partitioning does not pay).
+    ``stats_source`` records provenance — ``statistics(<relation>)`` when
+    per-column statistics informed the estimate, ``cardinality-only``
+    when only the row count was known.
+    """
+
+    cardinality: int
+    arity: int
+    distinct: int
+    skyline: int
+    selectivity: float
+    row_cost: float
+    columnar_cost: float
+    parallel_cost: float
+    partitions: int
+    stats_source: str
+
+    def describe(self) -> str:
+        """One explain() line: every number the decision was made on."""
+        parallel = (
+            f"parallel[{self.partitions}]={self.parallel_cost:,.0f}"
+            if self.partitions > 1
+            else "parallel=n/a"
+        )
+        return (
+            f"cost: row={self.row_cost:,.0f} "
+            f"columnar={self.columnar_cost:,.0f} {parallel} units; "
+            f"est. skyline {self.skyline}/{self.distinct} distinct "
+            f"(selectivity {self.selectivity:.2%}); "
+            f"stats={self.stats_source}"
+        )
+
+
+def _axis_attributes(pref: Preference) -> list[str]:
+    """Flat attribute list over the term's skyline axes (composite arms
+    contribute each stage attribute)."""
+    axes = columnar_axes(pref) or []
+    out: list[str] = []
+    for attribute, _, _ in axes:
+        if isinstance(attribute, tuple):
+            out.extend(attribute)
+        else:
+            out.append(attribute)
+    return out
+
+
+def expected_skyline(distinct: int, arity: int) -> int:
+    """E[skyline size] over ``distinct`` independent uniform vectors.
+
+    The classic result for ``d`` independent dimensions:
+    ``E ~ (ln n)^(d-1) / (d-1)!`` — exact for the sky-is-the-limit case
+    the planner must hedge against, an overestimate for correlated data
+    (which only makes the model conservative about parallelizing).
+    """
+    if distinct <= 1 or arity <= 1:
+        return 1 if distinct else 0
+    estimate = math.log(distinct) ** (arity - 1) / math.factorial(arity - 1)
+    return max(1, min(distinct, round(estimate)))
+
+
+def estimate_cost(
+    pref: Preference,
+    cardinality: int,
+    stats: Any = None,
+    cores: int | None = None,
+) -> CostEstimate:
+    """Cost the row, columnar, and parallel-columnar evaluations of a
+    dominance winnow over ``cardinality`` rows.
+
+    ``stats`` is a :class:`repro.relations.stats.TableStats` (or None):
+    per-axis distinct counts bound the number of distinct projections —
+    the unit the dedup'ing columnar kernels actually sweep — so
+    duplicate-heavy relations columnarize earlier and all-distinct ones
+    honestly pay full freight.  ``cores`` caps the candidate partition
+    count (default: the visible machine).
+    """
+    axes = columnar_axes(pref)
+    arity = len(axes) if axes else max(1, len(pref.attributes))
+    n = cardinality
+
+    distinct = n
+    stats_source = "cardinality-only"
+    if stats is not None and axes:
+        product = 1
+        for attribute in _axis_attributes(pref):
+            product *= max(1, stats.distinct(attribute))
+            if product >= n:
+                product = n
+                break
+        distinct = max(1, min(n, product)) if n else 0
+        stats_source = stats.source
+    skyline = expected_skyline(distinct, arity)
+    selectivity = (skyline / distinct) if distinct else 0.0
+
+    algorithm = choose_algorithm(pref)
+    if algorithm == "sort":
+        row_cost = ROW_SCAN_COST * n * arity
+    elif algorithm == "2d":
+        row_cost = ROW_SWEEP_COST * n * max(1.0, math.log2(n or 1))
+    else:  # dc / sfs / bnl: pay a dominance phase over all rows
+        row_cost = ROW_SCAN_COST * n * arity + ROW_COMPARE_COST * n * skyline
+
+    encode = ENCODE_COST * n * arity
+    if arity == 2:
+        kernel = VEC_SWEEP_COST * distinct * max(1.0, math.log2(distinct or 1))
+    else:
+        kernel = VEC_COMPARE_COST * distinct * skyline * arity
+    columnar_cost = COLUMNAR_SETUP_COST + encode + kernel + FANOUT_COST * n
+
+    cores = cores if cores is not None else cpu_count()
+    partitions = _best_partitions(kernel, distinct, cores)
+    if partitions > 1:
+        merge = VEC_COMPARE_COST * (partitions * skyline) ** 2 * arity
+        parallel_cost = (
+            columnar_cost
+            - kernel
+            + kernel / partitions
+            + partitions * PARTITION_OVERHEAD
+            + merge
+        )
+        if parallel_cost >= columnar_cost:
+            partitions, parallel_cost = 1, columnar_cost
+    else:
+        parallel_cost = columnar_cost
+    return CostEstimate(
+        cardinality=n,
+        arity=arity,
+        distinct=distinct,
+        skyline=skyline,
+        selectivity=selectivity,
+        row_cost=row_cost,
+        columnar_cost=columnar_cost,
+        parallel_cost=parallel_cost,
+        partitions=partitions,
+        stats_source=stats_source,
+    )
+
+
+def _best_partitions(kernel_cost: float, rows: int, cores: int) -> int:
+    """The partition count minimizing ``kernel/P + P * overhead``.
+
+    The unconstrained optimum is ``sqrt(kernel / overhead)``; it is then
+    clamped to the core count and to partitions of at least
+    :data:`~repro.engine.parallel.MIN_PARTITION_ROWS` rows, below which
+    dispatch dominates.
+    """
+    if cores <= 1 or rows < 2 * MIN_PARTITION_ROWS or kernel_cost <= 0:
+        return 1
+    ideal = int(math.sqrt(kernel_cost / PARTITION_OVERHEAD))
+    return max(1, min(ideal, cores, rows // MIN_PARTITION_ROWS))
 
 
 def choose_algorithm(pref: Preference) -> str:
@@ -86,43 +266,84 @@ def choose_algorithm(pref: Preference) -> str:
 
 @dataclass(frozen=True)
 class BackendChoice:
-    """The planner's backend decision plus its one-line rationale."""
+    """The planner's backend decision plus its one-line rationale.
+
+    ``partitions > 1`` means partition-and-merge parallel execution on
+    the chosen (columnar) backend; ``cost`` carries the full
+    :class:`CostEstimate` when the cost model ran (excluded from
+    equality — two choices agreeing on backend/reason/partitions are the
+    same decision).
+    """
 
     backend: str  # "row" | "columnar"
     reason: str
+    partitions: int = 1
+    cost: CostEstimate | None = field(default=None, compare=False)
 
     @property
     def columnar(self) -> bool:
         return self.backend == "columnar"
 
+    @property
+    def parallel(self) -> bool:
+        return self.partitions > 1
+
 
 def choose_backend(
-    pref: Preference, cardinality: int, hint: str = "auto"
+    pref: Preference,
+    cardinality: int,
+    hint: str = "auto",
+    stats: Any = None,
+    partitions: int | None = None,
 ) -> BackendChoice:
-    """Cost-rank the row engine against the columnar engine for a winnow.
+    """Cost-rank row, columnar, and parallel-columnar execution of a winnow.
 
     The columnar engine applies to terms with a vector-skyline form (Pareto
     over injective chains, or a bare injective chain) and to
-    SCORE-representable terms.  Under ``hint="auto"`` it is chosen only for
-    the skyline case — where the row engine is super-linear — and only when
-    the input is large enough (:data:`COLUMNAR_ROW_THRESHOLD`) and NumPy is
-    present; SCORE terms stay on the already-linear row ``sort`` path.
-    ``hint="columnar"`` forces it (pure-Python kernels included) and raises
-    ``ValueError`` for ineligible terms; ``hint="row"`` never columnarizes.
+    SCORE-representable terms.  Under ``hint="auto"`` the decision is made
+    by the **cost model** (:func:`estimate_cost`): estimated kernel cost —
+    cardinality x preference arity x expected skyline selectivity, with
+    per-column distinct counts from ``stats`` bounding the distinct
+    projections — ranks the row engine against serial and partitioned
+    columnar execution, and the cheapest wins.  SCORE terms stay on the
+    already-linear row ``sort`` path, and without NumPy auto never
+    columnarizes (the fallback kernels are correct but don't beat the row
+    engine).
+
+    ``hint="columnar"`` forces serial columnar execution (pure-Python
+    kernels included) and raises ``ValueError`` for ineligible terms;
+    ``hint="parallel"`` additionally forces partitioning (``partitions``
+    workers, default the visible core count); ``hint="row"`` never
+    columnarizes.
     """
     if hint not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {hint!r}")
     profile = columnar_profile(pref)
     if hint == "row":
         return BackendChoice("row", "backend=row requested")
-    if hint == "columnar":
+    if hint in ("columnar", "parallel"):
         if profile is None:
             raise ValueError(
                 f"{pref!r} has no columnar evaluation (needs a Pareto of "
                 "injective chains or a SCORE-representable term); "
-                "drop the backend='columnar' hint"
+                f"drop the backend={hint!r} hint"
             )
-        return BackendChoice("columnar", "backend=columnar requested")
+        cost = (
+            estimate_cost(pref, cardinality, stats)
+            if profile == "skyline"
+            else None
+        )
+        if hint == "columnar":
+            return BackendChoice(
+                "columnar", "backend=columnar requested", cost=cost
+            )
+        forced = partitions if partitions is not None else max(2, cpu_count())
+        return BackendChoice(
+            "columnar",
+            f"backend=parallel requested ({forced} partitions)",
+            partitions=max(1, forced),
+            cost=cost,
+        )
     if profile != "skyline":
         return BackendChoice("row", "no columnar dominance form")
     from repro.core.constructors import PrioritizedPreference
@@ -136,14 +357,35 @@ def choose_backend(
         return BackendChoice(
             "row", "chain prioritization cascades on the row engine"
         )
-    if cardinality < COLUMNAR_ROW_THRESHOLD:
-        return BackendChoice(
-            "row", f"input below columnar threshold ({cardinality} rows)"
-        )
+    estimate = estimate_cost(pref, cardinality, stats)
     if not numpy_available():
-        return BackendChoice("row", "NumPy unavailable")
+        return BackendChoice(
+            "row",
+            "NumPy unavailable (fallback kernels don't beat the row engine)",
+            cost=estimate,
+        )
+    if estimate.row_cost <= min(estimate.columnar_cost, estimate.parallel_cost):
+        return BackendChoice(
+            "row",
+            f"cost model: row {estimate.row_cost:,.0f} <= "
+            f"columnar {estimate.columnar_cost:,.0f} units",
+            cost=estimate,
+        )
+    if estimate.parallel_cost < estimate.columnar_cost:
+        return BackendChoice(
+            "columnar",
+            f"cost model: parallel[{estimate.partitions}] "
+            f"{estimate.parallel_cost:,.0f} < columnar "
+            f"{estimate.columnar_cost:,.0f} < row "
+            f"{estimate.row_cost:,.0f} units",
+            partitions=estimate.partitions,
+            cost=estimate,
+        )
     return BackendChoice(
-        "columnar", f"vector skyline over {cardinality} rows"
+        "columnar",
+        f"cost model: columnar {estimate.columnar_cost:,.0f} < "
+        f"row {estimate.row_cost:,.0f} units",
+        cost=estimate,
     )
 
 
@@ -184,6 +426,7 @@ def plan(
     use_rewriter: bool = True,
     algorithm: Any | None = None,
     backend: str = "auto",
+    partitions: int | None = None,
 ) -> Plan:
     """Build an execution plan for ``sigma[P](sigma_hard(R))`` and friends.
 
@@ -191,9 +434,11 @@ def plan(
     projection, limit only).  ``algorithm`` forces one evaluation engine —
     a name from :data:`repro.query.algorithms.ALGORITHMS` or a callable —
     bypassing both automatic selection and cascade splitting.  ``backend``
-    ("auto" / "row" / "columnar") steers the winnow between the row engine
-    and the columnar engine (see :func:`choose_backend`); it cannot be
-    combined with a forced ``algorithm``, which already names an engine.
+    ("auto" / "row" / "columnar" / "parallel") steers the winnow between
+    the row engine, the columnar engine, and partition-and-merge parallel
+    execution (see :func:`choose_backend`; ``partitions`` fixes the worker
+    count for the "parallel" hint); it cannot be combined with a forced
+    ``algorithm``, which already names an engine.
 
     With ``use_rewriter=True`` (the default) the plan is rewritten by
     :func:`repro.query.rewrite.rewrite_plan`: WHERE conjuncts proven rigid
@@ -210,6 +455,14 @@ def plan(
             "algorithm= already forces an engine; drop the backend= hint "
             "(the columnar kernels are algorithms 'vsfs' and 'vbnl')"
         )
+    if partitions is not None:
+        if backend != "parallel":
+            raise ValueError(
+                "partitions= only applies to backend='parallel' "
+                f"(got backend={backend!r})"
+            )
+        if partitions < 1:
+            raise ValueError(f"partitions must be positive, got {partitions}")
     conjuncts = _conjuncts(hard, hard_label, wheres)
     node: PlanNode = Scan(relation)
 
@@ -262,34 +515,54 @@ def plan(
     for predicate, label, ast in below:
         node = HardSelect(node, predicate, label, ast)
 
+    stats = relation.stats() if pref is not None else None
+    requested_partitions = (
+        max(1, partitions if partitions is not None else cpu_count())
+        if backend == "parallel"
+        else 1
+    )
     if top_k is not None:
         if backend == "columnar":
             raise ValueError(
                 "top-k is ranked by scores, not dominance; the columnar "
                 "backend does not apply (drop the backend='columnar' hint)"
             )
-        node = TopK(node, pref, top_k, ties=top_ties)
+        # Ranked retrieval is score-and-sort — linear, and trivially
+        # partitionable (local k-bests merge by one more k-best): the
+        # "parallel" hint partitions it, auto leaves it serial.
+        node = TopK(node, pref, top_k, ties=top_ties,
+                    partitions=requested_partitions)
     elif groupby:
         group_algorithm = algorithm
         if group_algorithm is None:
             if backend == "columnar":
                 # Eligibility check only; per-group sizes are unknown, so an
                 # explicit hint is the one way groups go columnar.
-                choose_backend(pref, len(relation), backend)
+                choose_backend(pref, len(relation), backend, stats=stats)
                 group_algorithm = "vsfs"
             else:
                 group_algorithm = choose_algorithm(pref)
+        # Grouped winnows partition by group hash (no merge needed) under
+        # the "parallel" hint; per-group sizes are unknown to the cost
+        # model, so auto stays serial here too.
         node = GroupedPreferenceSelect(
-            node, pref, tuple(groupby), algorithm=group_algorithm
+            node, pref, tuple(groupby), algorithm=group_algorithm,
+            partitions=requested_partitions,
         )
     elif algorithm is not None:
         node = PreferenceSelect(node, pref, algorithm=algorithm)
     else:
-        choice = choose_backend(pref, len(relation), backend)
+        choice = choose_backend(
+            pref, len(relation), backend, stats=stats, partitions=partitions
+        )
         if choice.columnar:
-            node = ColumnarPreferenceSelect(node, pref)
+            node = ColumnarPreferenceSelect(
+                node, pref, partitions=choice.partitions, cost=choice,
+            )
         else:
-            node = PreferenceSelect(node, pref, algorithm=choose_algorithm(pref))
+            node = PreferenceSelect(
+                node, pref, algorithm=choose_algorithm(pref), cost=choice
+            )
     for predicate, label, ast in lifted:
         node = HardSelect(node, predicate, label, ast)
 
@@ -307,6 +580,8 @@ def plan(
             forced_algorithm=algorithm,
             backend=backend,
             cardinality=len(relation),
+            stats=stats,
+            partitions=partitions,
         )
         node, plan_steps = _rewrite.rewrite_plan(node, ctx)
         rewrites.extend(plan_steps)

@@ -23,6 +23,24 @@ def _algorithm_label(algorithm: Any) -> str:
     return str(algorithm)
 
 
+def _cost_lines(cost: Any, pad: str) -> list[str]:
+    """Render a winnow node's backend decision for ``explain()``.
+
+    ``cost`` is the :class:`repro.query.optimizer.BackendChoice` the
+    planner attached (None when the decision was forced by ``using()`` or
+    never arose): one line for the decision rationale, one for the
+    :class:`~repro.query.optimizer.CostEstimate` numbers when the cost
+    model ran.
+    """
+    if cost is None:
+        return []
+    out = [f"{pad}  decision: {cost.reason}"]
+    estimate = getattr(cost, "cost", None)
+    if estimate is not None:
+        out.append(f"{pad}  {estimate.describe()}")
+    return out
+
+
 class PlanNode:
     """Base class for plan operators."""
 
@@ -85,6 +103,9 @@ class PreferenceSelect(PlanNode):
     child: PlanNode
     pref: Preference
     algorithm: Any = "bnl"
+    #: The planner's :class:`~repro.query.optimizer.BackendChoice`, when
+    #: the backend decision was cost-modelled (explain() prints it).
+    cost: Any = None
 
     def execute(self) -> Relation:
         return winnow(self.pref, self.child.execute(), algorithm=self.algorithm)
@@ -94,6 +115,7 @@ class PreferenceSelect(PlanNode):
         return [
             f"{pad}PreferenceSelect[{self.pref!r}] "
             f"algorithm={_algorithm_label(self.algorithm)}",
+            *_cost_lines(self.cost, pad),
             *self.child.lines(indent + 1),
         ]
 
@@ -112,19 +134,33 @@ class ColumnarPreferenceSelect(PlanNode):
     child: PlanNode
     pref: Preference
     strategy: str = "sfs"
+    #: >1 = partition-and-merge parallel execution on the shared worker
+    #: pool (:mod:`repro.engine.parallel`); results are identical.
+    partitions: int = 1
+    #: The planner's :class:`~repro.query.optimizer.BackendChoice`, when
+    #: the backend decision was cost-modelled (explain() prints it).
+    cost: Any = None
 
     def execute(self) -> Relation:
         from repro.engine.columnar import columnar_winnow
 
-        return columnar_winnow(self.pref, self.child.execute(), self.strategy)
+        return columnar_winnow(
+            self.pref, self.child.execute(), self.strategy,
+            partitions=self.partitions,
+        )
 
     def lines(self, indent: int = 0) -> list[str]:
         from repro.engine.backend import backend_label
 
         pad = "  " * indent
+        parallel = (
+            f" partitions={self.partitions}" if self.partitions > 1 else ""
+        )
         return [
             f"{pad}ColumnarPreferenceSelect[{self.pref!r}] "
-            f"backend=columnar kernel=v{self.strategy}({backend_label()})",
+            f"backend=columnar kernel=v{self.strategy}({backend_label()})"
+            f"{parallel}",
+            *_cost_lines(self.cost, pad),
             *self.child.lines(indent + 1),
         ]
 
@@ -137,17 +173,30 @@ class GroupedPreferenceSelect(PlanNode):
     pref: Preference
     by: tuple[str, ...]
     algorithm: Any = "bnl"
+    #: >1 = groups hashed onto this many workers (no merge needed).
+    partitions: int = 1
 
     def execute(self) -> Relation:
+        if self.partitions > 1:
+            from repro.engine.parallel import parallel_winnow_groupby
+
+            return parallel_winnow_groupby(
+                self.pref, self.by, self.child.execute(),
+                algorithm=self.algorithm, partitions=self.partitions,
+            )
         return winnow_groupby(
             self.pref, self.by, self.child.execute(), algorithm=self.algorithm
         )
 
     def lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
+        parallel = (
+            f" partitions={self.partitions}" if self.partitions > 1 else ""
+        )
         return [
             f"{pad}GroupedPreferenceSelect[{self.pref!r} groupby "
-            f"{list(self.by)}] algorithm={_algorithm_label(self.algorithm)}",
+            f"{list(self.by)}] algorithm={_algorithm_label(self.algorithm)}"
+            f"{parallel}",
             *self.child.lines(indent + 1),
         ]
 
@@ -189,14 +238,27 @@ class TopK(PlanNode):
     pref: Preference
     k: int
     ties: str = "strict"
+    #: >1 = per-partition local k-bests merged by one final k-best.
+    partitions: int = 1
 
     def execute(self) -> Relation:
+        if self.partitions > 1:
+            from repro.engine.parallel import parallel_k_best
+
+            return parallel_k_best(
+                self.pref, self.child.execute(), self.k, ties=self.ties,
+                partitions=self.partitions,
+            )
         return k_best(self.pref, self.child.execute(), self.k, ties=self.ties)
 
     def lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
+        parallel = (
+            f" partitions={self.partitions}" if self.partitions > 1 else ""
+        )
         return [
-            f"{pad}TopK[k={self.k}, ties={self.ties}, {self.pref!r}]",
+            f"{pad}TopK[k={self.k}, ties={self.ties}, {self.pref!r}]"
+            f"{parallel}",
             *self.child.lines(indent + 1),
         ]
 

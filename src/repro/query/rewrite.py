@@ -331,6 +331,12 @@ class RewriteContext:
     forced_algorithm: Any = None
     backend: str = "auto"
     cardinality: int = 0
+    #: Table statistics of the planned relation (a
+    #: :class:`repro.relations.stats.TableStats`), for rules that re-run
+    #: the cost-based backend choice on a rewritten term.
+    stats: Any = None
+    #: Explicit partition count of a backend="parallel" hint, if any.
+    partitions: int | None = None
     noted: set = field(default_factory=set)
 
 
@@ -449,7 +455,10 @@ def _rule_prune_constant(
     try:
         # Re-run backend choice under the caller's own hint: a forced
         # backend("columnar") must survive pruning.
-        choice = choose_backend(pruned, ctx.cardinality, ctx.backend)
+        choice = choose_backend(
+            pruned, ctx.cardinality, ctx.backend, stats=ctx.stats,
+            partitions=ctx.partitions,
+        )
     except ValueError:
         # The pruned term would lose its (user-forced) columnar form;
         # honoring the hint beats the pruning win, so leave the node be.
@@ -457,12 +466,16 @@ def _rule_prune_constant(
     new_node: PlanNode
     if choice.columnar:
         if isinstance(node, ColumnarPreferenceSelect):
-            new_node = _replace(node, pref=pruned)
+            new_node = _replace(
+                node, pref=pruned, partitions=choice.partitions, cost=choice
+            )
         else:
-            new_node = ColumnarPreferenceSelect(node.child, pruned)
+            new_node = ColumnarPreferenceSelect(
+                node.child, pruned, partitions=choice.partitions, cost=choice
+            )
     else:
         new_node = PreferenceSelect(
-            node.child, pruned, algorithm=choose_algorithm(pruned)
+            node.child, pruned, algorithm=choose_algorithm(pruned), cost=choice
         )
     return new_node, _head(node), _head(new_node)
 

@@ -40,6 +40,9 @@ class Relation:
         # Lazily built columnar materialization (see columns()).  Relations
         # are immutable, so once built it can never go stale.
         self._column_cache: dict[str, tuple] | None = None
+        # Lazily built per-column statistics (see stats()); same soundness
+        # argument — immutable rows mean the statistics never drift.
+        self._stats_cache: Any = None
 
     # -- construction --------------------------------------------------------
 
@@ -131,6 +134,22 @@ class Relation:
                 n: tuple(r[n] for r in self._rows) for n in self.schema.names
             }
         return dict(self._column_cache)
+
+    def stats(self) -> Any:
+        """Per-column statistics (:class:`repro.relations.stats.TableStats`).
+
+        Built lazily — constructing the object is O(1) and each column's
+        statistics are computed on first access — and cached on the
+        instance for its (immutable) lifetime.  The planner's cost model
+        reads distinct counts and null fractions from here; the session
+        exposes the same object per ``(name, version)`` via
+        :meth:`repro.session.Session.table_stats`.
+        """
+        if self._stats_cache is None:
+            from repro.relations.stats import TableStats
+
+            self._stats_cache = TableStats(self)
+        return self._stats_cache
 
     def tuples(self, attributes: Sequence[str] | None = None) -> list[tuple]:
         """Rows as positional tuples over ``attributes`` (default: all)."""

@@ -14,16 +14,37 @@ import time
 from typing import Any
 
 
-class _LatencySeries:
-    """Count / total / max / last of one latency stream, in nanoseconds."""
+#: Recent samples kept per latency series for percentile estimation.
+#: Bounded and overwritten ring-style, so a long-lived server's memory and
+#: per-record cost stay O(1); percentiles describe the last WINDOW samples
+#: (recency is the point — tail latency *now*, not since boot).
+LATENCY_WINDOW = 1024
 
-    __slots__ = ("count", "total_ns", "max_ns", "last_ns")
+#: The tail percentiles reported by ``to_dict``.
+PERCENTILES = (50, 95, 99)
+
+
+def _nearest_rank(ordered: list[int], q: float) -> int:
+    """Nearest-rank percentile of an already-sorted sample (0 if empty)."""
+    if not ordered:
+        return 0
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class _LatencySeries:
+    """Count / total / max / last of one latency stream, in nanoseconds,
+    plus p50/p95/p99 over a bounded ring of recent samples."""
+
+    __slots__ = ("count", "total_ns", "max_ns", "last_ns", "_ring", "_next")
 
     def __init__(self) -> None:
         self.count = 0
         self.total_ns = 0
         self.max_ns = 0
         self.last_ns = 0
+        self._ring: list[int] = []
+        self._next = 0
 
     def record(self, elapsed_ns: int) -> None:
         self.count += 1
@@ -31,16 +52,31 @@ class _LatencySeries:
         self.last_ns = elapsed_ns
         if elapsed_ns > self.max_ns:
             self.max_ns = elapsed_ns
+        if len(self._ring) < LATENCY_WINDOW:
+            self._ring.append(elapsed_ns)
+        else:
+            self._ring[self._next] = elapsed_ns
+            self._next = (self._next + 1) % LATENCY_WINDOW
+
+    def percentile(self, q: float) -> int:
+        """Nearest-rank percentile over the recent-sample window (0 when
+        nothing has been recorded)."""
+        return _nearest_rank(sorted(self._ring), q)
 
     def to_dict(self) -> dict[str, Any]:
         mean = self.total_ns / self.count if self.count else 0.0
-        return {
+        ordered = sorted(self._ring)  # sorted once for all percentiles
+        out = {
             "count": self.count,
             "total_ns": self.total_ns,
             "mean_ns": round(mean),
             "max_ns": self.max_ns,
             "last_ns": self.last_ns,
+            "window": len(ordered),
         }
+        for q in PERCENTILES:
+            out[f"p{q}_ns"] = _nearest_rank(ordered, q)
+        return out
 
 
 class ServiceMetrics:
@@ -56,7 +92,10 @@ class ServiceMetrics:
     * latency series for ``query_view`` / ``query_planned`` /
       ``view_refresh`` (per-mutation view maintenance) — the honest
       view-refresh numbers come straight from the generalized
-      :class:`~repro.query.incremental.IncrementalBMO` maintenance work.
+      :class:`~repro.query.incremental.IncrementalBMO` maintenance work;
+      each series reports p50/p95/p99 over a bounded ring of the last
+      :data:`LATENCY_WINDOW` samples, so tail latency under load is
+      visible, not just count/mean/max.
     """
 
     def __init__(self) -> None:

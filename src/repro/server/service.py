@@ -18,7 +18,11 @@ caches) and adds everything a long-running server needs:
   to a fresh plan execution.
 * **A worker pool** — CPU-bound winnows run on :attr:`executor` threads so
   the asyncio front end (:mod:`repro.server.server`) never blocks its
-  event loop.
+  event loop.  By default this is the engine's **shared parallel
+  executor** (:func:`repro.engine.parallel.shared_executor`) — the same
+  pool partitioned winnows fan out on — so concurrent clients and
+  parallel kernels queue on one core-sized worker set instead of
+  oversubscribing the machine with nested pools.
 
 The service is synchronous and safe to call from any thread; the asyncio
 server wraps calls in ``run_in_executor``.
@@ -34,6 +38,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.base_numerical import ScorePreference
 from repro.core.preference import Preference, Row
+from repro.engine.parallel import shared_executor
 from repro.engineering.serialization import preference_from_dict
 from repro.query.api import PreferenceQuery
 from repro.query.incremental import BMODelta
@@ -111,17 +116,29 @@ class PreferenceService:
         # session's direct mutation path and the service's.
         self._mutation_lock = self.session.mutation_lock
         self._mutation_hook = self.session.on_mutation(self._on_mutation)
-        self.executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="prefserve"
-        )
+        # max_workers=None adopts the engine-wide shared executor — the
+        # pool the parallel winnow executor fans partitions out on — so
+        # service queries and partitioned kernels share one core-sized
+        # worker set.  An explicit max_workers gets a private pool (and
+        # close() then owns its shutdown).
+        if max_workers is None:
+            self.executor = shared_executor()
+            self._owns_executor = False
+        else:
+            self.executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="prefserve"
+            )
+            self._owns_executor = True
 
     def close(self) -> None:
-        """Detach from the session and shut down the worker pool
-        (idempotent).  A shared session keeps working after close —
-        mutations just stop maintaining this service's views."""
+        """Detach from the session and shut down the worker pool if this
+        service owns one (idempotent).  A shared session keeps working
+        after close — mutations just stop maintaining this service's
+        views; the engine-wide shared executor is never shut down."""
         self.session.off_mutation(self._mutation_hook)
         self._delta_listeners.clear()
-        self.executor.shutdown(wait=False, cancel_futures=True)
+        if self._owns_executor:
+            self.executor.shutdown(wait=False, cancel_futures=True)
 
     # -- query building ---------------------------------------------------------
 
@@ -141,7 +158,11 @@ class PreferenceService:
              "top": 5, "ties": "all",
              "but_only": [["distance", "price", "<=", 2000]],
              "order_by": [["price", false]], "select": [...], "limit": 10,
-             "backend": "auto"}
+             "backend": "parallel", "partitions": 4}
+
+        ``partitions`` implies (and is only meaningful with) the
+        ``"parallel"`` backend; giving it with ``backend`` absent or
+        ``"auto"`` upgrades the hint to ``"parallel"``.
 
         Preference dicts use the :mod:`repro.engineering.serialization`
         format; SCORE / rank(F) function names resolve against the
@@ -162,6 +183,7 @@ class PreferenceService:
         known = {
             "relation", "where", "prefer", "cascade", "groupby", "top",
             "ties", "but_only", "order_by", "select", "limit", "backend",
+            "partitions",
         }
         unknown = sorted(set(spec) - known)
         if unknown:
@@ -192,8 +214,15 @@ class PreferenceService:
             q = q.select(*spec["select"])
         if spec.get("limit") is not None:
             q = q.limit(int(spec["limit"]))
-        if spec.get("backend"):
-            q = q.backend(spec["backend"])
+        backend = spec.get("backend")
+        partitions = spec.get("partitions")
+        if partitions is not None and backend in (None, "auto"):
+            backend = "parallel"  # partitions implies the parallel hint
+        if backend:
+            q = q.backend(
+                backend,
+                partitions=int(partitions) if partitions is not None else None,
+            )
         return q
 
     def _pref(self, data: Any) -> Preference:

@@ -97,6 +97,7 @@ class Session:
         self._cache_hits = 0
         self._cache_misses = 0
         self._column_cache: dict[tuple[str, int], Any] = {}
+        self._stats_cache: dict[tuple[str, int], Any] = {}
         # One reentrant lock guards the plan cache, the column-store cache,
         # and catalog mutations, so worker threads (the preference server
         # runs winnows in an executor) can share one session.  Plan
@@ -241,6 +242,10 @@ class Session:
             k for k in self._column_cache if k[0] == key and k[1] < version
         ]:
             del self._column_cache[k]
+        for k in [
+            k for k in self._stats_cache if k[0] == key and k[1] < version
+        ]:
+            del self._stats_cache[k]
 
     # -- queries ----------------------------------------------------------------
 
@@ -393,6 +398,36 @@ class Session:
                 self._column_cache.setdefault(key, store)
                 store = self._column_cache[key]
         return store
+
+    def table_stats(self, name: str) -> Any:
+        """Per-column statistics of a catalog relation, for the cost model.
+
+        Returns a :class:`repro.relations.stats.TableStats` over the
+        current version of ``name``, memoized per ``(name, version)`` —
+        mutations bump the version, retiring stale statistics exactly
+        like cached plans and column stores.  Statistics are *lazy*: the
+        object is O(1) to build and each column is profiled on first
+        access, so registering a huge relation costs nothing until the
+        planner actually consults a column.
+
+        Plan building reads :meth:`Relation.stats` directly (cached on
+        the immutable per-version relation instance — the same object
+        this accessor returns), so winnows pay each column's statistics
+        pass once per catalog version either way.
+        """
+        with self._lock:
+            key = (name.lower(), self.catalog.version(name))
+            stats = self._stats_cache.get(key)
+            if stats is None:
+                stats = self.catalog.get(name).stats()
+                stale = [
+                    k for k in self._stats_cache
+                    if k[0] == key[0] and k[1] < key[1]
+                ]
+                for k in stale:
+                    del self._stats_cache[k]
+                self._stats_cache[key] = stats
+        return stats
 
     def __repr__(self) -> str:
         return (

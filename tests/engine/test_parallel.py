@@ -1,0 +1,324 @@
+"""Parallel-vs-serial parity: the partitioned executor is bit-identical.
+
+The partition-and-merge executor (:mod:`repro.engine.parallel`) must be an
+*implementation detail*: for every preference, dataset, partition count
+(1-16), tie policy, and backend substrate (NumPy / pure Python), results
+equal the serial engines exactly — same rows, same order.  Degenerate
+paths get their own cases: one core, one row, empty inputs, more
+partitions than rows, and the forced pure-Python fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.core.constructors import pareto
+from repro.datasets.skyline_data import skyline_relation
+from repro.engine import backend as engine_backend
+from repro.engine import parallel as P
+from repro.engine.columnar import NotColumnarError, columnar_winnow
+from repro.engine.parallel import (
+    parallel_k_best,
+    parallel_skyline,
+    parallel_winnow,
+    parallel_winnow_groupby,
+    partition_spans,
+)
+from repro.engine.vectorized import skyline_bnl, skyline_sfs
+from repro.query.bmo import winnow_groupby
+from repro.query.topk import k_best
+
+PARTITION_COUNTS = (1, 2, 3, 4, 8, 16)
+
+PREF3 = pareto(
+    HighestPreference("d0"), LowestPreference("d1"), HighestPreference("d2")
+)
+PREF2 = pareto(HighestPreference("d0"), LowestPreference("d1"))
+
+
+def distinct_matrix(n: int, d: int, spread: int, seed: int) -> list[tuple]:
+    rng = random.Random(seed)
+    return sorted(
+        {tuple(rng.randrange(spread) for _ in range(d)) for _ in range(n)}
+    )
+
+
+class TestPartitionSpans:
+    def test_covers_range_without_overlap(self):
+        for n in (0, 1, 5, 17, 1000):
+            for parts in (1, 2, 3, 7, 50):
+                spans = partition_spans(n, parts)
+                covered = [i for a, b in spans for i in range(a, b)]
+                assert covered == list(range(n))
+
+    def test_no_empty_spans(self):
+        assert partition_spans(3, 16) == [(0, 1), (1, 2), (2, 3)]
+        assert partition_spans(0, 4) == []
+
+    def test_near_equal_sizes(self):
+        spans = partition_spans(10, 3)
+        sizes = [b - a for a, b in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestParallelSkyline:
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    @pytest.mark.parametrize("strategy", ["sfs", "bnl"])
+    def test_matches_serial_kernel(self, partitions, strategy):
+        matrix = distinct_matrix(600, 3, 40, seed=partitions)
+        expected = skyline_sfs(matrix)
+        assert skyline_bnl(matrix) == expected  # kernel cross-check
+        assert parallel_skyline(matrix, partitions, strategy) == expected
+
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    def test_2d_sweep_strategy(self, partitions):
+        matrix = distinct_matrix(500, 2, 60, seed=9)
+        assert parallel_skyline(matrix, partitions, "2d") == skyline_sfs(
+            matrix
+        )
+
+    def test_empty_and_tiny_inputs(self):
+        assert parallel_skyline([], 4) == []
+        assert parallel_skyline([(3, 1)], 4) == [0]
+        assert parallel_skyline([(1, 2), (2, 1)], 16) == [0, 1]
+
+    def test_more_partitions_than_rows(self):
+        matrix = distinct_matrix(7, 3, 5, seed=2)
+        assert parallel_skyline(matrix, 16) == skyline_sfs(matrix)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown parallel strategy"):
+            parallel_skyline([(1, 2)], 2, strategy="quantum")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be"):
+            parallel_skyline(distinct_matrix(10, 2, 9, 1), 2, mode="fibers")
+
+    @pytest.mark.parametrize("partitions", (2, 5, 16))
+    def test_pure_python_threads(self, monkeypatch, partitions):
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        matrix = distinct_matrix(300, 3, 20, seed=4)
+        expected = skyline_sfs(matrix)
+        assert parallel_skyline(matrix, partitions, mode="threads") == expected
+
+    def test_process_pool_path(self, monkeypatch):
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=8)
+            probe.close()
+            probe.unlink()
+        except Exception:
+            pytest.skip("shared memory unavailable on this platform")
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        matrix = distinct_matrix(400, 3, 25, seed=5)
+        expected = skyline_sfs(matrix)
+        got = parallel_skyline(matrix, 4, mode="processes")
+        assert got == expected
+
+    def test_explicit_process_mode_honored_with_numpy(self):
+        # mode="processes" is a contract, not a hint: it must take the
+        # shared-memory path (or its thread fallback) even when NumPy is
+        # importable, and agree with the serial kernel either way.
+        matrix = distinct_matrix(300, 3, 25, seed=12)
+        assert parallel_skyline(matrix, 3, mode="processes") == skyline_sfs(
+            matrix
+        )
+
+    def test_process_pool_refusal_falls_back(self, monkeypatch):
+        # A platform refusing shared memory must degrade to threads, not
+        # raise: simulate by making the pool setup fail outright.
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        monkeypatch.setattr(
+            P, "_process_pool_skyline", lambda *a, **k: None
+        )
+        matrix = distinct_matrix(200, 3, 15, seed=6)
+        assert parallel_skyline(matrix, 4, mode="processes") == skyline_sfs(
+            matrix
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.sets(
+            st.tuples(
+                st.integers(0, 8), st.integers(0, 8), st.integers(0, 8)
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        partitions=st.integers(1, 16),
+        strategy=st.sampled_from(["sfs", "bnl"]),
+    )
+    def test_hypothesis_parity(self, rows, partitions, strategy):
+        matrix = sorted(rows)
+        assert parallel_skyline(matrix, partitions, strategy) == skyline_sfs(
+            matrix
+        )
+
+
+class TestParallelColumnarWinnow:
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    @pytest.mark.parametrize("kind", ["independent", "correlated", "anticorrelated"])
+    def test_relation_parity(self, kind, partitions):
+        relation = skyline_relation(kind, 1200, 3, seed=11)
+        serial = columnar_winnow(PREF3, relation)
+        parallel = columnar_winnow(PREF3, relation, partitions=partitions)
+        assert parallel.rows() == serial.rows()
+
+    @pytest.mark.parametrize("partitions", (2, 7))
+    def test_duplicates_fan_back_out(self, partitions):
+        rng = random.Random(3)
+        rows = [
+            {"d0": rng.randrange(6), "d1": rng.randrange(6)}
+            for _ in range(500)
+        ]
+        serial = columnar_winnow(PREF2, rows)
+        assert columnar_winnow(PREF2, rows, partitions=partitions) == serial
+
+    @pytest.mark.parametrize("partitions", (2, 5))
+    def test_nan_rows_stay_unconditionally_maximal(self, partitions):
+        rng = random.Random(8)
+        rows = [
+            {"d0": float(rng.randrange(40)), "d1": float(rng.randrange(40))}
+            for _ in range(300)
+        ]
+        rows[17]["d0"] = float("nan")
+        rows[230]["d1"] = float("nan")
+        serial = columnar_winnow(PREF2, rows)
+        assert columnar_winnow(PREF2, rows, partitions=partitions) == serial
+
+    def test_parallel_winnow_wrapper(self):
+        relation = skyline_relation("independent", 800, 3, seed=13)
+        assert (
+            parallel_winnow(PREF3, relation, partitions=4).rows()
+            == columnar_winnow(PREF3, relation).rows()
+        )
+
+    def test_parallel_winnow_rejects_non_columnar_terms(self):
+        with pytest.raises(NotColumnarError):
+            parallel_winnow(
+                pareto(AroundPreference("d0", 1), AroundPreference("d1", 1)),
+                [{"d0": 1, "d1": 2}],
+                partitions=2,
+            )
+
+    @pytest.mark.parametrize("partitions", (2, 8))
+    def test_no_numpy_parity(self, monkeypatch, partitions):
+        monkeypatch.setattr(engine_backend, "_numpy", None)
+        relation = skyline_relation("independent", 400, 3, seed=17)
+        serial = columnar_winnow(PREF3, relation)
+        parallel = columnar_winnow(PREF3, relation, partitions=partitions)
+        assert parallel.rows() == serial.rows()
+
+
+class TestParallelGroupby:
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    def test_grouped_parity_exact_order(self, partitions):
+        rng = random.Random(23)
+        rows = [
+            {
+                "g": rng.randrange(9),
+                "d0": rng.randrange(50),
+                "d1": rng.randrange(50),
+            }
+            for _ in range(700)
+        ]
+        serial = winnow_groupby(PREF2, ["g"], rows, algorithm="bnl")
+        parallel = parallel_winnow_groupby(
+            PREF2, ["g"], rows, algorithm="bnl", partitions=partitions
+        )
+        assert parallel == serial  # same rows, same order
+
+    def test_empty_input(self):
+        assert parallel_winnow_groupby(PREF2, ["g"], [], partitions=4) == []
+
+    def test_single_group(self):
+        rows = [{"g": 1, "d0": i, "d1": -i} for i in range(50)]
+        serial = winnow_groupby(PREF2, ["g"], rows)
+        assert parallel_winnow_groupby(PREF2, ["g"], rows, partitions=8) == serial
+
+
+class TestParallelTopK:
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    @pytest.mark.parametrize("ties", ["strict", "all"])
+    def test_top_k_parity_exact_order(self, partitions, ties):
+        rng = random.Random(31)
+        # Heavy score ties on purpose: the stable global cut is the part
+        # partitioning could plausibly break.
+        rows = [{"s": rng.randrange(12), "i": i} for i in range(400)]
+        pref = HighestPreference("s")
+        for k in (1, 5, 17, 400, 1000):
+            serial = k_best(pref, rows, k, ties=ties)
+            parallel = parallel_k_best(
+                pref, rows, k, ties=ties, partitions=partitions
+            )
+            assert parallel == serial
+
+    def test_empty_input(self):
+        assert parallel_k_best(HighestPreference("s"), [], 3, partitions=4) == []
+
+
+class TestExecutorPlumbing:
+    def test_cpu_count_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPUS", "3")
+        assert P.cpu_count() == 3
+        monkeypatch.setenv("REPRO_CPUS", "not-a-number")
+        assert P.cpu_count() >= 1
+
+    def test_shared_executor_is_shared_and_survives(self):
+        first = P.shared_executor()
+        assert P.shared_executor() is first
+
+    def test_single_visible_core_still_correct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPUS", "1")
+        matrix = distinct_matrix(300, 3, 30, seed=41)
+        assert parallel_skyline(matrix, 4) == skyline_sfs(matrix)
+
+    def test_saturated_pool_cannot_deadlock(self):
+        # Simulate the nested case: the calling task itself occupies every
+        # worker of a one-thread pool — partition thunks must be stolen
+        # back and run inline instead of waiting forever.
+        from concurrent.futures import ThreadPoolExecutor
+
+        matrix = distinct_matrix(500, 3, 30, seed=43)
+        expected = skyline_sfs(matrix)
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            blocked = pool.submit(
+                lambda: parallel_skyline(matrix, 4, executor=pool)
+            )
+            assert blocked.result(timeout=30) == expected
+        finally:
+            pool.shutdown(wait=False)
+
+
+class TestHypothesisQueryParity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 3)),
+            min_size=0,
+            max_size=80,
+        ),
+        partitions=st.integers(1, 16),
+    )
+    def test_winnow_and_groupby_parity(self, data, partitions):
+        rows = [{"d0": a, "d1": b, "g": g} for a, b, g in data]
+        serial = columnar_winnow(PREF2, rows) if rows else []
+        assert columnar_winnow(PREF2, rows, partitions=partitions) == serial
+        grouped_serial = winnow_groupby(PREF2, ["g"], rows)
+        assert (
+            parallel_winnow_groupby(
+                PREF2, ["g"], rows, partitions=partitions
+            )
+            == grouped_serial
+        )

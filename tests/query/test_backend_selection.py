@@ -1,8 +1,11 @@
-"""Planner backend choice: when winnows go columnar, and how it's surfaced.
+"""Planner backend choice: the statistics-driven cost model, surfaced.
 
-Covers :func:`repro.query.optimizer.choose_backend`, the ``backend=`` hint
-on the fluent API, the ColumnarPreferenceSelect plan node, explain() output,
-plan-cache fingerprinting, and the session's columnar-store cache.
+Covers :func:`repro.query.optimizer.choose_backend` and
+:func:`~repro.query.optimizer.estimate_cost`, the ``backend=`` hint on the
+fluent API (including ``"parallel"`` with explicit partitions), the
+ColumnarPreferenceSelect plan node, explain() output (decision rationale,
+cost estimates, partition count, stats provenance), plan-cache
+fingerprinting, and the session's columnar-store / statistics caches.
 """
 
 import pytest
@@ -16,31 +19,99 @@ from repro.core.base_numerical import (
 from repro.core.constructors import pareto, prioritized
 from repro.datasets.skyline_data import skyline_relation
 from repro.engine import backend as engine_backend
+from repro.query import optimizer
 from repro.query.optimizer import (
     BackendChoice,
-    COLUMNAR_ROW_THRESHOLD,
+    CostEstimate,
     choose_backend,
+    estimate_cost,
+    expected_skyline,
     plan,
 )
 from repro.query.plan import Cascade, ColumnarPreferenceSelect, PreferenceSelect
 from repro.session import Session
 
 SKY = pareto(HighestPreference("d0"), LowestPreference("d1"))
+SKY3 = pareto(
+    HighestPreference("d0"), LowestPreference("d1"), HighestPreference("d2")
+)
 # Env-aware: a REPRO_NO_NUMPY=1 run exercises the fallback suite-wide and
 # skips the numpy-only expectations just like a NumPy-less install does.
 HAS_NUMPY = engine_backend.numpy_available()
 
-BIG = COLUMNAR_ROW_THRESHOLD
+#: Large enough that the cost model picks columnar for 3-d skylines.
+BIG = 5000
 
 
 @pytest.fixture
 def session():
     return Session(
         {
-            "big": skyline_relation("independent", BIG + 10, 2, seed=3),
+            "big": skyline_relation("independent", BIG, 3, seed=3),
             "small": skyline_relation("independent", 40, 2, seed=3),
         }
     )
+
+
+class TestCostModel:
+    def test_no_fixed_row_threshold_remains(self):
+        assert not hasattr(optimizer, "COLUMNAR_ROW_THRESHOLD")
+
+    def test_expected_skyline_shapes(self):
+        assert expected_skyline(0, 3) == 0
+        assert expected_skyline(1, 3) == 1
+        assert expected_skyline(10_000, 1) == 1
+        # (ln n)^(d-1)/(d-1)! grows with d and never exceeds n.
+        assert expected_skyline(10_000, 2) < expected_skyline(10_000, 4)
+        assert expected_skyline(10, 8) <= 10
+
+    def test_estimate_monotone_in_cardinality(self):
+        small = estimate_cost(SKY3, 1_000, cores=1)
+        large = estimate_cost(SKY3, 100_000, cores=1)
+        assert large.row_cost > small.row_cost
+        assert large.columnar_cost > small.columnar_cost
+        assert small.stats_source == "cardinality-only"
+
+    def test_stats_bound_distinct_projections(self):
+        rel = skyline_relation("independent", 2_000, 3, seed=7)
+        with_stats = estimate_cost(SKY3, len(rel), stats=rel.stats(), cores=1)
+        without = estimate_cost(SKY3, len(rel), cores=1)
+        assert with_stats.distinct <= without.distinct
+        assert with_stats.stats_source.startswith("statistics(")
+        # Distinct projections bound the dedup'ed kernel sweep, so the
+        # stats-informed columnar estimate can only be cheaper.
+        assert with_stats.columnar_cost <= without.columnar_cost
+
+    def test_duplicate_heavy_columns_shrink_the_estimate(self):
+        # 10 distinct values per axis -> at most 100 distinct projections.
+        rows = [
+            {"d0": i % 10, "d1": (i * 7) % 10} for i in range(5_000)
+        ]
+        from repro.relations.relation import Relation
+
+        rel = Relation.from_dicts("dups", rows)
+        estimate = estimate_cost(SKY, len(rel), stats=rel.stats(), cores=1)
+        assert estimate.distinct <= 100
+        assert estimate.skyline <= estimate.distinct
+
+    def test_parallel_needs_cores_and_size(self):
+        assert estimate_cost(SKY3, 200_000, cores=1).partitions == 1
+        assert estimate_cost(SKY3, 500, cores=8).partitions == 1
+        big = estimate_cost(SKY3, 200_000, cores=8)
+        assert big.partitions > 1
+        assert big.parallel_cost < big.columnar_cost
+
+    def test_selectivity_is_a_fraction(self):
+        estimate = estimate_cost(SKY3, 10_000, cores=4)
+        assert 0.0 < estimate.selectivity <= 1.0
+        assert estimate.skyline == round(
+            estimate.selectivity * estimate.distinct
+        )
+
+    def test_describe_names_every_decision_input(self):
+        text = estimate_cost(SKY3, 10_000, cores=4).describe()
+        for needle in ("row=", "columnar=", "selectivity", "stats="):
+            assert needle in text
 
 
 class TestChooseBackend:
@@ -58,20 +129,42 @@ class TestChooseBackend:
 
     def test_columnar_hint_on_ineligible_raises(self):
         with pytest.raises(ValueError, match="no columnar evaluation"):
-            choose_backend(PosPreference("d0", {1}), BIG * 2, "columnar")
+            choose_backend(PosPreference("d0", {1}), BIG, "columnar")
 
-    def test_auto_needs_size(self):
-        assert not choose_backend(SKY, BIG - 1, "auto").columnar
+    def test_parallel_hint_forces_partitions(self):
+        choice = choose_backend(SKY, 100, "parallel", partitions=4)
+        assert choice.columnar and choice.partitions == 4 and choice.parallel
+
+    def test_parallel_hint_on_ineligible_raises(self):
+        with pytest.raises(ValueError, match="no columnar evaluation"):
+            choose_backend(PosPreference("d0", {1}), BIG, "parallel")
+
+    def test_auto_small_inputs_stay_row_by_cost(self):
+        choice = choose_backend(SKY3, 50, "auto")
+        assert choice.backend == "row"
+        if HAS_NUMPY:
+            assert "cost model" in choice.reason
+            assert choice.cost is not None
 
     @pytest.mark.skipif(not HAS_NUMPY, reason="auto requires numpy")
     def test_auto_goes_columnar_when_big(self):
-        choice = choose_backend(SKY, BIG, "auto")
-        assert choice.columnar and "vector skyline" in choice.reason
+        choice = choose_backend(SKY3, BIG, "auto")
+        assert choice.columnar and "cost model" in choice.reason
+        assert isinstance(choice.cost, CostEstimate)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="auto requires numpy")
+    def test_auto_parallelizes_huge_inputs_given_cores(self):
+        choice = choose_backend(SKY3, 500_000, "auto")
+        serial = estimate_cost(SKY3, 500_000, cores=1)
+        if choice.cost.partitions > 1:  # enough visible cores
+            assert choice.parallel
+            assert choice.cost.parallel_cost < serial.columnar_cost
 
     def test_auto_stays_row_without_numpy(self, monkeypatch):
         monkeypatch.setattr(engine_backend, "_numpy", None)
-        choice = choose_backend(SKY, BIG * 4, "auto")
-        assert choice == BackendChoice("row", "NumPy unavailable")
+        choice = choose_backend(SKY3, BIG * 4, "auto")
+        assert choice.backend == "row"
+        assert "NumPy unavailable" in choice.reason
 
     def test_score_terms_stay_row_on_auto(self):
         choice = choose_backend(AroundPreference("d0", 1), BIG * 4, "auto")
@@ -87,25 +180,49 @@ class TestChooseBackend:
 class TestPlannerIntegration:
     @pytest.mark.skipif(not HAS_NUMPY, reason="auto requires numpy")
     def test_big_skyline_plans_columnar(self, session):
-        q = session.query("big").prefer(SKY)
+        q = session.query("big").prefer(SKY3)
         assert "ColumnarPreferenceSelect" in q.explain()
         assert "backend=columnar" in q.explain()
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="auto requires numpy")
+    def test_explain_shows_decision_costs_and_stats(self, session):
+        text = session.query("big").prefer(SKY3).explain()
+        assert "decision: cost model" in text
+        assert "cost: row=" in text and "columnar=" in text
+        assert "selectivity" in text
+        assert "stats=statistics(big)" in text
 
     def test_small_stays_row(self, session):
         text = session.query("small").prefer(SKY).explain()
         assert "ColumnarPreferenceSelect" not in text
 
     def test_backend_row_overrides_auto(self, session):
-        text = session.query("big").prefer(SKY).backend("row").explain()
+        text = session.query("big").prefer(SKY3).backend("row").explain()
         assert "ColumnarPreferenceSelect" not in text
 
     def test_backend_columnar_forces_small(self, session):
         text = session.query("small").prefer(SKY).backend("columnar").explain()
         assert "backend=columnar" in text and "kernel=vsfs" in text
 
+    def test_backend_parallel_forces_partition_count(self, session):
+        q = session.query("big").prefer(SKY3).backend("parallel", 3)
+        text = q.explain()
+        assert "backend=columnar" in text and "partitions=3" in text
+        assert "backend=parallel requested" in text
+
     def test_results_identical_across_backends(self, session):
-        base = session.query("big").prefer(SKY)
-        assert base.backend("columnar").run() == base.backend("row").run()
+        base = session.query("big").prefer(SKY3)
+        rows = base.backend("row").run()
+        assert base.backend("columnar").run() == rows
+        assert base.backend("parallel", 4).run() == rows
+
+    def test_parallel_partitions_on_other_backends_rejected(self, session):
+        with pytest.raises(ValueError, match="partitions="):
+            session.query("big").prefer(SKY3).backend("row", 4)
+
+    def test_nonpositive_partitions_rejected(self, session):
+        with pytest.raises(ValueError, match="positive"):
+            session.query("big").prefer(SKY3).backend("parallel", 0)
 
     def test_cascades_unaffected(self, session):
         """Chain prioritizations keep their row-engine cascade even though
@@ -121,7 +238,7 @@ class TestPlannerIntegration:
         decompose_pareto rule encodes each arm as one composite axis."""
         pref = pareto(
             prioritized(LowestPreference("d0"), HighestPreference("d1")),
-            HighestPreference("d1"),
+            HighestPreference("d2"),
         )
         p = plan(pref, session.catalog.get("big"))
         assert isinstance(p.root, ColumnarPreferenceSelect)
@@ -150,6 +267,18 @@ class TestPlannerIntegration:
         with pytest.raises(ValueError, match="top-k"):
             q.explain()
 
+    def test_parallel_top_k_partitions_and_agrees(self, session):
+        base = session.query("big").prefer(AroundPreference("d0", 0.5)).top(7)
+        q = base.backend("parallel", 3)
+        assert "partitions=3" in q.explain()
+        assert q.run().rows() == base.run().rows()
+
+    def test_parallel_groupby_partitions_and_agrees(self, session):
+        base = session.query("big").prefer(SKY).groupby("d2")
+        q = base.backend("parallel", 3)
+        assert "partitions=3" in q.explain()
+        assert q.run() == base.run()
+
     def test_groupby_columnar_hint_uses_vsfs(self, session):
         q = session.query("big").prefer(SKY).groupby("d0").backend("columnar")
         assert "algorithm=vsfs" in q.explain()
@@ -175,6 +304,13 @@ class TestFingerprintAndCache:
         q = session.query("big").prefer(SKY)
         assert q.fingerprint() != q.backend("row").fingerprint()
         assert q.fingerprint() == q.backend("auto").fingerprint()
+
+    def test_partitions_in_fingerprint(self, session):
+        q = session.query("big").prefer(SKY)
+        assert (
+            q.backend("parallel", 2).fingerprint()
+            != q.backend("parallel", 4).fingerprint()
+        )
 
     def test_plans_cached_per_backend(self, session):
         session.query("big").prefer(SKY).backend("row").run()

@@ -1,0 +1,103 @@
+"""Table statistics: correctness, laziness, and cache invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.skyline_data import skyline_relation
+from repro.relations.relation import Relation
+from repro.relations.stats import TableStats, column_stats, relation_stats
+from repro.session import Session
+
+
+def rel(rows, name="t"):
+    return Relation.from_dicts(name, rows)
+
+
+class TestColumnStats:
+    def test_basic_counts(self):
+        stats = column_stats("x", (3, 1, 2, 1, 3))
+        assert stats.count == 5
+        assert stats.distinct == 3
+        assert stats.null_fraction == 0.0
+        assert (stats.minimum, stats.maximum) == (1, 3)
+        assert stats.density == pytest.approx(3 / 5)
+
+    def test_nulls_and_nans_excluded_from_distinct(self):
+        stats = column_stats("x", (1.0, None, float("nan"), 2.0, 1.0))
+        assert stats.count == 5
+        assert stats.distinct == 2
+        assert stats.null_fraction == pytest.approx(2 / 5)
+        assert (stats.minimum, stats.maximum) == (1.0, 2.0)
+
+    def test_empty_column(self):
+        stats = column_stats("x", ())
+        assert stats.count == 0 and stats.distinct == 0
+        assert stats.null_fraction == 0.0
+        assert stats.minimum is None and stats.maximum is None
+
+    def test_strings_rank_fine(self):
+        stats = column_stats("x", ("b", "a", "c", "a"))
+        assert stats.distinct == 3
+        assert (stats.minimum, stats.maximum) == ("a", "c")
+
+    def test_unhashable_values_still_counted(self):
+        stats = column_stats("x", ([1], [2], [1]))
+        assert stats.distinct == 2
+
+    def test_mixed_incomparable_types_drop_minmax(self):
+        stats = column_stats("x", (1, "a", 2))
+        assert stats.count == 3
+        assert stats.minimum is None and stats.maximum is None
+
+
+class TestTableStats:
+    def test_lazy_per_column(self):
+        relation = rel([{"a": i, "b": i % 3} for i in range(100)])
+        stats = TableStats(relation)
+        assert stats.row_count == 100
+        assert stats.computed_columns() == ()
+        assert stats.distinct("b") == 3
+        assert stats.computed_columns() == ("b",)
+        assert stats.column("a").distinct == 100
+
+    def test_memoized_per_column(self):
+        relation = rel([{"a": 1}, {"a": 2}])
+        stats = TableStats(relation)
+        assert stats.column("a") is stats.column("a")
+
+    def test_source_names_the_relation(self):
+        stats = TableStats(rel([{"a": 1}], name="cars"))
+        assert stats.source == "statistics(cars)"
+
+    def test_relation_caches_its_stats(self):
+        relation = rel([{"a": 1}, {"a": 2}])
+        assert relation.stats() is relation.stats()
+        assert relation_stats(relation) is relation.stats()
+
+
+class TestSessionStatsCache:
+    def test_cached_per_version_and_invalidated_on_mutation(self):
+        session = Session({"t": [{"a": i} for i in range(10)]})
+        first = session.table_stats("t")
+        assert session.table_stats("t") is first
+        assert first.distinct("a") == 10
+        session.insert_rows("t", [{"a": 99}])
+        second = session.table_stats("t")
+        assert second is not first
+        assert second.row_count == 11
+
+    def test_replace_registers_fresh_stats(self):
+        session = Session(
+            {"t": skyline_relation("independent", 50, 2, seed=1)}
+        )
+        first = session.table_stats("t")
+        session.register(
+            "t", skyline_relation("independent", 20, 2, seed=2), replace=True
+        )
+        second = session.table_stats("t")
+        assert second is not first and second.row_count == 20
+
+    def test_shares_the_relation_instance_cache(self):
+        session = Session({"t": [{"a": 1}]})
+        assert session.table_stats("t") is session.catalog.get("t").stats()

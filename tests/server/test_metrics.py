@@ -1,0 +1,79 @@
+"""Latency series: percentiles over the bounded recent-sample ring."""
+
+from __future__ import annotations
+
+from repro.server.metrics import (
+    LATENCY_WINDOW,
+    ServiceMetrics,
+    _LatencySeries,
+)
+
+
+class TestLatencyPercentiles:
+    def test_empty_series_reports_zeros(self):
+        series = _LatencySeries()
+        d = series.to_dict()
+        assert d["count"] == 0 and d["window"] == 0
+        assert d["p50_ns"] == d["p95_ns"] == d["p99_ns"] == 0
+
+    def test_percentiles_over_known_distribution(self):
+        series = _LatencySeries()
+        for v in range(1, 101):  # 1..100, uniform
+            series.record(v)
+        d = series.to_dict()
+        assert d["p50_ns"] == 50
+        assert d["p95_ns"] == 95
+        assert d["p99_ns"] == 99
+        assert d["max_ns"] == 100 and d["count"] == 100
+
+    def test_single_sample(self):
+        series = _LatencySeries()
+        series.record(7)
+        d = series.to_dict()
+        assert d["p50_ns"] == d["p95_ns"] == d["p99_ns"] == 7
+
+    def test_ring_is_bounded_and_recent(self):
+        series = _LatencySeries()
+        # An initial era of slow samples, then a long fast era that
+        # overwrites the whole window: percentiles must describe *now*.
+        for _ in range(LATENCY_WINDOW):
+            series.record(1_000_000)
+        for _ in range(LATENCY_WINDOW):
+            series.record(10)
+        d = series.to_dict()
+        assert d["window"] == LATENCY_WINDOW
+        assert d["p50_ns"] == d["p99_ns"] == 10
+        assert d["count"] == 2 * LATENCY_WINDOW  # totals still lifetime
+        assert d["max_ns"] == 1_000_000
+
+    def test_tail_visible_under_mixed_load(self):
+        series = _LatencySeries()
+        for i in range(200):  # a 4% slow tail over a fast baseline
+            series.record(1_000_000 if i % 25 == 24 else 100)
+        d = series.to_dict()
+        assert d["p50_ns"] == 100
+        assert d["p95_ns"] == 100
+        assert d["p99_ns"] == 1_000_000  # the tail is not averaged away
+        assert d["mean_ns"] > d["p50_ns"]
+
+    def test_percentile_accessor_matches_dict(self):
+        series = _LatencySeries()
+        for v in (5, 1, 9, 3, 7):
+            series.record(v)
+        assert series.percentile(50) == series.to_dict()["p50_ns"]
+
+
+class TestServiceMetricsSnapshot:
+    def test_snapshot_carries_percentiles(self):
+        metrics = ServiceMetrics()
+        for i in range(50):
+            metrics.record_query("view", 100 + i)
+            metrics.record_query("plan", 200 + i)
+        metrics.record_view_refresh(42)
+        snap = metrics.snapshot()
+        for name in ("query_view", "query_planned", "view_refresh"):
+            series = snap["latency"][name]
+            for key in ("p50_ns", "p95_ns", "p99_ns", "window"):
+                assert key in series
+        assert snap["latency"]["query_view"]["p50_ns"] >= 100
+        assert snap["latency"]["view_refresh"]["p50_ns"] == 42

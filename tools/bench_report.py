@@ -16,10 +16,16 @@ regresses:
   answered from a materialized continuous winnow view must beat
   re-planned execution by >= 5x on the 50k-row catalog (and return
   identical rows).
+* ``parallel_speedup`` — the PR-5 acceptance criterion: partitioned
+  winnow execution (:mod:`repro.engine.parallel`) must beat the
+  single-thread columnar kernel by >= 2x on the 4x-sized (200k-row)
+  skyline workload.  Needs NumPy and >= 4 visible cores; below that the
+  check is skipped and recorded as skipped with the honest core count —
+  parity with serial execution is still asserted.
 
 Usage::
 
-    python tools/bench_report.py --output BENCH_4.json          # CI
+    python tools/bench_report.py --output BENCH_5.json          # CI
     python tools/bench_report.py --quick                        # smoke run
 
 The CI benchmark job uploads the JSON as a build artifact, so regressions
@@ -51,7 +57,11 @@ from repro.core.base_numerical import HighestPreference, LowestPreference  # noq
 from repro.core.constructors import pareto  # noqa: E402
 from repro.engine.backend import numpy_available  # noqa: E402
 from repro.engine.columnar import columnar_winnow  # noqa: E402
+from repro.engine.parallel import cpu_count  # noqa: E402
 from repro.query.algorithms import block_nested_loop  # noqa: E402
+
+#: parallel_speedup needs this many visible cores to be meaningful.
+PARALLEL_MIN_CORES = 4
 
 
 def median_ns(fn, rounds: int) -> int:
@@ -94,6 +104,54 @@ def bench_columnar_vs_bnl(report: dict, n_rows: int, rounds: int) -> None:
         "ratio": round(min(ratios), 2),
         "threshold": 5.0,
         "pass": min(ratios) >= 5.0,
+    }
+
+
+def bench_parallel_speedup(report: dict, n_rows: int, rounds: int) -> None:
+    """Partitioned vs. single-thread columnar winnow on the 4x workload.
+
+    Parity is asserted on every machine; the >= 2x timing criterion only
+    runs (and only counts) with >= PARALLEL_MIN_CORES cores — recorded as
+    skipped, with the core count, otherwise.
+    """
+    from repro.datasets.skyline_data import skyline_relation
+
+    cores = cpu_count()
+    rows = n_rows * 4
+    pref = _skyline_pref(3)
+    relation = skyline_relation("independent", rows, 3, seed=29)
+    relation.columns()  # materialize outside the timed region
+
+    serial_result = columnar_winnow(pref, relation)
+    parallel_result = columnar_winnow(pref, relation, partitions=cores)
+    assert parallel_result.rows() == serial_result.rows()
+
+    if cores < PARALLEL_MIN_CORES:
+        report["criteria"]["parallel_speedup"] = {
+            "ratio": None, "threshold": 2.0, "pass": None,
+            "skipped": f"{cores} visible core(s); need "
+                       f">= {PARALLEL_MIN_CORES} (parity asserted)",
+            "cores": cores,
+        }
+        return
+
+    serial = median_ns(lambda: columnar_winnow(pref, relation), rounds)
+    parallel = median_ns(
+        lambda: columnar_winnow(pref, relation, partitions=cores), rounds
+    )
+    report["benchmarks"][f"parallel_{rows}_serial_columnar"] = {
+        "median_ns": serial, "rounds": rounds,
+    }
+    report["benchmarks"][f"parallel_{rows}_partitioned_{cores}"] = {
+        "median_ns": parallel, "rounds": rounds,
+    }
+    ratio = serial / parallel
+    report["ratios"]["parallel_speedup"] = round(ratio, 2)
+    report["criteria"]["parallel_speedup"] = {
+        "ratio": round(ratio, 2),
+        "threshold": 2.0,
+        "pass": ratio >= 2.0,
+        "cores": cores,
     }
 
 
@@ -192,7 +250,7 @@ def bench_view_serving(report: dict, n_rows: int, rounds: int) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_4.json",
+    parser.add_argument("--output", default="BENCH_5.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per benchmark (median is kept)")
@@ -214,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "numpy": numpy_version,
             "rows": n_rows,
+            "cores": cpu_count(),
         },
         "benchmarks": {},
         "ratios": {},
@@ -222,9 +281,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if numpy_available():
         bench_columnar_vs_bnl(report, n_rows, args.rounds)
+        bench_parallel_speedup(report, n_rows, args.rounds)
     else:
         report["criteria"]["columnar_vs_bnl"] = {
             "ratio": None, "threshold": 5.0, "pass": None,
+            "skipped": "NumPy unavailable",
+        }
+        report["criteria"]["parallel_speedup"] = {
+            "ratio": None, "threshold": 2.0, "pass": None,
             "skipped": "NumPy unavailable",
         }
     bench_rewrite_pushdown(report, n_rows, args.rounds)
