@@ -1,0 +1,54 @@
+"""Static analysis of preference queries: constraints, checks, semantics.
+
+The analyzer runs *before* execution, in three pieces:
+
+* :mod:`repro.analysis.constraints` — the constraint registry: declared
+  schema constraints merged with facts derived from table statistics;
+* :mod:`repro.analysis.checker` — the semantic checker behind
+  :meth:`PreferenceQuery.check`, producing ``PQxxx`` diagnostics;
+* :mod:`repro.analysis.semantics` — Chomicki-style constraint reasoning
+  that proves winnows redundant or sort-reducible, consumed by the
+  ``winnow_to_sort`` / ``remove_redundant_winnow`` rewrite rules.
+
+See ``docs/analysis.md`` for the diagnostic-code catalog.
+"""
+
+from repro.analysis.checker import check_query
+from repro.analysis.constraints import (
+    ConstraintSet,
+    constraint_registry,
+    declared_constraints,
+    derived_constraints,
+)
+from repro.analysis.diagnostics import (
+    CATALOG,
+    CheckResult,
+    Diagnostic,
+    DiagnosticError,
+)
+from repro.analysis.semantics import (
+    WeakOrderReduction,
+    indifference_proof,
+    is_weak_order,
+    semantic_facts,
+    semantic_prune,
+    weak_order_reduction,
+)
+
+__all__ = [
+    "CATALOG",
+    "CheckResult",
+    "ConstraintSet",
+    "Diagnostic",
+    "DiagnosticError",
+    "WeakOrderReduction",
+    "check_query",
+    "constraint_registry",
+    "declared_constraints",
+    "derived_constraints",
+    "indifference_proof",
+    "is_weak_order",
+    "semantic_facts",
+    "semantic_prune",
+    "weak_order_reduction",
+]

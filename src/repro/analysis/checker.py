@@ -1,0 +1,335 @@
+"""The semantic checker: type-check a preference query before running it.
+
+:func:`check_query` inspects a :class:`~repro.query.api.PreferenceQuery`
+against its relation's schema and statistics and returns a
+:class:`~repro.analysis.diagnostics.CheckResult` — never raising, so it is
+safe to call from ``explain()``.  The checks, by code:
+
+* **PQ100/101/104/106** — name resolution: the relation exists and every
+  attribute a clause mentions is in its schema.
+* **PQ102** — arithmetic constructors (AROUND, BETWEEN, linear sums) need
+  numeric columns; a declared non-numeric type is a hard error.
+* **PQ103** — user-supplied SCORE functions must take exactly one
+  argument (the projected value), RANK combiners one per child.
+* **PQ105** — WHERE literals must satisfy the declared attribute type.
+* **PQ107/108** — BUT ONLY needs a base preference on the named
+  attribute; TOP needs SCORE semantics (``k_best`` raises otherwise).
+* **PQ201/202** — instance probes: strict-partial-order laws and
+  disjoint-union range disjointness are checked on a bounded sample of
+  the relation's rows (Definition 4's precondition is undecidable in
+  general; a probe either finds a witness or stays silent).
+* **PQ301** — constraint-proved facts: when the registry shows the winnow
+  is redundant or sort-reducible, the proof is surfaced as an info
+  diagnostic (the same provenance the rewrite trace records).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Iterable
+
+from repro.analysis.constraints import constraint_registry
+from repro.analysis.diagnostics import (
+    CheckResult,
+    Diagnostic,
+    sort_diagnostics,
+)
+from repro.analysis.semantics import semantic_facts
+from repro.core.base_numerical import (
+    BetweenPreference,
+    ScorePreference,
+)
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    LinearSumPreference,
+    RankPreference,
+)
+from repro.core.preference import Preference
+from repro.core.validate import StrictOrderViolation, check_strict_partial_order
+
+#: How many distinct sample rows the PQ201/PQ202 instance probes examine.
+PROBE_LIMIT = 16
+
+
+def _known_names(schema: Any) -> list[str]:
+    return list(schema.names)
+
+
+def _unknown(code: str, clause: str, attribute: str, schema: Any) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        clause=clause,
+        attribute=attribute,
+        message=(
+            f"unknown attribute {attribute!r}; "
+            f"relation has {_known_names(schema)}"
+        ),
+    )
+
+
+def _callable_arity(fn: Any) -> tuple[int, bool] | None:
+    """(required positional count, accepts varargs), or None if opaque."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None
+    required = 0
+    varargs = False
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            parameter.POSITIONAL_ONLY, parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            if parameter.default is parameter.empty:
+                required += 1
+        elif parameter.kind is parameter.VAR_POSITIONAL:
+            varargs = True
+    return required, varargs
+
+
+def _children(pref: Preference) -> tuple[Preference, ...]:
+    kids = getattr(pref, "children", ())
+    if callable(kids):  # method-style accessors (none currently)
+        try:
+            kids = kids()
+        except Exception:
+            return ()
+    return tuple(k for k in kids if isinstance(k, Preference))
+
+
+def _leaves(pref: Preference) -> Iterable[Preference]:
+    yield pref
+    for child in _children(pref):
+        yield from _leaves(child)
+    base = getattr(pref, "base", None)
+    if isinstance(base, Preference):
+        yield from _leaves(base)
+
+
+def _check_preference(
+    pref: Preference, schema: Any, out: list[Diagnostic],
+) -> None:
+    for attribute in sorted(pref.attribute_set):
+        if attribute not in schema:
+            out.append(_unknown("PQ101", "preferring", attribute, schema))
+
+    for leaf in _leaves(pref):
+        if isinstance(leaf, (BetweenPreference, LinearSumPreference)):
+            kind = "BETWEEN/AROUND" if isinstance(leaf, BetweenPreference) \
+                else "linear sum"
+            for attribute in sorted(leaf.attribute_set):
+                if attribute not in schema:
+                    continue
+                declared = schema[attribute]
+                if declared.data_type is not None and not declared.is_numeric:
+                    out.append(Diagnostic(
+                        code="PQ102",
+                        clause="preferring",
+                        attribute=attribute,
+                        message=(
+                            f"{kind} needs a numeric attribute, but "
+                            f"{attribute!r} is declared "
+                            f"{declared.data_type.__name__}"
+                        ),
+                    ))
+        if isinstance(leaf, RankPreference):
+            arity = _callable_arity(leaf.combine)
+            expected = len(_children(leaf))
+            if arity is not None:
+                required, varargs = arity
+                if not varargs and required != expected:
+                    out.append(Diagnostic(
+                        code="PQ103",
+                        clause="preferring",
+                        message=(
+                            f"RANK combiner takes {required} argument(s) "
+                            f"but the term has {expected} children"
+                        ),
+                    ))
+        elif isinstance(leaf, ScorePreference) and type(leaf) is ScorePreference:
+            arity = _callable_arity(leaf._f)
+            if arity is not None:
+                required, varargs = arity
+                if required != 1 and not (varargs and required <= 1):
+                    out.append(Diagnostic(
+                        code="PQ103",
+                        clause="preferring",
+                        message=(
+                            "SCORE function must take exactly one argument "
+                            f"(the projected value); got one taking {required}"
+                        ),
+                    ))
+
+
+def _where_attributes(ast: Any) -> Iterable[tuple[str, tuple[Any, ...]]]:
+    """Yield ``(attribute, literal values)`` pairs from a WHERE AST."""
+    from repro.psql.ast import (
+        BoolOp,
+        Comparison,
+        HardBetween,
+        InList,
+        IsNull,
+        LikePattern,
+        NotOp,
+    )
+
+    if isinstance(ast, Comparison):
+        yield ast.attribute, (ast.value,)
+    elif isinstance(ast, HardBetween):
+        yield ast.attribute, (ast.low, ast.up)
+    elif isinstance(ast, InList):
+        yield ast.attribute, tuple(ast.values)
+    elif isinstance(ast, (LikePattern, IsNull)):
+        yield ast.attribute, ()
+    elif isinstance(ast, BoolOp):
+        for operand in ast.operands:
+            yield from _where_attributes(operand)
+    elif isinstance(ast, NotOp):
+        yield from _where_attributes(ast.operand)
+
+
+def _check_wheres(wheres: Iterable[Any], schema: Any,
+                  out: list[Diagnostic]) -> None:
+    from repro.relations.schema import SchemaError
+
+    for spec in wheres:
+        if spec.ast is None:
+            continue  # opaque callables cannot be checked statically
+        for attribute, values in _where_attributes(spec.ast):
+            if attribute not in schema:
+                out.append(_unknown("PQ104", "where", attribute, schema))
+                continue
+            declared = schema[attribute]
+            for value in values:
+                try:
+                    declared.validate(value)
+                except SchemaError as exc:
+                    out.append(Diagnostic(
+                        code="PQ105",
+                        clause="where",
+                        attribute=attribute,
+                        message=str(exc),
+                    ))
+
+
+def _probe_rows(relation: Any, pref: Preference) -> list[dict]:
+    """Up to PROBE_LIMIT distinct projections of the relation's rows."""
+    seen: dict[tuple, dict] = {}
+    attributes = sorted(pref.attribute_set)
+    for row in relation:
+        try:
+            key = tuple(row[a] for a in attributes)
+            hash(key)
+        except (KeyError, TypeError):
+            return []
+        if key not in seen:
+            seen[key] = row
+            if len(seen) >= PROBE_LIMIT:
+                break
+    return list(seen.values())
+
+
+def _check_instance_laws(
+    pref: Preference, relation: Any, out: list[Diagnostic],
+) -> None:
+    rows = _probe_rows(relation, pref)
+    if not rows:
+        return
+    try:
+        check_strict_partial_order(pref, rows)
+    except StrictOrderViolation as violation:
+        out.append(Diagnostic(
+            code="PQ202",
+            clause="preferring",
+            message=f"on sampled rows: {violation}",
+        ))
+    except Exception:
+        pass  # a crashing term is reported by execution, not the probe
+    for leaf in _leaves(pref):
+        if isinstance(leaf, DisjointUnionPreference):
+            try:
+                leaf.validate_disjointness(rows)
+            except ValueError as exc:
+                out.append(Diagnostic(
+                    code="PQ201",
+                    clause="preferring",
+                    message=f"on sampled rows: {exc}",
+                ))
+            except Exception:
+                pass
+
+
+def check_query(query: Any) -> CheckResult:
+    """Statically check a :class:`PreferenceQuery`; never raises."""
+    out: list[Diagnostic] = []
+    try:
+        relation = query.relation()
+    except Exception as exc:
+        out.append(Diagnostic(code="PQ100", message=str(exc)))
+        return CheckResult(sort_diagnostics(out))
+    schema = relation.schema
+    pref = query.preference
+
+    if pref is not None:
+        _check_preference(pref, schema, out)
+    _check_wheres(query._wheres, schema, out)
+
+    for clause, names in (
+        ("grouping", query._groupby),
+        ("select", query._select or ()),
+        ("order by", tuple(name for name, _ in query._order_by)),
+    ):
+        for name in names:
+            if name not in schema:
+                out.append(_unknown("PQ106", clause, name, schema))
+
+    if pref is not None:
+        from repro.query.quality import base_preferences_by_attribute
+
+        bases = base_preferences_by_attribute(pref)
+        for condition in query._quality:
+            if condition.attribute not in schema:
+                out.append(_unknown(
+                    "PQ106", "but only", condition.attribute, schema,
+                ))
+            elif condition.attribute not in bases:
+                out.append(Diagnostic(
+                    code="PQ107",
+                    clause="but only",
+                    attribute=condition.attribute,
+                    message=(
+                        f"no base preference ranges over "
+                        f"{condition.attribute!r}, so "
+                        f"{condition.kind.upper()}({condition.attribute}) "
+                        "is undefined"
+                    ),
+                ))
+
+    if query._top is not None and pref is not None:
+        if not isinstance(pref, ScorePreference):
+            out.append(Diagnostic(
+                code="PQ108",
+                clause="top",
+                message=(
+                    "TOP ranks by combined score; "
+                    f"{type(pref).__name__} has none (wrap the term in a "
+                    "RANK/SCORE constructor)"
+                ),
+            ))
+
+    has_errors = any(
+        d.severity == "error" for d in out
+    )
+    if pref is not None and not has_errors:
+        _check_instance_laws(pref, relation, out)
+        try:
+            constraints = constraint_registry(
+                relation, sorted(pref.attribute_set),
+            )
+            for fact in semantic_facts(pref, constraints):
+                out.append(Diagnostic(
+                    code="PQ301", clause="preferring", message=fact,
+                ))
+        except Exception:
+            pass  # statistics failures must never break check()
+
+    return CheckResult(sort_diagnostics(out))

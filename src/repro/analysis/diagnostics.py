@@ -1,0 +1,136 @@
+"""Structured diagnostics for the static preference-query analyzer.
+
+Every finding the analyzer can produce has a stable ``PQxxx`` code, a
+fixed severity, and a one-line catalog title.  Codes are grouped the way
+compilers group theirs:
+
+* ``PQ1xx`` — schema/type errors (unknown attributes, constructor/type
+  mismatches, arity problems).  These queries *will* fail or misbehave at
+  run time; the checker reports them as ``error``.
+* ``PQ2xx`` — order-theoretic warnings and errors found by probing the
+  instance (strict-partial-order law violations, disjoint-union overlap).
+* ``PQ3xx`` — informational facts proved from integrity constraints
+  (semantic rewrite opportunities with constraint provenance).
+
+The catalog below is the single source of truth: ``docs/analysis.md``
+renders it and the golden-message tests assert against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Severity levels, strongest first.
+SEVERITIES = ("error", "warning", "info")
+
+#: code -> (severity, catalog title)
+CATALOG: dict[str, tuple[str, str]] = {
+    "PQ100": ("error", "unknown relation"),
+    "PQ101": ("error", "unknown attribute in preference term"),
+    "PQ102": ("error", "numerical constructor over non-numeric attribute"),
+    "PQ103": ("error", "SCORE/RANK function arity mismatch"),
+    "PQ104": ("error", "unknown attribute in WHERE clause"),
+    "PQ105": ("error", "WHERE literal incompatible with declared type"),
+    "PQ106": ("error", "unknown attribute in query clause"),
+    "PQ107": ("error", "BUT ONLY names an attribute without a base preference"),
+    "PQ108": ("error", "TOP requires a SCORE-representable preference"),
+    "PQ201": ("warning", "disjoint union components overlap on instance values"),
+    "PQ202": ("error", "strict partial order violated on instance values"),
+    "PQ301": ("info", "constraint-proved semantic fact"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: code + severity + human message.
+
+    ``attribute`` names the offending column when there is one; ``clause``
+    locates the finding inside the query (``preferring``, ``where``, ...).
+    """
+
+    code: str
+    message: str
+    attribute: str | None = None
+    clause: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CATALOG:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> str:
+        return CATALOG[self.code][0]
+
+    @property
+    def title(self) -> str:
+        return CATALOG[self.code][1]
+
+    def __str__(self) -> str:
+        where = f" [{self.clause}]" if self.clause else ""
+        return f"{self.code} {self.severity}{where}: {self.message}"
+
+
+class DiagnosticError(ValueError):
+    """A fail-fast analyzer error raised at query-builder time.
+
+    Carries the underlying :class:`Diagnostic` so callers (the server's
+    request path, tests) can react to the code rather than parse text.
+    """
+
+    def __init__(self, diagnostic: Diagnostic):
+        super().__init__(str(diagnostic))
+        self.diagnostic = diagnostic
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of :meth:`PreferenceQuery.check`: all findings, ordered
+    most severe first (errors, then warnings, then infos)."""
+
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "info")
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were found."""
+        return not self.errors
+
+    def raise_for_errors(self) -> "CheckResult":
+        """Raise :class:`DiagnosticError` on the first error, else return self."""
+        for diagnostic in self.diagnostics:
+            if diagnostic.severity == "error":
+                raise DiagnosticError(diagnostic)
+        return self
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def sort_diagnostics(diagnostics) -> tuple[Diagnostic, ...]:
+    """Stable order: errors first, then warnings, then infos, then by code."""
+    rank = {severity: i for i, severity in enumerate(SEVERITIES)}
+    return tuple(sorted(
+        diagnostics, key=lambda d: (rank[d.severity], d.code)
+    ))

@@ -93,6 +93,24 @@ class PreferenceSQL:
         """The plan (operators, algorithms, fired laws) without running it."""
         return self.query(text).explain()
 
+    def check(self, text: str) -> Any:
+        """Statically analyse one statement without running it.
+
+        Parses ``text`` (syntax errors raise :class:`ParseError` /
+        :class:`LexError` with line/column information) and returns the
+        analyzer's :class:`~repro.analysis.diagnostics.CheckResult` of
+        ``PQxxx`` diagnostics — see :meth:`PreferenceQuery.check`.  A
+        fail-fast :class:`DiagnosticError` the builder raises while
+        translating the statement is folded into the result rather than
+        propagated, so ``check`` always reports instead of throwing.
+        """
+        from repro.analysis.diagnostics import CheckResult, DiagnosticError
+
+        try:
+            return self.query(text).check()
+        except DiagnosticError as exc:
+            return CheckResult((exc.diagnostic,))
+
 
 def _render_where(expr: Any) -> str:
     """Deprecated alias; use :func:`repro.psql.translate.render_where`."""

@@ -5,6 +5,11 @@ operator set the grammar needs, and keywords (case-insensitive, exposed
 upper-case).  Keywords include the preference vocabulary the paper's
 examples use: PREFERRING, CASCADE, BUT ONLY, PRIOR TO, AROUND, LOWEST,
 HIGHEST, SCORE, RANK, EXPLICIT, LEVEL, DISTANCE, GROUPING, TOP.
+
+Every token carries its source position three ways — absolute ``position``
+(the historical offset) plus 1-based ``line`` and ``column`` — so lexer
+and parser errors can point at the offending spot in multi-line
+statements.
 """
 
 from __future__ import annotations
@@ -26,9 +31,14 @@ OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ";", "*", "."
 class LexError(ValueError):
     """Bad input character or unterminated literal."""
 
-    def __init__(self, message: str, position: int):
+    def __init__(self, message: str, position: int,
+                 line: int = 1, column: int = 1):
         self.position = position
-        super().__init__(f"{message} (at offset {position})")
+        self.line = line
+        self.column = column
+        super().__init__(
+            f"{message} (line {line}, column {column}, offset {position})"
+        )
 
 
 @dataclass(frozen=True)
@@ -37,12 +47,15 @@ class Token:
 
     ``kind`` is one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
     ``OP``, ``EOF``; ``value`` carries the cooked payload (upper-cased
-    keyword, unquoted string, int/float number).
+    keyword, unquoted string, int/float number).  ``position`` is the
+    absolute character offset; ``line`` and ``column`` are 1-based.
     """
 
     kind: str
     value: object
     position: int
+    line: int = 1
+    column: int = 1
 
     def is_keyword(self, *names: str) -> bool:
         return self.kind == "KEYWORD" and self.value in names
@@ -61,21 +74,28 @@ def tokenize(text: str) -> list[Token]:
 
 def _scan(text: str) -> Iterator[Token]:
     i, n = 0, len(text)
+    line, line_begin = 1, 0
     while i < n:
         ch = text[i]
         if ch.isspace():
+            if ch == "\n":
+                line += 1
+                line_begin = i + 1
             i += 1
             continue
         if ch == "-" and text[i + 1: i + 2] == "-":  # SQL line comment
             while i < n and text[i] != "\n":
                 i += 1
             continue
+        column = i - line_begin + 1
         if ch == "'":
             j = i + 1
             buf: list[str] = []
             while True:
                 if j >= n:
-                    raise LexError("unterminated string literal", i)
+                    raise LexError(
+                        "unterminated string literal", i, line, column
+                    )
                 if text[j] == "'":
                     if text[j + 1: j + 2] == "'":  # escaped quote
                         buf.append("'")
@@ -84,7 +104,12 @@ def _scan(text: str) -> Iterator[Token]:
                     break
                 buf.append(text[j])
                 j += 1
-            yield Token("STRING", "".join(buf), i)
+            yield Token("STRING", "".join(buf), i, line, column)
+            # literals may span lines; catch up the line counter
+            for k in range(i + 1, j + 1):
+                if text[k] == "\n":
+                    line += 1
+                    line_begin = k + 1
             i = j + 1
             continue
         if ch.isdigit() or (
@@ -101,7 +126,10 @@ def _scan(text: str) -> Iterator[Token]:
                     seen_dot = True
                 j += 1
             raw = text[i:j]
-            yield Token("NUMBER", float(raw) if "." in raw else int(raw), i)
+            yield Token(
+                "NUMBER", float(raw) if "." in raw else int(raw),
+                i, line, column,
+            )
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -111,19 +139,19 @@ def _scan(text: str) -> Iterator[Token]:
             word = text[i:j]
             upper = word.upper()
             if upper in KEYWORDS:
-                yield Token("KEYWORD", upper, i)
+                yield Token("KEYWORD", upper, i, line, column)
             else:
-                yield Token("IDENT", word, i)
+                yield Token("IDENT", word, i, line, column)
             i = j
             continue
         matched = False
         for op in OPERATORS:
             if text.startswith(op, i):
                 value = "<>" if op == "!=" else op
-                yield Token("OP", value, i)
+                yield Token("OP", value, i, line, column)
                 i += len(op)
                 matched = True
                 break
         if not matched:
-            raise LexError(f"unexpected character {ch!r}", i)
-    yield Token("EOF", None, n)
+            raise LexError(f"unexpected character {ch!r}", i, line, column)
+    yield Token("EOF", None, n, line, n - line_begin + 1)

@@ -43,11 +43,16 @@ from repro.psql.lexer import Token, tokenize
 
 
 class ParseError(ValueError):
-    """Syntax error with offset information."""
+    """Syntax error pointing at the offending token (line/column/offset)."""
 
     def __init__(self, message: str, token: Token):
         self.token = token
-        super().__init__(f"{message} (near {token!r} at offset {token.position})")
+        self.line = token.line
+        self.column = token.column
+        super().__init__(
+            f"{message} (near {token!r} at line {token.line}, "
+            f"column {token.column}, offset {token.position})"
+        )
 
 
 class _Parser:

@@ -141,6 +141,51 @@ class PreferenceQuery:
             setattr(out, name, changes.get(name.lstrip("_"), getattr(self, name)))
         return out
 
+    # -- fail-fast validation ---------------------------------------------------
+
+    def _resolved_schema(self) -> Any:
+        """The source schema when statically resolvable, else ``None``.
+
+        Row-list sources infer their schema from the preference term, so
+        only catalog and Relation sources support builder-time checks.
+        """
+        kind, payload = self._source
+        try:
+            if kind == "catalog" and self._session is not None:
+                return self._session.catalog.get(payload).schema
+            if kind == "relation":
+                return payload.schema
+        except Exception:
+            return None
+        return None
+
+    def _fail_fast(self, clause: str, code: str, attributes: Any) -> None:
+        """Raise :class:`DiagnosticError` for unknown attributes, eagerly.
+
+        Builder methods call this so a typo surfaces at the call site
+        (with its ``PQxxx`` code) instead of deep inside plan execution.
+        Silently skipped when the schema cannot be resolved yet.
+        """
+        schema = self._resolved_schema()
+        if schema is None:
+            return
+        for attribute in attributes:
+            if attribute not in schema:
+                from repro.analysis.diagnostics import (
+                    Diagnostic,
+                    DiagnosticError,
+                )
+
+                raise DiagnosticError(Diagnostic(
+                    code=code,
+                    clause=clause,
+                    attribute=attribute,
+                    message=(
+                        f"unknown attribute {attribute!r}; "
+                        f"relation has {list(schema.names)}"
+                    ),
+                ))
+
     # -- chainable clauses ------------------------------------------------------
 
     def where(
@@ -209,6 +254,14 @@ class PreferenceQuery:
             )
         if len(specs) == len(self._wheres):
             raise TypeError("where() needs a condition or attribute keywords")
+        from repro.analysis.checker import _where_attributes
+
+        self._fail_fast("where", "PQ104", [
+            attribute
+            for spec in specs[len(self._wheres):]
+            if spec.ast is not None
+            for attribute, _ in _where_attributes(spec.ast)
+        ])
         return self._copy(wheres=tuple(specs))
 
     def prefer(self, pref: Preference) -> "PreferenceQuery":
@@ -219,6 +272,7 @@ class PreferenceQuery:
         """
         if not isinstance(pref, Preference):
             raise TypeError(f"prefer() needs a Preference, got {pref!r}")
+        self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
         return self._copy(pref=pref)
 
     def cascade(self, pref: Preference) -> "PreferenceQuery":
@@ -229,12 +283,14 @@ class PreferenceQuery:
         """
         if not isinstance(pref, Preference):
             raise TypeError(f"cascade() needs a Preference, got {pref!r}")
+        self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
         return self._copy(cascades=(*self._cascades, pref))
 
     def groupby(self, *attributes: str) -> "PreferenceQuery":
         """Evaluate the preference within each group (Definition 16)."""
         if not attributes:
             raise ValueError("groupby() needs at least one attribute")
+        self._fail_fast("grouping", "PQ106", attributes)
         return self._copy(groupby=tuple(attributes))
 
     def but_only(
@@ -252,6 +308,7 @@ class PreferenceQuery:
             c if isinstance(c, QualityCondition) else QualityCondition(*c)
             for c in conditions
         )
+        self._fail_fast("but only", "PQ106", [c.attribute for c in cooked])
         return self._copy(quality=(*self._quality, *cooked))
 
     def top(self, k: int, ties: str = "strict") -> "PreferenceQuery":
@@ -266,6 +323,7 @@ class PreferenceQuery:
         """Project the result onto ``attributes`` (the SELECT list)."""
         if not attributes:
             raise ValueError("select() needs at least one attribute")
+        self._fail_fast("select", "PQ106", attributes)
         return self._copy(select=tuple(attributes))
 
     def order_by(
@@ -278,6 +336,7 @@ class PreferenceQuery:
             (k, descending) if isinstance(k, str) else (k[0], bool(k[1]))
             for k in keys
         )
+        self._fail_fast("order by", "PQ106", [name for name, _ in cooked])
         return self._copy(order_by=(*self._order_by, *cooked))
 
     def limit(self, n: int) -> "PreferenceQuery":
@@ -498,6 +557,19 @@ class PreferenceQuery:
         """Plan, execute, and return only the result cardinality."""
         return len(self.plan().execute())
 
+    def check(self) -> Any:
+        """Statically analyse the query without executing it.
+
+        Returns a :class:`~repro.analysis.diagnostics.CheckResult` of
+        ``PQxxx`` diagnostics, ordered errors → warnings → infos — never
+        raises.  Use ``check().raise_for_errors()`` for a hard gate, or
+        ``check().ok`` as a boolean.  See ``docs/analysis.md`` for the
+        diagnostic-code catalog.
+        """
+        from repro.analysis import check_query
+
+        return check_query(self)
+
     def explain(self) -> str:
         """The plan text: operators, algorithms, and the rewrite trace.
 
@@ -505,12 +577,21 @@ class PreferenceQuery:
         summary (term-level algebra laws and plan-level rules such as
         ``push_select_below_winnow`` / ``split_prio`` alike) followed by
         per-step ``rule: before -> after`` lines; plans without any end
-        with ``rewrites applied: (none)``.
+        with ``rewrites applied: (none)``.  When the static analyzer
+        (:meth:`check`) finds errors or warnings, they are appended as a
+        ``diagnostics:`` section.
         """
         plan = self.plan()
         text = plan.explain()
         if not plan.rewrites:
             text += "\nrewrites applied: (none)"
+        problems = [
+            d for d in self.check().diagnostics if d.severity != "info"
+        ]
+        if problems:
+            text += "\ndiagnostics:\n" + "\n".join(
+                f"  {d}" for d in problems
+            )
         return text
 
     def to_sql(self) -> str:

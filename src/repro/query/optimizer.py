@@ -165,6 +165,7 @@ def estimate_cost(
     cardinality: int,
     stats: Any = None,
     cores: int | None = None,
+    constraints: Any = None,
 ) -> CostEstimate:
     """Cost the row, columnar, and parallel-columnar evaluations of a
     dominance winnow over ``cardinality`` rows.
@@ -174,7 +175,10 @@ def estimate_cost(
     the unit the dedup'ing columnar kernels actually sweep — so
     duplicate-heavy relations columnarize earlier and all-distinct ones
     honestly pay full freight.  ``cores`` caps the candidate partition
-    count (default: the visible machine).
+    count (default: the visible machine).  ``constraints`` (a
+    :class:`repro.analysis.constraints.ConstraintSet`, or None) narrows
+    the estimate further: an attribute proved constant contributes one
+    distinct projection regardless of what the raw statistics say.
     """
     axes = columnar_axes(pref)
     arity = len(axes) if axes else max(1, len(pref.attributes))
@@ -184,13 +188,19 @@ def estimate_cost(
     stats_source = "cardinality-only"
     if stats is not None and axes:
         product = 1
+        narrowed = False
         for attribute in _axis_attributes(pref):
+            if constraints is not None and constraints.constant(attribute):
+                narrowed = True
+                continue  # a constant column adds no distinct projections
             product *= max(1, stats.distinct(attribute))
             if product >= n:
                 product = n
                 break
         distinct = max(1, min(n, product)) if n else 0
         stats_source = stats.source
+        if narrowed:
+            stats_source += "+constraints"
     skyline = expected_skyline(distinct, arity)
     selectivity = (skyline / distinct) if distinct else 0.0
 
@@ -295,6 +305,7 @@ def choose_backend(
     hint: str = "auto",
     stats: Any = None,
     partitions: int | None = None,
+    constraints: Any = None,
 ) -> BackendChoice:
     """Cost-rank row, columnar, and parallel-columnar execution of a winnow.
 
@@ -329,7 +340,7 @@ def choose_backend(
                 f"drop the backend={hint!r} hint"
             )
         cost = (
-            estimate_cost(pref, cardinality, stats)
+            estimate_cost(pref, cardinality, stats, constraints=constraints)
             if profile == "skyline"
             else None
         )
@@ -357,7 +368,7 @@ def choose_backend(
         return BackendChoice(
             "row", "chain prioritization cascades on the row engine"
         )
-    estimate = estimate_cost(pref, cardinality, stats)
+    estimate = estimate_cost(pref, cardinality, stats, constraints=constraints)
     if not numpy_available():
         return BackendChoice(
             "row",
@@ -516,6 +527,22 @@ def plan(
         node = HardSelect(node, predicate, label, ast)
 
     stats = relation.stats() if pref is not None else None
+    # The constraint registry (declared schema constraints + facts derived
+    # from statistics over the preference's attributes) powers the semantic
+    # rewrite rules and narrows the cost model's selectivity estimates.
+    # The canonical (use_rewriter=False) plan stays constraint-blind.
+    constraints = None
+    if use_rewriter:
+        from repro.analysis.constraints import constraint_registry
+
+        # Profile the preference's attributes plus any WHERE pins to a
+        # constant: a key on an equality-fixed column proves the winnow
+        # input is a single tuple (remove_redundant_winnow).
+        profiled = set(pref.attribute_set)
+        for _, _, conjunct_ast in conjuncts:
+            if conjunct_ast is not None:
+                profiled |= _rewrite.fixed_attributes(conjunct_ast)
+        constraints = constraint_registry(relation, sorted(profiled))
     requested_partitions = (
         max(1, partitions if partitions is not None else cpu_count())
         if backend == "parallel"
@@ -553,7 +580,8 @@ def plan(
         node = PreferenceSelect(node, pref, algorithm=algorithm)
     else:
         choice = choose_backend(
-            pref, len(relation), backend, stats=stats, partitions=partitions
+            pref, len(relation), backend, stats=stats, partitions=partitions,
+            constraints=constraints,
         )
         if choice.columnar:
             node = ColumnarPreferenceSelect(
@@ -582,6 +610,7 @@ def plan(
             cardinality=len(relation),
             stats=stats,
             partitions=partitions,
+            constraints=constraints,
         )
         node, plan_steps = _rewrite.rewrite_plan(node, ctx)
         rewrites.extend(plan_steps)

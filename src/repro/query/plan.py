@@ -54,7 +54,7 @@ class PlanNode:
         return "\n".join(self.lines())
 
 
-@dataclass
+@dataclass(frozen=True)
 class Scan(PlanNode):
     """Leaf: read a base relation."""
 
@@ -71,7 +71,7 @@ class Scan(PlanNode):
         ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class HardSelect(PlanNode):
     """Exact-match selection — the hard constraints of the WHERE clause.
 
@@ -96,7 +96,7 @@ class HardSelect(PlanNode):
         return [f"{pad}HardSelect[{self.label}]", *self.child.lines(indent + 1)]
 
 
-@dataclass
+@dataclass(frozen=True)
 class PreferenceSelect(PlanNode):
     """The BMO operator ``sigma[P](...)`` with a chosen algorithm."""
 
@@ -120,7 +120,7 @@ class PreferenceSelect(PlanNode):
         ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class ColumnarPreferenceSelect(PlanNode):
     """``sigma[P](...)`` on the columnar backend (:mod:`repro.engine`).
 
@@ -165,7 +165,7 @@ class ColumnarPreferenceSelect(PlanNode):
         ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class GroupedPreferenceSelect(PlanNode):
     """``sigma[P groupby A](...)`` (Definition 16)."""
 
@@ -201,7 +201,7 @@ class GroupedPreferenceSelect(PlanNode):
         ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class Cascade(PlanNode):
     """A cascade of preference selections (Proposition 11).
 
@@ -230,7 +230,80 @@ class Cascade(PlanNode):
         return out
 
 
-@dataclass
+@dataclass(frozen=True)
+class SortedWinnow(PlanNode):
+    """``sigma[P](...)`` for a term proved a **weak order** on its input.
+
+    Chomicki's semantic optimization (cs/0402003): when integrity
+    constraints prove the preference is a weak order on every instance the
+    input can be, the BMO set is exactly the first ORDER BY group — no
+    dominance testing is needed.  Execution is a single argmax pass: rank
+    every row by the term's score (or a chain's order-compatible key) and
+    keep the rows achieving the best rank.  ``constraint`` records the
+    proof's provenance and is printed by ``explain()``.
+    """
+
+    child: PlanNode
+    pref: Preference
+    #: Constraint provenance of the weak-order proof (shown in explain()).
+    constraint: str = ""
+    #: True when a key makes the first group provably a single tuple.
+    singleton: bool = False
+
+    def execute(self) -> Relation:
+        from repro.query.algorithms import compatible_sort_key
+        from repro.core.base_numerical import (
+            HighestPreference,
+            LowestPreference,
+            score_function_of,
+        )
+
+        rel = self.child.execute()
+        if len(rel) <= 1:
+            return rel
+        # Fast path: single-attribute HIGHEST/LOWEST argmax directly over
+        # the cached column vector (builtin max/min, no per-row closures).
+        pref = self.pref
+        if isinstance(pref, (HighestPreference, LowestPreference)):
+            attribute = pref.attributes[0]
+            try:
+                values = rel.columns()[attribute]
+                best = (
+                    max(values) if isinstance(pref, HighestPreference)
+                    else min(values)
+                )
+            except (TypeError, KeyError):
+                pass  # nulls / mixed types: fall through to the row scan
+            else:
+                return rel.take(
+                    i for i, v in enumerate(values) if v == best
+                )
+        score = score_function_of(pref)
+        if score is None:
+            score = compatible_sort_key(pref)
+        if score is None:  # unreachable for rule-built nodes; stay safe
+            return winnow(pref, rel)
+        rows = rel.rows()
+        try:
+            ranked = [score(row) for row in rows]
+            best = max(ranked)
+        except TypeError:
+            return winnow(pref, rel)
+        return rel.take(i for i, r in enumerate(ranked) if r == best)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        shape = "single best tuple" if self.singleton else "first sort group"
+        out = [
+            f"{pad}SortedWinnow[{self.pref!r}] (weak order: {shape})",
+        ]
+        if self.constraint:
+            out.append(f"{pad}  constraint: {self.constraint}")
+        out.extend(self.child.lines(indent + 1))
+        return out
+
+
+@dataclass(frozen=True)
 class TopK(PlanNode):
     """k-best retrieval for SCORE / rank(F) preferences (Section 6.2)."""
 
@@ -263,7 +336,7 @@ class TopK(PlanNode):
         ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class ButOnly(PlanNode):
     """Quality supervision of a BMO result (the BUT ONLY clause)."""
 
@@ -280,7 +353,7 @@ class ButOnly(PlanNode):
         return [f"{pad}ButOnly[{conds}]", *self.child.lines(indent + 1)]
 
 
-@dataclass
+@dataclass(frozen=True)
 class OrderBy(PlanNode):
     """Presentation ordering (the ORDER BY clause).
 
@@ -306,7 +379,7 @@ class OrderBy(PlanNode):
         return [f"{pad}OrderBy[{keys}]", *self.child.lines(indent + 1)]
 
 
-@dataclass
+@dataclass(frozen=True)
 class Project(PlanNode):
     """Column projection (the SELECT list)."""
 
@@ -324,7 +397,7 @@ class Project(PlanNode):
         ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class Limit(PlanNode):
     child: PlanNode
     k: int
@@ -337,7 +410,7 @@ class Limit(PlanNode):
         return [f"{pad}Limit[{self.k}]", *self.child.lines(indent + 1)]
 
 
-@dataclass
+@dataclass(frozen=True)
 class Plan:
     """A rooted plan plus optimizer provenance.
 

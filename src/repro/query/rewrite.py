@@ -49,6 +49,25 @@ Rule catalog (names as they appear in the trace):
     empty-domain normalization collapsed the term) or over a provably
     empty / single-tuple input is the identity and is removed.
 
+``remove_redundant_winnow``
+    Chomicki's semantic elimination (cs/0402003): integrity constraints
+    from the analyzer's registry (declared on the schema or derived from
+    statistics) prove the winnow is the identity — either the whole term
+    is indifferent on every constraint-satisfying instance (all its
+    attributes constant, or a BETWEEN interval covering the column's
+    proven value range), or equality selections below pin a key and the
+    input is at most one tuple.  The trace names the constraints used.
+
+``winnow_to_sort``
+    Constraints prove the term a **weak order** on the input, so the BMO
+    set is the first ORDER-BY group and the winnow becomes a
+    :class:`~repro.query.plan.SortedWinnow` (one argmax pass, no
+    dominance tests).  Fires structurally when constraint pruning shrank
+    the term or a key inside a chain head makes the stage-one BMO a
+    single tuple (Proposition 11 then discharges all later stages); when
+    the planner's algorithm is already sort-based, a key on the chain's
+    attributes is recorded as a certification instead.
+
 The rigidity analyses are deliberately *syntactic and conservative*: a
 ``None``/``False`` answer only costs an optimization, while a wrong
 positive would change results — the hypothesis suite in
@@ -85,13 +104,16 @@ from repro.query.plan import (
     PlanNode,
     PreferenceSelect,
     Scan,
+    SortedWinnow,
 )
 from repro.query.quality import QualityCondition, base_preferences_by_attribute
 
 #: Version of the rewrite rule set.  Participates in the plan-cache
 #: fingerprint (:meth:`repro.query.api.PreferenceQuery.fingerprint`), so
 #: cached plans built by an older rule set can never be replayed.
-RULESET_VERSION = 1
+#: 2: constraint-driven semantic rules (winnow_to_sort,
+#: remove_redundant_winnow).
+RULESET_VERSION = 2
 
 #: One recorded rewrite: ``(rule, before, after)`` — the shape the term
 #: rewriter uses, so plan-level and term-level steps share one trace.
@@ -337,6 +359,12 @@ class RewriteContext:
     stats: Any = None
     #: Explicit partition count of a backend="parallel" hint, if any.
     partitions: int | None = None
+    #: Integrity constraints proved for the planned relation (a
+    #: :class:`repro.analysis.constraints.ConstraintSet`: declared schema
+    #: constraints plus statistics-derived keys/constants/bounds).  The
+    #: semantic rules (winnow_to_sort, remove_redundant_winnow) only fire
+    #: when this is populated.
+    constraints: Any = None
     noted: set = field(default_factory=set)
 
 
@@ -579,16 +607,107 @@ def _rule_drop_trivial(
     return node.child, _head(node), f"(identity: {reason})"
 
 
-#: Rule order matters only for trace readability: selections move first,
-#: then terms specialize, then trivial winnows evaporate.  The driver
-#: runs the list to fixpoint either way.
+def _fixed_below(node: PlanNode) -> frozenset[str]:
+    """Attributes pinned to constants by equality selections below a winnow."""
+    fixed: frozenset[str] = frozenset()
+    below = node.child
+    while isinstance(below, HardSelect):
+        if below.ast is not None:
+            fixed |= fixed_attributes(below.ast)
+        below = below.child
+    return fixed
+
+
+def _rule_remove_redundant(
+    node: PlanNode, ctx: RewriteContext
+) -> tuple[PlanNode, str, str] | None:
+    """Constraint-proved identity winnows disappear (Chomicki cs/0402003).
+
+    Both proofs are hereditary under selection (keys, constants and
+    bounds survive on any row subset), so firing below WHERE stacks is
+    sound.
+    """
+    if ctx.forced_algorithm is not None:
+        return None
+    constraints = ctx.constraints
+    if not constraints:
+        return None
+    if not isinstance(node, _WINNOWS):
+        return None
+    from repro.analysis.semantics import semantic_prune
+
+    pref = _winnow_pref(node)
+    pruned, notes = semantic_prune(pref, constraints)
+    if pruned is None:
+        return (
+            node.child,
+            _head(node),
+            f"(identity: preference indifferent; {'; '.join(notes)})",
+        )
+    fixed = _fixed_below(node)
+    if fixed:
+        key = constraints.key_within(fixed)
+        if key is not None:
+            return (
+                node.child,
+                _head(node),
+                f"(identity: equality on {key.describe()} [{key.source}] "
+                "bounds the input to one tuple)",
+            )
+    return None
+
+
+def _rule_winnow_to_sort(
+    node: PlanNode, ctx: RewriteContext
+) -> tuple[PlanNode, str, str] | None:
+    """Weak order under constraints ⇒ ORDER BY + first group."""
+    if ctx.forced_algorithm is not None:
+        return None
+    if ctx.backend in ("columnar", "parallel"):
+        return None  # honor the caller's explicit engine hint
+    constraints = ctx.constraints
+    if not constraints:
+        return None
+    if not isinstance(node, (PreferenceSelect, ColumnarPreferenceSelect)):
+        return None
+    from repro.analysis.semantics import weak_order_reduction
+
+    reduction = weak_order_reduction(node.pref, constraints)
+    if reduction is None or not (reduction.changed or reduction.singleton):
+        return None
+    provenance = "; ".join(reduction.provenance)
+    if not reduction.changed:
+        # The planner's algorithm for a weak order is already sort-based;
+        # certify (trace-only) that a key makes its first group one tuple.
+        return (
+            node,
+            _head(node),
+            f"sorted one-pass evaluation, best-matches set is a single "
+            f"tuple ({provenance})",
+        )
+    new_node = SortedWinnow(
+        node.child, reduction.pref,
+        constraint=provenance, singleton=reduction.singleton,
+    )
+    return new_node, _head(node), _head(new_node)
+
+
+#: Rule order: selections move first, terms specialize, trivial winnows
+#: evaporate (cheap structural identities keep their traditional trace
+#: names), then the semantic (constraint-driven) rules fire, then chains
+#: cascade.  The driver runs the list to fixpoint either way.
 PLAN_RULES: tuple[tuple[str, Callable[..., Any]], ...] = (
     ("push_select_below_winnow", _rule_push_select),
     ("push_select_below_winnow", _rule_push_quality),
     ("prune_constant_pref", _rule_prune_constant),
+    ("drop_trivial_winnow", _rule_drop_trivial),
+    ("remove_redundant_winnow", _rule_remove_redundant),
+    # winnow_to_sort must see prioritizations whole (its key-in-chain-head
+    # proof discharges *all* later stages at once), so it runs before
+    # split_prio gets a chance to cascade them.
+    ("winnow_to_sort", _rule_winnow_to_sort),
     ("split_prio", _rule_split_prio),
     ("decompose_pareto", _rule_decompose_pareto),
-    ("drop_trivial_winnow", _rule_drop_trivial),
 )
 
 _MAX_PASSES = 32

@@ -80,6 +80,22 @@ class Relation:
     def with_name(self, name: str) -> "Relation":
         return Relation(name, self.schema, self._rows, validate=False)
 
+    def declare(self, *constraints: Any) -> "Relation":
+        """A copy of this relation with integrity constraints declared.
+
+        ``constraints`` are :class:`repro.relations.schema.Constraint`
+        objects (:class:`~repro.relations.schema.Key`, ...); the analyzer
+        and the semantic rewrite rules treat them as proved facts, so only
+        declare what actually holds — declared constraints are *trusted*,
+        not re-verified against the rows.
+        """
+        return Relation(
+            self.name,
+            self.schema.with_constraints(*constraints),
+            self._rows,
+            validate=False,
+        )
+
     # -- basics ----------------------------------------------------------------
 
     @property
@@ -167,6 +183,21 @@ class Relation:
             self.name,
             self.schema,
             (r for r in self._rows if predicate(r)),
+            validate=False,
+        )
+
+    def take(self, indices: Iterable[int]) -> "Relation":
+        """The sub-relation at the given row positions (in given order).
+
+        The positional twin of :meth:`select`, for callers that computed
+        which rows to keep from the cached column vectors (argmax scans)
+        and should not pay a per-row predicate call.
+        """
+        rows = self._rows
+        return Relation(
+            self.name,
+            self.schema,
+            (rows[i] for i in indices),
             validate=False,
         )
 

@@ -71,10 +71,188 @@ class Attribute:
         return f"Attribute({self.name!r}, {self.data_type.__name__})"
 
 
-class Schema:
-    """An ordered collection of uniquely named attributes."""
+class Constraint:
+    """Base class for declared integrity constraints.
 
-    def __init__(self, attributes: Iterable[Attribute | str | tuple[str, type]]):
+    Constraints are *metadata*: they ride on a :class:`Schema` but never
+    participate in schema equality or hashing, so declaring a key does not
+    change which relations compare equal.  The ``source`` field records
+    provenance — ``"declared"`` for user declarations, or a statistics
+    source string like ``"statistics(car)"`` for constraints derived from
+    :mod:`repro.relations.stats` — and is surfaced verbatim in rewrite
+    traces and diagnostics.
+    """
+
+    __slots__ = ()
+
+    #: Attribute names the constraint mentions (checked against the schema).
+    def attribute_names(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class Key(Constraint):
+    """No two tuples agree on all of ``attributes`` (candidate key)."""
+
+    __slots__ = ("attributes", "source")
+
+    def __init__(self, attributes: Sequence[str] | str, source: str = "declared"):
+        if isinstance(attributes, str):
+            attributes = (attributes,)
+        if not attributes:
+            raise SchemaError("a key needs at least one attribute")
+        self.attributes = tuple(attributes)
+        self.source = source
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.attributes
+
+    def describe(self) -> str:
+        return f"key({', '.join(self.attributes)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Key):
+            return NotImplemented
+        return set(self.attributes) == set(other.attributes)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.attributes))
+
+
+class FunctionalDependency(Constraint):
+    """``determinants -> dependents``: agreeing on the left fixes the right."""
+
+    __slots__ = ("determinants", "dependents", "source")
+
+    def __init__(
+        self,
+        determinants: Sequence[str] | str,
+        dependents: Sequence[str] | str,
+        source: str = "declared",
+    ):
+        if isinstance(determinants, str):
+            determinants = (determinants,)
+        if isinstance(dependents, str):
+            dependents = (dependents,)
+        if not determinants or not dependents:
+            raise SchemaError("a functional dependency needs both sides")
+        self.determinants = tuple(determinants)
+        self.dependents = tuple(dependents)
+        self.source = source
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.determinants + self.dependents
+
+    def describe(self) -> str:
+        return (
+            f"fd({', '.join(self.determinants)} -> "
+            f"{', '.join(self.dependents)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return (
+            set(self.determinants) == set(other.determinants)
+            and set(self.dependents) == set(other.dependents)
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.determinants), frozenset(self.dependents)))
+
+
+class NotNull(Constraint):
+    """The attribute is never null (``None`` or NaN)."""
+
+    __slots__ = ("attribute", "source")
+
+    def __init__(self, attribute: str, source: str = "declared"):
+        self.attribute = attribute
+        self.source = source
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    def describe(self) -> str:
+        return f"not_null({self.attribute})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NotNull):
+            return NotImplemented
+        return self.attribute == other.attribute
+
+    def __hash__(self) -> int:
+        return hash(("not_null", self.attribute))
+
+
+#: Comparison operators a check constraint may use.
+CHECK_OPS = ("=", "<=", ">=")
+
+
+class Check(Constraint):
+    """A per-attribute check constraint ``attribute OP value``.
+
+    ``=`` declares the column constant; ``<=`` / ``>=`` declare an upper /
+    lower bound.  That small language is all the semantic rewrites need:
+    constants collapse preference components, and bounds decide when a
+    BETWEEN interval covers the whole column.
+    """
+
+    __slots__ = ("attribute", "op", "value", "source")
+
+    def __init__(self, attribute: str, op: str, value: Any,
+                 source: str = "declared"):
+        if op not in CHECK_OPS:
+            raise SchemaError(
+                f"check constraint operator must be one of {CHECK_OPS}, "
+                f"got {op!r}"
+            )
+        self.attribute = attribute
+        self.op = op
+        self.value = value
+        self.source = source
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    def describe(self) -> str:
+        return f"check({self.attribute} {self.op} {self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Check):
+            return NotImplemented
+        return (
+            self.attribute == other.attribute
+            and self.op == other.op
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return hash(("check", self.attribute, self.op, self.value))
+        except TypeError:
+            return hash(("check", self.attribute, self.op))
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes.
+
+    A schema may carry declared :class:`Constraint` objects; they are
+    validated against the attribute names but deliberately excluded from
+    ``__eq__`` / ``__hash__`` (constraints are facts *about* instances,
+    not part of the type).
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[Attribute | str | tuple[str, type]],
+        constraints: Iterable[Constraint] = (),
+    ):
         cooked: list[Attribute] = []
         seen: set[str] = set()
         for spec in attributes:
@@ -93,6 +271,14 @@ class Schema:
             raise SchemaError("a schema needs at least one attribute")
         self._attributes = tuple(cooked)
         self._by_name = {a.name: a for a in cooked}
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+        for constraint in self.constraints:
+            for name in constraint.attribute_names():
+                if name not in self._by_name:
+                    raise SchemaError(
+                        f"constraint {constraint.describe()} mentions unknown "
+                        f"attribute {name!r}; schema has {list(self.names)}"
+                    )
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -137,16 +323,34 @@ class Schema:
                 raise SchemaError(f"row lacks attribute {attr.name!r}")
             attr.validate(row[attr.name])
 
+    def with_constraints(self, *constraints: Constraint) -> "Schema":
+        """A copy of this schema with additional declared constraints."""
+        merged = list(self.constraints)
+        for constraint in constraints:
+            if constraint not in merged:
+                merged.append(constraint)
+        return Schema(self._attributes, merged)
+
     def project(self, names: Sequence[str]) -> "Schema":
-        """Sub-schema for the given attribute names (order as requested)."""
-        return Schema([self[n] for n in names])
+        """Sub-schema for the given attribute names (order as requested).
+
+        Constraints survive projection when every attribute they mention
+        survives (keys and checks remain true on any column subset).
+        """
+        kept = set(names)
+        constraints = [
+            c for c in self.constraints
+            if kept.issuperset(c.attribute_names())
+        ]
+        return Schema([self[n] for n in names], constraints)
 
     def rename(self, mapping: dict[str, str]) -> "Schema":
         renamed = []
         for attr in self._attributes:
             new_name = mapping.get(attr.name, attr.name)
             renamed.append(Attribute(new_name, attr.data_type))
-        return Schema(renamed)
+        constraints = [_rename_constraint(c, mapping) for c in self.constraints]
+        return Schema(renamed, constraints)
 
     def join(self, other: "Schema") -> "Schema":
         """Union schema for natural joins: shared names must agree on type."""
@@ -199,3 +403,27 @@ class Schema:
             for a in self._attributes
         )
         return f"Schema({inner})"
+
+
+def _rename_constraint(constraint: Constraint, mapping: dict[str, str]) -> Constraint:
+    def ren(names: Sequence[str]) -> tuple[str, ...]:
+        return tuple(mapping.get(n, n) for n in names)
+
+    if isinstance(constraint, Key):
+        return Key(ren(constraint.attributes), constraint.source)
+    if isinstance(constraint, FunctionalDependency):
+        return FunctionalDependency(
+            ren(constraint.determinants), ren(constraint.dependents),
+            constraint.source,
+        )
+    if isinstance(constraint, NotNull):
+        return NotNull(
+            mapping.get(constraint.attribute, constraint.attribute),
+            constraint.source,
+        )
+    if isinstance(constraint, Check):
+        return Check(
+            mapping.get(constraint.attribute, constraint.attribute),
+            constraint.op, constraint.value, constraint.source,
+        )
+    return constraint

@@ -139,6 +139,40 @@ class TableStats:
         )
 
 
+def derive_column_constraints(stats: ColumnStats, source: str) -> list:
+    """Integrity constraints a column's statistics prove on this instance.
+
+    Relations are immutable, so instance-level facts are as good as
+    declared constraints for the lifetime of the relation:
+
+    * ``distinct == count`` (and no nulls) ⇒ the column is a key,
+    * ``minimum == maximum`` (and no nulls) ⇒ the column is constant,
+    * ``null_fraction == 0`` ⇒ the column is not-null,
+    * orderable columns additionally yield ``>= minimum`` / ``<= maximum``
+      bounds (used to prove BETWEEN intervals cover a whole column).
+
+    ``source`` is the provenance label stitched into every derived
+    constraint (normally :attr:`TableStats.source`).
+    """
+    from repro.relations.schema import Check, Key, NotNull
+
+    derived: list = []
+    if stats.count == 0:
+        return derived
+    no_nulls = stats.null_fraction == 0.0
+    if no_nulls:
+        derived.append(NotNull(stats.attribute, source))
+        if stats.distinct == stats.count:
+            derived.append(Key((stats.attribute,), source))
+        if stats.minimum is not None and stats.minimum == stats.maximum:
+            derived.append(Check(stats.attribute, "=", stats.minimum, source))
+    if stats.minimum is not None:
+        derived.append(Check(stats.attribute, ">=", stats.minimum, source))
+    if stats.maximum is not None:
+        derived.append(Check(stats.attribute, "<=", stats.maximum, source))
+    return derived
+
+
 def relation_stats(relation: "Relation") -> TableStats:
     """The (cached) :class:`TableStats` of a relation.
 

@@ -168,6 +168,8 @@ class PreferenceService:
         format; SCORE / rank(F) function names resolve against the
         session's function registry.
         """
+        from repro.analysis.diagnostics import DiagnosticError
+
         if (sql is None) == (spec is None):
             raise ServiceError("pass exactly one of sql= or spec=")
         try:
@@ -176,6 +178,10 @@ class PreferenceService:
             return self._query_from_spec(spec or {})
         except ServiceError:
             raise
+        except DiagnosticError as exc:
+            # The static analyzer rejected the query at build time; keep
+            # the PQ code + structured message intact for clients.
+            raise ServiceError(f"invalid query: {exc}") from exc
         except Exception as exc:
             raise ServiceError(f"bad query: {exc}") from exc
 

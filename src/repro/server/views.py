@@ -184,10 +184,13 @@ class ViewRegistry:
             view = self._views.get(spec.key)
             if view is not None:
                 return view
-            view = ContinuousView(spec)
-            view.seed(rows, version)
-            self._views[spec.key] = view
-            return view
+        # Seeding is O(snapshot x window) — do it outside the registry
+        # lock; a concurrent same-spec register seeds twice and the
+        # setdefault race picks one winner (both are correct).
+        fresh = ContinuousView(spec)
+        fresh.seed(rows, version)
+        with self._lock:
+            return self._views.setdefault(spec.key, fresh)
 
     def adopt(self, view: ContinuousView) -> ContinuousView:
         """Register an externally seeded view; returns the registered one

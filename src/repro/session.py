@@ -140,6 +140,24 @@ class Session:
         """Register a scoring/combining function for SCORE / RANK atoms."""
         self.functions[name] = fn
 
+    def declare_constraints(self, name: str, *constraints: Any) -> Relation:
+        """Attach declared integrity constraints to a catalog relation.
+
+        Re-registers ``name`` with the constraints added to its schema
+        (see :meth:`Relation.declare`) and returns the new relation.  The
+        replacement bumps the catalog version, so cached plans over the
+        old, constraint-free schema are naturally invalidated.  Declared
+        constraints are trusted — they are not re-verified against the
+        rows — and feed the static analyzer and the semantic rewrite
+        rules (``winnow_to_sort`` / ``remove_redundant_winnow``)
+        alongside statistics-derived ones.
+        """
+        if not constraints:
+            raise ValueError("declare_constraints() needs at least one")
+        declared = self.catalog.get(name).declare(*constraints)
+        self.catalog.register(declared, replace=True)
+        return declared
+
     # -- mutations --------------------------------------------------------------
 
     def on_mutation(

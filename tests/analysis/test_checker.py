@@ -1,0 +1,273 @@
+"""Golden-message tests: one per diagnostic code the analyzer can emit.
+
+Each test pins the code, severity, clause, and message shape of a
+``PQxxx`` diagnostic (the catalog in
+:mod:`repro.analysis.diagnostics` is the single source of truth), plus
+the fail-fast ``DiagnosticError`` path the query builder takes when the
+schema is resolvable at construction time.
+"""
+
+import pytest
+
+from repro.analysis import CATALOG, check_query
+from repro.analysis.diagnostics import (
+    CheckResult,
+    Diagnostic,
+    DiagnosticError,
+    sort_diagnostics,
+)
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    RankPreference,
+    pareto,
+)
+from repro.core.preference import Preference
+from repro.session import Session
+
+
+@pytest.fixture
+def session():
+    return Session({"car": [
+        {"make": "Opel", "price": 30_000, "power": 90},
+        {"make": "Ford", "price": 35_000, "power": 110},
+        {"make": "Fiat", "price": 25_000, "power": 75},
+    ]})
+
+
+def _codes(result):
+    return [d.code for d in result]
+
+
+def _only(result, code):
+    found = [d for d in result if d.code == code]
+    assert len(found) == 1, f"expected exactly one {code}, got {_codes(result)}"
+    return found[0]
+
+
+class TestGoldenMessages:
+    def test_pq100_unknown_relation(self):
+        result = Session({}).query("absent").check()
+        diagnostic = _only(result, "PQ100")
+        assert diagnostic.severity == "error"
+        assert "absent" in diagnostic.message
+        assert not result.ok
+
+    def test_pq101_unknown_attribute_in_preference(self, session):
+        # Bind the preference before the relation exists: the builder
+        # cannot fail fast, so the checker reports the dangling name.
+        query = session.query("boat").prefer(HighestPreference("speed"))
+        session.register("boat", [{"length": 7.5}])
+        diagnostic = _only(query.check(), "PQ101")
+        assert str(diagnostic) == (
+            "PQ101 error [preferring]: unknown attribute 'speed'; "
+            "relation has ['length']"
+        )
+
+    def test_pq102_numeric_constructor_on_text_column(self, session):
+        query = session.query("car").prefer(AroundPreference("make", 5))
+        diagnostic = _only(query.check(), "PQ102")
+        assert diagnostic.attribute == "make"
+        assert "BETWEEN/AROUND needs a numeric attribute" in diagnostic.message
+        assert "str" in diagnostic.message
+
+    def test_pq103_score_arity(self, session):
+        pref = ScorePreference("price", lambda value, extra: value)
+        diagnostic = _only(
+            session.query("car").prefer(pref).check(), "PQ103"
+        )
+        assert "exactly one argument" in diagnostic.message
+
+    def test_pq103_rank_combiner_arity(self, session):
+        pref = RankPreference(
+            lambda a, b, c: a,  # three args, two children
+            [AroundPreference("price", 30_000), HighestPreference("power")],
+        )
+        diagnostic = _only(
+            session.query("car").prefer(pref).check(), "PQ103"
+        )
+        assert "RANK combiner takes 3 argument(s)" in diagnostic.message
+        assert "2 children" in diagnostic.message
+
+    def test_pq104_unknown_where_attribute(self, session):
+        query = session.query("yacht").where(beam__le=3)
+        session.register("yacht", [{"length": 9.0}])
+        diagnostic = _only(query.check(), "PQ104")
+        assert diagnostic.clause == "where"
+        assert "'beam'" in diagnostic.message
+
+    def test_pq105_where_literal_type_mismatch(self, session):
+        query = session.query("car").where(price="cheap")
+        diagnostic = _only(query.check(), "PQ105")
+        assert diagnostic.attribute == "price"
+        assert "expects int" in diagnostic.message
+
+    def test_pq106_unknown_clause_attribute(self, session):
+        query = session.query("dinghy").groupby("colour")
+        session.register("dinghy", [{"length": 3.0}])
+        diagnostic = _only(query.check(), "PQ106")
+        assert diagnostic.clause == "grouping"
+
+    def test_pq107_but_only_without_base_preference(self, session):
+        query = (
+            session.query("car")
+            .prefer(HighestPreference("power"))
+            .but_only(("distance", "price", "<=", 2000))
+        )
+        diagnostic = _only(query.check(), "PQ107")
+        assert "no base preference ranges over 'price'" in diagnostic.message
+
+    def test_pq108_top_without_score_semantics(self, session):
+        query = (
+            session.query("car")
+            .prefer(pareto(
+                AroundPreference("price", 30_000),
+                HighestPreference("power"),
+            ))
+            .top(2)
+        )
+        diagnostic = _only(query.check(), "PQ108")
+        assert diagnostic.clause == "top"
+        assert "RANK/SCORE" in diagnostic.message
+
+    def test_pq201_disjoint_union_overlap_is_warning(self, session):
+        pref = DisjointUnionPreference([
+            PosPreference("make", {"Opel"}),
+            PosPreference("make", {"Opel", "Ford"}),
+        ])
+        result = session.query("car").prefer(pref).check()
+        diagnostic = _only(result, "PQ201")
+        assert diagnostic.severity == "warning"
+        assert "on sampled rows" in diagnostic.message
+        assert result.ok  # warnings do not fail a check
+
+    def test_pq202_strict_order_violation_on_probe(self, session):
+        class Reflexive(Preference):
+            @property
+            def signature(self):
+                return ("broken", self.attribute_set)
+
+            def _lt(self, x, y):
+                return True  # x < x: violates irreflexivity
+
+        result = (
+            session.query("car").prefer(Reflexive(("price",))).check()
+        )
+        diagnostic = _only(result, "PQ202")
+        assert "on sampled rows" in diagnostic.message
+
+    def test_pq301_constraint_proved_fact_is_info(self):
+        session = Session({"listing": [
+            {"rating": float(i), "price": 100 * i} for i in range(20)
+        ]})
+        result = (
+            session.query("listing")
+            .prefer(HighestPreference("rating"))
+            .check()
+        )
+        diagnostic = _only(result, "PQ301")
+        assert diagnostic.severity == "info"
+        assert "key(rating)" in diagnostic.message
+        assert result.ok
+
+
+class TestCheckResult:
+    def test_sorted_most_severe_first(self):
+        result = CheckResult(sort_diagnostics([
+            Diagnostic("PQ301", "c"),
+            Diagnostic("PQ101", "a"),
+            Diagnostic("PQ201", "b"),
+        ]))
+        assert [d.code for d in result] == ["PQ101", "PQ201", "PQ301"]
+        assert len(result.errors) == len(result.warnings) == 1
+
+    def test_raise_for_errors(self):
+        result = CheckResult((Diagnostic("PQ101", "bad"),))
+        with pytest.raises(DiagnosticError) as excinfo:
+            result.raise_for_errors()
+        assert excinfo.value.diagnostic.code == "PQ101"
+        clean = CheckResult((Diagnostic("PQ301", "fact"),))
+        assert clean.raise_for_errors() is clean
+
+    def test_catalog_covers_every_code_in_use(self):
+        assert set(CATALOG) == {
+            "PQ100", "PQ101", "PQ102", "PQ103", "PQ104", "PQ105",
+            "PQ106", "PQ107", "PQ108", "PQ201", "PQ202", "PQ301",
+        }
+        for code, (severity, title) in CATALOG.items():
+            assert severity in ("error", "warning", "info")
+            assert title
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("PQ999", "nope")
+
+
+class TestFailFast:
+    def test_where_keyword_typo_raises_at_builder_time(self, session):
+        with pytest.raises(DiagnosticError) as excinfo:
+            session.query("car").where(pwoer__ge=100)
+        assert excinfo.value.diagnostic.code == "PQ104"
+        assert "pwoer" in str(excinfo.value)
+
+    def test_prefer_unknown_attribute_raises(self, session):
+        with pytest.raises(DiagnosticError) as excinfo:
+            session.query("car").prefer(HighestPreference("horsepower"))
+        assert excinfo.value.diagnostic.code == "PQ101"
+
+    def test_clause_attributes_raise_pq106(self, session):
+        for build in (
+            lambda q: q.groupby("ocean"),
+            lambda q: q.select("ocean"),
+            lambda q: q.order_by("ocean"),
+            lambda q: q.but_only(("distance", "ocean", "<=", 1)),
+        ):
+            with pytest.raises(DiagnosticError) as excinfo:
+                build(session.query("car"))
+            assert excinfo.value.diagnostic.code == "PQ106"
+
+    def test_unresolvable_schema_defers_to_check(self, session):
+        from repro.query.api import PreferenceQuery
+
+        # Row-list sources infer their schema lazily: no fail-fast.
+        query = PreferenceQuery.over([{"a": 1}]).where(b=2)
+        assert query is not None
+
+    def test_service_rejects_invalid_spec_with_pq_code(self, session):
+        from repro.server.service import PreferenceService, ServiceError
+
+        service = PreferenceService({"car": [
+            {"make": "Opel", "price": 30_000},
+        ]})
+        try:
+            with pytest.raises(ServiceError, match="PQ104"):
+                service.build_query(spec={
+                    "relation": "car",
+                    "where": [["pricey", "=", 1]],
+                })
+        finally:
+            service.close()
+
+
+class TestExplainDiagnostics:
+    def test_explain_appends_warning_section(self, session):
+        pref = DisjointUnionPreference([
+            PosPreference("make", {"Opel"}),
+            PosPreference("make", {"Opel", "Ford"}),
+        ])
+        text = session.query("car").prefer(pref).explain()
+        assert "diagnostics:" in text
+        assert "PQ201 warning" in text
+
+    def test_clean_query_has_no_diagnostics_section(self, session):
+        text = (
+            session.query("car")
+            .prefer(HighestPreference("power"))
+            .explain()
+        )
+        assert "diagnostics:" not in text

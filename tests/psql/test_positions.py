@@ -1,0 +1,102 @@
+"""Source positions on psql tokens and errors.
+
+Every token carries 1-based ``line``/``column`` alongside the historical
+absolute ``position``; lexer and parser errors quote all three so a
+multi-line statement's diagnostics point at the offending spot.
+"""
+
+import pytest
+
+from repro.psql.executor import PreferenceSQL
+from repro.psql.lexer import LexError, tokenize
+from repro.psql.parser import ParseError, parse
+
+
+def _by_value(tokens, value):
+    matches = [t for t in tokens if t.value == value]
+    assert matches, f"no token with value {value!r}"
+    return matches[0]
+
+
+class TestTokenPositions:
+    def test_single_line_columns(self):
+        tokens = tokenize("SELECT * FROM car")
+        assert [(t.line, t.column) for t in tokens] == [
+            (1, 1), (1, 8), (1, 10), (1, 15), (1, 18),
+        ]
+
+    def test_multi_line_statement(self):
+        text = "SELECT *\nFROM car\nWHERE price = 10"
+        tokens = tokenize(text)
+        assert _by_value(tokens, "FROM").line == 2
+        assert _by_value(tokens, "FROM").column == 1
+        where = _by_value(tokens, "WHERE")
+        assert (where.line, where.column) == (3, 1)
+        assert _by_value(tokens, 10).line == 3
+        # offsets stay consistent with line/column
+        assert text[where.position:where.position + 5] == "WHERE"
+
+    def test_multi_line_string_literal_advances_line(self):
+        text = "SELECT * FROM car WHERE make = 'two\nlines' AND price = 1"
+        tokens = tokenize(text)
+        assert _by_value(tokens, "two\nlines").line == 1
+        trailing = _by_value(tokens, "AND")
+        assert trailing.line == 2
+
+    def test_eof_token_position(self):
+        tokens = tokenize("SELECT *\nFROM car")
+        eof = tokens[-1]
+        assert eof.kind == "EOF"
+        assert (eof.line, eof.column) == (2, 9)
+
+    def test_repr_is_stable(self):
+        token = tokenize("SELECT")[0]
+        assert repr(token) == "Token(KEYWORD, 'SELECT')"
+
+
+class TestLexErrors:
+    def test_bad_character_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("SELECT *\nFROM car ?")
+        err = excinfo.value
+        assert (err.line, err.column) == (2, 10)
+        assert "line 2, column 10" in str(err)
+
+    def test_unterminated_string_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("SELECT * FROM car WHERE make = 'oops")
+        err = excinfo.value
+        assert err.line == 1
+        assert "unterminated" in str(err)
+
+
+class TestParseErrors:
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT * FROM car\nPREFERRING price LOWEST LOWEST")
+        err = excinfo.value
+        assert err.line == 2
+        assert err.column > 1
+        assert "line 2" in str(err)
+
+    def test_error_names_offending_token(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT * FROM\n\nWHERE x = 1")
+        assert "WHERE" in str(excinfo.value)
+        assert excinfo.value.line == 3
+
+
+class TestCheckEntryPoint:
+    def test_psql_check_reports_diagnostics(self):
+        psql = PreferenceSQL({"car": [{"make": "Opel", "price": 10}]})
+        result = psql.check(
+            "SELECT * FROM car PREFERRING HIGHEST(power)"
+        )
+        assert [d.code for d in result] == ["PQ101"]
+        assert not result.ok
+
+    def test_psql_check_clean_statement(self):
+        psql = PreferenceSQL({"car": [{"make": "Opel", "price": 10}]})
+        assert psql.check(
+            "SELECT * FROM car PREFERRING LOWEST(price)"
+        ).ok

@@ -224,12 +224,31 @@ class TestPlannerIntegration:
         with pytest.raises(ValueError, match="positive"):
             session.query("big").prefer(SKY3).backend("parallel", 0)
 
-    def test_cascades_unaffected(self, session):
-        """Chain prioritizations keep their row-engine cascade even though
-        they now have a columnar form (one composite lexicographic axis):
-        split_prio's linear argmax stages beat the encode-and-sweep."""
+    def test_key_headed_cascade_collapses_to_sorted_winnow(self, session):
+        """``d0`` is continuous, so statistics derive ``key(d0)``: the
+        semantic ``winnow_to_sort`` rule proves the chain head alone picks a
+        single best tuple and later stages never apply."""
+        from repro.query.plan import SortedWinnow
+
         pref = prioritized(LowestPreference("d0"), HighestPreference("d1"))
         p = plan(pref, session.catalog.get("big"))
+        assert isinstance(p.root, SortedWinnow)
+        assert "key(d0)" in p.root.constraint
+
+    def test_cascades_unaffected(self):
+        """Without a key on the chain head, prioritizations keep their
+        row-engine cascade even though they now have a columnar form (one
+        composite lexicographic axis): split_prio's linear argmax stages
+        beat the encode-and-sweep."""
+        from repro.relations.relation import Relation
+        from repro.relations.schema import Schema
+
+        rows = [
+            {"d0": i % 50, "d1": (i * 7) % 40, "d2": i % 3} for i in range(BIG)
+        ]
+        rel = Relation("dup", Schema.infer(rows), rows)
+        pref = prioritized(LowestPreference("d0"), HighestPreference("d1"))
+        p = plan(pref, rel)
         assert isinstance(p.root, Cascade)
 
     @pytest.mark.skipif(not HAS_NUMPY, reason="auto mode needs NumPy")

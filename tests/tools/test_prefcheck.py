@@ -1,0 +1,148 @@
+"""The prefcheck linter: each PC-code fires on a minimal bad example and
+stays quiet on the idiomatic good version — and the real tree is clean."""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from prefcheck import (  # noqa: E402
+    check_repo,
+    check_rule_coverage,
+    check_source,
+)
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+class TestLockScope:
+    def test_planning_under_lock_flagged(self):
+        source = textwrap.dedent("""
+            def cached(self, key, build):
+                with self._lock:
+                    plan = build()
+                    self._cache[key] = plan.execute()
+        """)
+        assert "PC001" in _codes(check_source(source, "session.py"))
+
+    def test_plan_outside_publish_inside_is_clean(self):
+        source = textwrap.dedent("""
+            def cached(self, key, build):
+                with self._lock:
+                    if key in self._cache:
+                        return self._cache[key]
+                plan = build()
+                result = plan.execute()
+                with self._lock:
+                    self._cache[key] = result
+                return result
+        """)
+        assert check_source(source, "session.py") == []
+
+    def test_mutation_lock_also_guarded(self):
+        source = textwrap.dedent("""
+            def mutate(self):
+                with self.mutation_lock:
+                    self.view.seed(rows, version)
+        """)
+        assert "PC001" in _codes(check_source(source, "views.py"))
+
+    def test_unrelated_with_blocks_ignored(self):
+        source = textwrap.dedent("""
+            def load(self):
+                with open("f") as handle:
+                    return handle.read()
+        """)
+        assert check_source(source, "x.py") == []
+
+
+class TestFrozenPlanNodes:
+    def test_mutable_dataclass_in_plan_py_flagged(self):
+        source = textwrap.dedent("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Scan:
+                relation: object
+        """)
+        findings = check_source(source, "src/repro/query/plan.py")
+        assert "PC002" in _codes(findings)
+
+    def test_frozen_dataclass_is_clean(self):
+        source = textwrap.dedent("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Scan:
+                relation: object
+        """)
+        assert check_source(source, "src/repro/query/plan.py") == []
+
+    def test_other_files_may_have_mutable_dataclasses(self):
+        source = textwrap.dedent("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Counter:
+                hits: int = 0
+        """)
+        assert check_source(source, "src/repro/server/metrics.py") == []
+
+
+class TestBareExcept:
+    def test_bare_except_in_server_flagged(self):
+        source = textwrap.dedent("""
+            def handler(self):
+                try:
+                    self.step()
+                except:
+                    pass
+        """)
+        findings = check_source(source, "src/repro/server/service.py")
+        assert "PC004" in _codes(findings)
+
+    def test_typed_except_is_clean(self):
+        source = textwrap.dedent("""
+            def handler(self):
+                try:
+                    self.step()
+                except Exception:
+                    pass
+        """)
+        assert check_source(source, "src/repro/server/service.py") == []
+
+
+class TestRuleCoverage:
+    def test_every_plan_rule_is_referenced_by_a_test(self):
+        assert check_rule_coverage(REPO) == []
+
+    def test_missing_reference_detected(self, tmp_path):
+        (tmp_path / "test_empty.py").write_text("def test_ok(): pass\n")
+        findings = check_rule_coverage(REPO, tests_dir=tmp_path)
+        assert findings and all(f.code == "PC003" for f in findings)
+        names = " ".join(f.message for f in findings)
+        assert "winnow_to_sort" in names
+        assert "remove_redundant_winnow" in names
+
+
+class TestRepoIsClean:
+    def test_src_tree_is_clean(self):
+        assert check_repo([REPO / "src"], REPO) == []
+
+    def test_cli_exit_status(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "prefcheck.py"),
+             str(REPO / "src")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = check_source("def broken(:", "bad.py")
+        assert _codes(findings) == ["PC000"]

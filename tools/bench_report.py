@@ -22,10 +22,15 @@ regresses:
   skyline workload.  Needs NumPy and >= 4 visible cores; below that the
   check is skipped and recorded as skipped with the honest core count —
   parity with serial execution is still asserted.
+* ``semantic_elim`` — the PR-6 acceptance criterion: on a 50k-row
+  workload whose statistics derive a key on the chain head, the
+  semantic ``winnow_to_sort`` rewrite (single-column argmax instead of
+  a dominance winnow) must beat the unoptimized plan by >= 10x, with
+  identical rows.
 
 Usage::
 
-    python tools/bench_report.py --output BENCH_5.json          # CI
+    python tools/bench_report.py --output BENCH_6.json          # CI
     python tools/bench_report.py --quick                        # smoke run
 
 The CI benchmark job uploads the JSON as a build artifact, so regressions
@@ -248,9 +253,61 @@ def bench_view_serving(report: dict, n_rows: int, rounds: int) -> None:
     }
 
 
+def bench_semantic_elim(report: dict, n_rows: int, rounds: int) -> None:
+    """Constraint-eliminated winnow vs. the full dominance winnow.
+
+    ``rating`` is continuous, so statistics derive ``key(rating)``; the
+    ``winnow_to_sort`` rule then proves the prioritized chain head alone
+    selects a single best tuple and replaces the whole winnow with a
+    one-pass column argmax.  ``optimize(False)`` is the honest baseline:
+    the canonical plan never consults the constraint registry.
+    """
+    import random
+
+    from repro.core.base_numerical import AroundPreference
+    from repro.core.constructors import prioritized
+    from repro.session import Session
+
+    rng = random.Random(23)
+    rows = [
+        {
+            "rating": i + rng.random() * 0.5,  # guaranteed pairwise distinct
+            "price": rng.uniform(0, 100_000),
+            "power": rng.uniform(50, 400),
+        }
+        for i in range(n_rows)
+    ]
+    session = Session({"listing": rows})
+    pref = prioritized(
+        HighestPreference("rating"),
+        pareto(AroundPreference("price", 40_000), HighestPreference("power")),
+    )
+    query = session.query("listing").prefer(pref)
+    optimized = query.plan()
+    canonical = query.optimize(False).plan()
+    assert "winnow_to_sort" in query.explain()
+    assert optimized.execute().rows() == canonical.execute().rows()
+
+    canonical_ns = median_ns(canonical.execute, rounds)
+    optimized_ns = median_ns(optimized.execute, rounds)
+    report["benchmarks"][f"semantic_{n_rows}_canonical"] = {
+        "median_ns": canonical_ns, "rounds": rounds,
+    }
+    report["benchmarks"][f"semantic_{n_rows}_eliminated"] = {
+        "median_ns": optimized_ns, "rounds": rounds,
+    }
+    ratio = canonical_ns / optimized_ns
+    report["ratios"]["semantic_elim"] = round(ratio, 2)
+    report["criteria"]["semantic_elim"] = {
+        "ratio": round(ratio, 2),
+        "threshold": 10.0,
+        "pass": ratio >= 10.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_5.json",
+    parser.add_argument("--output", default="BENCH_6.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per benchmark (median is kept)")
@@ -293,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
         }
     bench_rewrite_pushdown(report, n_rows, args.rounds)
     bench_view_serving(report, n_rows, args.rounds)
+    bench_semantic_elim(report, n_rows, args.rounds)
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     failed = [

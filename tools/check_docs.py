@@ -56,6 +56,36 @@ def check_file(path: Path) -> list[str]:
     return errors
 
 
+def lint_snippets(root: Path = REPO_ROOT) -> list[str]:
+    """prefcheck's generic lint over examples/ and every doc code block.
+
+    Documentation and examples teach the idioms the linter enforces on
+    the source tree, so they are held to the same rules (the lock-scope
+    check applies anywhere; snippets never define plan nodes or server
+    handlers, so the per-path checks stay dormant).
+    """
+    sys.path.insert(0, str(root / "tools"))
+    try:
+        from prefcheck import check_source
+    finally:
+        sys.path.pop(0)
+    findings: list[str] = []
+    for path in sorted((root / "examples").glob("*.py")):
+        findings += [
+            str(f) for f in check_source(
+                path.read_text(), str(path.relative_to(root)),
+            )
+        ]
+    for path in doc_files(root):
+        for number, source in enumerate(python_blocks(path.read_text()), 1):
+            findings += [
+                str(f) for f in check_source(
+                    source, f"{path.relative_to(root)}[block {number}]",
+                )
+            ]
+    return findings
+
+
 def check_all(root: Path = REPO_ROOT) -> list[str]:
     """Run all doc code blocks; return the list of failures (empty = good)."""
     src = root / "src"
@@ -71,12 +101,18 @@ def check_all(root: Path = REPO_ROOT) -> list[str]:
 
 def main() -> int:
     errors = check_all()
+    lint = lint_snippets()
+    if lint:
+        print(f"\n{len(lint)} prefcheck finding(s) in docs/examples:")
+        for finding in lint:
+            print(f"  {finding}")
     if errors:
         print(f"\n{len(errors)} documentation block(s) failed:\n")
         for error in errors:
             print(error)
+    if errors or lint:
         return 1
-    print("all documentation code blocks ran cleanly")
+    print("all documentation code blocks ran cleanly (prefcheck included)")
     return 0
 
 

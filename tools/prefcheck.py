@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""prefcheck: repo-specific lint for the preference-query codebase.
+
+Four AST-level checks encode invariants the test suite cannot express as
+unit tests (they quantify over *all* code, current and future):
+
+* **PC001 — no planning under a session lock.**  Query planning and plan
+  execution are expensive and re-entrant (planning may consult the
+  statistics cache); doing either inside ``with self._lock`` /
+  ``with self.mutation_lock`` blocks every concurrent reader.  The
+  session's contract is "plan outside, publish inside" (see
+  ``Session.cached_plan``), and this check keeps it honest.
+* **PC002 — plan nodes are frozen.**  The session plan cache shares one
+  ``Plan`` across threads; a mutable node would let one query's
+  execution corrupt another's plan.  Every dataclass in
+  ``query/plan.py`` must be ``@dataclass(frozen=True)``.
+* **PC003 — every rewrite rule has a test.**  Each rule name registered
+  in ``PLAN_RULES`` (``query/rewrite.py``) must appear somewhere under
+  ``tests/``, so no rule ships without at least one test referencing it
+  by name.
+* **PC004 — no bare ``except:`` in server paths.**  A bare except in
+  ``src/repro/server`` swallows ``KeyboardInterrupt`` / ``SystemExit``
+  and can wedge the serving loop; catch ``Exception`` (or narrower).
+
+Usage::
+
+    python tools/prefcheck.py [paths...]      # default: src/
+
+Exit status 1 when any finding is reported.  The check functions are
+importable (``check_source``, ``check_repo``) so ``tests/tools`` and
+``tools/check_docs.py`` reuse them over examples and doc blocks.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Calls that plan, rewrite, or execute — too expensive to hold a lock over.
+PLANNING_CALLS = {
+    "plan", "_build_plan", "rewrite_plan", "execute", "run",
+    "winnow", "columnar_winnow", "k_best", "from_relation", "seed",
+}
+
+#: Lock attributes whose ``with`` blocks must stay planning-free.
+LOCK_ATTRS = {"_lock", "mutation_lock", "_cache_lock"}
+
+#: Cheap accessors allowed under a lock even though their names collide
+#: with planning verbs elsewhere (none currently; extend deliberately).
+ALLOWED_UNDER_LOCK: set[str] = set()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: stable PC-code, location, message."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _call_name(node: ast.Call) -> str | None:
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return None
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    # `with self._lock:` / `with session.mutation_lock:` — also matched
+    # when wrapped in a call, e.g. `with lock_of(x):` is NOT matched.
+    return isinstance(expr, ast.Attribute) and expr.attr in LOCK_ATTRS
+
+
+def _check_lock_scope(tree: ast.AST, path: str) -> list[Finding]:
+    """PC001: no planning/materialization calls inside lock blocks."""
+    findings: list[Finding] = []
+
+    class Visitor(ast.NodeVisitor):
+        def visit_With(self, node: ast.With) -> None:
+            if any(_is_lock_context(item) for item in node.items):
+                for inner in ast.walk(node):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    name = _call_name(inner)
+                    if name in PLANNING_CALLS and name not in ALLOWED_UNDER_LOCK:
+                        findings.append(Finding(
+                            "PC001", path, inner.lineno,
+                            f"call to {name}() inside a lock block; plan "
+                            "outside the lock, publish the result inside",
+                        ))
+            self.generic_visit(node)
+
+    Visitor().visit(tree)
+    return findings
+
+
+def _check_frozen_plan_nodes(tree: ast.AST, path: str) -> list[Finding]:
+    """PC002: every dataclass in query/plan.py is frozen."""
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for decorator in node.decorator_list:
+            frozen = False
+            is_dataclass = False
+            if isinstance(decorator, ast.Name) and decorator.id == "dataclass":
+                is_dataclass = True
+            elif (isinstance(decorator, ast.Call)
+                    and isinstance(decorator.func, ast.Name)
+                    and decorator.func.id == "dataclass"):
+                is_dataclass = True
+                frozen = any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in decorator.keywords
+                )
+            if is_dataclass and not frozen:
+                findings.append(Finding(
+                    "PC002", path, node.lineno,
+                    f"plan-node dataclass {node.name} must be "
+                    "@dataclass(frozen=True): plans are shared across "
+                    "threads by the session plan cache",
+                ))
+    return findings
+
+
+def _check_bare_except(tree: ast.AST, path: str) -> list[Finding]:
+    """PC004: no bare ``except:`` clauses (server paths)."""
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                "PC004", path, node.lineno,
+                "bare except: swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception (or narrower)",
+            ))
+    return findings
+
+
+def check_source(source: str, path: str = "<string>") -> list[Finding]:
+    """All generic per-file checks over one source text.
+
+    ``query/plan.py`` additionally gets the frozen-dataclass check and
+    ``src/repro/server`` files the bare-except check; callers passing
+    arbitrary snippets (doc blocks, examples) get the lock-scope check,
+    which is sound anywhere.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("PC000", path, exc.lineno or 0,
+                        f"syntax error: {exc.msg}")]
+    findings = _check_lock_scope(tree, path)
+    normalized = path.replace("\\", "/")
+    if normalized.endswith("query/plan.py"):
+        findings += _check_frozen_plan_nodes(tree, path)
+    if "/server/" in normalized or "repro/server" in normalized:
+        findings += _check_bare_except(tree, path)
+    return findings
+
+
+def check_rule_coverage(
+    repo: Path = REPO, tests_dir: Path | None = None
+) -> list[Finding]:
+    """PC003: every PLAN_RULES rule name appears in some test file."""
+    rewrite_path = repo / "src" / "repro" / "query" / "rewrite.py"
+    if not rewrite_path.exists():
+        return []
+    tree = ast.parse(rewrite_path.read_text(), filename=str(rewrite_path))
+    names: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        if node.value is None or not any(
+            isinstance(t, ast.Name) and t.id == "PLAN_RULES" for t in targets
+        ):
+            continue
+        for entry in ast.walk(node.value):
+            if (isinstance(entry, ast.Constant)
+                    and isinstance(entry.value, str)
+                    and entry.value.isidentifier()):
+                names.setdefault(entry.value, entry.lineno)
+    tests = tests_dir if tests_dir is not None else repo / "tests"
+    corpus = "\n".join(
+        p.read_text() for p in sorted(tests.rglob("*.py"))
+    ) if tests.exists() else ""
+    return [
+        Finding(
+            "PC003", str(rewrite_path.relative_to(repo)), line,
+            f"rewrite rule {name!r} has no test referencing it by name; "
+            "add one under tests/",
+        )
+        for name, line in sorted(names.items())
+        if name not in corpus
+    ]
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def check_repo(paths: Iterable[Path], repo: Path = REPO) -> list[Finding]:
+    """Per-file checks over ``paths`` plus the repo-wide rule-coverage check."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            rel = str(path.relative_to(repo))
+        except ValueError:
+            rel = str(path)
+        findings += check_source(path.read_text(), rel)
+    findings += check_rule_coverage(repo)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    targets = [Path(a) for a in argv] or [REPO / "src"]
+    findings = check_repo(targets)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"prefcheck: {len(findings)} finding(s)")
+        return 1
+    print("prefcheck: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
