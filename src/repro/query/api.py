@@ -95,6 +95,7 @@ class PreferenceQuery:
         "_session", "_source", "_pref", "_cascades", "_wheres", "_groupby",
         "_quality", "_top", "_top_ties", "_select", "_order_by", "_limit",
         "_algorithm", "_backend", "_partitions", "_use_rewriter", "_sql_ast",
+        "_revised_from",
     )
 
     def __init__(
@@ -119,6 +120,7 @@ class PreferenceQuery:
         self._partitions: int | None = None
         self._use_rewriter: bool = True
         self._sql_ast: Any = None  # original psql ast.Query, when parsed
+        self._revised_from: Preference | None = None  # pre-revision term
 
     # -- construction -----------------------------------------------------------
 
@@ -285,6 +287,72 @@ class PreferenceQuery:
             raise TypeError(f"cascade() needs a Preference, got {pref!r}")
         self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
         return self._copy(cascades=(*self._cascades, pref))
+
+    def refine(self, pref: Preference) -> "PreferenceQuery":
+        """Refine the preference by a lower-priority stage, tracking the
+        delta.
+
+        Semantically ``cascade(pref)`` — the combined term is the
+        prioritized ``old & pref`` — but the query remembers the term it
+        was revised from, so :attr:`revision` classifies the delta (a
+        prioritized append is always an order refinement, Definition 9)
+        and :meth:`explain` names the proving law.  This is the fluent
+        face of the revision layer (:mod:`repro.query.revision`): the
+        serving layer answers such deltas from the standing view instead
+        of recomputing.
+        """
+        if not isinstance(pref, Preference):
+            raise TypeError(f"refine() needs a Preference, got {pref!r}")
+        self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
+        old = self.preference
+        return self._copy(
+            cascades=(*self._cascades, pref), revised_from=old
+        )
+
+    def revise(self, pref: Preference) -> "PreferenceQuery":
+        """Replace the whole preference term, tracking the delta.
+
+        Unlike :meth:`prefer` (a plain replacement) the query remembers
+        the term it was revised from: :attr:`revision` classifies the
+        delta — refinement, contraction, or incomparable — and
+        :meth:`explain` reports the classification with its proving law
+        and restart point.  Any cascade stages fold into the remembered
+        old term and are cleared.
+        """
+        if not isinstance(pref, Preference):
+            raise TypeError(f"revise() needs a Preference, got {pref!r}")
+        self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
+        old = self.preference
+        return self._copy(pref=pref, cascades=(), revised_from=old)
+
+    @property
+    def revision(self) -> Any:
+        """The classified delta of the last :meth:`refine` / :meth:`revise`
+        (a :class:`~repro.query.revision.Revision`), or ``None``.
+
+        Catalog-bound queries classify under the relation's constraint
+        registry, so an appended stage that is provably indifferent on
+        the instance is recognized as a semantic no-op.
+        """
+        if self._revised_from is None or self.preference is None:
+            return None
+        from repro.query.revision import classify_revision
+
+        constraints = None
+        kind, payload = self._source
+        if kind == "catalog" and self._session is not None:
+            try:
+                from repro.analysis.constraints import constraint_registry
+
+                rel = self._session.catalog.get(payload)
+                constraints = constraint_registry(
+                    rel, self.preference.attributes
+                )
+            except Exception:
+                constraints = None
+        return classify_revision(
+            self._revised_from, self.preference, constraints=constraints
+        )
 
     def groupby(self, *attributes: str) -> "PreferenceQuery":
         """Evaluate the preference within each group (Definition 16)."""
@@ -585,6 +653,9 @@ class PreferenceQuery:
         text = plan.explain()
         if not plan.rewrites:
             text += "\nrewrites applied: (none)"
+        revision = self.revision
+        if revision is not None:
+            text += "\n" + revision.describe()
         problems = [
             d for d in self.check().diagnostics if d.severity != "info"
         ]

@@ -262,6 +262,7 @@ class IncrementalBMO:
         self._removed = 0
         self._resurrected = 0
         self._rebuilds = 0
+        self._revisions = 0
 
     def _state(self, group: tuple) -> _WindowState | _RankedState:
         state = self._groups.get(group)
@@ -365,6 +366,48 @@ class IncrementalBMO:
             deltas.append(self.insert_delta(value))
         return merge_deltas(deltas)
 
+    def revise(
+        self, new_pref: Preference, candidates: Iterable[Row] | None = None
+    ) -> BMODelta:
+        """Swap the maintained preference; returns the visible delta.
+
+        The data history is untouched — only the dominance windows are
+        re-derived.  ``candidates`` narrows the rows each window is
+        re-derived from (the revision layer passes the old view for
+        proved order refinements, view + frontier for contractions);
+        ``None`` re-derives from the full history.  Ranked maintenance
+        always reseeds from history: a sorted run is score-global, so no
+        candidate subset short of everything is sound for a changed
+        score.  Counted in :attr:`stats` under ``revisions``.
+        """
+        if self.top is not None and not isinstance(new_pref, ScorePreference):
+            raise TypeError(
+                "k-best maintenance needs a SCORE preference, got "
+                f"{type(new_pref).__name__}"
+            )
+        before = self.result()
+        self.pref = new_pref
+        self._attributes = tuple(
+            dict.fromkeys((*new_pref.attributes, *self.groupby))
+        )
+        self._groups = {}
+        if self.top is not None:
+            for row in self._history:
+                self._state(self._group_of(row)).insert(row)
+        else:
+            pool = self._history if candidates is None else [
+                as_row(r, self._attributes) for r in candidates
+            ]
+            grouped: dict[tuple, list[Row]] = {}
+            for row in pool:
+                grouped.setdefault(self._group_of(row), []).append(row)
+            for group, rows in grouped.items():
+                state = self._state(group)
+                assert isinstance(state, _WindowState)
+                state.rebuild(rows)
+        self._revisions += 1
+        return _diff(before, self.result())
+
     # -- inspection ----------------------------------------------------------------
 
     def result(self) -> list[Row]:
@@ -397,7 +440,8 @@ class IncrementalBMO:
         victims; ``removed`` / ``resurrected`` / ``rebuilds`` count the
         deletion side, including the group recomputes that deletions
         trigger — so latency accounting built on these numbers reflects
-        the real work done.
+        the real work done; ``revisions`` counts preference swaps applied
+        via :meth:`revise`.
         """
         return {
             "inserted": self._inserted,
@@ -406,6 +450,7 @@ class IncrementalBMO:
             "removed": self._removed,
             "resurrected": self._resurrected,
             "rebuilds": self._rebuilds,
+            "revisions": self._revisions,
         }
 
     def __repr__(self) -> str:

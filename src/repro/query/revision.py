@@ -1,0 +1,546 @@
+"""Preference revision without recomputation (Chomicki, cs/0607013).
+
+The paper frames preference engineering as an *iterative* process: users
+refine their wishes step by step, and every step today forces a full
+re-plan and rescan.  Chomicki's revision results give the algebraic
+conditions under which ``sigma[P'](R)`` is computable *from*
+``sigma[P](R)`` instead:
+
+* **Order refinement** — when ``<_P`` is contained in ``<_P'``, every
+  ``P'``-maximal row is already ``P``-maximal (ascend a ``<_P`` chain to a
+  ``sigma[P]`` witness; transitivity of ``<_P'`` finishes), so
+
+  ``sigma[P'](R) = sigma[P'](sigma[P](R))``
+
+  and the revised answer restarts from the *view*.  Prioritized appends
+  (``P -> P & Q``, Definition 9: the appended stage only breaks ties) and
+  layer appends on the finite constructors (``POS -> POS/POS`` etc.) are
+  order refinements.
+* **Contraction** — when ``<_P'`` is contained in ``<_P`` (a prioritized
+  stage or layer dropped), ``sigma[P](R)`` is a *subset* of the revised
+  answer: re-entrants are exactly the previously dominated rows, so the
+  revision restarts from the view plus the dominated **frontier**.
+* **Pareto extension** (``P -> P (x) Q``) is a user-intent refinement but
+  is *not* order-monotone — a ``(x)``-appended component can promote rows
+  the old skyline dominated — so it, too, draws from view + frontier.
+* Anything else is **incomparable** and falls back to a full recompute.
+
+:func:`classify_revision` decides the class from canonical forms
+(:mod:`repro.algebra.rewriter` / :mod:`repro.algebra.equivalence`) plus
+the :mod:`repro.analysis` constraint registry (an appended component that
+is provably indifferent on the instance makes the revision a no-op), and
+:class:`ReviseState` maintains the current BMO set together with a
+*bounded* dominated-candidates frontier.  The bound is what keeps the
+state view-sized rather than relation-sized; when it overflows the state
+records the truncation honestly and later frontier-class revisions fall
+back to a full recompute instead of silently returning a subset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.algebra.equivalence import mentioned_values, order_pairs
+from repro.algebra.rewriter import simplify
+from repro.core.base_nonnumerical import ExplicitPreference, LayeredPreference
+from repro.core.base_numerical import ScorePreference
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    DualPreference,
+    IntersectionPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+    RankPreference,
+)
+from repro.core.preference import AntiChain, Preference, Row
+from repro.query.bmo import winnow, winnow_groupby
+from repro.query.incremental import BMODelta, _diff
+from repro.query.topk import k_best
+
+#: Default bound on the dominated-candidates frontier.  Past this many
+#: dominated rows the state stops remembering candidates and frontier-class
+#: revisions (contractions, Pareto extensions) recompute from scratch.
+DEFAULT_FRONTIER_LIMIT = 4096
+
+#: The proving laws, named once so explain()/docs/tests agree verbatim.
+LAW_IDENTITY = (
+    "identity: both terms share one structural signature (Definition 13)"
+)
+LAW_CANONICAL = (
+    "canonical form: both terms simplify to one signature under the "
+    "algebra laws (Propositions 2-6)"
+)
+LAW_PROBE_EQUAL = (
+    "Definition 13 equivalence, decided exhaustively on the canonical "
+    "probe of the finite constructors"
+)
+LAW_PRIO_APPEND = (
+    "Definition 9: x <_P y implies x <_(P & Q) y, so the appended stage "
+    "only refines the order and sigma[P'](R) = sigma[P'](sigma[P](R))"
+)
+LAW_CHAIN_APPEND = (
+    "order refinement (probe-proved <_P subset of <_P'): every revised "
+    "maximum is an old maximum, so sigma[P'](R) = sigma[P'](sigma[P](R))"
+)
+LAW_PARETO_EXTEND = (
+    "Pareto extension (Definition 8) is not order-monotone: an appended "
+    "(x)-component can promote dominated rows, so the revised skyline is "
+    "sigma[P'](view + frontier)"
+)
+LAW_CONTRACTION = (
+    "contraction: <_P' subset of <_P, so sigma[P](R) is a subset of "
+    "sigma[P'](R); re-entrants are drawn from the dominated frontier"
+)
+LAW_INDIFFERENT = (
+    "semantic no-op: every appended component is indifferent on the "
+    "constrained instance, so the revised order equals the old one"
+)
+LAW_INCOMPARABLE = (
+    "no containment between the two orders could be proved; exactness "
+    "requires a full recompute"
+)
+
+
+class RevisionError(ValueError):
+    """A revision the state cannot answer exactly (truncated frontier and
+    no way to reload the base relation)."""
+
+
+@dataclass(frozen=True)
+class Revision:
+    """The classification of one preference delta ``P -> P'``.
+
+    ``kind`` is ``equal`` / ``refinement`` / ``contraction`` /
+    ``incomparable``; ``shape`` names the syntactic pattern that proved it
+    (``prio-append``, ``chain-append``, ``pareto-extend``, ...); ``law``
+    is the algebraic law the proof rests on; ``restart`` is the cheapest
+    sound restart point: ``none`` (result unchanged), ``view`` (the old
+    BMO set alone), ``frontier`` (view + dominated candidates) or ``full``
+    (recompute from the base relation).
+    """
+
+    kind: str
+    shape: str
+    law: str
+    restart: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        """The explain() rendering: classification, law, restart point."""
+        lines = [
+            f"revision: {self.kind} ({self.shape})",
+            f"  law: {self.law}",
+            f"  restart: {self.restart}",
+        ]
+        if self.detail:
+            lines.append(f"  detail: {self.detail}")
+        return "\n".join(lines)
+
+
+def _callable_identities(pref: Preference) -> tuple[int, ...]:
+    """Identities of ad-hoc scoring callables inside a term (mirrors the
+    view-key rule: signature-equal lambdas are not semantically equal)."""
+    out: list[int] = []
+    stack: list[Any] = [pref]
+    while stack:
+        node = stack.pop()
+        if type(node) is RankPreference:
+            out.append(id(node.combine))
+        elif type(node) is ScorePreference:
+            out.append(id(node._f))
+        stack.extend(getattr(node, "children", ()) or ())
+    return tuple(sorted(out))
+
+
+def _ident(pref: Preference) -> tuple:
+    """Structural identity: signature plus scoring-callable identities."""
+    return (pref.signature, _callable_identities(pref))
+
+
+def _flat(pref: Preference, ctor: type) -> list[Preference]:
+    """Flatten an associative accumulation into its stage list."""
+    if isinstance(pref, ctor):
+        out: list[Preference] = []
+        for child in pref.children:
+            out.extend(_flat(child, ctor))
+        return out
+    return [pref]
+
+
+def _is_prefix(shorter: Sequence[Preference], longer: Sequence[Preference]) -> bool:
+    return all(
+        _ident(a) == _ident(b) for a, b in zip(shorter, longer)
+    )
+
+
+def _multiset_minus(
+    pool: Sequence[Preference], remove: Sequence[Preference]
+) -> list[Preference] | None:
+    """``pool`` minus ``remove`` as identity multisets, or None if
+    ``remove`` is not contained in ``pool``."""
+    out = list(pool)
+    for target in remove:
+        key = _ident(target)
+        for i, candidate in enumerate(out):
+            if _ident(candidate) == key:
+                del out[i]
+                break
+        else:
+            return None
+    return out
+
+
+#: Constructors whose orders are fully determined by finitely many
+#: mentioned values (invariant under permuting unmentioned ones), so a
+#: probe of mentioned values + two fresh ones decides order containment.
+_FINITE_LEAVES = (LayeredPreference, ExplicitPreference, AntiChain)
+_FINITE_COMPOUNDS = (
+    ParetoPreference,
+    PrioritizedPreference,
+    IntersectionPreference,
+    DisjointUnionPreference,
+    DualPreference,
+)
+
+
+def _finitely_probeable(pref: Preference) -> bool:
+    if isinstance(pref, _FINITE_LEAVES):
+        return True
+    if isinstance(pref, _FINITE_COMPOUNDS):
+        return all(_finitely_probeable(c) for c in pref.children)
+    return False
+
+
+def _probe_containment(old: Preference, new: Preference) -> str | None:
+    """``equal`` / ``refines`` / ``contracts`` by order containment on an
+    exhaustive probe, or None when the probe argument does not apply."""
+    if len(old.attributes) != 1 or old.attribute_set != new.attribute_set:
+        return None
+    if not (_finitely_probeable(old) and _finitely_probeable(new)):
+        return None
+    probe = sorted(
+        mentioned_values(old) | mentioned_values(new), key=repr
+    ) + ["__other_1__", "__other_2__"]
+    pairs_old = order_pairs(old, probe)
+    pairs_new = order_pairs(new, probe)
+    if pairs_old == pairs_new:
+        return "equal"
+    if pairs_old < pairs_new:
+        return "refines"
+    if pairs_new < pairs_old:
+        return "contracts"
+    return None
+
+
+def _all_indifferent(
+    appended: Sequence[Preference], constraints: Any
+) -> str | None:
+    """One combined proof when every appended component is indifferent
+    under the instance constraints, else None."""
+    if constraints is None or not constraints:
+        return None
+    from repro.analysis.semantics import indifference_proof
+
+    proofs: list[str] = []
+    for component in appended:
+        proof = indifference_proof(component, constraints)
+        if proof is None:
+            return None
+        proofs.append(proof)
+    return "; ".join(proofs)
+
+
+def classify_revision(
+    old: Preference, new: Preference, constraints: Any = None
+) -> Revision:
+    """Classify the preference delta ``old -> new`` (see module docs).
+
+    ``constraints`` is an optional
+    :class:`~repro.analysis.constraints.ConstraintSet` proved for the
+    winnow's input; it can upgrade a structural refinement to a semantic
+    no-op when every appended component is indifferent on the instance.
+    The classifier is *conservative*: a ``view``/``frontier`` restart is
+    only claimed when the containment law above proves it, and everything
+    unproved is ``incomparable`` (exact, via full recompute).
+    """
+    for pref, name in ((old, "old"), (new, "new")):
+        if not isinstance(pref, Preference):
+            raise TypeError(
+                f"classify_revision needs Preference terms; {name} is "
+                f"{pref!r}"
+            )
+    if old is new or _ident(old) == _ident(new):
+        return Revision("equal", "identity", LAW_IDENTITY, "none")
+    old_c, new_c = simplify(old), simplify(new)
+    if _ident(old_c) == _ident(new_c):
+        return Revision("equal", "canonical", LAW_CANONICAL, "none")
+
+    prio_old = _flat(old_c, PrioritizedPreference)
+    prio_new = _flat(new_c, PrioritizedPreference)
+    if len(prio_new) > len(prio_old) and _is_prefix(prio_old, prio_new):
+        appended = prio_new[len(prio_old):]
+        proof = _all_indifferent(appended, constraints)
+        if proof is not None:
+            return Revision(
+                "equal", "prio-append", LAW_INDIFFERENT, "none", proof
+            )
+        return Revision(
+            "refinement", "prio-append", LAW_PRIO_APPEND, "view",
+            f"{len(appended)} stage(s) appended",
+        )
+    if len(prio_new) < len(prio_old) and _is_prefix(prio_new, prio_old):
+        return Revision(
+            "contraction", "prio-prefix", LAW_CONTRACTION, "frontier",
+            f"{len(prio_old) - len(prio_new)} stage(s) dropped",
+        )
+
+    pareto_old = _flat(old_c, ParetoPreference)
+    pareto_new = _flat(new_c, ParetoPreference)
+    if len(pareto_new) != len(pareto_old):
+        appended_p = _multiset_minus(pareto_new, pareto_old)
+        if appended_p is not None and len(pareto_new) > len(pareto_old):
+            proof = _all_indifferent(appended_p, constraints)
+            if proof is not None:
+                return Revision(
+                    "equal", "pareto-extend", LAW_INDIFFERENT, "none", proof
+                )
+            return Revision(
+                "refinement", "pareto-extend", LAW_PARETO_EXTEND,
+                "frontier", f"{len(appended_p)} component(s) added",
+            )
+        dropped_p = _multiset_minus(pareto_old, pareto_new)
+        if dropped_p is not None and len(pareto_new) < len(pareto_old):
+            return Revision(
+                "contraction", "pareto-drop", LAW_CONTRACTION, "frontier",
+                f"{len(dropped_p)} component(s) dropped",
+            )
+
+    containment = _probe_containment(old_c, new_c)
+    if containment == "equal":
+        return Revision("equal", "probe", LAW_PROBE_EQUAL, "none")
+    if containment == "refines":
+        return Revision(
+            "refinement", "chain-append", LAW_CHAIN_APPEND, "view"
+        )
+    if containment == "contracts":
+        return Revision(
+            "contraction", "layer-drop", LAW_CONTRACTION, "frontier"
+        )
+    return Revision("incomparable", "unrelated", LAW_INCOMPARABLE, "full")
+
+
+@dataclass(frozen=True)
+class RevisionOutcome:
+    """One executed revision step: the classification, the restart
+    strategy actually used (``full`` when a fallback fired), the visible
+    enter/exit delta, and how many candidate rows were examined."""
+
+    revision: Revision
+    strategy: str
+    delta: BMODelta
+    examined: int
+
+
+def _row_key(row: Row) -> tuple:
+    return tuple(sorted(row.items()))
+
+
+def _bag_subtract(pool: Iterable[Row], remove: Iterable[Row]) -> list[Row]:
+    """Multiset difference ``pool - remove`` (linear, order-preserving)."""
+    counts = Counter(_row_key(r) for r in remove)
+    out: list[Row] = []
+    for row in pool:
+        key = _row_key(row)
+        if counts.get(key, 0) > 0:
+            counts[key] -= 1
+        else:
+            out.append(dict(row))
+    return out
+
+
+class ReviseState:
+    """The current BMO set plus a bounded dominated-candidates frontier.
+
+    Seeded once from the base relation, the state answers every later
+    preference revision from its own rows: order refinements re-winnow
+    only the view, contractions and Pareto extensions re-winnow view +
+    frontier, and only ``incomparable`` deltas (or a truncated frontier)
+    pay a full recompute — via the caller-supplied ``reload`` when the
+    retained rows no longer cover the relation.  Every fallback is
+    recorded in :attr:`stats`, so the speedup claims stay honest.
+
+    Supports the same evaluation shapes as the serving layer: plain
+    winnow, ``groupby`` partitioning (the containment laws apply per
+    group), and ranked ``top``-k for SCORE terms (where only ``equal``
+    deltas avoid recomputation — a revised score function can reorder the
+    whole cut).
+    """
+
+    def __init__(
+        self,
+        pref: Preference,
+        rows: Iterable[Row] = (),
+        *,
+        groupby: Sequence[str] | None = None,
+        top: int | None = None,
+        ties: str = "strict",
+        frontier_limit: int = DEFAULT_FRONTIER_LIMIT,
+        constraints: Any = None,
+    ):
+        if top is not None and not isinstance(pref, ScorePreference):
+            raise TypeError(
+                "ranked revision needs a SCORE preference, got "
+                f"{type(pref).__name__}"
+            )
+        if frontier_limit < 0:
+            raise ValueError(
+                f"frontier_limit must be non-negative, got {frontier_limit}"
+            )
+        self.pref = pref
+        self.groupby: tuple[str, ...] = tuple(groupby) if groupby else ()
+        self.top = top
+        self.ties = ties
+        self.frontier_limit = frontier_limit
+        self.constraints = constraints
+        self.truncated = False
+        self.stats: dict[str, int] = {
+            "revisions": 0,
+            "noop": 0,
+            "from_view": 0,
+            "from_frontier": 0,
+            "full_recomputes": 0,
+            "truncation_fallbacks": 0,
+            "frontier_dropped": 0,
+            "rows_examined": 0,
+        }
+        pool = [dict(r) for r in rows]
+        self._view = self._evaluate(pref, pool)
+        self._frontier: list[Row] = []
+        self._extend_frontier(_bag_subtract(pool, self._view))
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _evaluate(self, pref: Preference, rows: list[Row]) -> list[Row]:
+        if self.top is not None:
+            return [dict(r) for r in k_best(pref, rows, self.top, self.ties)]
+        if self.groupby:
+            return [
+                dict(r) for r in winnow_groupby(pref, self.groupby, rows)
+            ]
+        return [dict(r) for r in winnow(pref, rows)]
+
+    def _extend_frontier(self, rows: list[Row]) -> None:
+        room = self.frontier_limit - len(self._frontier)
+        if len(rows) > room:
+            kept = rows[: max(room, 0)]
+            self.stats["frontier_dropped"] += len(rows) - len(kept)
+            self.truncated = True
+            rows = kept
+        self._frontier.extend(rows)
+
+    # -- inspection --------------------------------------------------------------
+
+    def result(self) -> list[Row]:
+        """The current BMO set (copies)."""
+        return [dict(r) for r in self._view]
+
+    def frontier(self) -> list[Row]:
+        """The retained dominated candidates (copies)."""
+        return [dict(r) for r in self._frontier]
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReviseState({self.pref!r}, view={len(self._view)}, "
+            f"frontier={len(self._frontier)}"
+            f"{', truncated' if self.truncated else ''})"
+        )
+
+    # -- revision ----------------------------------------------------------------
+
+    def revise(
+        self,
+        new_pref: Preference,
+        reload: Callable[[], Iterable[Row]] | None = None,
+    ) -> RevisionOutcome:
+        """Move the state to ``new_pref``; returns the executed outcome.
+
+        ``reload`` supplies the base relation for full recomputes; when
+        the frontier was never truncated the retained rows *are* the base
+        relation (as a bag) and no reload is needed.  Raises
+        :class:`RevisionError` if an exact answer would need rows the
+        state no longer holds and no ``reload`` was given.
+        """
+        if self.top is not None and not isinstance(new_pref, ScorePreference):
+            raise TypeError(
+                "ranked revision needs a SCORE preference, got "
+                f"{type(new_pref).__name__}"
+            )
+        revision = classify_revision(
+            self.pref, new_pref, constraints=self.constraints
+        )
+        strategy = revision.restart
+        if self.top is not None and strategy in ("view", "frontier"):
+            # Ranked cuts are score-global: containment of the dominance
+            # orders says nothing about a revised score's ordering.
+            strategy = "full"
+        if strategy == "frontier" and self.truncated:
+            strategy = "full"
+            self.stats["truncation_fallbacks"] += 1
+
+        before = self._view
+        if strategy == "none":
+            after = before
+            delta = BMODelta()
+            examined = 0
+            self.stats["noop"] += 1
+        else:
+            reloaded = False
+            if strategy == "view":
+                pool = [dict(r) for r in before]
+                self.stats["from_view"] += 1
+            elif strategy == "frontier":
+                pool = [dict(r) for r in before] + [
+                    dict(r) for r in self._frontier
+                ]
+                self.stats["from_frontier"] += 1
+            else:  # full
+                if reload is not None:
+                    pool = [dict(r) for r in reload()]
+                    reloaded = True
+                elif not self.truncated:
+                    # view + complete frontier is the base relation as a bag.
+                    pool = [dict(r) for r in before] + [
+                        dict(r) for r in self._frontier
+                    ]
+                else:
+                    raise RevisionError(
+                        "frontier was truncated and no reload was given; "
+                        "an exact revision needs the base relation"
+                    )
+                self.stats["full_recomputes"] += 1
+            after = self._evaluate(new_pref, pool)
+            delta = _diff(before, after)
+            examined = len(pool)
+            if strategy == "view":
+                # Demoted rows join the frontier; dominated rows already
+                # there stay dominated under a refinement.
+                self._extend_frontier(_bag_subtract(pool, after))
+            else:
+                # The pool covered every retained (or reloaded) row, so
+                # the frontier is rebuilt from scratch — complete again
+                # after a reload, still truncated otherwise if it was.
+                if reloaded:
+                    self.truncated = False
+                self._frontier = []
+                self._extend_frontier(_bag_subtract(pool, after))
+
+        self.pref = new_pref
+        self._view = after
+        self.stats["revisions"] += 1
+        self.stats["rows_examined"] += examined
+        return RevisionOutcome(revision, strategy, delta, examined)

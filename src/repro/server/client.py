@@ -203,6 +203,29 @@ class PreferenceClient:
             snapshot=snapshot or None,
         )
 
+    def revise(
+        self,
+        relation: str,
+        prefer: Mapping[str, Any],
+        to: Mapping[str, Any],
+        groupby: Iterable[str] = (),
+        top: int | None = None,
+        ties: str | None = None,
+    ) -> dict[str, Any]:
+        """Revise the continuous view for ``(relation, prefer, ...)`` to
+        the preference ``to``.
+
+        Returns the revision envelope (``classification``, ``shape``,
+        ``law``, ``strategy``, ``entered``/``exited`` counts).  If this
+        connection subscribes to the view, the revision's enter/exit
+        rows also arrive as an ordinary delta push, in-stream with data
+        deltas.
+        """
+        return self._request(
+            "revise", relation=relation, prefer=dict(prefer), to=dict(to),
+            groupby=list(groupby) or None, top=top, ties=ties,
+        )
+
     def unsubscribe(self, subscription: int) -> dict[str, Any]:
         return self._request("unsubscribe", subscription=subscription)
 

@@ -89,8 +89,11 @@ class ServiceMetrics:
       optimizer runs),
     * ``mutations`` — inserts / deletes applied,
     * ``subscriptions`` — live delta subscriptions,
+    * ``revisions`` — preference revisions applied to continuous views,
+      with the ``full`` fallbacks counted separately,
     * latency series for ``query_view`` / ``query_planned`` /
-      ``view_refresh`` (per-mutation view maintenance) — the honest
+      ``view_refresh`` (per-mutation view maintenance) / ``revision``
+      (preference swaps on views) — the honest
       view-refresh numbers come straight from the generalized
       :class:`~repro.query.incremental.IncrementalBMO` maintenance work;
       each series reports p50/p95/p99 over a bounded ring of the last
@@ -111,10 +114,13 @@ class ServiceMetrics:
         self.subscriptions = 0
         self.deltas_pushed = 0
         self.errors = 0
+        self.revisions = 0
+        self.revisions_full = 0
         self._latency: dict[str, _LatencySeries] = {
             "query_view": _LatencySeries(),
             "query_planned": _LatencySeries(),
             "view_refresh": _LatencySeries(),
+            "revision": _LatencySeries(),
         }
 
     # -- recording --------------------------------------------------------------
@@ -142,6 +148,16 @@ class ServiceMetrics:
     def record_view_refresh(self, elapsed_ns: int) -> None:
         with self._lock:
             self._latency["view_refresh"].record(elapsed_ns)
+
+    def record_revision(self, strategy: str, elapsed_ns: int) -> None:
+        """Record one view revision; ``strategy`` is the restart actually
+        executed — ``full`` counts as a fallback (``revisions_full``), so
+        the speedup story stays checkable from `/metrics` alone."""
+        with self._lock:
+            self.revisions += 1
+            if strategy == "full":
+                self.revisions_full += 1
+            self._latency["revision"].record(elapsed_ns)
 
     def record_subscription(self, delta: int) -> None:
         with self._lock:
@@ -178,6 +194,10 @@ class ServiceMetrics:
                 "subscriptions": self.subscriptions,
                 "deltas_pushed": self.deltas_pushed,
                 "errors": self.errors,
+                "revisions": {
+                    "total": self.revisions,
+                    "full_fallbacks": self.revisions_full,
+                },
                 "latency": {
                     name: series.to_dict()
                     for name, series in self._latency.items()

@@ -54,6 +54,7 @@ OPS = (
     "delete",
     "subscribe",
     "unsubscribe",
+    "revise",
     "metrics",
     "relations",
     "close",

@@ -293,6 +293,42 @@ class PreferenceServer:
             await connection.send(
                 protocol.ok_response(rid, unsubscribed=sub.id)
             )
+        elif op == "revise":
+            relation = params.get("relation")
+            prefer = params.get("prefer")
+            to = params.get("to")
+            if not relation or prefer is None or to is None:
+                raise ServiceError(
+                    "revise needs 'relation', 'prefer' (the current "
+                    "preference) and 'to' (the revised one)"
+                )
+            answer = await self._run(
+                self.service.revise,
+                relation, prefer, to,
+                groupby=tuple(params.get("groupby") or ()),
+                top=params.get("top"), ties=params.get("ties", "strict"),
+            )
+            # Re-point subscriptions before pushing: the view's registry
+            # key changed with its preference, and the revision delta must
+            # reach exactly the subscribers that followed the old key.
+            revised = [
+                sub for sub in self._subscriptions.values()
+                if sub.view_key == answer.old_key
+            ]
+            for sub in revised:
+                sub.view_key = answer.new_key
+            if answer.delta:
+                for sub in revised:
+                    message = protocol.delta_message(
+                        sub.id, answer.summary["relation"],
+                        answer.summary["version"],
+                        answer.delta.entered, answer.delta.exited,
+                    )
+                    self.service.metrics.record_delta_push()
+                    await sub.connection.send(message)
+            await connection.send(
+                protocol.ok_response(rid, **answer.summary)
+            )
         elif op == "metrics":
             stats = await self._run(self.service.stats)
             await connection.send(protocol.ok_response(rid, metrics=stats))

@@ -78,6 +78,25 @@ class QueryAnswer:
     relation: str
 
 
+@dataclass(frozen=True)
+class ReviseAnswer:
+    """One executed view revision.
+
+    ``summary`` is the JSON-safe response payload; ``old_key`` /
+    ``new_key`` are the registry keys before and after (the server uses
+    them to re-point subscriptions *before* pushing ``delta`` to the
+    revised view's subscribers — the service deliberately does not fire
+    delta listeners for revisions, because listeners dispatch on the view
+    key that the revision just changed).
+    """
+
+    summary: dict[str, Any]
+    old_key: tuple
+    new_key: tuple
+    delta: BMODelta
+    view: ContinuousView
+
+
 class PreferenceService:
     """A concurrent preference query service over one shared catalog."""
 
@@ -435,6 +454,70 @@ class PreferenceService:
         with self._mutation_lock:
             rel, version = self._snapshot(spec.relation)
             return self.views.register(spec, rel.rows(), version)
+
+    def revise(
+        self,
+        relation: str,
+        pref: Preference | Mapping[str, Any],
+        to: Preference | Mapping[str, Any],
+        groupby: Sequence[str] = (),
+        top: int | None = None,
+        ties: str = "strict",
+    ) -> ReviseAnswer:
+        """Revise the registered view for ``(relation, pref, ...)`` to the
+        preference ``to`` without recomputing from the base relation when
+        the delta's classification allows it.
+
+        Runs under the mutation lock, so the revision serializes with
+        data mutations: every subscriber sees one linear stream of data
+        deltas and revision deltas that reconciles to the batch answer at
+        every version.  Raises :class:`ServiceError` when no such view is
+        registered (revision is a view operation; materialize first).
+        """
+        old_pref = self._pref(pref)
+        new_pref = self._pref(to)
+        spec = ViewSpec(
+            relation.lower(), old_pref, tuple(groupby), top, ties
+        )
+        start = time.perf_counter_ns()
+        with self._mutation_lock:
+            view = self.views.get(spec)
+            if view is None:
+                raise ServiceError(
+                    f"no continuous view for {spec.describe()}; "
+                    "materialize or subscribe first"
+                )
+            constraints = self._constraints_for(spec.relation, old_pref)
+            old_key = view.spec.key
+            delta, revision, strategy = self.views.revise(
+                view, new_pref, constraints=constraints
+            )
+            version = view.version
+        elapsed = time.perf_counter_ns() - start
+        self.metrics.record_revision(strategy, elapsed)
+        summary = {
+            "relation": spec.relation,
+            "classification": revision.kind,
+            "shape": revision.shape,
+            "law": revision.law,
+            "strategy": strategy,
+            "entered": len(delta.entered),
+            "exited": len(delta.exited),
+            "version": version,
+            "view": view.spec.describe(),
+        }
+        return ReviseAnswer(summary, old_key, view.spec.key, delta, view)
+
+    def _constraints_for(self, relation: str, pref: Preference) -> Any:
+        """The relation's constraint registry scoped to ``pref``'s
+        attributes, or None when the snapshot is unavailable."""
+        try:
+            from repro.analysis.constraints import constraint_registry
+
+            rel = self.session.catalog.get(relation)
+            return constraint_registry(rel, pref.attributes)
+        except Exception:
+            return None
 
     def add_delta_listener(self, listener: DeltaListener) -> DeltaListener:
         """Register a callback for non-empty view deltas (see

@@ -15,6 +15,7 @@ entering / leaving the BMO result — the event stream the server pushes to
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from dataclasses import dataclass
@@ -24,6 +25,7 @@ from repro.core.base_numerical import ScorePreference
 from repro.core.constructors import RankPreference
 from repro.core.preference import Preference, Row
 from repro.query.incremental import BMODelta, IncrementalBMO
+from repro.query.revision import Revision, classify_revision
 from repro.session import MutationEvent
 
 
@@ -110,6 +112,10 @@ class ContinuousView:
         self.refreshes = 0
         self.refresh_total_ns = 0
         self.refresh_last_ns = 0
+        self.revisions = 0
+        self.revision_total_ns = 0
+        self.revision_last_ns = 0
+        self.last_revision: Revision | None = None
 
     def seed(self, rows: Iterable[Row], version: int) -> None:
         """Load the view from a relation snapshot at ``version``."""
@@ -130,6 +136,46 @@ class ContinuousView:
             self.refresh_total_ns += elapsed
             self.refresh_last_ns = elapsed
         return delta
+
+    def revise(
+        self, new_pref: Preference, constraints: Any = None
+    ) -> tuple[BMODelta, Revision, str]:
+        """Adopt a revised preference; returns (delta, revision, strategy).
+
+        Classifies the delta (see :func:`~repro.query.revision
+        .classify_revision`), then re-derives the maintained windows from
+        the cheapest sound restart point: the current view rows for
+        proved order refinements, the full kept history otherwise.  The
+        view's spec is re-pointed at the new preference, so its registry
+        key changes — use :meth:`ViewRegistry.revise` to keep the index
+        consistent.  Runs under the same per-view lock as refreshes, so
+        revision deltas serialize with data deltas.
+        """
+        start = time.perf_counter_ns()
+        with self._lock:
+            revision = classify_revision(
+                self.spec.pref, new_pref, constraints=constraints
+            )
+            strategy = revision.restart
+            if self.spec.top is not None and strategy in ("view", "frontier"):
+                # Ranked cuts are score-global; only a proved-equal
+                # preference keeps the sorted runs valid.
+                strategy = "full"
+            if strategy in ("none", "view"):
+                candidates: list[Row] | None = self._live.result()
+            else:
+                # The maintainer keeps the full history, so the frontier
+                # restart is simply "everything retained" here.
+                strategy = "full" if strategy == "frontier" else strategy
+                candidates = None
+            delta = self._live.revise(new_pref, candidates=candidates)
+            self.spec = dataclasses.replace(self.spec, pref=new_pref)
+            elapsed = time.perf_counter_ns() - start
+            self.revisions += 1
+            self.revision_total_ns += elapsed
+            self.revision_last_ns = elapsed
+            self.last_revision = revision
+        return delta, revision, strategy
 
     def rows(self) -> list[Row]:
         """A snapshot of the current view result (counts as a serve)."""
@@ -157,6 +203,18 @@ class ContinuousView:
                 "refreshes": self.refreshes,
                 "refresh_total_ns": self.refresh_total_ns,
                 "refresh_last_ns": self.refresh_last_ns,
+                "revisions": self.revisions,
+                "revision_total_ns": self.revision_total_ns,
+                "revision_last_ns": self.revision_last_ns,
+                "last_revision": (
+                    None
+                    if self.last_revision is None
+                    else {
+                        "kind": self.last_revision.kind,
+                        "shape": self.last_revision.shape,
+                        "restart": self.last_revision.restart,
+                    }
+                ),
                 "maintenance": dict(self._live.stats),
             }
 
@@ -197,6 +255,28 @@ class ViewRegistry:
         (the already-present view wins a registration race)."""
         with self._lock:
             return self._views.setdefault(view.spec.key, view)
+
+    def revise(
+        self,
+        view: ContinuousView,
+        new_pref: Preference,
+        constraints: Any = None,
+    ) -> tuple[BMODelta, Revision, str]:
+        """Revise a registered view in place and re-key the index.
+
+        The old key is dropped and the revised view re-registered under
+        its new key atomically with respect to other registry operations;
+        if another view already occupies the new key, the revised view
+        wins (it carries the subscribers' history).
+        """
+        with self._lock:
+            old_key = view.spec.key
+            outcome = view.revise(new_pref, constraints=constraints)
+            current = self._views.get(old_key)
+            if current is view:
+                del self._views[old_key]
+            self._views[view.spec.key] = view
+        return outcome
 
     def drop(self, spec: ViewSpec) -> bool:
         with self._lock:

@@ -11,6 +11,7 @@ decomposition theorems must match direct evaluation.
 from __future__ import annotations
 
 import itertools
+import random
 
 import pytest
 from hypothesis import HealthCheck, settings, strategies as st
@@ -192,3 +193,50 @@ nonempty_rows_st = st.lists(
     min_size=1,
     max_size=25,
 )
+
+#: One random row over the shared universe (the mutation-stream suites'
+#: insert payload).
+row_st = st.fixed_dictionaries({a: value_st for a in ATTRIBUTES})
+
+#: One mutation-stream step: insert a fresh row, or delete the i-th oldest
+#: survivor (the index is taken modulo the live count by the replayer).
+step_st = st.one_of(
+    st.tuples(st.just("insert"), row_st),
+    st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+)
+
+
+# -- shared deterministic generators ----------------------------------------------
+
+
+def canon_rows(rows) -> list[tuple]:
+    """Rows as a sorted list of sorted item-tuples — the order-free,
+    duplicate-preserving comparison form every suite asserts with."""
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+def grid_rows(n: int, dims: int, seed: int, top: int = 6) -> list[dict]:
+    """Integer-grid rows ``{"d0": ..., "d1": ...}`` with plenty of
+    duplicate projections (fan-out / SV-tie coverage), pinned by seed."""
+    rng = random.Random(seed)
+    return [
+        {f"d{i}": rng.randrange(top) for i in range(dims)} for _ in range(n)
+    ]
+
+
+def distinct_matrix(
+    n: int, d: int, spread: int, seed: int, shuffle: bool = False
+) -> list[tuple]:
+    """``n`` distinct integer tuples of width ``d``, values in
+    ``range(spread)``, pinned by seed — sorted by default, shuffled (for
+    arrival-order-sensitive kernels) with ``shuffle=True``.
+
+    ``spread ** d`` must comfortably exceed ``n`` or generation stalls.
+    """
+    rng = random.Random(seed)
+    seen: set[tuple] = set()
+    while len(seen) < n:
+        seen.add(tuple(rng.randrange(spread) for _ in range(d)))
+    if shuffle:
+        return sorted(seen, key=lambda _: rng.random())
+    return sorted(seen)

@@ -6,9 +6,9 @@ the columnar winnow must return exactly the row engine's BMO set — with
 NumPy and with the pure-Python fallback.
 """
 
-import random
-
 import pytest
+
+from tests.conftest import canon_rows as row_set, grid_rows
 
 from repro.core.base_numerical import (
     AroundPreference,
@@ -27,18 +27,6 @@ from repro.engine.columnar import (
 )
 from repro.query.algorithms import block_nested_loop, naive_nested_loop
 from repro.relations.relation import Relation
-
-
-def row_set(rows):
-    return sorted(tuple(sorted(r.items())) for r in rows)
-
-
-def grid_rows(n, dims, seed, top=6):
-    """Integer-grid rows: plenty of duplicate projections (fan-out tests)."""
-    rng = random.Random(seed)
-    return [
-        {f"d{i}": rng.randrange(top) for i in range(dims)} for _ in range(n)
-    ]
 
 
 PREFERENCES = {

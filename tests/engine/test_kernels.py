@@ -6,9 +6,9 @@ Kernel inputs are matrices of *distinct* integer code rows — the contract
 projections distinct vectors).
 """
 
-import random
-
 import pytest
+
+from tests.conftest import distinct_matrix
 
 from repro.engine import backend as engine_backend
 from repro.engine.vectorized import KERNELS, skyline_bnl, skyline_sfs
@@ -25,13 +25,6 @@ def brute_force(matrix):
         for j, row in enumerate(matrix)
         if not any(dominates(other, row) for other in matrix)
     )
-
-
-def distinct_matrix(rng, n, d, top):
-    seen = set()
-    while len(seen) < n:
-        seen.add(tuple(rng.randrange(top) for _ in range(d)))
-    return sorted(seen, key=lambda _: rng.random())
 
 
 @pytest.mark.parametrize("kernel", [skyline_sfs, skyline_bnl])
@@ -55,21 +48,18 @@ class TestKernels:
 
     @pytest.mark.parametrize("block_size", [1, 2, 3, 7, 1000])
     def test_block_boundaries(self, kernel, block_size):
-        rng = random.Random(5)
-        matrix = distinct_matrix(rng, 60, 3, 8)
+        matrix = distinct_matrix(60, 3, 8, seed=5, shuffle=True)
         assert kernel(matrix, block_size=block_size) == brute_force(matrix)
 
     @pytest.mark.parametrize("dims", [1, 2, 3, 4])
     def test_agrees_with_brute_force(self, kernel, dims):
-        rng = random.Random(17 + dims)
         # Value range per axis sized so 120 distinct tuples surely exist.
         top = {1: 500, 2: 25, 3: 10, 4: 7}[dims]
-        matrix = distinct_matrix(rng, 120, dims, top)
+        matrix = distinct_matrix(120, dims, top, seed=17 + dims, shuffle=True)
         assert kernel(matrix) == brute_force(matrix)
 
     def test_numpy_and_python_agree(self, kernel, monkeypatch):
-        rng = random.Random(29)
-        matrix = distinct_matrix(rng, 150, 3, 9)
+        matrix = distinct_matrix(150, 3, 9, seed=29, shuffle=True)
         fast = kernel(matrix, block_size=16)
         monkeypatch.setattr(engine_backend, "_numpy", None)
         assert kernel(matrix, block_size=16) == fast

@@ -16,6 +16,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.conftest import distinct_matrix
+
 from repro.core.base_numerical import (
     AroundPreference,
     HighestPreference,
@@ -43,13 +45,6 @@ PREF3 = pareto(
     HighestPreference("d0"), LowestPreference("d1"), HighestPreference("d2")
 )
 PREF2 = pareto(HighestPreference("d0"), LowestPreference("d1"))
-
-
-def distinct_matrix(n: int, d: int, spread: int, seed: int) -> list[tuple]:
-    rng = random.Random(seed)
-    return sorted(
-        {tuple(rng.randrange(spread) for _ in range(d)) for _ in range(n)}
-    )
 
 
 class TestPartitionSpans:

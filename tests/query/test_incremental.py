@@ -48,6 +48,7 @@ class TestExample9Live:
         assert live.stats == {
             "inserted": 4, "rejected": 1, "evicted": 1,
             "removed": 0, "resurrected": 0, "rebuilds": 0,
+            "revisions": 0,
         }
         # projection-equal duplicates share the maximal slot
         assert len(live) == 2 and live.result_size() == 1
@@ -110,6 +111,134 @@ class TestDeltas:
     def test_to_dict_is_json_shaped(self):
         delta = BMODelta(entered=({"x": 1},), exited=({"x": 2},))
         assert delta.to_dict() == {"enter": [{"x": 1}], "exit": [{"x": 2}]}
+
+
+class TestBMODeltaUnit:
+    """Direct coverage of the delta algebra (previously only exercised
+    through the server suites)."""
+
+    def test_empty_delta_is_falsy(self):
+        assert not BMODelta()
+        assert not BMODelta(entered=(), exited=())
+        assert bool(BMODelta(entered=({"x": 1},)))
+        assert bool(BMODelta(exited=({"x": 1},)))
+
+    def test_merge_preserves_arrival_order(self):
+        deltas = [
+            BMODelta(entered=({"x": 1},)),
+            BMODelta(entered=({"x": 2},), exited=({"y": 9},)),
+            BMODelta(entered=({"x": 3},), exited=({"y": 8},)),
+        ]
+        merged = merge_deltas(deltas)
+        assert merged.entered == ({"x": 1}, {"x": 2}, {"x": 3})
+        assert merged.exited == ({"y": 9}, {"y": 8})
+
+    def test_merge_is_net_before_to_after(self):
+        # enter then exit cancels; exit then re-enter cancels too.
+        bounce_in = [
+            BMODelta(entered=({"x": 1},)),
+            BMODelta(exited=({"x": 1},)),
+        ]
+        assert not merge_deltas(bounce_in)
+        bounce_out = [
+            BMODelta(exited=({"x": 1},)),
+            BMODelta(entered=({"x": 1},)),
+        ]
+        assert not merge_deltas(bounce_out)
+
+    def test_merge_cancels_one_copy_per_occurrence(self):
+        # Two enters and one exit of the same row net to one enter.
+        merged = merge_deltas([
+            BMODelta(entered=({"x": 1}, {"x": 1})),
+            BMODelta(exited=({"x": 1},)),
+        ])
+        assert merged.entered == ({"x": 1},) and merged.exited == ()
+
+    def test_merge_of_nothing_is_empty(self):
+        assert not merge_deltas([])
+        assert not merge_deltas([BMODelta(), BMODelta()])
+
+    def test_eviction_then_resurrection_sequencing(self):
+        """An arrival evicts a maximum; deleting the arrival resurrects
+        it — and the two deltas merge to nothing."""
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert({"x": 1})
+        evict = live.insert_delta({"x": 5})
+        assert evict.entered == ({"x": 5},) and evict.exited == ({"x": 1},)
+        assert live.stats["evicted"] == 1
+        resurrect = live.remove_delta({"x": 5})
+        assert resurrect.exited == ({"x": 5},)
+        assert resurrect.entered == ({"x": 1},)
+        assert live.stats["resurrected"] == 1
+        assert not merge_deltas([evict, resurrect])
+
+    def test_to_dict_copies_rows(self):
+        row = {"x": 1}
+        delta = BMODelta(entered=(row,))
+        rendered = delta.to_dict()
+        rendered["enter"][0]["x"] = 99
+        assert row == {"x": 1}
+
+
+class TestRevise:
+    def test_refinement_from_view_candidates(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert_many([{"x": 3, "y": 1}, {"x": 3, "y": 5}, {"x": 1, "y": 9}])
+        view = live.result()
+        delta = live.revise(
+            HighestPreference("x") & HighestPreference("y"),
+            candidates=view,
+        )
+        assert _canon(live.result()) == _canon([{"x": 3, "y": 5}])
+        assert delta.exited == ({"x": 3, "y": 1},) and delta.entered == ()
+        assert live.stats["revisions"] == 1
+
+    def test_full_revision_rebuilds_from_history(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert_many([{"x": 3, "y": 1}, {"x": 1, "y": 9}])
+        delta = live.revise(HighestPreference("y"))
+        assert _canon(live.result()) == _canon([{"x": 1, "y": 9}])
+        assert _canon(delta.entered) == _canon([{"x": 1, "y": 9}])
+        assert _canon(delta.exited) == _canon([{"x": 3, "y": 1}])
+
+    def test_history_survives_revision(self):
+        live = IncrementalBMO(HighestPreference("x"))
+        live.insert_many([{"x": 1}, {"x": 2}])
+        live.revise(HighestPreference("x"), candidates=live.result())
+        assert live.seen() == 2
+        # Deletions after a revision still rebuild from full history.
+        live.remove({"x": 2})
+        assert _canon(live.result()) == _canon([{"x": 1}])
+
+    def test_grouped_revision(self):
+        live = IncrementalBMO(HighestPreference("x"), groupby=("g",))
+        live.insert_many([
+            {"g": 1, "x": 1}, {"g": 1, "x": 3}, {"g": 2, "x": 5},
+        ])
+        from repro.core.base_numerical import LowestPreference
+
+        live.revise(LowestPreference("x"))
+        assert _canon(live.result()) == _canon(
+            [{"g": 1, "x": 1}, {"g": 2, "x": 5}]
+        )
+
+    def test_ranked_revision_reseeds_from_history(self):
+        score = ScorePreference("x", lambda v: v, name="x")
+        flipped = ScorePreference("x", lambda v: -v, name="negx")
+        live = IncrementalBMO(score, top=2)
+        live.insert_many([{"x": 1}, {"x": 5}, {"x": 3}])
+        live.revise(flipped)
+        assert live.result() == k_best(
+            flipped, [{"x": 1}, {"x": 5}, {"x": 3}], 2
+        )
+
+    def test_ranked_revision_needs_score_preference(self):
+        import pytest
+
+        score = ScorePreference("x", lambda v: v, name="x")
+        live = IncrementalBMO(score, top=2)
+        with pytest.raises(TypeError):
+            live.revise(HighestPreference("x") & HighestPreference("y"))
 
 
 class TestRemoval:

@@ -1,0 +1,306 @@
+"""Metamorphic property suite for preference revision.
+
+The ground truth is always the from-scratch evaluation: after any chain of
+revisions, a :class:`~repro.query.revision.ReviseState` must hold exactly
+``winnow(P', R)`` (element-wise, duplicates included) — whether the
+revision restarted from the view, from the view + frontier, or fell back
+to a full recompute.  Hypothesis drives random base relations and random
+refinement / contraction chains over arbitrary preference terms (SV-style
+ties included via the layered constructors), plus the grouped and ranked
+top-k shapes; the fallback paths (incomparable deltas, truncated
+frontiers) are exercised explicitly and asserted via the state's honest
+stats.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import (
+    base_preference_st,
+    canon_rows,
+    nonempty_rows_st,
+    preference_st,
+    rows_st,
+)
+
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.base_numerical import (
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.core.constructors import ParetoPreference, PrioritizedPreference
+from repro.query.bmo import winnow, winnow_groupby
+from repro.query.revision import (
+    ReviseState,
+    RevisionError,
+    classify_revision,
+)
+from repro.query.topk import k_best
+
+
+# -- classification laws -----------------------------------------------------------
+
+
+@given(preference_st(max_depth=3))
+def test_identity_is_equal(pref):
+    revision = classify_revision(pref, pref)
+    assert revision.kind == "equal" and revision.restart == "none"
+
+
+@given(preference_st(max_depth=2), base_preference_st)
+def test_prio_append_refines(pref, stage):
+    revision = classify_revision(pref, PrioritizedPreference((pref, stage)))
+    assert revision.kind in ("equal", "refinement")
+    if revision.kind == "refinement":
+        assert revision.shape == "prio-append"
+        assert revision.restart == "view"
+        assert "Definition 9" in revision.law
+
+
+@given(preference_st(max_depth=2), base_preference_st)
+def test_prio_drop_contracts(pref, stage):
+    revision = classify_revision(PrioritizedPreference((pref, stage)), pref)
+    assert revision.kind in ("equal", "contraction")
+    if revision.kind == "contraction":
+        assert revision.shape == "prio-prefix"
+        assert revision.restart == "frontier"
+
+
+@given(preference_st(max_depth=2), base_preference_st)
+def test_pareto_extend_is_frontier_class(pref, extra):
+    revision = classify_revision(pref, ParetoPreference((pref, extra)))
+    # A (x)-appended component can promote previously dominated rows, so
+    # the pareto-extend shape must never claim the view-only restart.
+    # (simplify may canonicalize the Pareto away — e.g. antichain
+    # components vanish — in which case another, still-sound shape wins.)
+    if revision.shape == "pareto-extend":
+        assert revision.kind == "refinement"
+        assert revision.restart == "frontier"
+
+
+@given(preference_st(max_depth=2), preference_st(max_depth=2))
+def test_classification_is_total(old, new):
+    revision = classify_revision(old, new)
+    assert revision.kind in (
+        "equal", "refinement", "contraction", "incomparable"
+    )
+    assert revision.restart in ("none", "view", "frontier", "full")
+
+
+def test_chain_append_layer_extension():
+    from repro.core.base_nonnumerical import PosPosPreference
+
+    pos = PosPreference("a", {3, 4})
+    split = PosPosPreference("a", {3}, {4})
+    # POS({3,4}) -> POS({3})/POS({4}) splits the top layer in two: every
+    # old order pair survives and 4-rows drop below 3-rows.
+    revision = classify_revision(pos, split)
+    assert revision.kind == "refinement"
+    assert revision.shape == "chain-append"
+    assert revision.restart == "view"
+    back = classify_revision(split, pos)
+    assert back.kind == "contraction" and back.shape == "layer-drop"
+    assert back.restart == "frontier"
+
+
+def test_rejects_non_preferences():
+    with pytest.raises(TypeError):
+        classify_revision(PosPreference("a", {1}), "not a preference")
+
+
+# -- revision-from-view equals from-scratch ----------------------------------------
+
+
+def _assert_exact(state, pref, rows):
+    assert canon_rows(state.result()) == canon_rows(winnow(pref, rows))
+
+
+@given(preference_st(max_depth=2), base_preference_st, rows_st)
+def test_refinement_from_view_equals_scratch(pref, stage, rows):
+    state = ReviseState(pref, rows)
+    refined = PrioritizedPreference((pref, stage))
+    outcome = state.revise(refined)
+    _assert_exact(state, refined, rows)
+    if outcome.revision.shape == "prio-append":
+        assert outcome.strategy == "view"
+        assert state.stats["from_view"] == 1
+        assert state.stats["full_recomputes"] == 0
+
+
+@given(preference_st(max_depth=2), base_preference_st, rows_st)
+def test_contraction_from_frontier_equals_scratch(pref, stage, rows):
+    state = ReviseState(PrioritizedPreference((pref, stage)), rows)
+    outcome = state.revise(pref)
+    _assert_exact(state, pref, rows)
+    if outcome.revision.kind == "contraction":
+        assert outcome.strategy == "frontier"
+
+
+@given(preference_st(max_depth=2), base_preference_st, rows_st)
+def test_pareto_extension_equals_scratch(pref, extra, rows):
+    state = ReviseState(pref, rows)
+    extended = ParetoPreference((pref, extra))
+    state.revise(extended)
+    _assert_exact(state, extended, rows)
+
+
+@given(preference_st(max_depth=2), preference_st(max_depth=2), rows_st)
+def test_incomparable_fallback_is_exact(old, new, rows):
+    """Whatever the classification, the revised state is exact — and a
+    full recompute is recorded honestly when it happens."""
+    state = ReviseState(old, rows)
+    outcome = state.revise(new)
+    _assert_exact(state, new, rows)
+    if outcome.revision.kind == "incomparable":
+        assert outcome.strategy == "full"
+        assert state.stats["full_recomputes"] == 1
+
+
+@given(
+    preference_st(max_depth=2),
+    st.lists(
+        st.tuples(st.sampled_from(["prio", "pareto", "drop"]),
+                  base_preference_st),
+        min_size=1, max_size=4,
+    ),
+    rows_st,
+)
+def test_revision_chains_stay_exact(pref, chain, rows):
+    """Random refinement/contraction chains: the state equals the
+    from-scratch winnow after every single step."""
+    state = ReviseState(pref, rows)
+    current = pref
+    for kind, stage in chain:
+        if kind == "prio":
+            current = PrioritizedPreference((current, stage))
+        elif kind == "pareto":
+            current = ParetoPreference((current, stage))
+        elif isinstance(current, (PrioritizedPreference, ParetoPreference)):
+            current = current.children[0]  # drop the appended tail
+        state.revise(current)
+        _assert_exact(state, current, rows)
+    assert state.stats["revisions"] == len(chain)
+
+
+@given(st.lists(st.sampled_from([3, 4, 0, 1]), min_size=0, max_size=20))
+def test_sv_ties_survive_revision(values):
+    """Substitutable values: whole layers of projection-different rows are
+    equally good; refining by a tiebreaker keeps exactly the right ones."""
+    rows = [{"a": v, "b": i % 3, "c": 0} for i, v in enumerate(values)]
+    pos = PosPreference("a", {3, 4})
+    state = ReviseState(pos, rows)
+    refined = PrioritizedPreference((pos, HighestPreference("b")))
+    outcome = state.revise(refined)
+    _assert_exact(state, refined, rows)
+    assert outcome.strategy in ("none", "view")
+
+
+# -- grouped and ranked shapes -----------------------------------------------------
+
+
+@given(preference_st(max_depth=2), base_preference_st, nonempty_rows_st)
+def test_grouped_revision_equals_scratch(pref, stage, rows):
+    groupby = ("c",) if "c" not in pref.attributes else ("a",)
+    state = ReviseState(pref, rows, groupby=groupby)
+    refined = PrioritizedPreference((pref, stage))
+    state.revise(refined)
+    assert canon_rows(state.result()) == canon_rows(
+        winnow_groupby(refined, groupby, rows)
+    )
+
+
+@given(nonempty_rows_st, st.integers(min_value=1, max_value=4),
+       st.sampled_from(["strict", "all"]))
+def test_ranked_revision_equals_k_best(rows, k, ties):
+    score = ScorePreference("a", lambda v: v, name="up")
+    flipped = ScorePreference("a", lambda v: -v, name="down")
+    state = ReviseState(score, rows, top=k, ties=ties)
+    assert canon_rows(state.result()) == canon_rows(
+        k_best(score, rows, k, ties=ties)
+    )
+    outcome = state.revise(flipped)
+    # A changed score function reorders the whole cut: never view-class.
+    assert outcome.strategy == "full"
+    assert canon_rows(state.result()) == canon_rows(
+        k_best(flipped, rows, k, ties=ties)
+    )
+
+
+def test_ranked_identity_revision_is_noop():
+    score = HighestPreference("a")
+    rows = [{"a": v} for v in (5, 1, 3, 2)]
+    state = ReviseState(score, rows, top=2)
+    outcome = state.revise(score)
+    assert outcome.strategy == "none" and not outcome.delta
+    assert state.stats["noop"] == 1
+
+
+def test_ranked_state_rejects_non_score_terms():
+    with pytest.raises(TypeError):
+        ReviseState(
+            ParetoPreference(
+                (HighestPreference("a"), HighestPreference("b"))
+            ),
+            [],
+            top=2,
+        )
+
+
+# -- fallback paths, asserted via stats --------------------------------------------
+
+
+@given(nonempty_rows_st)
+def test_truncated_frontier_falls_back_and_stays_exact(rows):
+    low = LowestPreference("a")
+    state = ReviseState(low, rows, frontier_limit=0)
+    contracted_from = PrioritizedPreference((low, HighestPreference("b")))
+    # Re-anchor on a prioritized term so the next revision contracts.
+    state.revise(contracted_from, reload=lambda: rows)
+    outcome = state.revise(low, reload=lambda: rows)
+    _assert_exact(state, low, rows)
+    if state.truncated and outcome.revision.restart == "frontier":
+        assert outcome.strategy == "full"
+        assert state.stats["truncation_fallbacks"] >= 1
+        assert state.stats["frontier_dropped"] >= 1
+
+
+def test_truncated_frontier_without_reload_raises():
+    rows = [{"a": v, "b": 0, "c": 0} for v in range(10)]
+    low = LowestPreference("a")
+    state = ReviseState(low, rows, frontier_limit=2)
+    assert state.truncated and state.stats["frontier_dropped"] == 7
+    with pytest.raises(RevisionError):
+        state.revise(HighestPreference("b"))
+
+
+def test_full_recompute_from_retained_rows_needs_no_reload():
+    """view + complete frontier is the base relation as a bag, so an
+    incomparable delta recomputes exactly without touching the source."""
+    rows = [{"a": v, "b": 9 - v, "c": 0} for v in range(10)]
+    state = ReviseState(LowestPreference("a"), rows)
+    assert not state.truncated
+    outcome = state.revise(LowestPreference("b"))
+    assert outcome.strategy == "full"
+    _assert_exact(state, LowestPreference("b"), rows)
+
+
+@given(rows_st)
+def test_frontier_plus_view_is_the_relation(rows):
+    state = ReviseState(LowestPreference("a"), rows)
+    assert canon_rows(state.result() + state.frontier()) == canon_rows(rows)
+
+
+@settings(max_examples=20)
+@given(nonempty_rows_st)
+def test_view_restart_examines_fewer_rows(rows):
+    """The point of the exercise: a proved refinement looks only at the
+    view, never at the whole relation."""
+    low = LowestPreference("a")
+    state = ReviseState(low, rows)
+    view_size = len(state.result())
+    outcome = state.revise(PrioritizedPreference((low, LowestPreference("b"))))
+    if outcome.strategy == "view":
+        assert outcome.examined == view_size <= len(rows)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from tests.conftest import preference_st
+from tests.conftest import canon_rows as _canon, preference_st, step_st
 
 from repro.core.base_nonnumerical import PosPreference
 from repro.core.base_numerical import ScorePreference
@@ -20,22 +20,6 @@ from repro.query.bmo import winnow, winnow_groupby
 from repro.query.topk import k_best
 from repro.server.views import ContinuousView, ViewSpec
 from repro.session import MutationEvent
-
-ATTRIBUTES = ("a", "b", "c")
-
-row_st = st.fixed_dictionaries(
-    {a: st.integers(min_value=0, max_value=4) for a in ATTRIBUTES}
-)
-
-#: An interleaving: insert a fresh row, or delete the i-th oldest survivor.
-step_st = st.one_of(
-    st.tuples(st.just("insert"), row_st),
-    st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
-)
-
-
-def _canon(rows):
-    return sorted(tuple(sorted(r.items())) for r in rows)
 
 
 def _replay(view_spec: ViewSpec, steps, batch_of):

@@ -27,10 +27,15 @@ regresses:
   semantic ``winnow_to_sort`` rewrite (single-column argmax instead of
   a dominance winnow) must beat the unoptimized plan by >= 10x, with
   identical rows.
+* ``revision_speedup`` — the PR-7 acceptance criterion: revising a
+  standing winnow answer by a proved order refinement (prioritized
+  append, Definition 9) must beat a full re-plan + re-scan by >= 10x on
+  the 50k-row catalog, with identical rows; the incomparable fallback
+  is additionally asserted *exact* (full recompute) inline.
 
 Usage::
 
-    python tools/bench_report.py --output BENCH_6.json          # CI
+    python tools/bench_report.py --output BENCH_7.json          # CI
     python tools/bench_report.py --quick                        # smoke run
 
 The CI benchmark job uploads the JSON as a build artifact, so regressions
@@ -305,9 +310,57 @@ def bench_semantic_elim(report: dict, n_rows: int, rounds: int) -> None:
     }
 
 
+def bench_revision(report: dict, n_rows: int, rounds: int) -> None:
+    """Revise-from-view (Definition 9 refinement) vs full re-planning."""
+    from repro.core.base_numerical import HighestPreference, LowestPreference
+    from repro.core.constructors import prioritized
+    from repro.datasets.cars import generate_cars
+    from repro.query import optimizer
+    from repro.query.revision import ReviseState
+
+    relation = generate_cars(n_rows, seed=11)
+    rows = relation.rows()
+    base = LowestPreference("price")
+    refined = prioritized(base, HighestPreference("horsepower"))
+
+    def canon(out):
+        return sorted(tuple(sorted(r.items())) for r in out)
+
+    fresh = optimizer.plan(refined, relation).execute()
+    probe = ReviseState(base, rows)
+    outcome = probe.revise(refined)
+    assert outcome.strategy == "view"
+    assert canon(probe.result()) == canon(fresh.rows())
+    # The incomparable fallback stays exact: full recompute, counted.
+    swap = ReviseState(base, rows, frontier_limit=n_rows)
+    assert swap.revise(HighestPreference("mileage")).strategy == "full"
+    assert canon(swap.result()) == canon(
+        optimizer.plan(HighestPreference("mileage"), relation).execute().rows()
+    )
+
+    states = iter([ReviseState(base, rows) for _ in range(rounds)])
+    revised = median_ns(lambda: next(states).revise(refined), rounds)
+    replanned = median_ns(
+        lambda: optimizer.plan(refined, relation).execute(), rounds
+    )
+    report["benchmarks"][f"revision_{n_rows}_replanned"] = {
+        "median_ns": replanned, "rounds": rounds,
+    }
+    report["benchmarks"][f"revision_{n_rows}_revised"] = {
+        "median_ns": revised, "rounds": rounds,
+    }
+    ratio = replanned / revised
+    report["ratios"]["revision_speedup"] = round(ratio, 2)
+    report["criteria"]["revision_speedup"] = {
+        "ratio": round(ratio, 2),
+        "threshold": 10.0,
+        "pass": ratio >= 10.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_6.json",
+    parser.add_argument("--output", default="BENCH_7.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per benchmark (median is kept)")
@@ -351,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_rewrite_pushdown(report, n_rows, args.rounds)
     bench_view_serving(report, n_rows, args.rounds)
     bench_semantic_elim(report, n_rows, args.rounds)
+    bench_revision(report, n_rows, args.rounds)
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     failed = [
