@@ -21,7 +21,8 @@ engine-free dialect of SQL92 (no vendor extensions beyond CASE and ABS).
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.psql import ast as A
 from repro.psql.translate import TranslationError
@@ -108,6 +109,104 @@ def _where_sql(expr: A.HardExpr | None, alias: str) -> str:
     if isinstance(expr, A.NotOp):
         return f"NOT ({_where_sql(expr.operand, alias)})"
     raise TranslationError(f"cannot render WHERE expression {expr!r}")
+
+
+# -- parameterized emission (storage-backend prefilters) -------------------------
+#
+# ``_where_sql`` inlines literals — fine for the explain()-style SQL92
+# text, wrong for anything that actually executes: quoting bugs, plan
+# caches keyed on literals, and engines (SQLite vs Postgres) that
+# disagree on placeholder syntax.  The storage backends therefore render
+# the same expressions through a :class:`Dialect` with ``?``/``%s``
+# placeholders and properly quoted identifiers.
+
+@dataclass(frozen=True)
+class Dialect:
+    """Engine-specific SQL quirks the generator must respect."""
+
+    name: str
+    #: Positional parameter placeholder (``?`` qmark / ``%s`` format).
+    placeholder: str
+    #: Null-safe equality template for ``{col}`` against a placeholder —
+    #: ``IS`` in SQLite, ``IS NOT DISTINCT FROM`` in Postgres.
+    null_eq: str
+
+
+SQLITE = Dialect(name="sqlite", placeholder="?", null_eq="{col} IS {ph}")
+POSTGRES = Dialect(
+    name="postgres", placeholder="%s", null_eq="{col} IS NOT DISTINCT FROM {ph}"
+)
+
+
+def quote_ident(name: str) -> str:
+    """Double-quote an identifier (SQL92 style, shared by both dialects)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def where_params(
+    expr: A.HardExpr, dialect: Dialect
+) -> tuple[str, tuple[Any, ...]]:
+    """Render one hard condition with placeholders; returns (sql, params).
+
+    Covers the pushable fragment plus LIKE/NOT for completeness — the
+    *semantic* gate lives in :mod:`repro.storage.pushdown`, not here.
+    """
+    ph = dialect.placeholder
+    if isinstance(expr, A.Comparison):
+        return f"{quote_ident(expr.attribute)} {expr.op} {ph}", (expr.value,)
+    if isinstance(expr, A.InList):
+        op = "NOT IN" if expr.negated else "IN"
+        slots = ", ".join(ph for _ in expr.values)
+        column = quote_ident(expr.attribute)
+        return f"{column} {op} ({slots})", tuple(expr.values)
+    if isinstance(expr, A.LikePattern):
+        op = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{quote_ident(expr.attribute)} {op} {ph}", (expr.pattern,)
+    if isinstance(expr, A.IsNull):
+        negation = "NOT " if expr.negated else ""
+        return f"{quote_ident(expr.attribute)} IS {negation}NULL", ()
+    if isinstance(expr, A.HardBetween):
+        column = quote_ident(expr.attribute)
+        return f"{column} BETWEEN {ph} AND {ph}", (expr.low, expr.up)
+    if isinstance(expr, A.BoolOp):
+        parts: list[str] = []
+        params: list[Any] = []
+        for operand in expr.operands:
+            sql, values = where_params(operand, dialect)
+            parts.append(f"({sql})")
+            params.extend(values)
+        return f" {expr.op} ".join(parts), tuple(params)
+    if isinstance(expr, A.NotOp):
+        sql, values = where_params(expr.operand, dialect)
+        return f"NOT ({sql})", values
+    raise TranslationError(f"cannot parameterize WHERE expression {expr!r}")
+
+
+def prefilter_sql(
+    table: str,
+    columns: Sequence[str],
+    conjuncts: Sequence[A.HardExpr],
+    dialect: Dialect,
+    order_by: str | None = None,
+) -> tuple[str, tuple[Any, ...]]:
+    """The SELECT a storage backend runs for a pushed-down prefilter.
+
+    Conjuncts AND together; ``order_by`` (the backend's insertion-order
+    row id) keeps SQL results bit-identical to the in-memory scan order.
+    """
+    select = ", ".join(quote_ident(c) for c in columns) or "*"
+    sql = f"SELECT {select} FROM {quote_ident(table)}"
+    params: list[Any] = []
+    if conjuncts:
+        parts = []
+        for conjunct in conjuncts:
+            text, values = where_params(conjunct, dialect)
+            parts.append(f"({text})")
+            params.extend(values)
+        sql += " WHERE " + " AND ".join(parts)
+    if order_by:
+        sql += f" ORDER BY {quote_ident(order_by)}"
+    return sql, tuple(params)
 
 
 # -- better-than conditions ----------------------------------------------------------

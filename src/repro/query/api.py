@@ -515,7 +515,22 @@ class PreferenceQuery:
             self._backend,
             self._partitions,
             self._use_rewriter,
+            self._storage_identity(),
         )
+
+    def _storage_identity(self) -> str:
+        """The session's storage-backend name (fingerprint component).
+
+        Plans built against a SQL mirror hold StorageScan leaves bound to
+        that backend; a cache shared across differently-backed sessions
+        must never replay one for the other.
+        """
+        if self._session is None:
+            return "memory"
+        binding = getattr(self._session, "storage", None)
+        if binding is None:
+            return "memory"
+        return binding.backend.name
 
     def _source_key(self) -> tuple:
         kind, payload = self._source
@@ -603,7 +618,19 @@ class PreferenceQuery:
             algorithm=self._algorithm,
             backend=self._backend,
             partitions=self._partitions,
+            storage=self._storage_backend(),
+            source_name=self._catalog_source_name(),
         )
+
+    def _storage_backend(self) -> Any:
+        if self._session is None:
+            return None
+        binding = getattr(self._session, "storage", None)
+        return None if binding is None else binding.backend
+
+    def _catalog_source_name(self) -> str | None:
+        kind, payload = self._source
+        return payload.lower() if kind == "catalog" else None
 
     # -- terminals --------------------------------------------------------------
 

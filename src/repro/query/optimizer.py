@@ -63,6 +63,7 @@ from repro.query.plan import (
     PreferenceSelect,
     Project,
     Scan,
+    StorageScan,
     TopK,
 )
 from repro.query.quality import QualityCondition
@@ -438,6 +439,8 @@ def plan(
     algorithm: Any | None = None,
     backend: str = "auto",
     partitions: int | None = None,
+    storage: Any = None,
+    source_name: str | None = None,
 ) -> Plan:
     """Build an execution plan for ``sigma[P](sigma_hard(R))`` and friends.
 
@@ -495,6 +498,21 @@ def plan(
             node = Limit(node, limit)
         return Plan(node)
 
+    # Storage pushdown: when the source relation is mirrored in a SQL
+    # storage backend (storage= is the session backend, source_name the
+    # catalog name), the leaf becomes a StorageScan pinned to the
+    # mirror's catalog version; the push_select_into_storage rule can
+    # then absorb rigid conjuncts into an indexed SQL prefilter.  The
+    # scan is a pure fast path: on any version drift it re-evaluates the
+    # conjuncts in Python over the same immutable snapshot.
+    storage_version: int | None = None
+    if (use_rewriter and storage is not None and source_name
+            and getattr(storage, "supports_pushdown", False)):
+        storage_version = storage.table_version(source_name)
+        if storage_version is not None:
+            node = StorageScan(relation=relation, table=source_name.lower(),
+                               backend=storage, version=storage_version)
+
     # BUT ONLY quality conditions address base preferences *inside the
     # user's term* (DISTANCE(price) names the AROUND the user wrote);
     # simplification may legally drop such bases (e.g. a covered
@@ -527,6 +545,25 @@ def plan(
         node = HardSelect(node, predicate, label, ast)
 
     stats = relation.stats() if pref is not None else None
+    # The cost model normally sizes the winnow input as the full scan;
+    # with a mirrored relation the backend can *count* the prefiltered
+    # candidate set instead, so backend/partition choices reflect what
+    # the kernels will actually see.
+    cardinality = len(relation)
+    if storage_version is not None and storage is not None and source_name:
+        from repro.storage.pushdown import pushable_where
+
+        pushable = tuple(
+            conjunct_ast for _, _, conjunct_ast in conjuncts
+            if conjunct_ast is not None
+            and pushable_where(conjunct_ast, relation.schema)
+        )
+        if pushable:
+            reported = storage.cardinality(
+                source_name, pushable, storage_version
+            )
+            if reported is not None:
+                cardinality = reported
     # The constraint registry (declared schema constraints + facts derived
     # from statistics over the preference's attributes) powers the semantic
     # rewrite rules and narrows the cost model's selectivity estimates.
@@ -580,7 +617,7 @@ def plan(
         node = PreferenceSelect(node, pref, algorithm=algorithm)
     else:
         choice = choose_backend(
-            pref, len(relation), backend, stats=stats, partitions=partitions,
+            pref, cardinality, backend, stats=stats, partitions=partitions,
             constraints=constraints,
         )
         if choice.columnar:
@@ -607,7 +644,7 @@ def plan(
         ctx = _rewrite.RewriteContext(
             forced_algorithm=algorithm,
             backend=backend,
-            cardinality=len(relation),
+            cardinality=cardinality,
             stats=stats,
             partitions=partitions,
             constraints=constraints,

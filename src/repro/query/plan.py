@@ -72,6 +72,73 @@ class Scan(PlanNode):
 
 
 @dataclass(frozen=True)
+class StorageScan(PlanNode):
+    """Leaf: read a base relation through a SQL storage-backend mirror.
+
+    Carries the rigid WHERE conjuncts the rewriter pushed into storage
+    (``conjuncts`` — the same ``(predicate, label, ast)`` triples a
+    :class:`HardSelect` would hold) plus the parameterized SQL they
+    render to.  ``version`` is the catalog version the plan was built
+    against: at execution time the backend only answers when its mirror
+    still sits at that exact version, otherwise the node evaluates the
+    conjuncts in Python over its own immutable relation snapshot — the
+    result is bit-identical either way, the mirror is purely a fast
+    path.
+    """
+
+    relation: Relation
+    table: str
+    backend: Any = None
+    version: int = 0
+    #: Absorbed conjuncts, in original WHERE order.
+    conjuncts: tuple[tuple[Callable[[Row], bool], str, Any], ...] = ()
+    #: The prefilter SQL (display form; execution re-renders per call).
+    sql: str = ""
+    params: tuple[Any, ...] = ()
+
+    def absorb(
+        self, conjunct: tuple[Callable[[Row], bool], str, Any]
+    ) -> "StorageScan":
+        """A new scan with one more pushed-down conjunct."""
+        conjuncts = (*self.conjuncts, conjunct)
+        sql, params = self.backend.render_prefilter(
+            self.table, tuple(ast for _, _, ast in conjuncts)
+        )
+        return StorageScan(self.relation, self.table, self.backend,
+                           self.version, conjuncts, sql, tuple(params))
+
+    def execute(self) -> Relation:
+        if not self.conjuncts:
+            return self.relation
+        rows = None
+        if self.backend is not None:
+            rows = self.backend.prefilter(
+                self.table, tuple(ast for _, _, ast in self.conjuncts),
+                self.version,
+            )
+        if rows is None:
+            out = self.relation
+            for predicate, _, _ in self.conjuncts:
+                out = out.select(predicate)
+            return out
+        return Relation(self.relation.name, self.relation.schema, rows,
+                        validate=False)
+
+    def lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        backend = getattr(self.backend, "name", "?")
+        out = [
+            f"{pad}StorageScan[{self.relation.name}] backend={backend} "
+            f"({len(self.relation)} rows @v{self.version})"
+        ]
+        if self.sql:
+            out.append(f"{pad}  pushdown: {self.sql}")
+            if self.params:
+                out.append(f"{pad}  params: {list(self.params)!r}")
+        return out
+
+
+@dataclass(frozen=True)
 class HardSelect(PlanNode):
     """Exact-match selection — the hard constraints of the WHERE clause.
 

@@ -105,6 +105,7 @@ from repro.query.plan import (
     PreferenceSelect,
     Scan,
     SortedWinnow,
+    StorageScan,
 )
 from repro.query.quality import QualityCondition, base_preferences_by_attribute
 
@@ -113,7 +114,9 @@ from repro.query.quality import QualityCondition, base_preferences_by_attribute
 #: cached plans built by an older rule set can never be replayed.
 #: 2: constraint-driven semantic rules (winnow_to_sort,
 #: remove_redundant_winnow).
-RULESET_VERSION = 2
+#: 3: storage prefilter pushdown (push_select_into_storage) — plans may
+#: now hold StorageScan leaves bound to a backend mirror.
+RULESET_VERSION = 3
 
 #: One recorded rewrite: ``(rule, before, after)`` — the shape the term
 #: rewriter uses, so plan-level and term-level steps share one trace.
@@ -421,6 +424,70 @@ def _rule_push_select(
     )
 
 
+def _rule_push_into_storage(
+    node: PlanNode, ctx: RewriteContext
+) -> tuple[PlanNode, str, str] | None:
+    """σ directly over a storage scan runs as SQL inside the backend.
+
+    This is the second leg of the paper's plug-and-go story: conjuncts
+    that ``push_select_below_winnow`` proved rigid land on top of the
+    :class:`StorageScan` leaf, and this rule absorbs them — one at a
+    time, innermost first — into the backend's parameterized prefilter,
+    provided the conjunct stays inside the SQL/Python-equivalent
+    fragment (:func:`repro.storage.pushdown.pushable_where`).
+    """
+    if not isinstance(node, HardSelect):
+        return None
+    scan = node.child
+    if not isinstance(scan, StorageScan) or scan.backend is None:
+        return None
+    if node.ast is None:
+        return None
+    from repro.storage.pushdown import pushable_where
+
+    if not pushable_where(node.ast, scan.relation.schema):
+        return None
+    try:
+        absorbed = scan.absorb((node.predicate, node.label, node.ast))
+    except Exception:
+        return None  # mirror vanished between planning and rewriting
+    return (
+        absorbed,
+        f"{_head(node)} over {_head(scan)}",
+        f"storage prefilter [{node.label}]",
+    )
+
+
+def _quality_ast(pref: Preference, condition: QualityCondition) -> Any:
+    """A hard-expression equivalent of a rigid DISTANCE bound, or None.
+
+    ``DISTANCE(A) <= d`` under the single certified ``BETWEEN(A, [low,
+    up])`` base is exactly ``low - d <= A <= up + d``, so it gets a
+    ``HardBetween`` AST and thereby becomes eligible for
+    ``push_select_into_storage``.  Only inclusive bounds over plain
+    finite numbers translate (HardBetween is inclusive; negative or NaN
+    bounds have no interval form); everything else keeps ast=None and
+    simply stays a Python prefilter.
+    """
+    if condition.kind != "distance" or condition.op != "<=":
+        return None
+    bases = base_preferences_by_attribute(pref).get(condition.attribute, [])
+    matching = [b for b in bases if isinstance(b, BetweenPreference)]
+    if len(matching) != 1:
+        return None
+    base = matching[0]
+    bound = condition.bound
+    values = (base.low, base.up, bound)
+    if not all(isinstance(v, (int, float)) and v == v for v in values):
+        return None
+    if isinstance(bound, bool) or bound < 0:
+        return None
+    from repro.psql.ast import HardBetween
+
+    return HardBetween(condition.attribute, base.low - bound,
+                       base.up + bound)
+
+
 def _rule_push_quality(
     node: PlanNode, ctx: RewriteContext
 ) -> tuple[PlanNode, str, str] | None:
@@ -440,6 +507,7 @@ def _rule_push_quality(
             inner,
             _quality_predicate(node.pref, condition),
             label=f"BUT ONLY {condition}",
+            ast=_quality_ast(node.pref, condition),
         )
     new_winnow = _replace(winnow, child=inner)
     new_node: PlanNode = (
@@ -467,6 +535,9 @@ def _rule_prune_constant(
         if below.ast is not None:
             fixed |= fixed_attributes(below.ast)
         below = below.child
+    if isinstance(below, StorageScan):
+        for _, _, ast in below.conjuncts:
+            fixed |= fixed_attributes(ast)
     if not fixed:
         return None
     pruned = prune_constant(node.pref, fixed)
@@ -585,6 +656,9 @@ def _input_bound(node: PlanNode) -> float:
     """A static upper bound on the rows a subtree can produce."""
     if isinstance(node, Scan):
         return len(node.relation)
+    if isinstance(node, StorageScan):
+        # Prefilters only shrink: the snapshot size bounds the output.
+        return len(node.relation)
     if isinstance(node, HardSelect):
         return _input_bound(node.child)
     return float("inf")
@@ -615,6 +689,9 @@ def _fixed_below(node: PlanNode) -> frozenset[str]:
         if below.ast is not None:
             fixed |= fixed_attributes(below.ast)
         below = below.child
+    if isinstance(below, StorageScan):
+        for _, _, ast in below.conjuncts:
+            fixed |= fixed_attributes(ast)
     return fixed
 
 
@@ -699,6 +776,7 @@ def _rule_winnow_to_sort(
 PLAN_RULES: tuple[tuple[str, Callable[..., Any]], ...] = (
     ("push_select_below_winnow", _rule_push_select),
     ("push_select_below_winnow", _rule_push_quality),
+    ("push_select_into_storage", _rule_push_into_storage),
     ("prune_constant_pref", _rule_prune_constant),
     ("drop_trivial_winnow", _rule_drop_trivial),
     ("remove_redundant_winnow", _rule_remove_redundant),

@@ -9,13 +9,46 @@ Every registration (including replacement) and drop bumps a per-name
 monotonically increasing *version*.  Relations themselves are immutable, so
 ``(name, version)`` uniquely identifies a relation's contents — the query
 layer keys its memoized plan cache on it for invalidation.
+
+Mutations are observable: the storage layer attaches an observer and
+receives one :class:`CatalogEvent` per logical mutation — the seam the
+write-ahead log and SQL mirrors hang off (see ``repro.storage.binding``).
+``insert_rows``/``delete_rows`` internally re-register the rebuilt
+relation, so notification is suppressed for that inner call and the
+precise row-level event is emitted instead; observers never see a
+full-relation ``register`` for what was a two-row insert.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
 
 from repro.relations.relation import Relation, RelationError, Row
+
+
+@dataclass(frozen=True)
+class CatalogEvent:
+    """One versioned catalog mutation, as seen by observers.
+
+    ``op`` is ``register`` / ``insert`` / ``delete`` / ``drop``;
+    ``version`` is the per-name version *after* the mutation.  ``rows``
+    carries the inserted or deleted rows for the row-level ops,
+    ``relation`` the full new relation where one exists (all ops except
+    ``drop``).
+    """
+
+    op: str
+    name: str
+    version: int
+    relation: Relation | None = None
+    rows: tuple[Row, ...] = field(default_factory=tuple)
+
+
+class CatalogObserver(Protocol):
+    """Anything that wants the catalog's mutation stream."""
+
+    def on_catalog_event(self, event: CatalogEvent) -> None: ...
 
 
 class Catalog:
@@ -26,9 +59,30 @@ class Catalog:
         # Version counters survive drops so a re-registered name never
         # repeats an old (name, version) pair.
         self._versions: dict[str, int] = {}
+        self._observers: list[CatalogObserver] = []
+        # Depth of notification suppression: >0 while a compound
+        # mutation (insert/delete) performs its internal re-register.
+        self._quiet = 0
         if relations:
             for name, rel in relations.items():
                 self.register(rel.with_name(name))
+
+    # -- observation -----------------------------------------------------
+
+    def attach(self, observer: CatalogObserver) -> None:
+        """Subscribe ``observer`` to subsequent mutations."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def detach(self, observer: CatalogObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify(self, event: CatalogEvent) -> None:
+        if self._quiet:
+            return
+        for observer in self._observers:
+            observer.on_catalog_event(event)
 
     def register(self, relation: Relation, replace: bool = False) -> None:
         key = relation.name.lower()
@@ -39,6 +93,9 @@ class Catalog:
             )
         self._relations[key] = relation
         self._versions[key] = self._versions.get(key, 0) + 1
+        self._notify(CatalogEvent(
+            "register", key, self._versions[key], relation=relation,
+        ))
 
     def version(self, name: str) -> int:
         """The registration version of ``name`` (0 if never registered).
@@ -48,6 +105,10 @@ class Catalog:
         implies identical contents.
         """
         return self._versions.get(name.lower(), 0)
+
+    def versions(self) -> dict[str, int]:
+        """Copy of the full version-counter map (dropped names included)."""
+        return dict(self._versions)
 
     def insert_rows(
         self, name: str, rows: Sequence[Mapping[str, Any]]
@@ -68,7 +129,16 @@ class Catalog:
         new = Relation(
             old.name, old.schema, [*old.rows(), *cooked], validate=False
         )
-        self.register(new, replace=True)
+        self._quiet += 1
+        try:
+            self.register(new, replace=True)
+        finally:
+            self._quiet -= 1
+        key = new.name.lower()
+        self._notify(CatalogEvent(
+            "insert", key, self._versions[key],
+            relation=new, rows=tuple(cooked),
+        ))
         return new
 
     def delete_rows(
@@ -106,7 +176,16 @@ class Catalog:
                 else:
                     kept.append(row)
         new = Relation(old.name, old.schema, kept, validate=False)
-        self.register(new, replace=True)
+        self._quiet += 1
+        try:
+            self.register(new, replace=True)
+        finally:
+            self._quiet -= 1
+        key = new.name.lower()
+        self._notify(CatalogEvent(
+            "delete", key, self._versions[key],
+            relation=new, rows=tuple(dict(r) for r in deleted),
+        ))
         return new, deleted
 
     def get(self, name: str) -> Relation:
@@ -125,6 +204,31 @@ class Catalog:
         except KeyError:
             raise RelationError(f"unknown relation {name!r}") from None
         self._versions[key] = self._versions.get(key, 0) + 1
+        self._notify(CatalogEvent("drop", key, self._versions[key]))
+
+    # -- recovery (storage layer only) -----------------------------------
+
+    def restore(self, relation: Relation, version: int) -> None:
+        """Install ``relation`` at an exact ``version``, silently.
+
+        Recovery-path primitive: replaying a WAL or loading a snapshot
+        must reproduce the logged version numbers exactly (plan caches
+        and view versions key on them) and must *not* re-notify the
+        observers that produced the log in the first place.
+        """
+        key = relation.name.lower()
+        self._relations[key] = relation
+        self._versions[key] = version
+
+    def restore_version(self, name: str, version: int) -> None:
+        """Force the version counter of ``name`` (recovery path only)."""
+        self._versions[name.lower()] = version
+
+    def restore_drop(self, name: str, version: int) -> None:
+        """Silently remove ``name`` at ``version`` (recovery path only)."""
+        key = name.lower()
+        self._relations.pop(key, None)
+        self._versions[key] = version
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._relations

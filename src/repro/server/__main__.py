@@ -21,13 +21,23 @@ from repro.server.server import run_in_thread
 from repro.server.service import PreferenceService
 
 
-def _demo_service(n_cars: int) -> PreferenceService:
+def _demo_service(
+    n_cars: int,
+    storage: str | None = None,
+    data_dir: str | None = None,
+) -> PreferenceService:
     from repro.datasets.cars import generate_cars
+    from repro.session import Session
 
-    catalog = {}
-    if n_cars:
-        catalog["car"] = generate_cars(n_cars, seed=11).rows()
-    return PreferenceService(catalog)
+    session = Session(storage=storage, data_dir=data_dir)
+    # Recovery precedes seeding: a durable restart that brought the car
+    # relation back must serve the recovered rows, not a fresh demo set.
+    if n_cars and "car" not in session.catalog:
+        session.register("car", generate_cars(n_cars, seed=11).rows())
+    service = PreferenceService(session)
+    if service.recovery:
+        print(f"recovered catalog: {service.recovery}")
+    return service
 
 
 def selftest(n_cars: int = 2000, n_clients: int = 8) -> int:
@@ -125,6 +135,16 @@ def main(argv: list[str] | None = None) -> int:
         "--selftest", action="store_true",
         help="run the end-to-end smoke (ephemeral port) and exit",
     )
+    parser.add_argument(
+        "--storage", default=None,
+        help="storage backend (memory|sqlite[:path]|postgres[:dsn]); "
+             "default: $REPRO_STORAGE or memory",
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="durable directory (write-ahead log + snapshots); the "
+             "server recovers its catalog and views from it on restart",
+    )
     args = parser.parse_args(argv)
     if args.selftest:
         return selftest(n_cars=max(args.cars, 100))
@@ -133,7 +153,9 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.server.server import PreferenceServer
 
-    service = _demo_service(args.cars)
+    service = _demo_service(
+        args.cars, storage=args.storage, data_dir=args.data_dir
+    )
     server = PreferenceServer(service, host=args.host, port=args.port)
 
     async def serve() -> None:

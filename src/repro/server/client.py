@@ -229,6 +229,10 @@ class PreferenceClient:
     def unsubscribe(self, subscription: int) -> dict[str, Any]:
         return self._request("unsubscribe", subscription=subscription)
 
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the server's durable catalog and truncate its WAL."""
+        return self._request("checkpoint")["checkpoint"]
+
     def metrics(self) -> dict[str, Any]:
         return self._request("metrics")["metrics"]
 

@@ -116,6 +116,9 @@ class ServiceMetrics:
         self.errors = 0
         self.revisions = 0
         self.revisions_full = 0
+        self.checkpoints = 0
+        #: Set once at startup when durable storage recovered state.
+        self.recovery: dict[str, Any] | None = None
         self._latency: dict[str, _LatencySeries] = {
             "query_view": _LatencySeries(),
             "query_planned": _LatencySeries(),
@@ -167,6 +170,15 @@ class ServiceMetrics:
         with self._lock:
             self.deltas_pushed += n
 
+    def record_checkpoint(self) -> None:
+        with self._lock:
+            self.checkpoints += 1
+
+    def record_recovery(self, info: dict[str, Any]) -> None:
+        """Record what durable-storage recovery restored at startup."""
+        with self._lock:
+            self.recovery = dict(info)
+
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
@@ -198,6 +210,8 @@ class ServiceMetrics:
                     "total": self.revisions,
                     "full_fallbacks": self.revisions_full,
                 },
+                "checkpoints": self.checkpoints,
+                "recovery": dict(self.recovery) if self.recovery else None,
                 "latency": {
                     name: series.to_dict()
                     for name, series in self._latency.items()

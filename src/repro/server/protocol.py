@@ -55,6 +55,7 @@ OPS = (
     "subscribe",
     "unsubscribe",
     "revise",
+    "checkpoint",
     "metrics",
     "relations",
     "close",

@@ -329,6 +329,9 @@ class PreferenceServer:
             await connection.send(
                 protocol.ok_response(rid, **answer.summary)
             )
+        elif op == "checkpoint":
+            info = await self._run(self.service.checkpoint)
+            await connection.send(protocol.ok_response(rid, checkpoint=info))
         elif op == "metrics":
             stats = await self._run(self.service.stats)
             await connection.send(protocol.ok_response(rid, metrics=stats))

@@ -39,7 +39,11 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.core.base_numerical import ScorePreference
 from repro.core.preference import Preference, Row
 from repro.engine.parallel import shared_executor
-from repro.engineering.serialization import preference_from_dict
+from repro.engineering.serialization import (
+    SerializationError,
+    preference_from_dict,
+    preference_to_dict,
+)
 from repro.query.api import PreferenceQuery
 from repro.query.incremental import BMODelta
 from repro.relations.catalog import Catalog
@@ -148,6 +152,18 @@ class PreferenceService:
                 max_workers=max_workers, thread_name_prefix="prefserve"
             )
             self._owns_executor = True
+        # Durable storage: when the session recovered a catalog from
+        # snapshot + WAL, bring its recorded continuous views back to
+        # life and surface the recovery facts in /metrics.
+        binding = getattr(self.session, "storage", None)
+        self.recovery: dict[str, Any] | None = (
+            dict(binding.recovery) if binding is not None
+            and binding.recovery is not None else None
+        )
+        rematerialized = self._recover_views()
+        if self.recovery is not None:
+            self.recovery["views_rematerialized"] = rematerialized
+            self.metrics.record_recovery(self.recovery)
 
     def close(self) -> None:
         """Detach from the session and shut down the worker pool if this
@@ -436,6 +452,11 @@ class PreferenceService:
         return rel, self.session.catalog.version(relation)
 
     def _materialize(self, spec: ViewSpec) -> ContinuousView:
+        view = self._materialize_view(spec)
+        self._record_view(view.spec)
+        return view
+
+    def _materialize_view(self, spec: ViewSpec) -> ContinuousView:
         # Seeding is a full winnow over the snapshot, so it runs *outside*
         # the mutation lock (mutations never stall on a 50k-row seed);
         # adoption re-checks the version and reseeds if the catalog moved.
@@ -495,6 +516,9 @@ class PreferenceService:
             version = view.version
         elapsed = time.perf_counter_ns() - start
         self.metrics.record_revision(strategy, elapsed)
+        if old_key != view.spec.key:
+            self._forget_view(spec)
+            self._record_view(view.spec)
         summary = {
             "relation": spec.relation,
             "classification": revision.kind,
@@ -518,6 +542,83 @@ class PreferenceService:
             return constraint_registry(rel, pref.attributes)
         except Exception:
             return None
+
+    def _recover_views(self) -> int:
+        """Re-materialize continuous views recorded by durable storage."""
+        binding = getattr(self.session, "storage", None)
+        if binding is None:
+            return 0
+        recovered = 0
+        for payload in binding.pending_views():
+            try:
+                pref = preference_from_dict(
+                    dict(payload["prefer"]), dict(self.session.functions)
+                )
+                spec = ViewSpec(
+                    str(payload["relation"]).lower(),
+                    pref,
+                    tuple(payload.get("groupby") or ()),
+                    payload.get("top"),
+                    str(payload.get("ties") or "strict"),
+                )
+                self._materialize(spec)
+                recovered += 1
+            except Exception:
+                # The spec may reference a relation dropped after it was
+                # recorded, or functions this session no longer has —
+                # skip it rather than refuse to boot.
+                continue
+        return recovered
+
+    def _view_payload(self, spec: ViewSpec) -> dict[str, Any] | None:
+        """The JSON-safe durable form of a view spec (None if ad-hoc)."""
+        try:
+            prefer = preference_to_dict(spec.pref)
+        except SerializationError:
+            return None  # ad-hoc callables cannot survive a restart
+        return {
+            "relation": spec.relation,
+            "prefer": prefer,
+            "groupby": list(spec.groupby),
+            "top": spec.top,
+            "ties": spec.ties,
+        }
+
+    def _record_view(self, spec: ViewSpec) -> None:
+        binding = getattr(self.session, "storage", None)
+        if binding is None or not binding.durable:
+            return
+        payload = self._view_payload(spec)
+        if payload is not None:
+            binding.record_view(payload)
+
+    def _forget_view(self, spec: ViewSpec) -> None:
+        binding = getattr(self.session, "storage", None)
+        if binding is None or not binding.durable:
+            return
+        payload = self._view_payload(spec)
+        if payload is not None:
+            binding.forget_view(payload)
+
+    # -- durability -------------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the catalog and truncate the write-ahead log.
+
+        Protocol-visible (the ``checkpoint`` op): requires the session to
+        be durable (``Session(data_dir=...)``)."""
+        binding = getattr(self.session, "storage", None)
+        if binding is None or not binding.durable:
+            raise ServiceError(
+                "checkpoint requires durable storage: start the session "
+                "with data_dir= (server: --data-dir)"
+            )
+        try:
+            info = self.session.checkpoint()
+        except Exception as exc:
+            raise ServiceError(f"checkpoint failed: {exc}") from exc
+        self.metrics.record_checkpoint()
+        return info
 
     def add_delta_listener(self, listener: DeltaListener) -> DeltaListener:
         """Register a callback for non-empty view deltas (see
@@ -620,4 +721,12 @@ class PreferenceService:
         }
         snapshot["views"] = self.views.stats()
         snapshot["relations"] = self.relations()
+        binding = getattr(self.session, "storage", None)
+        if binding is not None:
+            snapshot["storage"] = {
+                "backend": binding.backend.name,
+                "durable": binding.durable,
+                "undurable_relations": sorted(binding.undurable),
+                "recovery": self.recovery,
+            }
         return snapshot

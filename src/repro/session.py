@@ -39,6 +39,7 @@ from repro.query.api import PreferenceQuery
 from repro.query.plan import Plan
 from repro.relations.catalog import Catalog
 from repro.relations.relation import Relation, Row
+from repro.storage import CatalogStorage, StorageBackend, open_backend
 
 #: Combining functions available to RANK(...) and SCORE(...) out of the box.
 DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
@@ -81,6 +82,8 @@ class Session:
         self,
         catalog: Catalog | Mapping[str, Any] | None = None,
         functions: Mapping[str, Callable[..., Any]] | None = None,
+        storage: StorageBackend | str | None = None,
+        data_dir: str | None = None,
     ):
         if catalog is None:
             self.catalog = Catalog()
@@ -90,6 +93,14 @@ class Session:
             self.catalog = Catalog()
             for name, data in catalog.items():
                 self.register(name, data)
+        # The storage binding observes the catalog from here on: it
+        # mirrors relations into the backend (SQL prefilter pushdown)
+        # and, when data_dir is set, write-ahead-logs every mutation and
+        # recovers the previous catalog state before anything else runs.
+        backend = (storage if isinstance(storage, StorageBackend)
+                   else open_backend(storage))
+        self.storage = CatalogStorage(self.catalog, backend,
+                                      directory=data_dir)
         self.functions: dict[str, Callable[..., Any]] = dict(DEFAULT_FUNCTIONS)
         if functions:
             self.functions.update(functions)
@@ -264,6 +275,22 @@ class Session:
             k for k in self._stats_cache if k[0] == key and k[1] < version
         ]:
             del self._stats_cache[k]
+
+    # -- durability -------------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the catalog and truncate the write-ahead log.
+
+        Requires a durable session (``Session(data_dir=...)``).  Runs
+        under the mutation lock so the snapshot is a consistent cut of
+        the mutation stream.
+        """
+        with self.mutation_lock:
+            return self.storage.checkpoint()
+
+    def close(self) -> None:
+        """Release storage resources (WAL handle, backend connections)."""
+        self.storage.close()
 
     # -- queries ----------------------------------------------------------------
 

@@ -1,0 +1,77 @@
+"""Pluggable storage backends: in-memory default, SQLite, Postgres.
+
+The paper's Preference SQL system ran "plug-and-go" on top of standard
+SQL databases; this package gives the reproduction the same split — the
+preference kernels stay in Python, while base relations can live in (be
+mirrored into) a SQL engine that both *persists* them (write-ahead log +
+snapshots, see :mod:`repro.storage.binding`) and *pre-filters* them
+(rigid WHERE conjuncts pushed below the winnow run as indexed SQL, see
+:mod:`repro.storage.pushdown`).
+
+Backend selection::
+
+    Session()                      # in-memory (default)
+    Session(storage="sqlite")      # private SQLite mirror + pushdown
+    Session(storage="postgres")    # needs REPRO_PG_DSN + psycopg2
+    REPRO_STORAGE=sqlite pytest    # whole test suite on a backend
+
+Durability is orthogonal: pass ``Session(data_dir=...)`` to get the WAL
+and snapshot/restore on any backend, memory included.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.backend import MemoryBackend, StorageBackend, StorageError
+from repro.storage.binding import CatalogStorage
+from repro.storage.pushdown import mirrorable_schema, pushable_where
+from repro.storage.snapshot import read_snapshot, write_snapshot
+from repro.storage.wal import WALError, WriteAheadLog
+
+#: Environment variable selecting the default backend for new sessions.
+STORAGE_ENV = "REPRO_STORAGE"
+#: Environment variable carrying the Postgres DSN.
+PG_DSN_ENV = "REPRO_PG_DSN"
+
+
+def open_backend(spec: str | None = None) -> StorageBackend:
+    """Build a backend from an explicit spec or the environment.
+
+    ``spec`` is ``"memory"``, ``"sqlite"``, ``"sqlite:<path>"`` or
+    ``"postgres"`` (optionally ``postgres:<dsn>``); ``None`` consults
+    ``$REPRO_STORAGE`` and defaults to memory.
+    """
+    choice = spec if spec is not None else os.environ.get(STORAGE_ENV, "")
+    choice = (choice or "memory").strip()
+    kind, _, detail = choice.partition(":")
+    kind = kind.lower()
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        from repro.storage.sqlite import SQLiteBackend
+        return SQLiteBackend(detail or ":memory:")
+    if kind == "postgres":
+        from repro.storage.postgres import PostgresBackend
+        return PostgresBackend(detail or os.environ.get(PG_DSN_ENV))
+    raise StorageError(
+        f"unknown storage backend {choice!r}; "
+        "expected memory, sqlite[:path] or postgres[:dsn]"
+    )
+
+
+__all__ = [
+    "CatalogStorage",
+    "MemoryBackend",
+    "StorageBackend",
+    "StorageError",
+    "WALError",
+    "WriteAheadLog",
+    "mirrorable_schema",
+    "open_backend",
+    "pushable_where",
+    "read_snapshot",
+    "write_snapshot",
+    "STORAGE_ENV",
+    "PG_DSN_ENV",
+]

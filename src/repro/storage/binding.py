@@ -1,0 +1,300 @@
+"""CatalogStorage: the seam between the catalog and durable storage.
+
+One ``CatalogStorage`` observes one :class:`~repro.relations.catalog.Catalog`
+and fans each mutation out twice:
+
+* into the **write-ahead log** (when a durable ``directory`` is
+  configured) — the record is appended *after* the catalog applied the
+  mutation and *before* the caller gets its answer, so every
+  acknowledged mutation is on disk;
+* into the **backend mirror** (SQLite/Postgres), version-stamped, so
+  pushed-down prefilters can prove they reflect exactly the catalog
+  state a plan was built against.
+
+Recovery runs at construction, before the observer attaches: load the
+newest snapshot (exact relations, version counters, view specs), then
+replay WAL records with ``seq`` beyond the snapshot's coverage — each
+record carries the resulting version, which is restored verbatim.
+Replaying the same log twice is idempotent because the second pass
+starts from the same snapshot.
+
+Durability is value-typed: a relation holding values the JSON codec
+refuses (arbitrary objects) is marked *undurable* — it keeps serving
+from memory and keeps its mirror, but skips the log and snapshots.
+Refusing the mutation outright would turn a logging limitation into a
+serving outage; the trade is surfaced in ``recovery``/``stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.relations.catalog import Catalog, CatalogEvent
+from repro.relations.relation import Relation
+from repro.storage.backend import StorageBackend, StorageError
+from repro.storage.snapshot import (
+    decode_row,
+    encode_row,
+    read_snapshot,
+    relation_from_dict,
+    relation_to_dict,
+    write_snapshot,
+)
+from repro.storage.wal import WriteAheadLog
+
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.log"
+
+
+def _spec_key(spec: dict[str, Any]) -> str:
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+
+
+class CatalogStorage:
+    """Durability + mirroring binding for one catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        backend: StorageBackend,
+        directory: str | Path | None = None,
+        sync: bool = True,
+    ):
+        self.catalog = catalog
+        self.backend = backend
+        self.directory = Path(directory) if directory else None
+        self._lock = threading.RLock()
+        #: Serialized continuous-view specs, keyed on their JSON form.
+        self._view_specs: dict[str, dict[str, Any]] = {}
+        #: Relations whose values the durable codec refused.
+        self.undurable: set[str] = set()
+        self.wal: WriteAheadLog | None = None
+        self.snapshot_path: Path | None = None
+        #: Populated when a durable directory was recovered at startup.
+        self.recovery: dict[str, Any] | None = None
+        restored: set[str] = set()
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.snapshot_path = self.directory / SNAPSHOT_FILE
+            restored = self._recover(sync)
+        # Relations that predate this binding (seed data, or anything
+        # registered before a durable directory existed) must reach the
+        # log and the mirror too.
+        for name in list(catalog):
+            relation = catalog.get(name)
+            version = catalog.version(name)
+            if self.wal is not None and name not in restored:
+                self._log_register(name, relation, version)
+            self.backend.sync(relation, version)
+        catalog.attach(self)
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self, sync: bool) -> set[str]:
+        started = time.perf_counter()
+        assert self.snapshot_path is not None and self.directory is not None
+        snapshot = read_snapshot(self.snapshot_path)
+        base_seq = 0
+        restored: set[str] = set()
+        if snapshot is not None:
+            base_seq = int(snapshot["seq"])
+            for data in snapshot["relations"]:
+                relation, version = relation_from_dict(data)
+                self.catalog.restore(relation, version)
+                restored.add(relation.name.lower())
+            # Dropped names keep their counters so re-registration never
+            # reuses a (name, version) pair.
+            for name, version in snapshot["versions"].items():
+                if name not in restored:
+                    self.catalog.restore_version(name, int(version))
+            self._view_specs = {
+                _spec_key(spec): spec for spec in snapshot.get("views", [])
+            }
+        self.wal = WriteAheadLog(self.directory / WAL_FILE, sync=sync)
+        replayed = 0
+        for seq, record in self.wal.replay():
+            if seq <= base_seq:
+                continue
+            name = self._apply(record)
+            if name:
+                restored.add(name)
+            replayed += 1
+        self.recovery = {
+            "snapshot_seq": base_seq,
+            "wal_replayed": replayed,
+            "healed_torn_tail": self.wal.healed_torn_tail,
+            "relations": len(self.catalog),
+            "views": len(self._view_specs),
+            "elapsed_ms": round((time.perf_counter() - started) * 1000, 3),
+        }
+        return restored
+
+    def _apply(self, record: dict[str, Any]) -> str | None:
+        """Replay one WAL record against the catalog (no notification)."""
+        op = record["op"]
+        if op == "view":
+            spec = record["spec"]
+            self._view_specs[_spec_key(spec)] = spec
+            return None
+        if op == "unview":
+            self._view_specs.pop(_spec_key(record["spec"]), None)
+            return None
+        name = record["name"]
+        version = int(record["version"])
+        if op == "register":
+            relation, _ = relation_from_dict(record["relation"])
+            self.catalog.restore(relation, version)
+        elif op == "insert":
+            old = self.catalog.get(name)
+            rows = [decode_row(r) for r in record["rows"]]
+            self.catalog.restore(
+                Relation(old.name, old.schema, [*old.rows(), *rows],
+                         validate=False),
+                version,
+            )
+        elif op == "delete":
+            old = self.catalog.get(name)
+            targets = [decode_row(r) for r in record["rows"]]
+            kept = []
+            for row in old.rows():
+                for i, target in enumerate(targets):
+                    if row == target:
+                        del targets[i]
+                        break
+                else:
+                    kept.append(row)
+            self.catalog.restore(
+                Relation(old.name, old.schema, kept, validate=False), version
+            )
+        elif op == "drop":
+            self.catalog.restore_drop(name, version)
+            return None
+        else:
+            raise StorageError(f"unknown WAL op {op!r}")
+        return name
+
+    # -- live mutation stream --------------------------------------------
+
+    def on_catalog_event(self, event: CatalogEvent) -> None:
+        with self._lock:
+            if self.wal is not None:
+                self._log_event(event)
+            if event.op == "register" and event.relation is not None:
+                self.backend.sync(event.relation, event.version)
+            elif event.op == "insert":
+                self.backend.insert(event.name, event.rows, event.version)
+            elif event.op == "delete":
+                self.backend.delete(event.name, event.rows, event.version)
+            elif event.op == "drop":
+                self.backend.drop(event.name)
+
+    def _log_register(self, name: str, relation: Relation,
+                      version: int) -> None:
+        assert self.wal is not None
+        try:
+            payload = relation_to_dict(relation, version)
+        except StorageError:
+            self.undurable.add(name)
+            return
+        self.undurable.discard(name)
+        self.wal.append({"op": "register", "name": name,
+                         "version": version, "relation": payload})
+
+    def _log_event(self, event: CatalogEvent) -> None:
+        assert self.wal is not None
+        if event.op == "register" and event.relation is not None:
+            self._log_register(event.name, event.relation, event.version)
+            return
+        if event.op == "drop":
+            self.undurable.discard(event.name)
+            self.wal.append({"op": "drop", "name": event.name,
+                             "version": event.version})
+            return
+        if event.name in self.undurable:
+            return
+        try:
+            rows = [encode_row(dict(r)) for r in event.rows]
+        except StorageError:
+            self.undurable.add(event.name)
+            return
+        self.wal.append({"op": event.op, "name": event.name,
+                         "version": event.version, "rows": rows})
+
+    # -- continuous-view persistence -------------------------------------
+
+    def record_view(self, spec: dict[str, Any]) -> None:
+        """Persist one serialized view spec (idempotent per spec)."""
+        key = _spec_key(spec)
+        with self._lock:
+            if key in self._view_specs:
+                return
+            self._view_specs[key] = spec
+            if self.wal is not None:
+                self.wal.append({"op": "view", "spec": spec})
+
+    def forget_view(self, spec: dict[str, Any]) -> None:
+        key = _spec_key(spec)
+        with self._lock:
+            if self._view_specs.pop(key, None) is None:
+                return
+            if self.wal is not None:
+                self.wal.append({"op": "unview", "spec": spec})
+
+    def pending_views(self) -> list[dict[str, Any]]:
+        """Recovered/recorded view specs (for service re-materialization)."""
+        with self._lock:
+            return [dict(spec) for spec in self._view_specs.values()]
+
+    # -- checkpointing ---------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self.wal is not None
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Write a snapshot covering the log, then truncate the log.
+
+        The caller is responsible for mutation quiescence (the session
+        checkpoints under its mutation lock).  Crash ordering is safe at
+        every point: the snapshot lands atomically first, and a crash
+        before the log truncation just replays records the snapshot
+        already covers — which the ``seq <= base_seq`` filter skips.
+        """
+        with self._lock:
+            if self.wal is None or self.snapshot_path is None:
+                raise StorageError(
+                    "checkpoint requires a durable directory "
+                    "(Session(data_dir=...))"
+                )
+            relations = []
+            for name in self.catalog:
+                if name in self.undurable:
+                    continue
+                relations.append(relation_to_dict(
+                    self.catalog.get(name), self.catalog.version(name)
+                ))
+            state = {
+                "seq": self.wal.last_seq,
+                "relations": relations,
+                "versions": self.catalog.versions(),
+                "views": list(self._view_specs.values()),
+            }
+            write_snapshot(self.snapshot_path, state)
+            self.wal.reset()
+            return {
+                "seq": state["seq"],
+                "relations": len(relations),
+                "views": len(self._view_specs),
+                "path": str(self.snapshot_path),
+            }
+
+    def close(self) -> None:
+        self.catalog.detach(self)
+        with self._lock:
+            if self.wal is not None:
+                self.wal.close()
+            self.backend.close()

@@ -1,0 +1,103 @@
+"""The pushdown boundary: which WHERE conjuncts may run inside SQL.
+
+``translate_where`` (the in-memory evaluator) maps NULL comparisons and
+mixed-type comparisons to **False** at the leaves.  Restricted to the
+positive monotone fragment — AND/OR over comparisons whose literal type
+matches the column's declared type — SQL's three-valued logic collapses
+to exactly the same answer: an UNKNOWN leaf excludes the row, and AND/OR
+never resurrect an excluded row the way NOT would.  So a conjunct is
+*pushable* iff it stays inside that fragment:
+
+* ``Comparison`` with a literal type-compatible with the column,
+* non-empty ``InList`` without NULLs (positive form only),
+* ``HardBetween`` with type-compatible bounds,
+* ``IsNull`` (both polarities — ``IS [NOT] NULL`` is two-valued),
+* ``BoolOp`` AND/OR of pushable operands.
+
+Excluded on purpose, with the divergence that keeps them out:
+
+* ``NotOp`` — ``NOT (price = NULL)`` is True in Python (leaf→False,
+  negated) but UNKNOWN→excluded in SQL.
+* ``LikePattern`` — SQLite LIKE is ASCII-only case-insensitive and
+  coerces numbers to text; Python uses ``re.IGNORECASE`` over str only.
+* negated ``InList`` — NOT IN over any NULL operand goes UNKNOWN.
+* columns with no declared type (or a non-scalar type): the engines
+  cannot mirror them faithfully, so comparisons on them stay in Python.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+from repro.relations.schema import Schema
+
+#: Declared column types the SQL backends can mirror bit-faithfully.
+MIRRORABLE_TYPES: tuple[type, ...] = (bool, int, float, str)
+
+
+def mirrorable_schema(schema: Schema) -> bool:
+    """Whether every attribute has a declared, mirrorable scalar type."""
+    return all(
+        attr.data_type is not None
+        and attr.data_type in MIRRORABLE_TYPES
+        for attr in schema.attributes
+    )
+
+
+def _column_type(schema: Schema, attribute: str) -> type | None:
+    for attr in schema.attributes:
+        if attr.name == attribute:
+            return attr.data_type
+    return None
+
+
+def _literal_compatible(column_type: type | None, value: Any) -> bool:
+    """Does comparing ``value`` against the column dodge TypeError/coercion?
+
+    Numeric columns accept bool/int/float literals (Python orders them
+    consistently with SQL numeric comparison); str columns accept str.
+    Anything else — including date literals, which the engines would
+    store as text — stays in Python.
+    """
+    if column_type is None or column_type not in MIRRORABLE_TYPES:
+        return False
+    if value is None:
+        return False
+    if isinstance(value, float) and value != value:
+        return False  # NaN: SQLite binds it as NULL, Python compares False
+    if isinstance(value, (_dt.date, _dt.datetime, _dt.timedelta)):
+        return False
+    if column_type is str:
+        return isinstance(value, str)
+    # bool/int/float columns: any stdlib number compares numerically.
+    return isinstance(value, (bool, int, float))
+
+
+def pushable_where(expr: Any, schema: Schema) -> bool:
+    """True iff SQL evaluation of ``expr`` matches the Python evaluator."""
+    # Lazy import: repro.psql pulls in the executor (and thus Session);
+    # at module-import time that loop is still open, at call time not.
+    from repro.psql import ast as A
+
+    if expr is None:
+        return False
+    if isinstance(expr, A.Comparison):
+        return _literal_compatible(_column_type(schema, expr.attribute),
+                                   expr.value)
+    if isinstance(expr, A.InList):
+        if expr.negated or not expr.values:
+            return False
+        column = _column_type(schema, expr.attribute)
+        return all(_literal_compatible(column, v) for v in expr.values)
+    if isinstance(expr, A.HardBetween):
+        column = _column_type(schema, expr.attribute)
+        return (_literal_compatible(column, expr.low)
+                and _literal_compatible(column, expr.up))
+    if isinstance(expr, A.IsNull):
+        return _column_type(schema, expr.attribute) in MIRRORABLE_TYPES
+    if isinstance(expr, A.BoolOp):
+        return bool(expr.operands) and all(
+            pushable_where(op, schema) for op in expr.operands
+        )
+    return False

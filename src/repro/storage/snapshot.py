@@ -1,0 +1,203 @@
+"""Catalog snapshots: atomic JSON images of relations, versions, views.
+
+A snapshot is one JSON document capturing, at a known WAL sequence
+number, every relation (schema, declared constraints, rows, catalog
+version), the full version-counter map (dropped relations keep their
+counters so re-registration never reuses a version), and the serialized
+specs of the server's continuous views.  Recovery is *snapshot, then WAL
+records with ``seq > snapshot.seq``* — replaying an already-covered
+record is therefore impossible by construction, which is what makes
+checkpoint + crash + restart idempotent.
+
+Writes go to a temp file in the same directory followed by
+``os.replace``, so a crash mid-checkpoint leaves the previous snapshot
+intact rather than a half-written one.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.relations.relation import Relation
+from repro.relations.schema import (
+    Attribute,
+    Check,
+    Constraint,
+    FunctionalDependency,
+    Key,
+    NotNull,
+    Schema,
+)
+from repro.storage.backend import StorageError
+
+#: Bumped when the snapshot document shape changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+_TYPE_NAMES: dict[type, str] = {
+    bool: "bool", int: "int", float: "float", str: "str",
+    _dt.date: "date", _dt.datetime: "datetime", _dt.timedelta: "timedelta",
+}
+_NAMED_TYPES = {name: tp for tp, name in _TYPE_NAMES.items()}
+
+
+# -- value codec -----------------------------------------------------------
+#
+# JSON covers None/bool/int/float/str natively; the three temporal types
+# the engine understands get tagged one-key objects.  Anything else is a
+# hard error — silently stringifying a value would corrupt recovery.
+
+def encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        if isinstance(value, float) and value != value:
+            return {"$f": "nan"}
+        if value in (float("inf"), float("-inf")):
+            return {"$f": repr(value)}
+        return value
+    if isinstance(value, _dt.datetime):
+        return {"$dt": value.isoformat()}
+    if isinstance(value, _dt.date):
+        return {"$d": value.isoformat()}
+    if isinstance(value, _dt.timedelta):
+        return {"$td": value.total_seconds()}
+    raise StorageError(
+        f"value {value!r} ({type(value).__name__}) is not durable; "
+        "durable catalogs hold scalar and temporal values only"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$f" in value:
+            return float(value["$f"])
+        if "$dt" in value:
+            return _dt.datetime.fromisoformat(value["$dt"])
+        if "$d" in value:
+            return _dt.date.fromisoformat(value["$d"])
+        if "$td" in value:
+            return _dt.timedelta(seconds=value["$td"])
+    return value
+
+
+def encode_row(row: dict[str, Any]) -> dict[str, Any]:
+    return {name: encode_value(v) for name, v in row.items()}
+
+
+def decode_row(row: dict[str, Any]) -> dict[str, Any]:
+    return {name: decode_value(v) for name, v in row.items()}
+
+
+# -- schema codec ----------------------------------------------------------
+
+def _constraint_to_dict(constraint: Constraint) -> dict[str, Any]:
+    if isinstance(constraint, Key):
+        return {"kind": "key", "attributes": list(constraint.attributes),
+                "source": constraint.source}
+    if isinstance(constraint, FunctionalDependency):
+        return {"kind": "fd",
+                "determinants": list(constraint.determinants),
+                "dependents": list(constraint.dependents),
+                "source": constraint.source}
+    if isinstance(constraint, NotNull):
+        return {"kind": "not_null", "attribute": constraint.attribute,
+                "source": constraint.source}
+    if isinstance(constraint, Check):
+        return {"kind": "check", "attribute": constraint.attribute,
+                "op": constraint.op,
+                "value": encode_value(constraint.value),
+                "source": constraint.source}
+    raise StorageError(f"cannot serialize constraint {constraint!r}")
+
+
+def _constraint_from_dict(data: dict[str, Any]) -> Constraint:
+    kind = data.get("kind")
+    if kind == "key":
+        return Key(tuple(data["attributes"]), source=data["source"])
+    if kind == "fd":
+        return FunctionalDependency(tuple(data["determinants"]),
+                                    tuple(data["dependents"]),
+                                    source=data["source"])
+    if kind == "not_null":
+        return NotNull(data["attribute"], source=data["source"])
+    if kind == "check":
+        return Check(data["attribute"], data["op"],
+                     decode_value(data["value"]), source=data["source"])
+    raise StorageError(f"unknown constraint kind {kind!r} in snapshot")
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    attributes = []
+    for attr in schema.attributes:
+        type_name = (_TYPE_NAMES.get(attr.data_type)
+                     if attr.data_type is not None else None)
+        if type_name is None and attr.data_type is not None:
+            raise StorageError(
+                f"attribute {attr.name!r} has undurable type "
+                f"{attr.data_type!r}"
+            )
+        attributes.append({"name": attr.name, "type": type_name})
+    return {
+        "attributes": attributes,
+        "constraints": [_constraint_to_dict(c) for c in schema.constraints],
+    }
+
+
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    attributes = [
+        Attribute(a["name"],
+                  _NAMED_TYPES[a["type"]] if a["type"] else None)
+        for a in data["attributes"]
+    ]
+    schema = Schema(attributes)
+    constraints = [_constraint_from_dict(c) for c in data["constraints"]]
+    return schema.with_constraints(*constraints) if constraints else schema
+
+
+def relation_to_dict(relation: Relation, version: int) -> dict[str, Any]:
+    return {
+        "name": relation.name,
+        "schema": schema_to_dict(relation.schema),
+        "rows": [encode_row(row) for row in relation.rows()],
+        "version": version,
+    }
+
+
+def relation_from_dict(data: dict[str, Any]) -> tuple[Relation, int]:
+    schema = schema_from_dict(data["schema"])
+    rows = [decode_row(row) for row in data["rows"]]
+    relation = Relation(data["name"], schema, rows, validate=False)
+    return relation, int(data["version"])
+
+
+# -- snapshot file ---------------------------------------------------------
+
+def write_snapshot(path: str | os.PathLike[str],
+                   state: dict[str, Any]) -> None:
+    """Atomically persist one snapshot document."""
+    target = Path(path)
+    document = dict(state)
+    document["snapshot_version"] = SNAPSHOT_VERSION
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+
+
+def read_snapshot(path: str | os.PathLike[str]) -> dict[str, Any] | None:
+    """Load a snapshot document, or ``None`` when none exists."""
+    target = Path(path)
+    if not target.exists():
+        return None
+    with open(target, encoding="utf-8") as fh:
+        document = json.load(fh)
+    if document.get("snapshot_version") != SNAPSHOT_VERSION:
+        raise StorageError(
+            f"snapshot {target.name} has unsupported version "
+            f"{document.get('snapshot_version')!r}"
+        )
+    return document

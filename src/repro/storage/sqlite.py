@@ -1,0 +1,61 @@
+"""SQLite mirror backend (stdlib ``sqlite3``).
+
+Defaults to a private ``:memory:`` database per backend instance: each
+session gets its own mirror, the whole test suite can run under
+``REPRO_STORAGE=sqlite`` without cross-test pollution, and durability is
+the WAL + snapshot layer's job (see :mod:`repro.storage.binding`), not
+the mirror's.  Pass a filesystem path for a shared on-disk mirror.
+
+Type fidelity notes: ``float`` columns use NUMERIC affinity, not REAL —
+NUMERIC stores ints as INTEGER and floats as REAL, so a Python ``int``
+living in a float-typed column round-trips as an ``int``, keeping mirror
+rows ``==``-identical to catalog rows.  ``bool`` columns store 0/1 and
+decode through ``bool()``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Sequence
+
+from repro.psql.sqlgen import SQLITE
+from repro.storage.sqlbackend import SQLBackend
+
+
+class SQLiteBackend(SQLBackend):
+    """Catalog mirror in a SQLite database."""
+
+    name = "sqlite"
+    dialect = SQLITE
+    type_sql = {"bool": "INTEGER", "int": "INTEGER",
+                "float": "NUMERIC", "str": "TEXT"}
+
+    def __init__(self, path: str = ":memory:") -> None:
+        super().__init__()
+        self.path = path
+        # The server executes plans on worker threads; the backend lock
+        # already serializes access, so opt out of sqlite's thread check.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+
+    def _execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
+        return self._conn.execute(sql, tuple(params))
+
+    def _executemany(self, sql: str, rows: Sequence[Sequence[Any]]) -> None:
+        self._conn.executemany(sql, rows)
+
+    def _commit(self) -> None:
+        self._conn.commit()
+
+    def _rollback(self) -> None:
+        try:
+            self._conn.rollback()
+        except sqlite3.Error:
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._mirrors.clear()
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass

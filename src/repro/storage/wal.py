@@ -1,0 +1,160 @@
+"""Write-ahead mutation log: CRC-framed JSON lines, torn-tail tolerant.
+
+Record framing is one line per mutation::
+
+    <seq>\\t<crc32-of-payload>\\t<json-payload>\\n
+
+Sequence numbers increase strictly; the CRC covers the payload bytes.
+On open the log is scanned and healed:
+
+* a damaged **final** record (torn write from a crash mid-append) is
+  truncated away — that mutation was never acknowledged as durable, so
+  dropping it is correct;
+* damage **before** the final record means acknowledged history is gone
+  and recovery would silently diverge — that raises :class:`WALError`
+  instead of guessing.
+
+``reset()`` (after a snapshot makes the prefix redundant) truncates the
+file but keeps the sequence counter, so snapshot coverage ("everything
+``<= seq``") stays monotone across checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.storage.backend import StorageError
+
+
+class WALError(StorageError):
+    """The write-ahead log is damaged beyond safe recovery."""
+
+
+def _parse_line(line: bytes, number: int) -> tuple[int, dict[str, Any]]:
+    """Decode one framed record; raise ``ValueError`` on any damage."""
+    parts = line.split(b"\t", 2)
+    if len(parts) != 3:
+        raise ValueError(f"malformed frame at line {number}")
+    seq = int(parts[0])
+    crc = int(parts[1])
+    if zlib.crc32(parts[2]) != crc:
+        raise ValueError(f"checksum mismatch at line {number}")
+    record = json.loads(parts[2].decode("utf-8"))
+    if not isinstance(record, dict):
+        raise ValueError(f"non-object payload at line {number}")
+    return seq, record
+
+
+class WriteAheadLog:
+    """Append-only mutation log with crash-safe open semantics."""
+
+    def __init__(self, path: str | os.PathLike[str], sync: bool = True):
+        self.path = Path(path)
+        self.sync = sync
+        self._lock = threading.RLock()
+        self.last_seq = 0
+        #: Whether open() had to drop a torn final record.
+        self.healed_torn_tail = False
+        self._scan_and_heal()
+        self._fh = open(self.path, "ab")
+
+    # -- open-time scan --------------------------------------------------
+    def _scan_and_heal(self) -> None:
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        good_end = 0
+        offset = 0
+        last_seq = 0
+        number = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            terminated = newline >= 0
+            end = newline + 1 if terminated else len(data)
+            line = data[offset:newline] if terminated else data[offset:]
+            number += 1
+            try:
+                seq, _ = _parse_line(line, number)
+                if seq <= last_seq or not terminated:
+                    raise ValueError(f"bad record at line {number}")
+            except ValueError as exc:
+                if end >= len(data):
+                    # Torn final record: never acknowledged, drop it.
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(good_end)
+                    self.healed_torn_tail = True
+                    break
+                raise WALError(
+                    f"corrupt WAL {self.path.name}: {exc} "
+                    "(damage before the final record)"
+                ) from exc
+            last_seq = seq
+            good_end = end
+            offset = end
+        self.last_seq = last_seq
+
+    # -- logging ---------------------------------------------------------
+    def append(self, record: dict[str, Any]) -> int:
+        """Durably append one record; returns its sequence number."""
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        with self._lock:
+            seq = self.last_seq + 1
+            frame = b"%d\t%d\t%s\n" % (seq, zlib.crc32(payload), payload)
+            self._fh.write(frame)
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+            self.last_seq = seq
+            return seq
+
+    def replay(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield ``(seq, record)`` for every intact record on disk.
+
+        Tolerates a torn final record (stops before it); damage earlier
+        in the file raises :class:`WALError`, same as open.
+        """
+        with self._lock:
+            self._fh.flush()
+            data = self.path.read_bytes()
+        offset = 0
+        number = 0
+        records: list[tuple[int, dict[str, Any]]] = []
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            terminated = newline >= 0
+            end = newline + 1 if terminated else len(data)
+            line = data[offset:newline] if terminated else data[offset:]
+            number += 1
+            try:
+                seq, record = _parse_line(line, number)
+                if not terminated:
+                    raise ValueError(f"unterminated record at line {number}")
+            except ValueError as exc:
+                if end >= len(data):
+                    break
+                raise WALError(
+                    f"corrupt WAL {self.path.name}: {exc}"
+                ) from exc
+            records.append((seq, record))
+            offset = end
+        return iter(records)
+
+    def reset(self) -> None:
+        """Truncate the log (post-checkpoint); keep the sequence counter."""
+        with self._lock:
+            self._fh.close()
+            with open(self.path, "wb"):
+                pass
+            self._fh = open(self.path, "ab")
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.close()
+            except OSError:
+                pass

@@ -54,7 +54,10 @@ def row_set(result):
 
 @pytest.fixture
 def session():
-    return Session({"car": rows()})
+    # Plan-shape assertions below describe the storage-less pipeline;
+    # pin the memory backend so a REPRO_STORAGE matrix leg doesn't
+    # plant StorageScan nodes under these plans.
+    return Session({"car": rows()}, storage="memory")
 
 
 class TestMonotoneDirection:

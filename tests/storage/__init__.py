@@ -1,0 +1,1 @@
+"""Storage backend, WAL, snapshot, and pushdown-parity tests."""

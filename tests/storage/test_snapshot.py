@@ -1,0 +1,235 @@
+"""Snapshot codec roundtrips and snapshot+WAL recovery semantics."""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+import pytest
+
+from repro.relations.catalog import Catalog
+from repro.relations.relation import Relation
+from repro.relations.schema import (
+    Attribute,
+    Check,
+    FunctionalDependency,
+    Key,
+    NotNull,
+    Schema,
+)
+from repro.storage import CatalogStorage, MemoryBackend, StorageError
+from repro.storage.snapshot import (
+    decode_value,
+    encode_value,
+    read_snapshot,
+    relation_from_dict,
+    relation_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    write_snapshot,
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -7, 2**70, 1.5, "", "text", "tab\tnewline\n",
+        float("inf"), float("-inf"),
+        datetime.date(2002, 8, 20),
+        datetime.datetime(2002, 8, 20, 12, 30, 45, 123456),
+        datetime.timedelta(days=2, seconds=3, microseconds=500),
+    ])
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_nan_roundtrips_as_nan(self):
+        out = decode_value(encode_value(float("nan")))
+        assert math.isnan(out)
+
+    def test_datetime_stays_datetime_not_date(self):
+        # datetime is a date subclass; the codec must check it first.
+        when = datetime.datetime(2002, 8, 20, 9, 0)
+        assert decode_value(encode_value(when)) == when
+        assert type(decode_value(encode_value(when))) is datetime.datetime
+
+    def test_undurable_value_is_a_hard_error(self):
+        with pytest.raises(StorageError):
+            encode_value(object())
+        with pytest.raises(StorageError):
+            encode_value([1, 2])  # nested containers are not row values
+
+
+class TestSchemaCodec:
+    def test_roundtrip_with_constraints(self):
+        schema = Schema([
+            Attribute("id", int), Attribute("name", str),
+            Attribute("price", float), Attribute("ok", bool),
+            Attribute("untyped"),
+        ]).with_constraints(
+            Key(("id",), source="declared"),
+            FunctionalDependency(("id",), ("name",), source="derived"),
+            NotNull("name", source="declared"),
+            Check("price", ">=", 0, source="declared"),
+        )
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.names == schema.names
+        assert [a.data_type for a in restored.attributes] == [
+            a.data_type for a in schema.attributes
+        ]
+        assert restored.constraints == schema.constraints
+
+    def test_relation_roundtrip_preserves_rows_and_version(self):
+        relation = Relation.from_dicts("car", [
+            {"price": 100, "make": "opel"},
+            {"price": None, "make": "bmw"},
+            {"price": 100, "make": "opel"},  # duplicates survive (bag)
+        ])
+        restored, version = relation_from_dict(
+            relation_to_dict(relation, version=7)
+        )
+        assert version == 7
+        assert restored.name == "car"
+        assert restored.rows() == relation.rows()
+
+
+class TestSnapshotFile:
+    def test_missing_snapshot_reads_as_none(self, tmp_path):
+        assert read_snapshot(tmp_path / "nope.json") is None
+
+    def test_roundtrip_and_atomic_replace(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        write_snapshot(path, {"seq": 1, "relations": []})
+        write_snapshot(path, {"seq": 2, "relations": []})
+        assert read_snapshot(path)["seq"] == 2
+        assert not path.with_suffix(".json.tmp").exists()
+
+    def test_unsupported_version_is_refused(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        path.write_text('{"snapshot_version": 999, "seq": 0}')
+        with pytest.raises(StorageError):
+            read_snapshot(path)
+
+
+def durable(tmp_path, catalog: Catalog) -> CatalogStorage:
+    return CatalogStorage(catalog, MemoryBackend(), directory=tmp_path,
+                          sync=False)
+
+
+def reload_catalog(tmp_path) -> tuple[Catalog, CatalogStorage]:
+    catalog = Catalog()
+    return catalog, durable(tmp_path, catalog)
+
+
+class TestRecovery:
+    def test_wal_only_recovery(self, tmp_path):
+        catalog = Catalog()
+        binding = durable(tmp_path, catalog)
+        catalog.register(Relation.from_dicts("car", [{"price": 1}]))
+        catalog.insert_rows("car", [{"price": 2}, {"price": 3}])
+        catalog.delete_rows("car", rows=[{"price": 2}])
+        restored, rebinding = reload_catalog(tmp_path)
+        assert restored.get("car").rows() == catalog.get("car").rows()
+        assert restored.version("car") == catalog.version("car")
+        assert rebinding.recovery["snapshot_seq"] == 0
+        assert rebinding.recovery["wal_replayed"] == 3
+        binding.close()
+        rebinding.close()
+
+    def test_checkpoint_mid_mutation_batch(self, tmp_path):
+        """Snapshot coverage splits a mutation batch; recovery stitches
+        the snapshot and the post-checkpoint WAL suffix seamlessly."""
+        catalog = Catalog()
+        binding = durable(tmp_path, catalog)
+        catalog.register(Relation.from_dicts("car", [{"price": 1}]))
+        catalog.insert_rows("car", [{"price": 2}])
+        info = binding.checkpoint()
+        assert info["relations"] == 1
+        # The batch continues after the checkpoint...
+        catalog.insert_rows("car", [{"price": 3}])
+        catalog.delete_rows("car", rows=[{"price": 1}])
+        restored, rebinding = reload_catalog(tmp_path)
+        assert restored.get("car").rows() == [{"price": 2}, {"price": 3}]
+        assert restored.version("car") == catalog.version("car")
+        assert rebinding.recovery["snapshot_seq"] == info["seq"]
+        assert rebinding.recovery["wal_replayed"] == 2
+        binding.close()
+        rebinding.close()
+
+    def test_replay_is_idempotent_across_recoveries(self, tmp_path):
+        catalog = Catalog()
+        binding = durable(tmp_path, catalog)
+        catalog.register(Relation.from_dicts("car", [{"price": 1}]))
+        catalog.insert_rows("car", [{"price": 2}])
+        first, b1 = reload_catalog(tmp_path)
+        second, b2 = reload_catalog(tmp_path)
+        assert first.get("car").rows() == second.get("car").rows()
+        assert first.versions() == second.versions()
+        for binding_ in (binding, b1, b2):
+            binding_.close()
+
+    def test_crash_between_snapshot_and_wal_reset(self, tmp_path,
+                                                  monkeypatch):
+        """A checkpoint that crashed before truncating the WAL leaves
+        records the snapshot already covers; replay must skip them
+        (``seq <= base_seq``), not apply them twice."""
+        from repro.storage.wal import WriteAheadLog
+
+        catalog = Catalog()
+        binding = durable(tmp_path, catalog)
+        catalog.register(Relation.from_dicts("car", [{"price": 1}]))
+        catalog.insert_rows("car", [{"price": 2}])
+        monkeypatch.setattr(WriteAheadLog, "reset", lambda self: None)
+        binding.checkpoint()  # snapshot lands, WAL truncation "crashes"
+        monkeypatch.undo()
+        restored, rebinding = reload_catalog(tmp_path)
+        assert restored.get("car").rows() == [{"price": 1}, {"price": 2}]
+        assert rebinding.recovery["wal_replayed"] == 0  # all covered
+        binding.close()
+        rebinding.close()
+
+    def test_drop_keeps_version_counter_across_recovery(self, tmp_path):
+        catalog = Catalog()
+        binding = durable(tmp_path, catalog)
+        catalog.register(Relation.from_dicts("car", [{"price": 1}]))
+        dropped_at = catalog.version("car")
+        catalog.drop("car")
+        binding.checkpoint()
+        restored, rebinding = reload_catalog(tmp_path)
+        assert "car" not in restored
+        # Re-registration must not reuse a (name, version) pair.
+        restored.register(Relation.from_dicts("car", [{"price": 9}]))
+        assert restored.version("car") > dropped_at
+        binding.close()
+        rebinding.close()
+
+    def test_view_specs_survive_checkpoint_and_wal(self, tmp_path):
+        catalog = Catalog()
+        binding = durable(tmp_path, catalog)
+        spec_a = {"relation": "car", "prefer": {"type": "lowest",
+                                                "attribute": "price"}}
+        spec_b = {"relation": "car", "prefer": {"type": "highest",
+                                                "attribute": "power"}}
+        binding.record_view(spec_a)
+        binding.checkpoint()
+        binding.record_view(spec_b)   # post-checkpoint: WAL only
+        binding.forget_view(spec_a)   # unview records replay too
+        _, rebinding = reload_catalog(tmp_path)
+        assert rebinding.pending_views() == [spec_b]
+        binding.close()
+        rebinding.close()
+
+    def test_undurable_relation_keeps_serving_but_skips_the_log(
+        self, tmp_path
+    ):
+        catalog = Catalog()
+        binding = durable(tmp_path, catalog)
+        token = object()
+        catalog.register(Relation.from_dicts("opaque", [{"x": token}]))
+        catalog.register(Relation.from_dicts("car", [{"price": 1}]))
+        assert binding.undurable == {"opaque"}
+        assert catalog.get("opaque").rows() == [{"x": token}]  # serves on
+        binding.checkpoint()
+        restored, rebinding = reload_catalog(tmp_path)
+        assert "opaque" not in restored
+        assert restored.get("car").rows() == [{"price": 1}]
+        binding.close()
+        rebinding.close()

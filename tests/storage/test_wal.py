@@ -1,0 +1,136 @@
+"""Write-ahead log edge cases: torn tails, corruption, reset semantics.
+
+The WAL's contract is asymmetric by design: a damaged **final** record
+is a crash mid-append of a mutation that was never acknowledged, so it
+is silently dropped (and flagged); damage anywhere **earlier** means
+acknowledged history is gone, and recovery must refuse loudly rather
+than serve a silently diverged catalog.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.storage.wal import WALError, WriteAheadLog
+
+
+def records_of(wal: WriteAheadLog) -> list[tuple[int, dict]]:
+    return list(wal.replay())
+
+
+class TestAppendReplay:
+    def test_roundtrip_in_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        assert wal.append({"op": "a"}) == 1
+        assert wal.append({"op": "b", "rows": [{"x": 1}]}) == 2
+        assert records_of(wal) == [
+            (1, {"op": "a"}), (2, {"op": "b", "rows": [{"x": 1}]}),
+        ]
+        wal.close()
+
+    def test_replay_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for i in range(5):
+            wal.append({"op": "insert", "i": i})
+        assert records_of(wal) == records_of(wal)
+        wal.close()
+
+    def test_reopen_continues_the_sequence(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append({"op": "a"})
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal.log")
+        assert reopened.last_seq == 1
+        assert not reopened.healed_torn_tail
+        assert reopened.append({"op": "b"}) == 2
+        reopened.close()
+
+    def test_unicode_payloads_survive(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append({"op": "insert", "rows": [{"name": "śliwka\t\n\"'"}]})
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal.log")
+        (_, record), = records_of(reopened)
+        assert record["rows"] == [{"name": "śliwka\t\n\"'"}]
+        reopened.close()
+
+
+class TestTornTail:
+    def _seed(self, path, n: int = 3) -> None:
+        wal = WriteAheadLog(path)
+        for i in range(n):
+            wal.append({"op": "insert", "i": i})
+        wal.close()
+
+    def test_unterminated_final_record_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._seed(path)
+        with open(path, "ab") as fh:
+            fh.write(b"4\t123\t{\"op\": \"ins")  # crashed mid-write
+        wal = WriteAheadLog(path)
+        assert wal.healed_torn_tail
+        assert wal.last_seq == 3
+        assert [seq for seq, _ in records_of(wal)] == [1, 2, 3]
+        wal.close()
+
+    def test_truncated_final_frame_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._seed(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])  # final record loses its tail bytes
+        wal = WriteAheadLog(path)
+        assert wal.healed_torn_tail
+        assert wal.last_seq == 2
+        wal.close()
+
+    def test_append_after_heal_continues_cleanly(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._seed(path)
+        with open(path, "ab") as fh:
+            fh.write(b"garbage with no frame")
+        wal = WriteAheadLog(path)
+        assert wal.append({"op": "after"}) == 4
+        assert [seq for seq, _ in records_of(wal)] == [1, 2, 3, 4]
+        wal.close()
+        # ...and the healed file is clean on the next open too.
+        reopened = WriteAheadLog(path)
+        assert not reopened.healed_torn_tail
+        assert reopened.last_seq == 4
+        reopened.close()
+
+
+class TestEarlierDamage:
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for i in range(3):
+            wal.append({"op": "insert", "i": i})
+        wal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"2\t999\t{\"op\":\"insert\"}\n"  # wrong checksum
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(WALError):
+            WriteAheadLog(path)
+
+    def test_non_monotone_sequence_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        payload = b'{"op":"a"}'
+        frame = b"%d\t%d\t%s\n" % (1, zlib.crc32(payload), payload)
+        path.write_bytes(frame + frame + frame)  # seq 1,1,1
+        with pytest.raises(WALError):
+            WriteAheadLog(path)
+
+
+class TestReset:
+    def test_reset_truncates_but_keeps_the_counter(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append({"op": "a"})
+        wal.append({"op": "b"})
+        wal.reset()
+        assert records_of(wal) == []
+        # Snapshot coverage ("everything <= seq") must stay monotone.
+        assert wal.append({"op": "c"}) == 3
+        assert records_of(wal) == [(3, {"op": "c"})]
+        wal.close()

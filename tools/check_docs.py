@@ -16,6 +16,7 @@ Used two ways:
 
 from __future__ import annotations
 
+import os
 import re
 import sys
 import traceback
@@ -88,6 +89,10 @@ def lint_snippets(root: Path = REPO_ROOT) -> list[str]:
 
 def check_all(root: Path = REPO_ROOT) -> list[str]:
     """Run all doc code blocks; return the list of failures (empty = good)."""
+    # Doc examples describe the default configuration; a REPRO_STORAGE
+    # matrix leg must not change the plans their assertions print.
+    # Blocks that want a backend ask for one (docs/storage.md).
+    os.environ["REPRO_STORAGE"] = "memory"
     src = root / "src"
     if str(src) not in sys.path:
         sys.path.insert(0, str(src))

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Crash-restart smoke: SIGKILL the durable server, verify exact recovery.
+
+Boots ``python -m repro.server`` on the SQLite backend with a durable
+data directory, drives it over the wire (view materialization via
+subscribe, inserts, deletes, a mid-stream checkpoint, more mutations so
+recovery must combine snapshot *and* WAL), records the observable state,
+then SIGKILLs the process — no shutdown hooks, no flush — and restarts
+it from the same directory.  The restarted server must reproduce:
+
+* every relation at its exact pre-kill catalog version and row count,
+* the continuous view's contents, row for row,
+* subscriber reconciliation: a fresh subscription's snapshot equals the
+  pre-kill view, and new mutations still push deltas.
+
+Run from the repo root (CI's ``server-smoke`` job)::
+
+    PYTHONPATH=src python tools/crash_restart_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+PREFER = {"type": "around", "attribute": "price", "z": 30000}
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(data_dir: str, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.server",
+         "--port", str(port), "--cars", "500",
+         "--storage", "sqlite", "--data-dir", data_dir],
+        cwd=REPO, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def wait_ready(port: int, process: subprocess.Popen,
+               timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            output = process.stdout.read() if process.stdout else ""
+            raise SystemExit(f"server died during startup:\n{output}")
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=1):
+                return
+        except OSError:
+            time.sleep(0.1)
+    raise SystemExit(f"server on port {port} not ready after {timeout}s")
+
+
+def canon(rows: list[dict]) -> list[tuple]:
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.server.client import PreferenceClient
+
+    data_dir = tempfile.mkdtemp(prefix="crash_restart_")
+    port = free_port()
+    server = start_server(data_dir, port)
+    try:
+        wait_ready(port, server)
+        with PreferenceClient(port=port) as client:
+            template = dict(client.query(
+                spec={"relation": "car", "select": None}
+            )[0])
+            # Materialize a view through the wire and mutate around it.
+            sub = client.subscribe("car", prefer=PREFER, snapshot=True)
+            client.insert("car", [
+                dict(template, oid=9_000_001, price=30000),
+                dict(template, oid=9_000_002, price=29500),
+            ])
+            assert client.wait_delta(timeout=15).get("enter"), \
+                "pre-kill subscriber saw no delta"
+            # Checkpoint mid-stream: recovery must stitch snapshot + WAL.
+            checkpoint = client.checkpoint()
+            client.insert("car", [dict(template, oid=9_000_003, price=30250)])
+            client.delete("car", rows=[
+                dict(template, oid=9_000_001, price=30000)
+            ])
+            client.wait_delta(timeout=15)
+            pre_relations = {
+                r["name"]: (r["rows"], r["version"])
+                for r in client.relations()
+            }
+            pre_view = client.query(
+                spec={"relation": "car", "prefer": PREFER}
+            )
+            pre_metrics = client.metrics()
+            assert pre_metrics["checkpoints"] == 1, pre_metrics["checkpoints"]
+            client.unsubscribe(sub["subscription"])
+
+        # The crash: no shutdown handler runs, nothing gets flushed.
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+        print(f"killed server pid={server.pid}; "
+              f"checkpoint covered seq {checkpoint['seq']}")
+
+        server = start_server(data_dir, port)
+        wait_ready(port, server)
+        with PreferenceClient(port=port) as client:
+            post_relations = {
+                r["name"]: (r["rows"], r["version"])
+                for r in client.relations()
+            }
+            assert post_relations == pre_relations, (
+                f"catalog mismatch after restart:\n"
+                f"  pre:  {pre_relations}\n  post: {post_relations}"
+            )
+            metrics = client.metrics()
+            recovery = (metrics.get("recovery")
+                        or metrics["storage"]["recovery"])
+            assert recovery and recovery["wal_replayed"] >= 2, recovery
+            assert recovery["views_rematerialized"] == 1, recovery
+
+            # View contents, row for row.
+            post_view = client.query(
+                spec={"relation": "car", "prefer": PREFER}
+            )
+            assert canon(post_view) == canon(pre_view), (
+                f"view mismatch: {len(post_view)} rows post "
+                f"vs {len(pre_view)} pre"
+            )
+            info = client.query_info(
+                spec={"relation": "car", "prefer": PREFER}
+            )
+            assert info["source"] == "view", info
+
+            # Subscriber reconciliation: snapshot matches, deltas flow.
+            sub = client.subscribe("car", prefer=PREFER, snapshot=True)
+            assert canon(sub["rows"]) == canon(pre_view), \
+                "post-restart subscription snapshot diverges"
+            # Exactly 30000: distance 0 always lands in the BMO window.
+            client.insert("car", [dict(template, oid=9_000_004, price=30000)])
+            delta = client.wait_delta(timeout=15)
+            assert delta.get("enter"), f"post-restart delta missing: {delta}"
+            client.unsubscribe(sub["subscription"])
+        print(f"crash-restart smoke passed: {len(pre_relations)} relation(s) "
+              f"at exact versions, view of {len(pre_view)} rows intact, "
+              f"recovery={recovery}")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
