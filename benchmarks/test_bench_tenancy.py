@@ -1,0 +1,150 @@
+"""TEN-SHARE: 10k tenants, canonicalized shared views, bounded LRU.
+
+The PR-9 acceptance criterion: 10,000 simulated users whose profile
+terms are *syntactic variants* of a small pool of canonical shapes
+(commuted Pareto arms, laundered duplicates, associatively regrouped
+prioritized chains) must achieve a >= 90% shared-view hit rate — the
+canonicalized registry collapses the variants onto one continuous view
+per equivalence class — while the shared index stays LRU-bounded.
+
+Every assertion doubles as a correctness run: sampled tenant answers are
+checked against fresh batch winnows of the tenant's own composed term,
+and a post-churn resurrection is checked against the live catalog.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base_numerical import (
+    AroundPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.core.constructors import pareto, prioritized
+from repro.datasets.cars import generate_cars
+from repro.query.bmo import winnow
+from repro.server import PreferenceService
+
+N_USERS = 10_000
+N_SHAPES = 48
+CAPACITY = 64  # shared-view LRU bound: N_SHAPES fit, churn overflows
+
+
+def _canon(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+def _shape_variants(i: int) -> tuple[list[dict], object]:
+    """Syntactic spellings of one canonical shape + its live preference.
+
+    Each shape ``i`` is pareto(price AROUND z_i, HIGHEST horsepower); the
+    variants commute the arms, launder a duplicate arm, or regroup a
+    prioritized chain — all Definition-13 equivalent, so they must share
+    one registry key.
+    """
+    z = 10_000 + 1_000 * i
+    around = {"type": "around", "attribute": "price", "z": z}
+    hi_hp = {"type": "highest", "attribute": "horsepower"}
+    if i % 3 == 2:
+        lo_mi = {"type": "lowest", "attribute": "mileage"}
+        variants = [
+            {"type": "prioritized",
+             "children": [around, {"type": "prioritized",
+                                   "children": [hi_hp, lo_mi]}]},
+            {"type": "prioritized",
+             "children": [{"type": "prioritized",
+                           "children": [around, hi_hp]}, lo_mi]},
+            {"type": "prioritized", "children": [around, hi_hp, lo_mi]},
+        ]
+        pref = prioritized(
+            AroundPreference("price", z),
+            HighestPreference("horsepower"),
+            LowestPreference("mileage"),
+        )
+        return variants, pref
+    variants = [
+        {"type": "pareto", "children": [around, hi_hp]},
+        {"type": "pareto", "children": [hi_hp, around]},
+        {"type": "pareto", "children": [around, hi_hp, around]},
+    ]
+    pref = pareto(AroundPreference("price", z), HighestPreference("horsepower"))
+    return variants, pref
+
+
+@pytest.fixture(scope="module")
+def tenancy_service(cars_5k):
+    service = PreferenceService(
+        {"car": cars_5k.rows()},
+        shared_view_capacity=CAPACITY,
+        max_views_per_tenant=4,
+    )
+    yield service
+    service.close()
+
+
+def test_10k_users_share_canonical_views(tenancy_service):
+    service = tenancy_service
+    t = service.tenancy
+    rng = random.Random(17)
+    shapes = [_shape_variants(i) for i in range(N_SHAPES)]
+    live = service.session.catalog.get("car").rows()
+
+    sampled: list[tuple[str, int]] = []
+    for user in range(N_USERS):
+        shape = user % N_SHAPES  # every shape gets ~208 users
+        variants, _ = shapes[shape]
+        tenant = f"user-{user}"
+        t.set_profile(tenant, "deal", rng.choice(variants))
+        answer = t.query(tenant, spec={"relation": "car"})
+        assert answer.rows
+        if user % 977 == 0:  # spot-check parity across the run
+            sampled.append((tenant, shape))
+            assert _canon(answer.rows) == _canon(
+                winnow(shapes[shape][1], live)
+            )
+
+    snapshot = t.metrics.snapshot()
+    assert snapshot["total_queries"] == N_USERS
+    hit_rate = snapshot["view_hit_rate"]
+    # One miss per canonical shape seeds its view; everyone after hits.
+    assert hit_rate >= 0.9, (
+        f"shared-view hit rate criterion: {hit_rate:.4f} < 0.90 "
+        f"({snapshot['total_view_hits']}/{snapshot['total_queries']} hits)"
+    )
+    # The registry holds exactly one view per equivalence class — the
+    # syntactic variants collapsed — and stays within the LRU bound.
+    assert len(t.shared) == N_SHAPES <= CAPACITY
+    assert len(service.views) == N_SHAPES
+    assert t.shared.evictions == 0
+    assert sampled  # the parity loop really ran
+
+
+def test_churn_keeps_registry_bounded_and_fresh(tenancy_service):
+    """After the 10k-user run, 200 one-off terms overflow the LRU; the
+    index must stay at capacity and resurrected views must re-seed from
+    the live catalog."""
+    service = tenancy_service
+    t = service.tenancy
+    for i in range(200):
+        z = 900_000 + i  # distinct shapes, never repeated; one tenant
+        t.query(f"churn-{i}", spec={  # each, so no view quota bites
+            "relation": "car",
+            "prefer": {"type": "around", "attribute": "price", "z": z},
+        })
+        assert len(t.shared) <= CAPACITY
+    assert t.shared.evictions >= 200 - CAPACITY
+
+    # A popular shape evicted by the churn resurrects fresh: mutate the
+    # catalog first, then confirm the reseeded view reflects it.
+    service.insert("car", [dict(
+        service.session.catalog.get("car").rows()[0],
+        oid=10**7, price=10_000, horsepower=10**6,
+    )])
+    variants, pref = _shape_variants(0)
+    answer = t.query("user-0", spec={"relation": "car"})
+    live = service.session.catalog.get("car").rows()
+    assert _canon(answer.rows) == _canon(winnow(pref, live))
+    assert any(r["horsepower"] == 10**6 for r in answer.rows)

@@ -11,13 +11,20 @@ algebra*: laws over preference terms under the equivalence of Definition 13
   laws as rewrite rules, used by the query optimizer.
 """
 
-from repro.algebra.equivalence import equivalent_on, equivalence_witness
+from repro.algebra.equivalence import (
+    canonical_form,
+    canonical_signature,
+    equivalent_on,
+    equivalence_witness,
+)
 from repro.algebra.laws import ALL_LAWS, Law, laws_for
 from repro.algebra.rewriter import simplify, simplify_once, rewrite_trace
 
 __all__ = [
     "ALL_LAWS",
     "Law",
+    "canonical_form",
+    "canonical_signature",
     "equivalence_witness",
     "equivalent_on",
     "laws_for",

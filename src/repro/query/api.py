@@ -288,6 +288,45 @@ class PreferenceQuery:
         self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
         return self._copy(cascades=(*self._cascades, pref))
 
+    def personalize(
+        self, pref: Preference | None, canonical: bool = True
+    ) -> "PreferenceQuery":
+        """Compose a per-user preference term *over* the query's own.
+
+        Server-side personalization (the paper's P&O story): the user's
+        profile term dominates and the submitted base term breaks ties —
+        ``prio(user_pref, base_pref)``, Definition 9.  With ``canonical``
+        (the default) the composed term is normalized via
+        :func:`repro.algebra.equivalence.canonical_form`, so two users
+        whose profiles are algebraically equivalent produce queries with
+        *equal* preference signatures — the property the multi-tenant
+        serving layer keys shared continuous views on.
+
+        ``pref=None`` means "no profile": the query is returned with its
+        base term canonicalized (when asked), so profiled and unprofiled
+        users of equivalent terms still share.
+        """
+        if pref is not None and not isinstance(pref, Preference):
+            raise TypeError(
+                f"personalize() needs a Preference or None, got {pref!r}"
+            )
+        base = self.preference
+        if pref is None:
+            if base is None or not canonical:
+                return self
+            composed = base
+        elif base is None:
+            self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
+            composed = pref
+        else:
+            self._fail_fast("preferring", "PQ101", sorted(pref.attribute_set))
+            composed = PrioritizedPreference((pref, base))
+        if canonical:
+            from repro.algebra.equivalence import canonical_form
+
+            composed = canonical_form(composed)
+        return self._copy(pref=composed, cascades=())
+
     def refine(self, pref: Preference) -> "PreferenceQuery":
         """Refine the preference by a lower-priority stage, tracking the
         delta.

@@ -25,6 +25,9 @@ def _demo_service(
     n_cars: int,
     storage: str | None = None,
     data_dir: str | None = None,
+    max_views_per_tenant: int = 8,
+    max_subscriptions_per_tenant: int = 16,
+    shared_view_capacity: int = 256,
 ) -> PreferenceService:
     from repro.datasets.cars import generate_cars
     from repro.session import Session
@@ -34,7 +37,12 @@ def _demo_service(
     # relation back must serve the recovered rows, not a fresh demo set.
     if n_cars and "car" not in session.catalog:
         session.register("car", generate_cars(n_cars, seed=11).rows())
-    service = PreferenceService(session)
+    service = PreferenceService(
+        session,
+        max_views_per_tenant=max_views_per_tenant,
+        max_subscriptions_per_tenant=max_subscriptions_per_tenant,
+        shared_view_capacity=shared_view_capacity,
+    )
     if service.recovery:
         print(f"recovered catalog: {service.recovery}")
     return service
@@ -143,7 +151,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--data-dir", default=None,
         help="durable directory (write-ahead log + snapshots); the "
-             "server recovers its catalog and views from it on restart",
+             "server recovers its catalog, views, and tenant profiles "
+             "from it on restart",
+    )
+    parser.add_argument(
+        "--shared-view-cap", type=int, default=256,
+        help="LRU capacity of the tenant shared-view index",
+    )
+    parser.add_argument(
+        "--tenant-max-views", type=int, default=8,
+        help="max distinct views one tenant may materialize",
+    )
+    parser.add_argument(
+        "--tenant-max-subs", type=int, default=16,
+        help="max live subscriptions per tenant",
     )
     args = parser.parse_args(argv)
     if args.selftest:
@@ -154,7 +175,10 @@ def main(argv: list[str] | None = None) -> int:
     from repro.server.server import PreferenceServer
 
     service = _demo_service(
-        args.cars, storage=args.storage, data_dir=args.data_dir
+        args.cars, storage=args.storage, data_dir=args.data_dir,
+        max_views_per_tenant=args.tenant_max_views,
+        max_subscriptions_per_tenant=args.tenant_max_subs,
+        shared_view_capacity=args.shared_view_cap,
     )
     server = PreferenceServer(service, host=args.host, port=args.port)
 

@@ -15,6 +15,21 @@ harnesses straight-line code::
 Responses are matched to requests by correlation id; ``delta`` push
 messages arriving in between are buffered and surfaced through
 :meth:`deltas` / :meth:`wait_delta`.
+
+**Multi-tenant**: :meth:`login` binds a tenant to the connection, after
+which queries compose the tenant's stored profile server-side;
+:meth:`profile_set` / :meth:`profile_get` / :meth:`profile_merge` /
+:meth:`profile_delete` manage the stored terms.
+
+**Auto-reconnect** (``reconnect=True``): when the server restarts — e.g.
+after the crash/recovery cycle durable storage is built for — the client
+transparently redials with capped exponential backoff, replays its
+``login`` and its active subscription set, and retries the in-flight
+request.  Subscription handles stay valid across the reconnect: pushed
+deltas are translated back to the original subscription ids.  Retried
+*mutations* are at-least-once (the server may have applied the first
+attempt before dying); deltas pushed while the link was down are lost,
+exactly as they would be for a crashed client.
 """
 
 from __future__ import annotations
@@ -37,6 +52,10 @@ class ClientError(RuntimeError):
         self.code = code
 
 
+#: Error codes that mean "the link died", i.e. reconnecting may help.
+_TRANSPORT_CODES = ("transport",)
+
+
 class PreferenceClient:
     """A blocking preference-server client (context-manager friendly).
 
@@ -49,17 +68,40 @@ class PreferenceClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 30.0,
+        reconnect: bool = False,
+        reconnect_attempts: int = 8,
+        reconnect_backoff: float = 0.05,
+        reconnect_max_backoff: float = 2.0,
     ):
         self.timeout = timeout
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.host = host
+        self.port = port
+        self.reconnect = reconnect
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_max_backoff = reconnect_max_backoff
+        self.reconnects = 0
+        self._sock = self._dial()
         self._buffer = bytearray()
         self._seq = itertools.count(1)
         self._deltas: deque[dict[str, Any]] = deque()
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._closed = False
+        self._tenant: str | None = None
+        #: original subscription id -> the subscribe params to replay
+        self._sub_params: dict[int, dict[str, Any]] = {}
+        #: original id -> current server-side id (and the reverse)
+        self._sub_current: dict[int, int] = {}
+        self._sub_origin: dict[int, int] = {}
 
     # -- transport --------------------------------------------------------------
+
+    def _dial(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
 
     def _read_message(self, deadline: float | None) -> dict[str, Any] | None:
         """The next message line, or None when ``deadline`` passes first."""
@@ -83,84 +125,167 @@ class PreferenceClient:
             except (TimeoutError, socket.timeout):
                 return None
             except OSError as exc:
-                raise ClientError(f"connection lost: {exc}") from exc
+                raise ClientError(
+                    f"connection lost: {exc}", code="transport"
+                ) from exc
             if not chunk:
-                raise ClientError("server closed the connection")
+                raise ClientError(
+                    "server closed the connection", code="transport"
+                )
             self._buffer.extend(chunk)
 
+    def _translate_delta(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Deltas carry the *current* server-side subscription id; hand
+        callers the original handle they subscribed under."""
+        origin = self._sub_origin.get(message.get("subscription"))
+        if origin is not None:
+            message["subscription"] = origin
+        return message
+
     def _request(self, op: str, **params: Any) -> dict[str, Any]:
-        """Send one request; return its (chunk-assembled) response."""
+        """Send one request; return its (chunk-assembled) response.
+
+        With ``reconnect=True``, a transport fault redials and retries
+        the request once on the fresh connection (at-least-once for
+        mutations — see the module docs).
+        """
+        with self._lock:
+            if self._closed:
+                raise ClientError("client is closed")
+            try:
+                return self._do_request(op, **params)
+            except ClientError as exc:
+                if not self.reconnect or exc.code not in _TRANSPORT_CODES:
+                    raise
+                self._reconnect_locked()
+                return self._do_request(op, **params)
+
+    def _do_request(self, op: str, **params: Any) -> dict[str, Any]:
+        # Callers hold self._lock.
         request_id = next(self._seq)
         message = {"id": request_id, "op": op}
         message.update(
             {k: v for k, v in params.items() if v is not None}
         )
         rows: list[dict[str, Any]] = []
-        with self._lock:
-            if self._closed:
-                raise ClientError("client is closed")
-            self._sock.settimeout(self.timeout)
+        self._sock.settimeout(self.timeout)
+        try:
+            self._sock.sendall(protocol.encode_message(message))
+        except OSError as exc:
+            raise ClientError(
+                f"send failed: {exc}", code="transport"
+            ) from exc
+        deadline = time.monotonic() + self.timeout
+        while True:
+            response = self._read_message(deadline)
+            if response is None:
+                raise ClientError(
+                    f"timed out waiting for {op!r} response",
+                    code="timeout",
+                )
+            if response.get("kind") == "delta":
+                self._deltas.append(self._translate_delta(response))
+                continue
+            if response.get("id") != request_id:
+                continue  # stale response from an abandoned request
+            if not response.get("ok"):
+                raise ClientError(
+                    response.get("error", "request failed"),
+                    code=response.get("code", "error"),
+                )
+            if response.get("kind") == "rows":
+                rows.extend(response.get("rows", ()))
+                if response.get("done"):
+                    response["rows"] = rows
+                    return response
+                continue
+            return response
+
+    def _reconnect_locked(self) -> None:
+        """Redial with capped exponential backoff and replay session
+        state: the tenant login, then every active subscription."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        delay = self.reconnect_backoff
+        last: Exception | None = None
+        for _ in range(max(1, self.reconnect_attempts)):
             try:
-                self._sock.sendall(protocol.encode_message(message))
+                self._sock = self._dial()
+                last = None
+                break
             except OSError as exc:
-                raise ClientError(f"send failed: {exc}") from exc
-            deadline = time.monotonic() + self.timeout
-            while True:
-                response = self._read_message(deadline)
-                if response is None:
-                    raise ClientError(
-                        f"timed out waiting for {op!r} response",
-                        code="timeout",
-                    )
-                if response.get("kind") == "delta":
-                    self._deltas.append(response)
-                    continue
-                if response.get("id") != request_id:
-                    continue  # stale response from an abandoned request
-                if not response.get("ok"):
-                    raise ClientError(
-                        response.get("error", "request failed"),
-                        code=response.get("code", "error"),
-                    )
-                if response.get("kind") == "rows":
-                    rows.extend(response.get("rows", ()))
-                    if response.get("done"):
-                        response["rows"] = rows
-                        return response
-                    continue
-                return response
+                last = exc
+                time.sleep(delay)
+                delay = min(delay * 2, self.reconnect_max_backoff)
+        if last is not None:
+            raise ClientError(
+                f"reconnect failed after {self.reconnect_attempts} "
+                f"attempts: {last}",
+                code="transport",
+            ) from last
+        self._buffer.clear()
+        self.reconnects += 1
+        if self._tenant is not None:
+            self._do_request("login", tenant=self._tenant)
+        self._sub_origin.clear()
+        for origin, params in self._sub_params.items():
+            replay = dict(params)
+            replay.pop("snapshot", None)  # state replay, not a re-read
+            response = self._do_request("subscribe", **replay)
+            current = response["subscription"]
+            self._sub_current[origin] = current
+            self._sub_origin[current] = origin
 
     # -- operations -------------------------------------------------------------
 
     def ping(self) -> dict[str, Any]:
         return self._request("ping")
 
+    def login(self, tenant: str) -> dict[str, Any]:
+        """Bind ``tenant`` to this connection: later queries compose the
+        tenant's profile server-side, and subscriptions count against the
+        tenant's quota.  Returns the profile summary when one exists."""
+        response = self._request("login", tenant=tenant)
+        self._tenant = tenant
+        return response
+
     def query(
         self,
         sql: str | None = None,
         spec: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
+        term: str | None = None,
     ) -> list[dict[str, Any]]:
         """Run a query (SQL text or spec dict); returns the result rows."""
-        return self.query_info(sql=sql, spec=spec)["rows"]
+        return self.query_info(sql=sql, spec=spec, tenant=tenant,
+                               term=term)["rows"]
 
     def query_info(
         self,
         sql: str | None = None,
         spec: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
+        term: str | None = None,
     ) -> dict[str, Any]:
         """Like :meth:`query`, with the full final-chunk envelope —
         ``source`` ("view"/"plan"), ``elapsed_ns``, ``total``."""
         return self._request(
-            "query", sql=sql, spec=dict(spec) if spec else None
+            "query", sql=sql, spec=dict(spec) if spec else None,
+            tenant=tenant, term=term,
         )
 
     def explain(
         self,
         sql: str | None = None,
         spec: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
+        term: str | None = None,
     ) -> str:
         return self._request(
-            "explain", sql=sql, spec=dict(spec) if spec else None
+            "explain", sql=sql, spec=dict(spec) if spec else None,
+            tenant=tenant, term=term,
         )["plan"]
 
     def insert(
@@ -185,23 +310,35 @@ class PreferenceClient:
     def subscribe(
         self,
         relation: str,
-        prefer: Mapping[str, Any],
+        prefer: Mapping[str, Any] | None = None,
         groupby: Iterable[str] = (),
         top: int | None = None,
         ties: str | None = None,
         snapshot: bool = False,
+        tenant: str | None = None,
+        term: str | None = None,
     ) -> dict[str, Any]:
         """Subscribe to a continuous view's BMO delta stream.
 
         Returns the subscription envelope (``subscription`` id, and the
         current ``rows`` when ``snapshot=True``).  Deltas arrive via
-        :meth:`deltas` / :meth:`wait_delta`.
+        :meth:`deltas` / :meth:`wait_delta`.  On a tenant connection
+        ``prefer`` may be omitted — the profile term alone (``term`` or
+        the default) defines the view.
         """
-        return self._request(
-            "subscribe", relation=relation, prefer=dict(prefer),
+        params: dict[str, Any] = dict(
+            relation=relation,
+            prefer=dict(prefer) if prefer is not None else None,
             groupby=list(groupby) or None, top=top, ties=ties,
-            snapshot=snapshot or None,
+            snapshot=snapshot or None, tenant=tenant, term=term,
         )
+        with self._lock:
+            response = self._request("subscribe", **params)
+            origin = response["subscription"]
+            self._sub_params[origin] = params
+            self._sub_current[origin] = origin
+            self._sub_origin[origin] = origin
+        return response
 
     def revise(
         self,
@@ -227,7 +364,55 @@ class PreferenceClient:
         )
 
     def unsubscribe(self, subscription: int) -> dict[str, Any]:
-        return self._request("unsubscribe", subscription=subscription)
+        with self._lock:
+            current = self._sub_current.get(subscription, subscription)
+            response = self._request("unsubscribe", subscription=current)
+            self._sub_params.pop(subscription, None)
+            self._sub_current.pop(subscription, None)
+            self._sub_origin.pop(current, None)
+        response["unsubscribed"] = subscription
+        return response
+
+    # -- profiles ---------------------------------------------------------------
+
+    def profile_set(
+        self,
+        name: str,
+        prefer: Mapping[str, Any],
+        default: bool = False,
+        tenant: str | None = None,
+    ) -> dict[str, Any]:
+        """Store one named preference term in the tenant's profile."""
+        return self._request(
+            "profile", action="set", name=name, prefer=dict(prefer),
+            default=default or None, tenant=tenant,
+        )
+
+    def profile_get(self, tenant: str | None = None) -> dict[str, Any]:
+        return self._request(
+            "profile", action="get", tenant=tenant
+        )["profile"]
+
+    def profile_merge(
+        self,
+        terms: Mapping[str, Mapping[str, Any]],
+        default: str | None = None,
+        tenant: str | None = None,
+    ) -> dict[str, Any]:
+        """Upsert many terms in one profile revision (one version bump)."""
+        return self._request(
+            "profile", action="merge",
+            terms={k: dict(v) for k, v in dict(terms).items()},
+            default=default, tenant=tenant,
+        )
+
+    def profile_delete(
+        self, name: str | None = None, tenant: str | None = None
+    ) -> dict[str, Any]:
+        """Drop one named term, or the whole profile when ``name=None``."""
+        return self._request(
+            "profile", action="delete", name=name, tenant=tenant
+        )
 
     def checkpoint(self) -> dict[str, Any]:
         """Snapshot the server's durable catalog and truncate its WAL."""
@@ -246,16 +431,24 @@ class PreferenceClient:
 
         Raises :class:`ClientError` if the connection is lost — same
         contract as :meth:`wait_delta` — so pollers notice a dead server
-        instead of receiving empty lists forever.
+        instead of receiving empty lists forever.  With ``reconnect=True``
+        a lost connection redials and replays subscriptions instead
+        (deltas pushed while the link was down are lost).
         """
         deadline = time.monotonic() + timeout
         with self._lock:
             while True:
-                message = self._read_message(deadline)
+                try:
+                    message = self._read_message(deadline)
+                except ClientError as exc:
+                    if not self.reconnect or exc.code not in _TRANSPORT_CODES:
+                        raise
+                    self._reconnect_locked()
+                    continue
                 if message is None:
                     break
                 if message.get("kind") == "delta":
-                    self._deltas.append(message)
+                    self._deltas.append(self._translate_delta(message))
             out = list(self._deltas)
             self._deltas.clear()
         return out
@@ -267,13 +460,19 @@ class PreferenceClient:
             if self._deltas:
                 return self._deltas.popleft()
             while True:
-                message = self._read_message(deadline)
+                try:
+                    message = self._read_message(deadline)
+                except ClientError as exc:
+                    if not self.reconnect or exc.code not in _TRANSPORT_CODES:
+                        raise
+                    self._reconnect_locked()
+                    continue
                 if message is None:
                     raise ClientError(
                         "timed out waiting for a delta", code="timeout"
                     )
                 if message.get("kind") == "delta":
-                    return message
+                    return self._translate_delta(message)
 
     # -- lifecycle --------------------------------------------------------------
 

@@ -11,6 +11,11 @@ Request (client -> server)::
 ``id`` is the client's correlation token, echoed on every response to the
 request.  Known ops: :data:`OPS`.
 
+Multi-tenant requests carry a ``tenant`` field; ``login`` binds a default
+tenant to the connection so later requests may omit it.  ``profile``
+manages the tenant's stored preference terms (``action``:
+set/get/merge/delete).
+
 Response (server -> client)::
 
     {"id": 7, "ok": true, ...}                  # op-specific payload
@@ -48,6 +53,7 @@ DEFAULT_CHUNK_ROWS = 500
 #: Every request operation the server routes.
 OPS = (
     "ping",
+    "login",
     "query",
     "explain",
     "insert",
@@ -55,6 +61,7 @@ OPS = (
     "subscribe",
     "unsubscribe",
     "revise",
+    "profile",
     "checkpoint",
     "metrics",
     "relations",

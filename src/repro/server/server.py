@@ -33,6 +33,7 @@ from repro.server import protocol
 from repro.server.service import PreferenceService, ServiceError
 from repro.server.views import ContinuousView
 from repro.session import MutationEvent
+from repro.tenancy.profiles import TenancyError, valid_tenant
 
 #: The ``server`` field of the hello/ping payload.
 SERVER_NAME = "repro-preference-server"
@@ -44,6 +45,7 @@ class _Subscription:
     connection: "_Connection"
     view_key: tuple
     relation: str
+    tenant: str | None = None
 
 
 class _Connection:
@@ -60,6 +62,9 @@ class _Connection:
         self.writer = writer
         self._write_lock = asyncio.Lock()
         self.closed = False
+        #: Default tenant bound by the ``login`` op (per-request
+        #: ``tenant`` fields override it).
+        self.tenant: str | None = None
 
     async def send(self, message: dict[str, Any]) -> None:
         if self.closed:
@@ -167,6 +172,8 @@ class PreferenceServer:
         live = len(self._subscriptions)
         if live:
             self.service.metrics.record_subscription(-live)
+        for sub in self._subscriptions.values():
+            self._release_tenant_sub(sub)
         self._subscriptions.clear()
         for connection in list(self._connections):
             await connection.close()
@@ -189,8 +196,13 @@ class PreferenceServer:
         ]
         for sub in stale:
             del self._subscriptions[sub.id]
+            self._release_tenant_sub(sub)
         if stale:
             self.service.metrics.record_subscription(-len(stale))
+
+    def _release_tenant_sub(self, sub: _Subscription) -> None:
+        if sub.tenant is not None:
+            self.service.tenancy.release(sub.tenant, sub.view_key)
 
     # -- delta fan-out ----------------------------------------------------------
 
@@ -231,7 +243,7 @@ class PreferenceServer:
     ) -> None:
         try:
             await self._route(connection, request)
-        except (ServiceError, protocol.ProtocolError) as exc:
+        except (ServiceError, TenancyError, protocol.ProtocolError) as exc:
             await connection.send(
                 protocol.error_response(request.id, str(exc))
             )
@@ -250,10 +262,20 @@ class PreferenceServer:
                 rid, pong=True, server=SERVER_NAME,
                 protocol=protocol.PROTOCOL_VERSION,
             ))
+        elif op == "login":
+            tenant = valid_tenant(params.get("tenant"))
+            connection.tenant = tenant
+            profile = self.service.tenancy.profiles.get(tenant)
+            payload: dict[str, Any] = {"tenant": tenant}
+            if profile is not None:
+                payload["profile"] = profile.summary()
+            await connection.send(protocol.ok_response(rid, **payload))
         elif op == "query":
             answer = await self._run(
                 self.service.query,
                 sql=params.get("sql"), spec=params.get("spec"),
+                tenant=self._tenant_of(connection, params),
+                term=params.get("term"),
             )
             for message in protocol.rows_chunks(
                 rid, answer.rows, self.chunk_rows,
@@ -265,6 +287,8 @@ class PreferenceServer:
             plan = await self._run(
                 self.service.explain,
                 sql=params.get("sql"), spec=params.get("spec"),
+                tenant=self._tenant_of(connection, params),
+                term=params.get("term"),
             )
             await connection.send(protocol.ok_response(rid, plan=plan))
         elif op == "insert":
@@ -289,6 +313,7 @@ class PreferenceServer:
                     f"no such subscription {params.get('subscription')!r}"
                 )
             del self._subscriptions[sub.id]
+            self._release_tenant_sub(sub)
             self.service.metrics.record_subscription(-1)
             await connection.send(
                 protocol.ok_response(rid, unsubscribed=sub.id)
@@ -317,6 +342,9 @@ class PreferenceServer:
             ]
             for sub in revised:
                 sub.view_key = answer.new_key
+            # Tenant bookkeeping (pins, subscription recipes) follows the
+            # re-keyed view as well.
+            self.service.tenancy.rebind_key(answer.old_key, answer.view.spec)
             if answer.delta:
                 for sub in revised:
                     message = protocol.delta_message(
@@ -329,6 +357,8 @@ class PreferenceServer:
             await connection.send(
                 protocol.ok_response(rid, **answer.summary)
             )
+        elif op == "profile":
+            await self._profile(connection, request)
         elif op == "checkpoint":
             info = await self._run(self.service.checkpoint)
             await connection.send(protocol.ok_response(rid, checkpoint=info))
@@ -345,22 +375,110 @@ class PreferenceServer:
         else:  # unreachable: parse_request validated op
             raise protocol.ProtocolError(f"unroutable op {op!r}")
 
+    def _tenant_of(
+        self, connection: _Connection, params: dict[str, Any]
+    ) -> str | None:
+        """The request's tenant: an explicit ``tenant`` field wins over
+        the connection's ``login`` binding; absent both, untenanted."""
+        tenant = params.get("tenant")
+        if tenant is not None:
+            return valid_tenant(tenant)
+        return connection.tenant
+
+    async def _profile(
+        self, connection: _Connection, request: protocol.Request
+    ) -> None:
+        params, rid = request.params, request.id
+        tenant = self._tenant_of(connection, params)
+        if tenant is None:
+            raise TenancyError(
+                "profile needs a 'tenant' (or a prior login)"
+            )
+        action = params.get("action")
+        tenancy = self.service.tenancy
+        if action == "get":
+            payload = await self._run(tenancy.profile_payload, tenant)
+            await connection.send(protocol.ok_response(rid, profile=payload))
+            return
+        if action == "set":
+            name = params.get("name")
+            prefer = params.get("prefer")
+            if not name or prefer is None:
+                raise TenancyError("profile set needs 'name' and 'prefer'")
+            profile, migrations = await self._run(
+                tenancy.set_profile, tenant, name, prefer,
+                default=bool(params.get("default")),
+            )
+        elif action == "merge":
+            profile, migrations = await self._run(
+                tenancy.merge_profile, tenant,
+                params.get("terms") or {}, default=params.get("default"),
+            )
+        elif action == "delete":
+            profile, migrations = await self._run(
+                tenancy.delete_profile, tenant, params.get("name")
+            )
+        else:
+            raise TenancyError(
+                f"unknown profile action {action!r}; "
+                "known: set, get, merge, delete"
+            )
+        await self._push_migrations(tenant, migrations)
+        summary = profile.summary() if profile is not None else None
+        await connection.send(protocol.ok_response(
+            rid, profile=summary, migrated=len(migrations),
+        ))
+
+    async def _push_migrations(self, tenant: str, migrations: list) -> None:
+        """Re-point the tenant's subscriptions at their migrated views
+        and push each migration delta — only *this* tenant's
+        subscriptions move; other tenants sharing the old view keep it."""
+        for migration in migrations:
+            moved = [
+                sub for sub in self._subscriptions.values()
+                if sub.tenant == tenant
+                and sub.view_key == migration.old_key
+            ]
+            for sub in moved:
+                sub.view_key = migration.new_key
+            if not migration.delta:
+                continue
+            for sub in moved:
+                message = protocol.delta_message(
+                    sub.id, migration.summary["relation"],
+                    migration.summary["version"],
+                    migration.delta.entered, migration.delta.exited,
+                )
+                self.service.metrics.record_delta_push()
+                await sub.connection.send(message)
+
     async def _subscribe(
         self, connection: _Connection, request: protocol.Request
     ) -> None:
         params = request.params
         relation = params.get("relation")
         prefer = params.get("prefer")
-        if not relation or prefer is None:
+        tenant = self._tenant_of(connection, params)
+        if not relation or (prefer is None and tenant is None):
             raise ServiceError("subscribe needs 'relation' and 'prefer'")
-        view = await self._run(
-            self.service.materialize,
-            relation, prefer,
-            groupby=tuple(params.get("groupby") or ()),
-            top=params.get("top"), ties=params.get("ties", "strict"),
-        )
+        if tenant is not None:
+            view = await self._run(
+                self.service.tenancy.subscribe,
+                tenant, relation, prefer,
+                groupby=tuple(params.get("groupby") or ()),
+                top=params.get("top"), ties=params.get("ties", "strict"),
+                term=params.get("term"),
+            )
+        else:
+            view = await self._run(
+                self.service.materialize,
+                relation, prefer,
+                groupby=tuple(params.get("groupby") or ()),
+                top=params.get("top"), ties=params.get("ties", "strict"),
+            )
         sub = _Subscription(
-            next(self._sub_seq), connection, view.spec.key, view.spec.relation
+            next(self._sub_seq), connection, view.spec.key,
+            view.spec.relation, tenant=tenant,
         )
         self._subscriptions[sub.id] = sub
         self.service.metrics.record_subscription(+1)

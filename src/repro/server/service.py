@@ -111,6 +111,9 @@ class PreferenceService:
         auto_view_threshold: int | None = 2,
         max_auto_views: int = 64,
         max_workers: int | None = None,
+        max_views_per_tenant: int = 8,
+        max_subscriptions_per_tenant: int = 16,
+        shared_view_capacity: int = 256,
     ):
         if isinstance(catalog, Session):
             self.session = catalog
@@ -161,8 +164,21 @@ class PreferenceService:
             and binding.recovery is not None else None
         )
         rematerialized = self._recover_views()
+        # The multi-tenant layer: profiles (recovered from the same
+        # snapshot+WAL path), per-query composition, shared canonical
+        # views.  Constructed after view recovery so recovered profiles
+        # are immediately resolvable.
+        from repro.tenancy.manager import TenantManager
+
+        self.tenancy = TenantManager(
+            self,
+            max_views_per_tenant=max_views_per_tenant,
+            max_subscriptions_per_tenant=max_subscriptions_per_tenant,
+            shared_view_capacity=shared_view_capacity,
+        )
         if self.recovery is not None:
             self.recovery["views_rematerialized"] = rematerialized
+            self.recovery["profiles"] = len(self.tenancy.profiles)
             self.metrics.record_recovery(self.recovery)
 
     def close(self) -> None:
@@ -297,18 +313,38 @@ class PreferenceService:
     # -- queries ----------------------------------------------------------------
 
     def query(
-        self, sql: str | None = None, spec: Mapping[str, Any] | None = None
+        self,
+        sql: str | None = None,
+        spec: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
+        term: str | None = None,
     ) -> QueryAnswer:
         """Answer one query, from a current continuous view when possible.
 
         View answers apply the query's presentation clauses (order_by /
         select / limit) on top of the maintained window and are identical,
         row for row, to a fresh plan execution.
+
+        With ``tenant``, the query is personalized first: the tenant's
+        profile term (``term`` names one; default otherwise) composes
+        *over* the base query and the canonicalized result shares
+        continuous views across equivalent tenants (see
+        :class:`~repro.tenancy.manager.TenantManager`).
         """
-        q = self.build_query(sql, spec)
+        if tenant is not None:
+            return self.tenancy.query(tenant, sql=sql, spec=spec, term=term)
+        return self.answer(self.build_query(sql, spec))
+
+    def answer(self, q: PreferenceQuery, auto_view: bool = True) -> QueryAnswer:
+        """Answer one built query (the shared tail of every query path).
+
+        ``auto_view=False`` disables the sighting-counter
+        auto-materialization — the tenancy layer makes its own
+        materialization decisions (quotas, LRU) before calling in.
+        """
         start = time.perf_counter_ns()
         relation = self._relation_of(q)
-        view = self._answering_view(q, relation)
+        view = self._answering_view(q, relation, auto_view=auto_view)
         if view is not None:
             try:
                 rows = self._present(view.rows(), q)
@@ -333,10 +369,18 @@ class PreferenceService:
         return QueryAnswer(rows, "plan", elapsed, relation)
 
     def explain(
-        self, sql: str | None = None, spec: Mapping[str, Any] | None = None
+        self,
+        sql: str | None = None,
+        spec: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
+        term: str | None = None,
     ) -> str:
         """The plan text, annotated with the view that would answer it."""
-        q = self.build_query(sql, spec)
+        if tenant is not None:
+            return self.tenancy.explain(tenant, sql=sql, spec=spec, term=term)
+        return self.explain_query(self.build_query(sql, spec))
+
+    def explain_query(self, q: PreferenceQuery) -> str:
         try:
             text = q.explain()
         except Exception as exc:
@@ -389,7 +433,7 @@ class PreferenceService:
         )
 
     def _answering_view(
-        self, q: PreferenceQuery, relation: str
+        self, q: PreferenceQuery, relation: str, auto_view: bool = True
     ) -> ContinuousView | None:
         spec = self._view_spec_of(q, relation)
         if spec is None:
@@ -397,6 +441,7 @@ class PreferenceService:
         view = self.views.get(spec)
         if (
             view is None
+            and auto_view
             and self.auto_view_threshold is not None
             and len(self.views) < self.max_auto_views
         ):
@@ -721,6 +766,7 @@ class PreferenceService:
         }
         snapshot["views"] = self.views.stats()
         snapshot["relations"] = self.relations()
+        snapshot["tenancy"] = self.tenancy.stats()
         binding = getattr(self.session, "storage", None)
         if binding is not None:
             snapshot["storage"] = {

@@ -70,6 +70,8 @@ class CatalogStorage:
         self._lock = threading.RLock()
         #: Serialized continuous-view specs, keyed on their JSON form.
         self._view_specs: dict[str, dict[str, Any]] = {}
+        #: Serialized tenant profiles, keyed on tenant id (latest wins).
+        self._profiles: dict[str, dict[str, Any]] = {}
         #: Relations whose values the durable codec refused.
         self.undurable: set[str] = set()
         self.wal: WriteAheadLog | None = None
@@ -114,6 +116,10 @@ class CatalogStorage:
             self._view_specs = {
                 _spec_key(spec): spec for spec in snapshot.get("views", [])
             }
+            self._profiles = {
+                profile["tenant"]: profile
+                for profile in snapshot.get("profiles", [])
+            }
         self.wal = WriteAheadLog(self.directory / WAL_FILE, sync=sync)
         replayed = 0
         for seq, record in self.wal.replay():
@@ -129,6 +135,7 @@ class CatalogStorage:
             "healed_torn_tail": self.wal.healed_torn_tail,
             "relations": len(self.catalog),
             "views": len(self._view_specs),
+            "profiles": len(self._profiles),
             "elapsed_ms": round((time.perf_counter() - started) * 1000, 3),
         }
         return restored
@@ -142,6 +149,12 @@ class CatalogStorage:
             return None
         if op == "unview":
             self._view_specs.pop(_spec_key(record["spec"]), None)
+            return None
+        if op == "profile":
+            self._profiles[record["tenant"]] = record["profile"]
+            return None
+        if op == "unprofile":
+            self._profiles.pop(record["tenant"], None)
             return None
         name = record["name"]
         version = int(record["version"])
@@ -249,6 +262,34 @@ class CatalogStorage:
         with self._lock:
             return [dict(spec) for spec in self._view_specs.values()]
 
+    # -- tenant-profile persistence --------------------------------------
+
+    def record_profile(self, profile: dict[str, Any]) -> None:
+        """Persist one serialized tenant profile (latest version wins).
+
+        Unlike view specs, profiles are mutable — every call appends a
+        fresh WAL record, and replay simply keeps the last one per
+        tenant.
+        """
+        tenant = profile["tenant"]
+        with self._lock:
+            self._profiles[tenant] = profile
+            if self.wal is not None:
+                self.wal.append({"op": "profile", "tenant": tenant,
+                                 "profile": profile})
+
+    def forget_profile(self, tenant: str) -> None:
+        with self._lock:
+            if self._profiles.pop(tenant, None) is None:
+                return
+            if self.wal is not None:
+                self.wal.append({"op": "unprofile", "tenant": tenant})
+
+    def pending_profiles(self) -> list[dict[str, Any]]:
+        """Recovered/recorded profiles (for the profile store to load)."""
+        with self._lock:
+            return [dict(profile) for profile in self._profiles.values()]
+
     # -- checkpointing ---------------------------------------------------
 
     @property
@@ -282,6 +323,7 @@ class CatalogStorage:
                 "relations": relations,
                 "versions": self.catalog.versions(),
                 "views": list(self._view_specs.values()),
+                "profiles": list(self._profiles.values()),
             }
             write_snapshot(self.snapshot_path, state)
             self.wal.reset()
@@ -289,6 +331,7 @@ class CatalogStorage:
                 "seq": state["seq"],
                 "relations": len(relations),
                 "views": len(self._view_specs),
+                "profiles": len(self._profiles),
                 "path": str(self.snapshot_path),
             }
 

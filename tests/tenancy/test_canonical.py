@@ -1,0 +1,115 @@
+"""Canonicalized view keying: equivalent terms -> one registry key.
+
+The shared-view layer is only sound if (a) canonicalization preserves
+Definition-13 equivalence — a tenant must never receive rows its own term
+would not have produced — and (b) it actually *identifies* the
+equivalence classes the issue names: commuted Pareto arms, laundered
+duplicates, and simplifiable prioritized chains all map to one canonical
+signature, hence one ``ViewSpec.key``, hence one continuous view.
+"""
+
+from hypothesis import given, strategies as st
+
+from tests.conftest import preference_st, rows_st
+
+from repro.algebra import canonical_form, canonical_signature, equivalent_on
+from repro.core.base_numerical import HighestPreference, LowestPreference
+from repro.core.base_nonnumerical import PosPreference
+from repro.core.constructors import (
+    DisjointUnionPreference,
+    IntersectionPreference,
+    ParetoPreference,
+    PrioritizedPreference,
+    pareto,
+    prioritized,
+)
+from repro.server.views import ViewSpec
+
+HI = HighestPreference("a")
+LO = LowestPreference("b")
+POS = PosPreference("c", {1, 2})
+
+
+@given(preference_st())
+def test_canonical_form_is_idempotent(pref):
+    canonical = canonical_form(pref)
+    assert canonical_form(canonical).signature == canonical.signature
+
+
+@given(preference_st(), rows_st)
+def test_canonical_form_preserves_equivalence(pref, rows):
+    canonical = canonical_form(pref)
+    assert canonical.attribute_set == pref.attribute_set
+    assert equivalent_on(pref, canonical, rows)
+
+
+@given(
+    st.permutations([HI, LO, POS]),
+    st.permutations([HI, LO, POS]),
+)
+def test_commuted_pareto_arms_share_one_key(arms1, arms2):
+    sig1 = canonical_signature(ParetoPreference(tuple(arms1)))
+    sig2 = canonical_signature(ParetoPreference(tuple(arms2)))
+    assert sig1 == sig2
+
+
+@given(st.permutations([HI, LO, POS]))
+def test_commuted_pareto_chain_normalizes(arms):
+    assert (
+        canonical_signature(ParetoPreference(tuple(arms)))
+        == canonical_signature(ParetoPreference((HI, LO, POS)))
+    )
+
+
+def test_commuted_union_and_intersection_normalize():
+    # Union/intersection arguments share one attribute set (Definition 12).
+    parts = [PosPreference("a", {0}), PosPreference("a", {1}),
+             PosPreference("a", {2})]
+    assert (
+        canonical_signature(DisjointUnionPreference(tuple(parts)))
+        == canonical_signature(DisjointUnionPreference(tuple(reversed(parts))))
+    )
+    one_attr = [HighestPreference("a"), LowestPreference("a")]
+    assert (
+        canonical_signature(IntersectionPreference(tuple(one_attr)))
+        == canonical_signature(IntersectionPreference(tuple(reversed(one_attr))))
+    )
+
+
+def test_laundered_duplicates_collapse():
+    assert (
+        canonical_signature(pareto(HI, LO, HI))
+        == canonical_signature(pareto(LO, HI))
+    )
+
+
+def test_simplified_prios_share_one_key():
+    # Prioritized accumulation is associative (Proposition 3): grouping
+    # must not matter, while argument *order* genuinely must.
+    nested = prioritized(HI, prioritized(LO, POS))
+    flat = prioritized(HI, LO, POS)
+    assert canonical_signature(nested) == canonical_signature(flat)
+    assert (
+        canonical_signature(prioritized(HI, LO))
+        != canonical_signature(prioritized(LO, HI))
+    )
+
+
+def test_equivalent_terms_key_one_view_spec():
+    spec1 = ViewSpec("car", canonical_form(pareto(HI, LO, HI)))
+    spec2 = ViewSpec("car", canonical_form(pareto(LO, HI)))
+    assert spec1.key == spec2.key
+    # ...and an order-sensitive difference keeps views apart.
+    spec3 = ViewSpec("car", canonical_form(prioritized(LO, HI)))
+    assert spec1.key != spec3.key
+
+
+@given(preference_st(), preference_st())
+def test_composition_canonicalizes_consistently(user, base):
+    """prio(user, base) canonicalizes the same no matter how the equal
+    inputs were spelled — the property tenant queries rely on."""
+    composed1 = canonical_form(
+        PrioritizedPreference((canonical_form(user), base))
+    )
+    composed2 = canonical_form(PrioritizedPreference((user, base)))
+    assert composed1.signature == composed2.signature

@@ -1,0 +1,118 @@
+"""Profile store: CRUD, version stamps, validation, durable recovery."""
+
+import pytest
+
+from repro.server.service import PreferenceService
+from repro.session import Session
+from repro.tenancy import ProfileStore, TenancyError
+
+HI_PRICE = {"type": "highest", "attribute": "price"}
+LO_AGE = {"type": "lowest", "attribute": "age"}
+ROWS = [{"price": p, "age": a} for p in (1, 2, 3) for a in (1, 2)]
+
+
+class TestProfileCrud:
+    def test_set_get_resolve(self):
+        store = ProfileStore()
+        profile = store.set("alice", "fast", HI_PRICE)
+        assert profile.version == 1
+        assert profile.default == "fast"  # first term becomes the default
+        pref = store.resolve("alice")
+        assert pref is not None and pref.attributes == ("price",)
+        assert store.get("alice").terms["fast"] == HI_PRICE
+
+    def test_versions_bump_once_per_revision(self):
+        store = ProfileStore()
+        store.set("alice", "fast", HI_PRICE)
+        profile = store.merge(
+            "alice", {"young": LO_AGE, "rich": HI_PRICE}, default="young"
+        )
+        assert profile.version == 2  # one merge = one revision
+        assert profile.default == "young"
+        assert sorted(profile.terms) == ["fast", "rich", "young"]
+
+    def test_named_term_resolution_and_typos(self):
+        store = ProfileStore()
+        store.set("alice", "fast", HI_PRICE)
+        store.set("alice", "young", LO_AGE)
+        assert store.resolve("alice", "young").attributes == ("age",)
+        with pytest.raises(TenancyError, match="no profile term"):
+            store.resolve("alice", "nope")
+        with pytest.raises(TenancyError, match="no profile"):
+            store.resolve("nobody", "fast")
+
+    def test_resolve_without_profile_is_none(self):
+        store = ProfileStore()
+        assert store.resolve("anonymous") is None
+
+    def test_delete_term_and_whole_profile(self):
+        store = ProfileStore()
+        store.set("alice", "fast", HI_PRICE)
+        store.set("alice", "young", LO_AGE, default=True)
+        survivor = store.delete("alice", "young")
+        assert survivor.default is None  # default term deleted
+        assert sorted(survivor.terms) == ["fast"]
+        assert store.delete("alice") is None
+        assert store.get("alice") is None
+        with pytest.raises(TenancyError):
+            store.delete("alice")
+
+    def test_bad_terms_rejected_at_write_time(self):
+        store = ProfileStore()
+        with pytest.raises(TenancyError):
+            store.set("alice", "bad", {"type": "no-such-constructor"})
+        with pytest.raises(TenancyError):
+            store.set("alice", "", HI_PRICE)
+        with pytest.raises(TenancyError):
+            store.set("", "fast", HI_PRICE)
+        with pytest.raises(TenancyError):
+            store.merge("alice", {"ok": HI_PRICE}, default="missing")
+        assert store.get("alice") is None  # nothing persisted
+
+    def test_resolve_cache_tracks_versions(self):
+        store = ProfileStore()
+        store.set("alice", "fast", HI_PRICE)
+        first = store.resolve("alice")
+        assert store.resolve("alice") is first  # cached decode
+        store.set("alice", "fast", LO_AGE)
+        assert store.resolve("alice").attributes == ("age",)
+
+
+class TestProfileDurability:
+    def test_profiles_survive_restart_via_wal(self, tmp_path):
+        session = Session({"car": ROWS}, data_dir=str(tmp_path))
+        service = PreferenceService(session)
+        service.tenancy.set_profile("alice", "fast", HI_PRICE)
+        service.tenancy.merge_profile("bob", {"young": LO_AGE})
+        service.tenancy.set_profile("carol", "fast", HI_PRICE)
+        service.tenancy.delete_profile("carol")
+        service.close()
+        session.close()
+
+        revived = Session(data_dir=str(tmp_path))
+        reborn = PreferenceService(revived)
+        profiles = reborn.tenancy.profiles
+        assert profiles.tenants() == ["alice", "bob"]
+        assert profiles.get("alice").terms["fast"] == HI_PRICE
+        assert profiles.get("bob").default == "young"
+        assert reborn.recovery["profiles"] == 2
+        reborn.close()
+        revived.close()
+
+    def test_profiles_survive_checkpoint_then_restart(self, tmp_path):
+        session = Session({"car": ROWS}, data_dir=str(tmp_path))
+        service = PreferenceService(session)
+        service.tenancy.set_profile("alice", "fast", HI_PRICE)
+        service.checkpoint()  # profile now lives in the snapshot
+        service.tenancy.set_profile("bob", "young", LO_AGE)  # WAL only
+        service.close()
+        session.close()
+
+        revived = Session(data_dir=str(tmp_path))
+        reborn = PreferenceService(revived)
+        assert reborn.tenancy.profiles.tenants() == ["alice", "bob"]
+        # The latest version wins replay, not the first record.
+        answer = reborn.tenancy.query("alice", spec={"relation": "car"})
+        assert answer.rows == [{"price": 3, "age": 1}, {"price": 3, "age": 2}]
+        reborn.close()
+        revived.close()
