@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the serving and storage stack.
+
+See :mod:`repro.faults.plan` for the model.  Typical test usage::
+
+    from repro.faults import FaultPlan, FaultRule
+
+    plan = FaultPlan([FaultRule("storage.insert", times=3)], seed=7)
+    with plan:
+        ...  # the next three backend inserts raise InjectedFault
+
+and for whole processes, ``REPRO_FAULT_PLAN='{"rules": [...]}'``.
+"""
+
+from repro.faults.plan import (
+    ACTIONS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedFault,
+    activate,
+    active_plan,
+    check,
+    deactivate,
+    directive_error,
+    reset,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "InjectedFault",
+    "activate",
+    "active_plan",
+    "check",
+    "deactivate",
+    "directive_error",
+    "reset",
+]

@@ -1,0 +1,327 @@
+"""Deterministic, site-addressable fault injection.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s, each naming a
+**site** — a stable string the instrumented code passes to
+:func:`check`, e.g. ``storage.insert``, ``wal.append``, ``view.refresh``,
+``conn.write``, ``executor.task`` — and an **action** to take when the
+site is hit:
+
+* ``error``   — raise :class:`InjectedFault` at the site,
+* ``delay``   — sleep ``delay_ms`` milliseconds, then continue,
+* ``torn``    — site-specific: the WAL writes a truncated frame and then
+  raises (a crash mid-append, reproduced exactly),
+* ``drop``    — site-specific: the server aborts the connection the
+  write was headed for (a peer reset, reproduced exactly).
+
+Rules are deterministic by construction: ``after`` skips the first N
+hits of the site, ``times`` caps how often the rule fires, and ``prob``
+draws from one seeded ``random.Random(seed)`` shared by the whole plan —
+the same plan against the same execution order always injects the same
+faults.  Sites match by :mod:`fnmatch` glob (``storage.*``) and an
+optional ``match`` substring against the site's detail (usually a
+relation name), so one rule can target exactly ``storage.insert`` of the
+``car`` relation and nothing else.
+
+Activation is either programmatic (the plan is a context manager) or
+environmental: ``REPRO_FAULT_PLAN`` holds the JSON plan itself (or a
+path to a file containing it) and is installed on the first
+:func:`check` call — which is how the chaos CLI injects faults into an
+unmodified ``python -m repro.server`` process.
+
+The un-injected fast path is one module-global read; production code
+pays nothing measurable for being instrumentable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Iterable
+
+#: Environment variable holding a JSON fault plan (or a path to one).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Actions a rule may take.  ``torn`` and ``drop`` are directives the
+#: instrumented site interprets; ``error`` and ``delay`` are generic.
+ACTIONS = ("error", "delay", "torn", "drop")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a fault plan raises at an instrumented site.
+
+    Subclasses ``RuntimeError`` so generic degradation paths (storage
+    breaker, connection teardown, view poisoning) treat it exactly like
+    the organic failure it stands in for.
+    """
+
+    def __init__(self, site: str, rule: "FaultRule"):
+        super().__init__(f"injected fault at {site} ({rule.describe()})")
+        self.site = site
+        self.rule = rule
+
+
+class FaultPlanError(ValueError):
+    """A fault plan spec that cannot be parsed or validated."""
+
+
+class FaultRule:
+    """One injection rule: where, what, and how often."""
+
+    __slots__ = ("site", "action", "times", "after", "prob", "delay_ms",
+                 "fraction", "match", "fired", "_hits")
+
+    def __init__(
+        self,
+        site: str,
+        action: str = "error",
+        times: int | None = 1,
+        after: int = 0,
+        prob: float | None = None,
+        delay_ms: float = 0.0,
+        fraction: float = 0.5,
+        match: str | None = None,
+    ):
+        if action not in ACTIONS:
+            raise FaultPlanError(
+                f"unknown fault action {action!r}; known: {list(ACTIONS)}"
+            )
+        if times is not None and times < 1:
+            raise FaultPlanError(f"times must be >= 1, got {times}")
+        if not 0.0 < fraction <= 1.0:
+            raise FaultPlanError(f"fraction must be in (0, 1], got {fraction}")
+        if prob is not None and not 0.0 <= prob <= 1.0:
+            raise FaultPlanError(f"prob must be in [0, 1], got {prob}")
+        self.site = site
+        self.action = action
+        self.times = times
+        self.after = max(0, int(after))
+        self.prob = prob
+        self.delay_ms = float(delay_ms)
+        self.fraction = float(fraction)
+        self.match = match
+        #: How often this rule actually fired (observable by tests).
+        self.fired = 0
+        self._hits = 0
+
+    def describe(self) -> str:
+        parts = [f"site={self.site}", f"action={self.action}"]
+        if self.match:
+            parts.append(f"match={self.match}")
+        if self.after:
+            parts.append(f"after={self.after}")
+        if self.times is not None:
+            parts.append(f"times={self.times}")
+        if self.prob is not None:
+            parts.append(f"prob={self.prob}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"site": self.site, "action": self.action}
+        if self.times != 1:
+            out["times"] = self.times
+        if self.after:
+            out["after"] = self.after
+        if self.prob is not None:
+            out["prob"] = self.prob
+        if self.delay_ms:
+            out["delay_ms"] = self.delay_ms
+        if self.action == "torn" and self.fraction != 0.5:
+            out["fraction"] = self.fraction
+        if self.match is not None:
+            out["match"] = self.match
+        return out
+
+
+class FaultPlan:
+    """A seeded set of fault rules, installable as the active plan.
+
+    Thread-safe: rule counters and the shared RNG update under one lock,
+    so concurrent instrumented sites observe a single deterministic
+    firing sequence (determinism then only depends on the caller's own
+    execution order, which deterministic tests control).
+    """
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0):
+        self.rules = list(rules)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: site -> total hits, fired or not (observable by tests/tools).
+        self.hits: dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"seed", "rules"})
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan field(s) {unknown}")
+        rules = []
+        for i, spec in enumerate(data.get("rules", ())):
+            if not isinstance(spec, dict) or "site" not in spec:
+                raise FaultPlanError(
+                    f"rule #{i} must be an object with a 'site'"
+                )
+            known = {"site", "action", "times", "after", "prob",
+                     "delay_ms", "fraction", "match"}
+            extra = sorted(set(spec) - known)
+            if extra:
+                raise FaultPlanError(f"rule #{i}: unknown field(s) {extra}")
+            rules.append(FaultRule(**spec))
+        return cls(rules, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"bad fault-plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_env(cls, value: str) -> "FaultPlan":
+        """Parse ``$REPRO_FAULT_PLAN``: inline JSON or a file path."""
+        text = value.strip()
+        if not text.startswith("{"):
+            path = Path(text)
+            if not path.exists():
+                raise FaultPlanError(
+                    f"REPRO_FAULT_PLAN names a missing file: {text!r}"
+                )
+            text = path.read_text(encoding="utf-8")
+        return cls.from_json(text)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed,
+                "rules": [r.to_dict() for r in self.rules]}
+
+    # -- matching ---------------------------------------------------------
+
+    def hit(self, site: str, detail: str | None = None) -> FaultRule | None:
+        """Record one hit of ``site``; return the rule that fires, if any.
+
+        First matching rule wins (rule order is part of the plan).
+        """
+        with self._lock:
+            self.hits[site] = self.hits.get(site, 0) + 1
+            for rule in self.rules:
+                if not fnmatchcase(site, rule.site):
+                    continue
+                if rule.match is not None and rule.match not in (detail or ""):
+                    continue
+                rule._hits += 1
+                if rule._hits <= rule.after:
+                    continue
+                if rule.times is not None and rule.fired >= rule.times:
+                    continue
+                if rule.prob is not None and self._rng.random() >= rule.prob:
+                    continue
+                rule.fired += 1
+                return rule
+        return None
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "hits": dict(self.hits),
+                "fired": {
+                    rule.describe(): rule.fired
+                    for rule in self.rules if rule.fired
+                },
+            }
+
+    # -- activation -------------------------------------------------------
+
+    def __enter__(self) -> "FaultPlan":
+        activate(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        deactivate(self)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, {len(self.rules)} rules)"
+
+
+# -- the active plan -----------------------------------------------------
+
+_UNSET = object()  # env not consulted yet
+_active: Any = _UNSET
+_active_lock = threading.Lock()
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide active fault plan."""
+    global _active
+    with _active_lock:
+        _active = plan
+    return plan
+
+
+def deactivate(plan: FaultPlan | None = None) -> None:
+    """Remove the active plan (or ``plan``, if it is still the active
+    one — the context-manager exit path, tolerant of nesting)."""
+    global _active
+    with _active_lock:
+        if plan is None or _active is plan:
+            _active = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, consulting the environment once."""
+    global _active
+    plan = _active
+    if plan is not _UNSET:
+        return plan
+    with _active_lock:
+        if _active is _UNSET:
+            value = os.environ.get(FAULT_PLAN_ENV)
+            _active = FaultPlan.from_env(value) if value else None
+        return _active
+
+
+def reset() -> None:
+    """Forget the active plan *and* the env cache (test isolation)."""
+    global _active
+    with _active_lock:
+        _active = _UNSET
+
+
+def check(site: str, detail: str | None = None) -> FaultRule | None:
+    """The instrumentation point every fault site calls.
+
+    No active plan (the production case) costs one global read.  With a
+    plan installed, a matching ``error`` rule raises
+    :class:`InjectedFault`, a ``delay`` rule sleeps and returns None,
+    and ``torn`` / ``drop`` rules are returned for the site to
+    interpret (sites that cannot interpret them treat them as
+    ``error`` via :func:`directive_error`).
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    rule = plan.hit(site, detail)
+    if rule is None:
+        return None
+    if rule.delay_ms:
+        time.sleep(rule.delay_ms / 1000.0)
+    if rule.action == "error":
+        raise InjectedFault(site, rule)
+    if rule.action == "delay":
+        return None
+    return rule
+
+
+def directive_error(site: str, rule: FaultRule) -> InjectedFault:
+    """The exception for a site handed a directive it cannot interpret."""
+    return InjectedFault(site, rule)

@@ -69,6 +69,12 @@ def selftest(n_cars: int = 2000, n_clients: int = 8) -> int:
         try:
             with PreferenceClient(port=handle.port) as client:
                 client.ping()
+                health = client.health()
+                if health.get("status") != "ok":
+                    failures.append(
+                        f"client {worker_id}: unhealthy at start: "
+                        f"{health.get('reasons')}"
+                    )
                 for round_no in range(3):
                     rows = client.query(sql)
                     got = {tuple(sorted(r.items())) for r in rows}
@@ -117,6 +123,20 @@ def selftest(n_cars: int = 2000, n_clients: int = 8) -> int:
         print(f"qps={stats['qps']} "
               f"queries={stats['queries']} views={len(stats['views'])}")
         client.unsubscribe(sub["subscription"])
+        # Liveness after the workout: nothing tripped or got quarantined.
+        health = client.health()
+        if health.get("status") != "ok":
+            failures.append(
+                f"unhealthy after selftest: {health.get('reasons')}"
+            )
+        # Deadline shedding: an already-expired budget must come back as
+        # a structured code="deadline" error, not hang or succeed.
+        try:
+            client.query(sql, deadline_ms=0)
+            failures.append("deadline_ms=0 query was not shed")
+        except Exception as exc:  # noqa: BLE001 - checking the code
+            if getattr(exc, "code", None) != "deadline":
+                failures.append(f"expected code='deadline', got {exc!r}")
 
     handle.stop()
     service.close()
@@ -166,6 +186,16 @@ def main(argv: list[str] | None = None) -> int:
         "--tenant-max-subs", type=int, default=16,
         help="max live subscriptions per tenant",
     )
+    parser.add_argument(
+        "--max-pending", type=int, default=None,
+        help="admission watermark: CPU-bound requests in flight before "
+             "new ones are shed with code='overloaded'",
+    )
+    parser.add_argument(
+        "--write-buffer-cap", type=int, default=None,
+        help="per-connection write-buffer bytes before a non-draining "
+             "subscriber is disconnected (0 = unbounded)",
+    )
     args = parser.parse_args(argv)
     if args.selftest:
         return selftest(n_cars=max(args.cars, 100))
@@ -180,7 +210,14 @@ def main(argv: list[str] | None = None) -> int:
         max_subscriptions_per_tenant=args.tenant_max_subs,
         shared_view_capacity=args.shared_view_cap,
     )
-    server = PreferenceServer(service, host=args.host, port=args.port)
+    server_kwargs: dict = {}
+    if args.max_pending is not None:
+        server_kwargs["max_pending"] = args.max_pending
+    if args.write_buffer_cap is not None:
+        server_kwargs["write_buffer_cap"] = args.write_buffer_cap
+    server = PreferenceServer(
+        service, host=args.host, port=args.port, **server_kwargs
+    )
 
     async def serve() -> None:
         await server.start()

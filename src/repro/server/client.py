@@ -21,6 +21,12 @@ which queries compose the tenant's stored profile server-side;
 :meth:`profile_set` / :meth:`profile_get` / :meth:`profile_merge` /
 :meth:`profile_delete` manage the stored terms.
 
+**Deadlines**: pass ``deadline_ms`` on a query/mutation to bound how long
+the server may spend on it.  A request that cannot finish inside the
+budget is shed with a structured ``code="deadline"`` error (raised here
+as :class:`ClientError` with that code) instead of queueing behind slow
+work; ``code="overloaded"`` means the server refused admission outright.
+
 **Auto-reconnect** (``reconnect=True``): when the server restarts — e.g.
 after the crash/recovery cycle durable storage is built for — the client
 transparently redials with capped exponential backoff, replays its
@@ -243,6 +249,11 @@ class PreferenceClient:
     def ping(self) -> dict[str, Any]:
         return self._request("ping")
 
+    def health(self) -> dict[str, Any]:
+        """The server's liveness/readiness report: catalog versions,
+        storage and circuit-breaker state, queue depth, poisoned views."""
+        return self._request("health")["health"]
+
     def login(self, tenant: str) -> dict[str, Any]:
         """Bind ``tenant`` to this connection: later queries compose the
         tenant's profile server-side, and subscriptions count against the
@@ -257,10 +268,15 @@ class PreferenceClient:
         spec: Mapping[str, Any] | None = None,
         tenant: str | None = None,
         term: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list[dict[str, Any]]:
-        """Run a query (SQL text or spec dict); returns the result rows."""
+        """Run a query (SQL text or spec dict); returns the result rows.
+
+        ``deadline_ms`` bounds the server-side latency budget — a query
+        that cannot finish in time raises :class:`ClientError` with
+        ``code="deadline"`` instead of blocking."""
         return self.query_info(sql=sql, spec=spec, tenant=tenant,
-                               term=term)["rows"]
+                               term=term, deadline_ms=deadline_ms)["rows"]
 
     def query_info(
         self,
@@ -268,12 +284,13 @@ class PreferenceClient:
         spec: Mapping[str, Any] | None = None,
         tenant: str | None = None,
         term: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         """Like :meth:`query`, with the full final-chunk envelope —
         ``source`` ("view"/"plan"), ``elapsed_ns``, ``total``."""
         return self._request(
             "query", sql=sql, spec=dict(spec) if spec else None,
-            tenant=tenant, term=term,
+            tenant=tenant, term=term, deadline_ms=deadline_ms,
         )
 
     def explain(
@@ -289,10 +306,14 @@ class PreferenceClient:
         )["plan"]
 
     def insert(
-        self, relation: str, rows: Sequence[Mapping[str, Any]]
+        self,
+        relation: str,
+        rows: Sequence[Mapping[str, Any]],
+        deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         return self._request(
-            "insert", relation=relation, rows=[dict(r) for r in rows]
+            "insert", relation=relation, rows=[dict(r) for r in rows],
+            deadline_ms=deadline_ms,
         )
 
     def delete(
@@ -300,11 +321,12 @@ class PreferenceClient:
         relation: str,
         rows: Sequence[Mapping[str, Any]] | None = None,
         where: Any = None,
+        deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         return self._request(
             "delete", relation=relation,
             rows=[dict(r) for r in rows] if rows is not None else None,
-            where=where,
+            where=where, deadline_ms=deadline_ms,
         )
 
     def subscribe(

@@ -114,6 +114,14 @@ class ServiceMetrics:
         self.subscriptions = 0
         self.deltas_pushed = 0
         self.errors = 0
+        #: Honest load shedding, by reason: requests refused past the
+        #: admission watermark ("overloaded"), expired before/after
+        #: executor dispatch ("deadline"), and subscribers disconnected
+        #: for not draining their socket ("slow_subscriber").
+        self.shed: dict[str, int] = {}
+        #: Continuous views quarantined by a refresh failure.
+        self.views_poisoned = 0
+        self.views_healed = 0
         self.revisions = 0
         self.revisions_full = 0
         self.checkpoints = 0
@@ -183,6 +191,19 @@ class ServiceMetrics:
         with self._lock:
             self.errors += 1
 
+    def record_shed(self, reason: str) -> None:
+        """Count one shed request/connection under its reason."""
+        with self._lock:
+            self.shed[reason] = self.shed.get(reason, 0) + 1
+
+    def record_view_poisoned(self) -> None:
+        with self._lock:
+            self.views_poisoned += 1
+
+    def record_view_healed(self) -> None:
+        with self._lock:
+            self.views_healed += 1
+
     # -- reporting --------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -206,6 +227,9 @@ class ServiceMetrics:
                 "subscriptions": self.subscriptions,
                 "deltas_pushed": self.deltas_pushed,
                 "errors": self.errors,
+                "shed": dict(self.shed),
+                "views_poisoned": self.views_poisoned,
+                "views_healed": self.views_healed,
                 "revisions": {
                     "total": self.revisions,
                     "full_fallbacks": self.revisions_full,

@@ -11,6 +11,17 @@ Request (client -> server)::
 ``id`` is the client's correlation token, echoed on every response to the
 request.  Known ops: :data:`OPS`.
 
+Any request may carry ``deadline_ms`` — the client's latency budget in
+milliseconds, measured from when the server parses the request.  A
+request that cannot finish inside its budget is shed with a structured
+``code="deadline"`` error (checked before *and* after the CPU work, so
+an answer that arrived too late to matter is never sent).  Requests
+past the server's admission watermark are refused with
+``code="overloaded"`` instead of queueing unboundedly.
+
+``health`` is the liveness/readiness op: catalog versions, storage and
+circuit-breaker state, queue depth — cheap enough to poll.
+
 Multi-tenant requests carry a ``tenant`` field; ``login`` binds a default
 tenant to the connection so later requests may omit it.  ``profile``
 manages the tenant's stored preference terms (``action``:
@@ -53,6 +64,7 @@ DEFAULT_CHUNK_ROWS = 500
 #: Every request operation the server routes.
 OPS = (
     "ping",
+    "health",
     "login",
     "query",
     "explain",
@@ -173,9 +185,15 @@ def delta_message(
     version: int,
     enter: Iterable[dict[str, Any]],
     exit: Iterable[dict[str, Any]],
+    error: str | None = None,
 ) -> dict[str, Any]:
-    """A push notification for one continuous-view delta."""
-    return {
+    """A push notification for one continuous-view delta.
+
+    ``error`` marks a broken stream: the view behind this subscription
+    was quarantined by a failed refresh, so no further deltas will
+    arrive until the client re-subscribes (which heals the view).
+    """
+    message = {
         "kind": "delta",
         "subscription": subscription,
         "relation": relation,
@@ -183,3 +201,6 @@ def delta_message(
         "enter": [dict(r) for r in enter],
         "exit": [dict(r) for r in exit],
     }
+    if error is not None:
+        message["error"] = error
+    return message

@@ -22,21 +22,51 @@ examples use.
 from __future__ import annotations
 
 import asyncio
-import functools
+import contextvars
 import itertools
 import threading
 from dataclasses import dataclass
 from typing import Any
 
+from repro.faults import plan as faults
 from repro.query.incremental import BMODelta
 from repro.server import protocol
 from repro.server.service import PreferenceService, ServiceError
-from repro.server.views import ContinuousView
+from repro.server.views import ContinuousView, ViewError
 from repro.session import MutationEvent
+from repro.storage.backend import StorageError
 from repro.tenancy.profiles import TenancyError, valid_tenant
 
 #: The ``server`` field of the hello/ping payload.
 SERVER_NAME = "repro-preference-server"
+
+#: Ops dispatched to the worker pool — the ones admission control and
+#: deadlines govern.  The rest are O(1) event-loop answers that shedding
+#: could only make slower.
+CPU_OPS = frozenset({
+    "query", "explain", "insert", "delete", "subscribe", "revise",
+    "profile", "checkpoint", "metrics",
+})
+
+#: Default admission watermark: executor dispatches in flight beyond
+#: this are refused with ``code="overloaded"``.
+DEFAULT_MAX_PENDING = 64
+
+#: Default per-connection write-buffer cap (bytes).  A subscriber that
+#: stops reading accumulates unsent deltas in its transport buffer; past
+#: the cap it is disconnected instead of eating the heap.
+DEFAULT_WRITE_BUFFER_CAP = 4 * 1024 * 1024
+
+
+class DeadlineExceeded(Exception):
+    """A request's ``deadline_ms`` budget ran out server-side."""
+
+
+#: The active request's absolute deadline (event-loop clock), carried
+#: across awaits within the connection's task.
+_DEADLINE: contextvars.ContextVar[float | None] = contextvars.ContextVar(
+    "repro_request_deadline", default=None
+)
 
 
 @dataclass
@@ -72,10 +102,56 @@ class _Connection:
         data = protocol.encode_message(message)
         async with self._write_lock:
             try:
+                rule = faults.check("conn.write",
+                                    str(message.get("kind", "")))
+                if rule is not None and rule.action == "drop":
+                    self.abort()
+                    return
                 self.writer.write(data)
                 await self.writer.drain()
             except (ConnectionError, RuntimeError):
                 self.closed = True
+
+    def send_nowait(self, message: dict[str, Any]) -> None:
+        """Fire-and-forget write for push traffic (delta fan-out).
+
+        No ``drain()``: one subscriber that stopped reading must not
+        stall the loop or queue unbounded coroutines.  Backpressure is
+        the write-buffer cap instead — a consumer whose transport
+        buffer exceeds it is disconnected (and counted as shed).
+        """
+        if self.closed:
+            return
+        data = protocol.encode_message(message)
+        try:
+            rule = faults.check("conn.write", str(message.get("kind", "")))
+            if rule is not None and rule.action == "drop":
+                self.abort()
+                return
+            self.writer.write(data)
+        except (ConnectionError, RuntimeError):
+            self.closed = True
+            return
+        cap = self.server.write_buffer_cap
+        transport = self.writer.transport
+        if cap and transport is not None:
+            try:
+                buffered = transport.get_write_buffer_size()
+            except (AttributeError, RuntimeError):
+                return
+            if buffered > cap:
+                self.server.service.metrics.record_shed("slow_subscriber")
+                self.abort()
+
+    def abort(self) -> None:
+        """Hard-close: drop buffered output and reset the transport."""
+        self.closed = True
+        transport = self.writer.transport
+        try:
+            if transport is not None:
+                transport.abort()
+        except (ConnectionError, RuntimeError):
+            pass
 
     async def close(self) -> None:
         if self.closed:
@@ -125,11 +201,17 @@ class PreferenceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         chunk_rows: int = protocol.DEFAULT_CHUNK_ROWS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        write_buffer_cap: int = DEFAULT_WRITE_BUFFER_CAP,
     ):
         self.service = service
         self.host = host
         self.port = port
         self.chunk_rows = chunk_rows
+        self.max_pending = max_pending
+        self.write_buffer_cap = write_buffer_cap
+        #: Executor dispatches in flight (event-loop thread only).
+        self._pending = 0
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._connections: set[_Connection] = set()
@@ -207,7 +289,10 @@ class PreferenceServer:
     # -- delta fan-out ----------------------------------------------------------
 
     def _on_delta(
-        self, view: ContinuousView, delta: BMODelta, event: MutationEvent
+        self,
+        view: ContinuousView,
+        delta: BMODelta | ViewError,
+        event: MutationEvent,
     ) -> None:
         # Listeners fire on executor threads (mutations run there); hop
         # onto the event loop to touch connections.
@@ -217,41 +302,120 @@ class PreferenceServer:
         loop.call_soon_threadsafe(self._dispatch_delta, view, delta, event)
 
     def _dispatch_delta(
-        self, view: ContinuousView, delta: BMODelta, event: MutationEvent
+        self,
+        view: ContinuousView,
+        delta: BMODelta | ViewError,
+        event: MutationEvent,
     ) -> None:
         for sub in list(self._subscriptions.values()):
             if sub.view_key != view.spec.key:
                 continue
-            message = protocol.delta_message(
-                sub.id, event.relation, event.version,
-                delta.entered, delta.exited,
-            )
+            if sub.connection.closed:
+                continue
+            if isinstance(delta, ViewError):
+                # The view was quarantined mid-stream: subscribers get
+                # one explicit error delta (re-subscribing heals the
+                # view and resumes the stream).
+                message = protocol.delta_message(
+                    sub.id, event.relation, event.version, (), (),
+                    error=delta.reason,
+                )
+            else:
+                message = protocol.delta_message(
+                    sub.id, event.relation, event.version,
+                    delta.entered, delta.exited,
+                )
             self.service.metrics.record_delta_push()
-            asyncio.ensure_future(sub.connection.send(message))
+            # Non-draining push: a subscriber that stopped reading hits
+            # the write-buffer cap and is dropped, instead of this loop
+            # accumulating blocked send() coroutines on its behalf.
+            sub.connection.send_nowait(message)
 
     # -- request routing --------------------------------------------------------
 
     async def _run(self, fn, /, *args: Any, **kwargs: Any) -> Any:
-        """Run a service call on the worker pool, off the event loop."""
+        """Run a service call on the worker pool, off the event loop.
+
+        Enforces the request deadline on both sides of the dispatch: an
+        already-expired request never reaches the pool, and a result
+        that took longer than its budget is shed instead of sent.
+        """
         assert self._loop is not None
-        return await self._loop.run_in_executor(
-            self.service.executor, functools.partial(fn, *args, **kwargs)
-        )
+        loop = self._loop
+        deadline = _DEADLINE.get()
+        if deadline is not None and loop.time() >= deadline:
+            raise DeadlineExceeded(
+                "deadline expired before execution"
+            )
+        name = getattr(fn, "__name__", str(fn))
+
+        def task() -> Any:
+            faults.check("executor.task", name)
+            return fn(*args, **kwargs)
+
+        self._pending += 1
+        try:
+            result = await loop.run_in_executor(
+                self.service.executor, task
+            )
+        finally:
+            self._pending -= 1
+        if deadline is not None and loop.time() >= deadline:
+            raise DeadlineExceeded("deadline expired during execution")
+        return result
 
     async def handle_request(
         self, connection: _Connection, request: protocol.Request
     ) -> None:
+        assert self._loop is not None
+        deadline: float | None = None
+        deadline_ms = request.params.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                deadline = self._loop.time() + float(deadline_ms) / 1000.0
+            except (TypeError, ValueError):
+                await connection.send(protocol.error_response(
+                    request.id,
+                    f"deadline_ms must be a number, got {deadline_ms!r}",
+                ))
+                return
+        if request.op in CPU_OPS and self._pending >= self.max_pending:
+            # Honest rejection beats an unbounded queue: the client can
+            # back off or retry elsewhere; a queued request would only
+            # time out later having wasted a worker.
+            self.service.metrics.record_shed("overloaded")
+            await connection.send(protocol.error_response(
+                request.id,
+                f"server overloaded: {self._pending} requests in flight "
+                f"(admission watermark {self.max_pending})",
+                code="overloaded",
+            ))
+            return
+        token = _DEADLINE.set(deadline)
         try:
             await self._route(connection, request)
+        except DeadlineExceeded as exc:
+            self.service.metrics.record_shed("deadline")
+            await connection.send(protocol.error_response(
+                request.id, str(exc), code="deadline"
+            ))
         except (ServiceError, TenancyError, protocol.ProtocolError) as exc:
             await connection.send(
                 protocol.error_response(request.id, str(exc))
             )
+        except StorageError as exc:
+            # Degraded durability/mirror (e.g. checkpoint refused while
+            # the breaker is open): structured, not "internal".
+            await connection.send(protocol.error_response(
+                request.id, str(exc), code="storage"
+            ))
         except Exception as exc:  # internal fault: report, keep serving
             self.service.metrics.record_error()
             await connection.send(protocol.error_response(
                 request.id, f"internal error: {exc}", code="internal"
             ))
+        finally:
+            _DEADLINE.reset(token)
 
     async def _route(
         self, connection: _Connection, request: protocol.Request
@@ -261,6 +425,10 @@ class PreferenceServer:
             await connection.send(protocol.ok_response(
                 rid, pong=True, server=SERVER_NAME,
                 protocol=protocol.PROTOCOL_VERSION,
+            ))
+        elif op == "health":
+            await connection.send(protocol.ok_response(
+                rid, health=self.health()
             ))
         elif op == "login":
             tenant = valid_tenant(params.get("tenant"))
@@ -374,6 +542,62 @@ class PreferenceServer:
             await connection.close()
         else:  # unreachable: parse_request validated op
             raise protocol.ProtocolError(f"unroutable op {op!r}")
+
+    def health(self) -> dict[str, Any]:
+        """Cheap liveness/readiness snapshot (no executor hop).
+
+        ``status`` is ``"ok"`` unless something is actively degraded —
+        a tripped storage breaker or poisoned continuous views — in
+        which case ``reasons`` says what, so a probe can alert with the
+        cause instead of a boolean.
+        """
+        service = self.service
+        catalog = service.session.catalog
+        reasons: list[str] = []
+        storage: dict[str, Any] = {"backend": None, "durable": False,
+                                   "breaker": None}
+        binding = getattr(service.session, "storage", None)
+        if binding is not None:
+            backend_stats = binding.backend.stats()
+            breaker = backend_stats["breaker"]
+            storage = {
+                "backend": binding.backend.name,
+                "durable": binding.durable,
+                "breaker": breaker["state"],
+                "dirty_relations": len(backend_stats["dirty"]),
+                "blacklisted": len(backend_stats.get("blacklisted") or {}),
+            }
+            if breaker["state"] != "closed":
+                failure = breaker.get("last_failure") or {}
+                reasons.append(
+                    f"storage breaker {breaker['state']} "
+                    f"({failure.get('site', '?')}: "
+                    f"{failure.get('error', '?')})"
+                )
+        poisoned = service.views.poisoned()
+        if poisoned:
+            reasons.append(f"{len(poisoned)} poisoned view(s)")
+        return {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "server": SERVER_NAME,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "catalog": {
+                "relations": len(catalog),
+                "versions": catalog.versions(),
+            },
+            "storage": storage,
+            "queue": {
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+            },
+            "connections": len(self._connections),
+            "subscriptions": len(self._subscriptions),
+            "views": {
+                "live": len(service.views.stats()),
+                "poisoned": len(poisoned),
+            },
+        }
 
     def _tenant_of(
         self, connection: _Connection, params: dict[str, Any]
@@ -545,6 +769,7 @@ def run_in_thread(
     host: str = "127.0.0.1",
     port: int = 0,
     start_timeout: float = 10.0,
+    **server_kwargs: Any,
 ) -> ServerHandle:
     """Boot a :class:`PreferenceServer` on a daemon thread.
 
@@ -555,8 +780,11 @@ def run_in_thread(
         client = PreferenceClient(port=handle.port)
         ...
         handle.stop()
+
+    Extra keyword arguments (``max_pending``, ``write_buffer_cap``,
+    ``chunk_rows``) pass through to :class:`PreferenceServer`.
     """
-    server = PreferenceServer(service, host, port)
+    server = PreferenceServer(service, host, port, **server_kwargs)
     started = threading.Event()
     failure: list[BaseException] = []
     holder: dict[str, Any] = {}

@@ -48,7 +48,12 @@ from repro.query.api import PreferenceQuery
 from repro.query.incremental import BMODelta
 from repro.relations.catalog import Catalog
 from repro.server.metrics import ServiceMetrics
-from repro.server.views import ContinuousView, ViewRegistry, ViewSpec
+from repro.server.views import (
+    ContinuousView,
+    ViewError,
+    ViewRegistry,
+    ViewSpec,
+)
 from repro.session import MutationEvent, Session
 
 #: Spec/wire comparison operators accepted by ``where`` triples.
@@ -68,8 +73,12 @@ class ServiceError(ValueError):
 
 
 #: A delta listener: called with (view, delta, mutation event) after every
-#: mutation that visibly changed a continuous view.
-DeltaListener = Callable[[ContinuousView, BMODelta, MutationEvent], None]
+#: mutation that visibly changed a continuous view — or with a
+#: :class:`~repro.server.views.ViewError` when the refresh poisoned the
+#: view (subscribers are told the stream broke instead of going silent).
+DeltaListener = Callable[
+    [ContinuousView, "BMODelta | ViewError", MutationEvent], None
+]
 
 
 @dataclass(frozen=True)
@@ -402,7 +411,13 @@ class PreferenceService:
         return payload.lower()
 
     def _is_current(self, view: ContinuousView) -> bool:
-        return view.version == self.session.catalog.version(view.spec.relation)
+        # A poisoned view is never current — queries fall back to exact
+        # planning until an explicit materialize/subscribe heals it.
+        return (
+            view.poisoned is None
+            and view.version
+            == self.session.catalog.version(view.spec.relation)
+        )
 
     def _view_spec_of(
         self, q: PreferenceQuery, relation: str
@@ -505,21 +520,32 @@ class PreferenceService:
         # Seeding is a full winnow over the snapshot, so it runs *outside*
         # the mutation lock (mutations never stall on a 50k-row seed);
         # adoption re-checks the version and reseeds if the catalog moved.
+        # A poisoned view under the same key is *replaced* by the fresh
+        # seed — this is the heal path: subscriptions are keyed on the
+        # spec, so subscribers resume without re-subscribing.
+        current = self.views.get(spec)
+        healing = current is not None and current.poisoned is not None
         for _ in range(3):
             with self._mutation_lock:
                 existing = self.views.get(spec)
-                if existing is not None:
+                if existing is not None and existing.poisoned is None:
                     return existing
                 rel, version = self._snapshot(spec.relation)
             view = ContinuousView(spec)
             view.seed(rel.rows(), version)
             with self._mutation_lock:
                 if self.session.catalog.version(spec.relation) == version:
-                    return self.views.adopt(view)
+                    adopted = self.views.adopt(view)
+                    if healing and adopted.poisoned is None:
+                        self.metrics.record_view_healed()
+                    return adopted
         # Constant churn fallback: seed under the lock, guaranteed current.
         with self._mutation_lock:
             rel, version = self._snapshot(spec.relation)
-            return self.views.register(spec, rel.rows(), version)
+            registered = self.views.register(spec, rel.rows(), version)
+            if healing and registered.poisoned is None:
+                self.metrics.record_view_healed()
+            return registered
 
     def revise(
         self,
@@ -552,6 +578,12 @@ class PreferenceService:
                 raise ServiceError(
                     f"no continuous view for {spec.describe()}; "
                     "materialize or subscribe first"
+                )
+            if view.poisoned is not None:
+                raise ServiceError(
+                    f"view {spec.describe()} is quarantined "
+                    f"({view.poisoned}); materialize or subscribe again "
+                    "to heal it before revising"
                 )
             constraints = self._constraints_for(spec.relation, old_pref)
             old_key = view.spec.key
@@ -738,6 +770,13 @@ class PreferenceService:
         with self._mutation_lock:
             refreshed = self.views.refresh_all(event)
         for view, delta in refreshed:
+            if isinstance(delta, ViewError):
+                # The refresh poisoned this view; tell its subscribers
+                # the stream broke instead of going silent.
+                self.metrics.record_view_poisoned()
+                for listener in list(self._delta_listeners):
+                    listener(view, delta, event)
+                continue
             self.metrics.record_view_refresh(view.refresh_last_ns)
             if delta:
                 for listener in list(self._delta_listeners):
@@ -774,5 +813,6 @@ class PreferenceService:
                 "durable": binding.durable,
                 "undurable_relations": sorted(binding.undurable),
                 "recovery": self.recovery,
+                **binding.backend.stats(),
             }
         return snapshot

@@ -24,9 +24,19 @@ from typing import Any, Iterable, Sequence
 from repro.core.base_numerical import ScorePreference
 from repro.core.constructors import RankPreference
 from repro.core.preference import Preference, Row
+from repro.faults import plan as faults
 from repro.query.incremental import BMODelta, IncrementalBMO
 from repro.query.revision import Revision, classify_revision
 from repro.session import MutationEvent
+
+
+@dataclass(frozen=True)
+class ViewError:
+    """Pushed in place of a :class:`BMODelta` when a refresh poisoned
+    its view: subscribers learn the stream broke (and why) instead of
+    silently missing deltas until they next reconcile."""
+
+    reason: str
 
 
 def _score_identities(pref: Preference) -> tuple[int, ...]:
@@ -116,6 +126,10 @@ class ContinuousView:
         self.revision_total_ns = 0
         self.revision_last_ns = 0
         self.last_revision: Revision | None = None
+        #: Why this view was quarantined (a refresh threw), or None.
+        #: A poisoned view never answers queries and never refreshes
+        #: again; it heals by being reseeded under the same spec key.
+        self.poisoned: str | None = None
 
     def seed(self, rows: Iterable[Row], version: int) -> None:
         """Load the view from a relation snapshot at ``version``."""
@@ -124,9 +138,16 @@ class ContinuousView:
             self.version = version
 
     def refresh(self, event: MutationEvent) -> BMODelta:
-        """Apply one mutation batch; returns the net enter/exit delta."""
+        """Apply one mutation batch; returns the net enter/exit delta.
+
+        A refresh that throws (maintainer bug, bad row, injected fault)
+        leaves the maintained window half-applied — the caller must
+        :meth:`poison` this view; see :meth:`ViewRegistry.refresh_all`
+        for the isolation contract.
+        """
         start = time.perf_counter_ns()
         with self._lock:
+            faults.check("view.refresh", self.spec.relation)
             delta = self._live.apply(
                 inserted=event.inserted, deleted=event.deleted
             )
@@ -136,6 +157,11 @@ class ContinuousView:
             self.refresh_total_ns += elapsed
             self.refresh_last_ns = elapsed
         return delta
+
+    def poison(self, reason: str) -> None:
+        """Quarantine the view: its window can no longer be trusted."""
+        with self._lock:
+            self.poisoned = reason
 
     def revise(
         self, new_pref: Preference, constraints: Any = None
@@ -206,6 +232,7 @@ class ContinuousView:
                 "revisions": self.revisions,
                 "revision_total_ns": self.revision_total_ns,
                 "revision_last_ns": self.revision_last_ns,
+                "poisoned": self.poisoned,
                 "last_revision": (
                     None
                     if self.last_revision is None
@@ -240,21 +267,27 @@ class ViewRegistry:
         ``spec``, seeded from ``rows`` at catalog ``version``."""
         with self._lock:
             view = self._views.get(spec.key)
-            if view is not None:
+            if view is not None and view.poisoned is None:
                 return view
         # Seeding is O(snapshot x window) — do it outside the registry
         # lock; a concurrent same-spec register seeds twice and the
         # setdefault race picks one winner (both are correct).
         fresh = ContinuousView(spec)
         fresh.seed(rows, version)
-        with self._lock:
-            return self._views.setdefault(spec.key, fresh)
+        return self.adopt(fresh)
 
     def adopt(self, view: ContinuousView) -> ContinuousView:
         """Register an externally seeded view; returns the registered one
-        (the already-present view wins a registration race)."""
+        (the already-present view wins a registration race — unless it
+        is poisoned, in which case the fresh view *replaces* it under
+        the same key, which is how a poisoned view heals without its
+        subscribers re-subscribing)."""
         with self._lock:
-            return self._views.setdefault(view.spec.key, view)
+            current = self._views.get(view.spec.key)
+            if current is not None and current.poisoned is None:
+                return current
+            self._views[view.spec.key] = view
+            return view
 
     def revise(
         self,
@@ -291,13 +324,33 @@ class ViewRegistry:
 
     def refresh_all(
         self, event: MutationEvent
-    ) -> list[tuple[ContinuousView, BMODelta]]:
+    ) -> list[tuple[ContinuousView, BMODelta | ViewError]]:
         """Refresh every view of the mutated relation; returns per-view
-        deltas (empty deltas included, so callers see refresh latencies)."""
-        return [
-            (view, view.refresh(event))
-            for view in self.views_of(event.relation)
-        ]
+        deltas (empty deltas included, so callers see refresh latencies).
+
+        Failure isolation: a refresh that throws poisons *that view
+        only* — it yields a :class:`ViewError` (so subscribers can be
+        told), every other view still refreshes, and the mutation that
+        triggered the sweep is never failed retroactively (the catalog
+        already applied it).  Poisoned views are skipped outright.
+        """
+        out: list[tuple[ContinuousView, BMODelta | ViewError]] = []
+        for view in self.views_of(event.relation):
+            if view.poisoned is not None:
+                continue
+            try:
+                out.append((view, view.refresh(event)))
+            except Exception as exc:  # noqa: BLE001 - quarantine + report
+                reason = f"{type(exc).__name__}: {exc}"
+                view.poison(reason)
+                out.append((view, ViewError(reason)))
+        return out
+
+    def poisoned(self) -> list[str]:
+        """Descriptions of every currently quarantined view."""
+        with self._lock:
+            views = list(self._views.values())
+        return [v.spec.describe() for v in views if v.poisoned is not None]
 
     def stats(self) -> list[dict[str, Any]]:
         with self._lock:

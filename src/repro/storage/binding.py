@@ -33,9 +33,11 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.faults import plan as faults
 from repro.relations.catalog import Catalog, CatalogEvent
 from repro.relations.relation import Relation
 from repro.storage.backend import StorageBackend, StorageError
+from repro.storage.breaker import GuardedBackend
 from repro.storage.snapshot import (
     decode_row,
     encode_row,
@@ -65,7 +67,14 @@ class CatalogStorage:
         sync: bool = True,
     ):
         self.catalog = catalog
+        # Every backend sits behind the circuit breaker guard: engine
+        # failures degrade to the exact in-memory path (pushdown off,
+        # mirror marked dirty) instead of propagating or silently
+        # blacklisting — see repro.storage.breaker.
+        if not isinstance(backend, GuardedBackend):
+            backend = GuardedBackend(backend)
         self.backend = backend
+        self.backend.reseal_hook = self._resync_relations
         self.directory = Path(directory) if directory else None
         self._lock = threading.RLock()
         #: Serialized continuous-view specs, keyed on their JSON form.
@@ -92,6 +101,12 @@ class CatalogStorage:
             if self.wal is not None and name not in restored:
                 self._log_register(name, relation, version)
             self.backend.sync(relation, version)
+        if self.recovery is not None:
+            # Relations whose recovered mirror was refused get their
+            # reasons into the recovery report, not just /metrics.
+            blacklisted = self.backend.stats().get("blacklisted") or {}
+            if blacklisted:
+                self.recovery["blacklisted"] = blacklisted
         catalog.attach(self)
 
     # -- recovery --------------------------------------------------------
@@ -205,6 +220,17 @@ class CatalogStorage:
             elif event.op == "drop":
                 self.backend.drop(event.name)
 
+    def _resync_relations(self, names: set[str]) -> None:
+        """Mutation replay after a breaker reseal: re-mirror each dirty
+        relation from the catalog (the source of truth the mirror
+        diverged from while the engine was down)."""
+        for name in sorted(names):
+            if name in self.catalog:
+                self.backend.sync(self.catalog.get(name),
+                                  self.catalog.version(name))
+            else:
+                self.backend.drop(name)
+
     def _log_register(self, name: str, relation: Relation,
                       version: int) -> None:
         assert self.wal is not None
@@ -305,11 +331,25 @@ class CatalogStorage:
         before the log truncation just replays records the snapshot
         already covers — which the ``seq <= base_seq`` filter skips.
         """
+        faults.check("storage.checkpoint")
         with self._lock:
             if self.wal is None or self.snapshot_path is None:
                 raise StorageError(
                     "checkpoint requires a durable directory "
                     "(Session(data_dir=...))"
+                )
+            # A checkpoint truncates the WAL; doing that while the
+            # storage engine is degraded would quietly shrink the very
+            # history an operator may be counting on.  Fail loudly and
+            # let them retry once the breaker reseals.
+            breaker = self.backend.breaker
+            if breaker.state != "closed":
+                failure = breaker.last_failure or {}
+                raise StorageError(
+                    f"checkpoint refused: storage breaker "
+                    f"{breaker.state} "
+                    f"(last failure: {failure.get('site', '?')} "
+                    f"{failure.get('error', '?')})"
                 )
             relations = []
             for name in self.catalog:

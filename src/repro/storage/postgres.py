@@ -44,6 +44,10 @@ class PostgresBackend(SQLBackend):
                 "postgres backend requires psycopg2 (pip install "
                 "psycopg2-binary) — not available in this environment"
             ) from exc
+        # Connection-level trouble goes to the circuit breaker, not the
+        # per-relation blacklist (set here because the driver is lazy).
+        self.OPERATIONAL_ERRORS = (psycopg2.OperationalError,
+                                   psycopg2.InterfaceError)
         self.schema = f"repro_{uuid.uuid4().hex[:10]}"
         self._conn = psycopg2.connect(dsn)
         cursor = self._conn.cursor()

@@ -13,7 +13,15 @@ in-memory scan + Python conjuncts would:
   NULL), integers beyond 64 bits, whole schemas with undeclared or
   non-scalar column types — *blacklists* the relation's mirror instead
   of storing an approximation.  A blacklisted relation simply loses
-  pushdown; correctness never depends on the mirror.
+  pushdown; correctness never depends on the mirror.  Every blacklist
+  records its reason (site + exception class) in ``blacklist_reasons``
+  so ``/metrics`` can say *why* pushdown is gone.
+
+**Fidelity vs. outage**: blacklisting is for data the engine cannot
+represent — a per-relation, permanent-until-resync verdict.  Engine
+*operational* failures (connection lost, disk error) say nothing about
+the data, so they re-raise past the blacklist (after rollback) for the
+storage circuit breaker (:mod:`repro.storage.breaker`) to count.
 
 Mirrored columns are indexed eagerly: pushed prefilters are rigid
 equality/range conjuncts, exactly what a B-tree serves, and mirror
@@ -57,11 +65,17 @@ class SQLBackend(StorageBackend):
     dialect: Dialect
     #: Engine column type per mirror kind ("bool"/"int"/"float"/"str").
     type_sql: Mapping[str, str]
+    #: Engine exceptions that mean *the engine is unhealthy* rather than
+    #: *this data is unrepresentable*: re-raised for the circuit breaker
+    #: instead of blacklisting the relation.  Subclasses override.
+    OPERATIONAL_ERRORS: tuple[type[BaseException], ...] = ()
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
         #: lowercase relation name -> mirror, or ``None`` = blacklisted.
         self._mirrors: dict[str, _Mirror | None] = {}
+        #: lowercase relation name -> why its mirror was blacklisted.
+        self.blacklisted: dict[str, str] = {}
 
     # -- engine hooks ----------------------------------------------------
     def _execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
@@ -103,13 +117,34 @@ class SQLBackend(StorageBackend):
             kinds.append(kind)
         return tuple(kinds)
 
-    def _blacklist(self, key: str) -> None:
+    def _blacklist(self, key: str, reason: str | None = None) -> None:
         try:
             self._execute(f"DROP TABLE IF EXISTS {quote_ident(key)}")
             self._commit()
         except Exception:
             self._rollback()
         self._mirrors[key] = None
+        if reason is None:
+            self.blacklisted.pop(key, None)
+        else:
+            self.blacklisted[key] = reason
+
+    def _degrade(self, key: str, site: str, exc: BaseException) -> None:
+        """Rollback, then classify: operational → re-raise (breaker's
+        problem), anything else → blacklist with a recorded reason."""
+        self._rollback()
+        if isinstance(exc, self.OPERATIONAL_ERRORS):
+            raise exc
+        self._blacklist(key, f"{site}: {type(exc).__name__}: {exc}")
+
+    def blacklist_reasons(self) -> dict[str, str]:
+        """Why each blacklisted relation lost its mirror (for /metrics)."""
+        with self._lock:
+            return dict(self.blacklisted)
+
+    def probe(self) -> None:
+        """Cheap engine liveness check (the breaker's half-open probe)."""
+        self._execute("SELECT 1").fetchone()
 
     # -- mirror maintenance ----------------------------------------------
     def sync(self, relation: Relation, version: int) -> None:
@@ -117,7 +152,11 @@ class SQLBackend(StorageBackend):
         kinds = self._column_kinds(relation.schema)
         with self._lock:
             if kinds is None:
-                self._blacklist(key)
+                self._blacklist(
+                    key,
+                    "sync: schema not mirrorable (undeclared, non-scalar, "
+                    f"or reserved {RID!r} column)",
+                )
                 return
             columns = tuple(relation.schema.names)
             table = quote_ident(key)
@@ -147,9 +186,9 @@ class SQLBackend(StorageBackend):
                 self._commit()
                 self._mirrors[key] = _Mirror(columns, kinds, version,
                                              next_rid=len(rows))
-            except Exception:
-                self._rollback()
-                self._blacklist(key)
+                self.blacklisted.pop(key, None)
+            except Exception as exc:
+                self._degrade(key, "sync", exc)
 
     def _insert_sql(self, table: str, columns: tuple[str, ...]) -> str:
         names = ", ".join([quote_ident(RID), *map(quote_ident, columns)])
@@ -175,9 +214,8 @@ class SQLBackend(StorageBackend):
                 self._commit()
                 mirror.next_rid += len(rows)
                 mirror.version = version
-            except Exception:
-                self._rollback()
-                self._blacklist(key)
+            except Exception as exc:
+                self._degrade(key, "insert", exc)
 
     def delete(self, name: str, rows: Sequence[Mapping[str, Any]],
                version: int) -> None:
@@ -207,15 +245,15 @@ class SQLBackend(StorageBackend):
                         )
                 self._commit()
                 mirror.version = version
-            except Exception:
-                self._rollback()
-                self._blacklist(key)
+            except Exception as exc:
+                self._degrade(key, "delete", exc)
 
     def drop(self, name: str) -> None:
         key = name.lower()
         with self._lock:
             self._blacklist(key)
             self._mirrors.pop(key, None)
+            self.blacklisted.pop(key, None)
 
     # -- planner surface -------------------------------------------------
     def table_version(self, name: str) -> int | None:
@@ -244,7 +282,9 @@ class SQLBackend(StorageBackend):
             try:
                 sql, params = self.render_prefilter(name, conjuncts)
                 records = self._execute(sql, params).fetchall()
-            except Exception:
+            except Exception as exc:
+                if isinstance(exc, self.OPERATIONAL_ERRORS):
+                    raise
                 return None
             return [
                 {c: self._decode(k, v)
@@ -273,5 +313,7 @@ class SQLBackend(StorageBackend):
                 params = tuple(values)
             try:
                 return int(self._execute(sql, params).fetchone()[0])
-            except Exception:
+            except Exception as exc:
+                if isinstance(exc, self.OPERATIONAL_ERRORS):
+                    raise
                 return None

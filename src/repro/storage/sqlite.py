@@ -29,6 +29,9 @@ class SQLiteBackend(SQLBackend):
     dialect = SQLITE
     type_sql = {"bool": "INTEGER", "int": "INTEGER",
                 "float": "NUMERIC", "str": "TEXT"}
+    # Engine-down conditions (locked database, disk I/O errors) reach
+    # the circuit breaker; data-shape errors keep blacklisting.
+    OPERATIONAL_ERRORS = (sqlite3.OperationalError,)
 
     def __init__(self, path: str = ":memory:") -> None:
         super().__init__()

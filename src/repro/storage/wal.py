@@ -17,6 +17,13 @@ On open the log is scanned and healed:
 ``reset()`` (after a snapshot makes the prefix redundant) truncates the
 file but keeps the sequence counter, so snapshot coverage ("everything
 ``<= seq``") stays monotone across checkpoints.
+
+**Fsync policy**: every append flushes; whether it also ``fsync``\\ s is
+the ``REPRO_WAL_FSYNC`` environment variable (default **on** — an
+acknowledged mutation survives power loss, not just process death).
+``REPRO_WAL_FSYNC=0`` trades that for throughput in tests and ephemeral
+runs; the constructor's ``sync=False`` (in-memory-backed sessions)
+always wins over the environment.
 """
 
 from __future__ import annotations
@@ -28,7 +35,21 @@ import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.faults import plan as faults
 from repro.storage.backend import StorageError
+
+#: Environment switch for fsync-per-append (default on).
+WAL_FSYNC_ENV = "REPRO_WAL_FSYNC"
+
+_OFF = ("0", "off", "false", "no")
+
+
+def fsync_enabled(default: bool = True) -> bool:
+    """The effective fsync policy: ``REPRO_WAL_FSYNC``, else ``default``."""
+    value = os.environ.get(WAL_FSYNC_ENV)
+    if value is None:
+        return default
+    return value.strip().lower() not in _OFF
 
 
 class WALError(StorageError):
@@ -55,7 +76,9 @@ class WriteAheadLog:
 
     def __init__(self, path: str | os.PathLike[str], sync: bool = True):
         self.path = Path(path)
-        self.sync = sync
+        # sync=False (caller opted out of durability) is never upgraded
+        # by the environment; sync=True honors REPRO_WAL_FSYNC.
+        self.sync = sync and fsync_enabled()
         self._lock = threading.RLock()
         self.last_seq = 0
         #: Whether open() had to drop a torn final record.
@@ -103,8 +126,21 @@ class WriteAheadLog:
         """Durably append one record; returns its sequence number."""
         payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
         with self._lock:
+            rule = faults.check("wal.append", record.get("op"))
             seq = self.last_seq + 1
             frame = b"%d\t%d\t%s\n" % (seq, zlib.crc32(payload), payload)
+            if rule is not None:
+                if rule.action != "torn":
+                    raise faults.directive_error("wal.append", rule)
+                # A crash mid-append: part of the frame reaches the
+                # disk, the process "dies" (raises) before the rest.
+                cut = max(1, min(len(frame) - 1,
+                                 int(len(frame) * rule.fraction)))
+                self._fh.write(frame[:cut])
+                self._fh.flush()
+                if self.sync:
+                    os.fsync(self._fh.fileno())
+                raise faults.directive_error("wal.append", rule)
             self._fh.write(frame)
             self._fh.flush()
             if self.sync:

@@ -1,0 +1,13 @@
+"""Fault-test isolation: no plan (or env cache) leaks across tests."""
+
+import pytest
+
+from repro.faults import plan as faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()

@@ -1,0 +1,196 @@
+"""The storage circuit breaker: trip, degrade exactly, reseal, replay.
+
+Everything here drives a *real* session through injected storage
+failures and checks the robustness contract from the outside: the
+catalog stays the source of truth (query answers never change), the
+breaker's degradation is visible in stats, and resealing re-mirrors the
+relations the outage dirtied.
+"""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.psql.ast import Comparison
+from repro.session import Session
+from repro.storage.backend import StorageError
+from repro.storage.breaker import CircuitBreaker, GuardedBackend
+from repro.storage.sqlite import SQLiteBackend
+
+ROWS = [
+    {"make": "opel", "price": 20_000.0, "power": 50},
+    {"make": "bmw", "price": 30_000.0, "power": 52},
+    {"make": "vw", "price": 10_000.0, "power": 48},
+]
+
+SQL = "SELECT * FROM car PREFERRING LOWEST(price)"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_only_on_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        boom = RuntimeError("boom")
+        breaker.on_failure("s", boom)
+        breaker.on_failure("s", boom)
+        breaker.on_success("s")  # success resets the streak
+        breaker.on_failure("s", boom)
+        breaker.on_failure("s", boom)
+        assert breaker.state == "closed"
+        breaker.on_failure("s", boom)
+        assert breaker.state == "open"
+        assert breaker.counts["opened"] == 1
+
+    def test_half_open_is_clock_derived(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.on_failure("s", RuntimeError("boom"))
+        assert breaker.gate() == "block"
+        assert breaker.counts["shed"] == 1
+        clock.now = 5.0
+        assert breaker.state == "half_open"
+        assert breaker.gate() == "probe"
+
+    def test_failed_probe_restarts_the_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.on_failure("s", RuntimeError("boom"))
+        clock.now = 5.0
+        assert breaker.gate() == "probe"
+        breaker.on_failure("probe", RuntimeError("still down"))
+        assert breaker.state == "open"  # window restarted at t=5
+        clock.now = 9.0
+        assert breaker.gate() == "block"
+        clock.now = 10.0
+        assert breaker.gate() == "probe"
+        assert breaker.on_success("probe") is True
+        assert breaker.state == "closed"
+        assert breaker.counts["resealed"] == 1
+
+    def test_transitions_record_site_and_reason(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.on_failure("storage.sync", RuntimeError("disk gone"))
+        stats = breaker.stats()
+        assert stats["last_failure"]["site"] == "storage.sync"
+        (transition,) = stats["transitions"]
+        assert transition["to"] == "open"
+        assert "disk gone" in transition["reason"]
+
+
+@pytest.fixture
+def sqlite_session():
+    session = Session({"car": list(ROWS)}, storage=SQLiteBackend())
+    yield session
+    session.close()
+
+
+class TestGuardedDegradation:
+    def test_breaker_opens_and_queries_stay_exact(self, sqlite_session):
+        guard = sqlite_session.storage.backend
+        assert isinstance(guard, GuardedBackend)
+        shadow = Session({"car": list(ROWS)}, storage="memory")
+        try:
+            extra = [{"make": "opel", "price": 5_000.0 + i, "power": 99}
+                     for i in range(3)]
+            with FaultPlan([FaultRule("storage.insert", times=3)]):
+                for row in extra:
+                    sqlite_session.insert_rows("car", [dict(row)])
+            for row in extra:  # the oracle mutates outside the plan
+                shadow.insert_rows("car", [dict(row)])
+            assert guard.breaker.state == "open"
+            # Exact in-memory fallback: pushdown surface answers None...
+            assert guard.table_version("car") is None
+            assert guard.prefilter(
+                "car", [Comparison("make", "=", "opel")],
+                sqlite_session.catalog.version("car")) is None
+            # ...and the query answers match an untouched memory session.
+            assert (sqlite_session.sql(SQL).rows()
+                    == shadow.sql(SQL).rows())
+            stats = guard.stats()
+            assert stats["dirty"] == ["car"]
+            assert stats["breaker"]["counts"]["opened"] == 1
+        finally:
+            shadow.close()
+
+    def test_reseal_replays_dirty_relations(self, sqlite_session):
+        guard = sqlite_session.storage.backend
+        guard.breaker = CircuitBreaker(threshold=2, reset_timeout=0.0)
+        with FaultPlan([FaultRule("storage.insert", times=2)]):
+            for i in range(2):
+                sqlite_session.insert_rows(
+                    "car",
+                    [{"make": "vw", "price": 1_000.0 * i, "power": 40}],
+                )
+        assert guard.breaker.state == "half_open"  # timeout 0: probe now
+        assert "car" in guard.dirty
+        # The next mutation probes, reseals, and replays the dirty mirror.
+        sqlite_session.insert_rows(
+            "car", [{"make": "bmw", "price": 99_000.0, "power": 90}]
+        )
+        assert guard.breaker.state == "closed"
+        assert guard.breaker.counts["resealed"] == 1
+        assert guard.dirty == set()
+        # The replayed mirror answers prefilters for the full catalog.
+        version = sqlite_session.catalog.version("car")
+        conjunct = Comparison("power", ">=", 0)
+        got = guard.prefilter("car", [conjunct], version)
+        assert got == sqlite_session.catalog.get("car").rows()
+
+    def test_transient_failure_heals_on_next_success(self, sqlite_session):
+        guard = sqlite_session.storage.backend
+        with FaultPlan([FaultRule("storage.insert", times=1)]):
+            sqlite_session.insert_rows(
+                "car", [{"make": "vw", "price": 1.0, "power": 1}]
+            )
+        assert guard.breaker.state == "closed"  # below the threshold
+        assert "car" in guard.dirty
+        sqlite_session.insert_rows(
+            "car", [{"make": "vw", "price": 2.0, "power": 2}]
+        )
+        assert guard.dirty == set()
+        version = sqlite_session.catalog.version("car")
+        got = guard.prefilter("car", [Comparison("power", ">=", 0)],
+                              version)
+        assert got == sqlite_session.catalog.get("car").rows()
+
+
+class TestCheckpointRefusal:
+    def test_checkpoint_refused_while_degraded(self, tmp_path):
+        session = Session({"car": list(ROWS)}, data_dir=tmp_path)
+        try:
+            guard = session.storage.backend
+            guard.breaker = CircuitBreaker(threshold=1, reset_timeout=0.0)
+            with FaultPlan([FaultRule("storage.insert", times=1)]):
+                session.insert_rows(
+                    "car", [{"make": "vw", "price": 1.0, "power": 1}]
+                )
+            assert guard.breaker.state != "closed"
+            with pytest.raises(StorageError, match="checkpoint refused"):
+                session.checkpoint()
+            # One clean mutation reseals; the checkpoint then goes through.
+            session.insert_rows(
+                "car", [{"make": "vw", "price": 2.0, "power": 2}]
+            )
+            assert guard.breaker.state == "closed"
+            info = session.checkpoint()
+            assert info["relations"] == 1
+        finally:
+            session.close()
+
+    def test_checkpoint_fault_site_fails_loudly(self, tmp_path):
+        session = Session({"car": list(ROWS)}, data_dir=tmp_path)
+        try:
+            with FaultPlan([FaultRule("storage.checkpoint")]):
+                with pytest.raises(Exception, match="injected fault"):
+                    session.checkpoint()
+            assert session.checkpoint()["relations"] == 1
+        finally:
+            session.close()

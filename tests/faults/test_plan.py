@@ -1,0 +1,177 @@
+"""The fault plan itself: parsing, matching, determinism, activation."""
+
+import json
+
+import pytest
+
+from repro.faults import __main__ as chaos_cli
+from repro.faults import plan as faults
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedFault,
+)
+
+
+class TestRuleValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault action"):
+            FaultRule("storage.insert", action="explode")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="times"):
+            FaultRule("storage.insert", times=0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(FaultPlanError, match="fraction"):
+            FaultRule("wal.append", action="torn", fraction=0.0)
+
+    def test_prob_bounds(self):
+        with pytest.raises(FaultPlanError, match="prob"):
+            FaultRule("storage.insert", prob=1.5)
+
+
+class TestPlanParsing:
+    def test_from_dict_round_trips(self):
+        plan = FaultPlan.from_dict({
+            "seed": 7,
+            "rules": [
+                {"site": "storage.*", "action": "error", "times": 2,
+                 "after": 1, "match": "car"},
+                {"site": "wal.append", "action": "torn", "fraction": 0.25},
+            ],
+        })
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.to_dict() == plan.to_dict()
+        assert again.seed == 7
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan"):
+            FaultPlan.from_dict({"rule": []})
+
+    def test_unknown_rule_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown field"):
+            FaultPlan.from_dict(
+                {"rules": [{"site": "x", "chance": 0.5}]}
+            )
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="bad fault-plan JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_from_env_inline_and_file(self, tmp_path):
+        spec = {"rules": [{"site": "view.refresh"}]}
+        inline = FaultPlan.from_env(json.dumps(spec))
+        assert len(inline.rules) == 1
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        from_file = FaultPlan.from_env(str(path))
+        assert from_file.to_dict() == inline.to_dict()
+
+    def test_from_env_missing_file(self):
+        with pytest.raises(FaultPlanError, match="missing file"):
+            FaultPlan.from_env("/no/such/fault-plan.json")
+
+
+class TestMatching:
+    def test_after_and_times_window(self):
+        plan = FaultPlan([FaultRule("s", after=2, times=2)])
+        fired = [plan.hit("s") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_glob_and_detail_match(self):
+        plan = FaultPlan([
+            FaultRule("storage.*", match="car", times=None),
+        ])
+        assert plan.hit("storage.insert", "car") is not None
+        assert plan.hit("storage.insert", "boat") is None
+        assert plan.hit("wal.append", "car") is None
+
+    def test_first_matching_rule_wins(self):
+        first = FaultRule("s", action="delay", times=None)
+        second = FaultRule("s", action="error", times=None)
+        plan = FaultPlan([first, second])
+        assert plan.hit("s") is first
+        assert second.fired == 0
+
+    def test_prob_is_seed_deterministic(self):
+        def firing_pattern(seed):
+            plan = FaultPlan(
+                [FaultRule("s", prob=0.5, times=None)], seed=seed
+            )
+            return [plan.hit("s") is not None for _ in range(64)]
+
+        assert firing_pattern(11) == firing_pattern(11)
+        assert firing_pattern(11) != firing_pattern(12)
+
+    def test_stats_report_hits_and_fired(self):
+        plan = FaultPlan([FaultRule("s", times=1)])
+        plan.hit("s")
+        plan.hit("s")
+        plan.hit("other")
+        stats = plan.stats()
+        assert stats["hits"] == {"s": 2, "other": 1}
+        assert list(stats["fired"].values()) == [1]
+
+
+class TestActivation:
+    def test_no_plan_is_a_noop(self):
+        assert faults.check("anything") is None
+
+    def test_context_manager_injects_and_restores(self):
+        with FaultPlan([FaultRule("site.x")]):
+            with pytest.raises(InjectedFault) as info:
+                faults.check("site.x")
+            assert info.value.site == "site.x"
+        assert faults.check("site.x") is None
+
+    def test_delay_returns_none(self):
+        with FaultPlan([FaultRule("site.x", action="delay",
+                                  delay_ms=1.0)]):
+            assert faults.check("site.x") is None
+
+    def test_directives_returned_to_the_site(self):
+        with FaultPlan([FaultRule("site.x", action="torn")]):
+            rule = faults.check("site.x")
+            assert rule is not None and rule.action == "torn"
+            with pytest.raises(InjectedFault):
+                raise faults.directive_error("site.x", rule)
+
+    def test_env_plan_installed_on_first_check(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.FAULT_PLAN_ENV,
+            json.dumps({"rules": [{"site": "env.site"}]}),
+        )
+        faults.reset()  # force the env to be (re-)consulted
+        with pytest.raises(InjectedFault):
+            faults.check("env.site")
+
+
+class TestChaosCli:
+    def test_sites_lists_every_instrumented_site(self, capsys):
+        assert chaos_cli.main(["sites"]) == 0
+        out = capsys.readouterr().out
+        for site in ("storage.sync", "storage.probe", "wal.append",
+                     "view.refresh", "conn.write", "executor.task"):
+            assert site in out
+
+    def test_validate_accepts_and_flags_unknown_sites(self, capsys):
+        plan = json.dumps({"rules": [{"site": "storage.insert"},
+                                     {"site": "warp.core"}]})
+        assert chaos_cli.main(["validate", plan]) == 0
+        out = capsys.readouterr().out
+        assert "matches no instrumented site" in out
+
+    def test_validate_rejects_garbage(self, capsys):
+        assert chaos_cli.main(["validate", "{nope"]) == 1
+
+    def test_run_exports_the_plan(self, capsys):
+        plan = json.dumps({"rules": [{"site": "storage.insert"}]})
+        code = chaos_cli.main([
+            "run", plan, "--", "python", "-c",
+            "import json, os; "
+            "plan = json.loads(os.environ['REPRO_FAULT_PLAN']); "
+            "raise SystemExit(0 if plan['rules'] else 3)",
+        ])
+        assert code == 0

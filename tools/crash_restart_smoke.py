@@ -111,6 +111,8 @@ def main() -> int:
             )
             pre_metrics = client.metrics()
             assert pre_metrics["checkpoints"] == 1, pre_metrics["checkpoints"]
+            health = client.health()
+            assert health["status"] == "ok", f"pre-kill health: {health}"
             client.unsubscribe(sub["subscription"])
 
         # The crash: no shutdown handler runs, nothing gets flushed.
@@ -122,6 +124,9 @@ def main() -> int:
         server = start_server(data_dir, port)
         wait_ready(port, server)
         with PreferenceClient(port=port) as client:
+            health = client.health()
+            assert health["status"] == "ok", f"post-restart health: {health}"
+            assert health["storage"]["breaker"] == "closed", health
             post_relations = {
                 r["name"]: (r["rows"], r["version"])
                 for r in client.relations()
